@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Experiment C2 (§4.2): virtual-address-space fragmentation from
+ * power-of-two segments.
+ *
+ * Internal fragmentation: waste from rounding object sizes up to the
+ * next power of two, over several object-size distributions. The
+ * paper notes this wastes *virtual* space, not physical memory
+ * (physical allocation is page-by-page) — also measured.
+ *
+ * External fragmentation: free-space shattering under alloc/free
+ * churn with the buddy system, measured as the largest allocatable
+ * block vs. total free space. The paper prescribes exactly this buddy
+ * scheme to keep it bounded.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+#include "mem/memory_system.h"
+#include "os/segment_manager.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace gp;
+
+/** Object-size distributions typical of the workloads §1 motivates. */
+uint64_t
+sampleSize(sim::Rng &rng, int dist)
+{
+    switch (dist) {
+      case 0: // uniform 1B..64KB
+        return 1 + rng.below(64 * 1024);
+      case 1: // small objects, geometric around 64B (LISP-like heaps)
+        return 8 * rng.geometric(8.0);
+      case 2: // mixed: mostly small, occasional large buffers
+        return rng.chance(0.9) ? 16 + rng.below(256)
+                               : 4096 + rng.below(256 * 1024);
+      default: // exact powers of two (best case)
+        return uint64_t(1) << (3 + rng.below(14));
+    }
+}
+
+const char *kDistNames[] = {"uniform 1B-64KB", "geometric ~64B",
+                            "90% small / 10% large", "powers of two"};
+
+void
+internalFragmentation()
+{
+    gp::bench::Table t(
+        "C2a: internal fragmentation by object-size distribution",
+        {"distribution", "objects", "requested MB", "allocated MB",
+         "VA waste", "physical waste (4KB pages)"});
+
+    for (int dist = 0; dist < 4; ++dist) {
+        mem::MemorySystem mem{mem::MemConfig{}};
+        os::SegmentManager segman(mem, uint64_t(1) << 40, 34);
+        sim::Rng rng(1000 + dist);
+
+        uint64_t requested = 0, allocated = 0, phys_pages = 0,
+                 used_pages = 0;
+        int objects = 0;
+        for (int i = 0; i < 4000; ++i) {
+            const uint64_t bytes = sampleSize(rng, dist);
+            auto p = segman.allocate(bytes, Perm::ReadWrite);
+            if (!p)
+                break;
+            objects++;
+            requested += bytes;
+            const uint64_t seg = PointerView(p.value).segmentBytes();
+            allocated += seg;
+            // Physical frames are only consumed for touched pages:
+            // pages fully inside the rounded-up tail are never mapped.
+            used_pages += (bytes + 4095) / 4096;
+            phys_pages += (seg + 4095) / 4096;
+        }
+        const double va_waste =
+            100.0 * (1.0 - double(requested) / double(allocated));
+        // Physical waste if the allocator maps only touched pages.
+        const double phys_waste =
+            100.0 * (1.0 - double(used_pages) / double(phys_pages));
+        t.addRow({kDistNames[dist], gp::bench::fmt("%d", objects),
+                  gp::bench::fmt("%.1f", requested / 1048576.0),
+                  gp::bench::fmt("%.1f", allocated / 1048576.0),
+                  gp::bench::fmt("%.1f%%", va_waste),
+                  gp::bench::fmt("%.1f%% (upper bound)", phys_waste)});
+    }
+    t.print();
+}
+
+void
+externalFragmentation()
+{
+    gp::bench::Table t(
+        "C2b: external fragmentation under buddy churn",
+        {"churn steps", "live segs", "free MB", "largest free block",
+         "free blocks", "frag index"});
+
+    mem::MemorySystem mem{mem::MemConfig{}};
+    os::SegmentManager segman(mem, uint64_t(1) << 40, 28); // 256MB
+    sim::Rng rng(77);
+    std::vector<Word> live;
+
+    for (int step = 1; step <= 50000; ++step) {
+        if (live.empty() || rng.chance(0.55)) {
+            auto p = segman.allocate(sampleSize(rng, 2),
+                                     Perm::ReadWrite);
+            if (p)
+                live.push_back(p.value);
+        } else {
+            const size_t i = rng.below(live.size());
+            segman.free(live[i]);
+            live.erase(live.begin() + i);
+        }
+
+        if (step % 10000 == 0) {
+            auto &buddy = segman.buddy();
+            const uint64_t free_bytes = buddy.freeBytes();
+            const uint64_t largest =
+                buddy.largestFreeOrder()
+                    ? uint64_t(1) << *buddy.largestFreeOrder()
+                    : 0;
+            // Fragmentation index: 1 - largest/total free. 0 = one
+            // contiguous block; ->1 = shattered.
+            const double frag =
+                free_bytes == 0
+                    ? 0.0
+                    : 1.0 - double(largest) / double(free_bytes);
+            t.addRow({gp::bench::fmt("%d", step),
+                      gp::bench::fmt("%zu", live.size()),
+                      gp::bench::fmt("%.1f", free_bytes / 1048576.0),
+                      gp::bench::fmt("%.1f MB", largest / 1048576.0),
+                      gp::bench::fmt(
+                          "%zu", buddy.freeBlockCount()),
+                      gp::bench::fmt("%.3f", frag)});
+        }
+    }
+    t.print();
+
+    std::printf("\nClaims under test (SS4.2): power-of-two rounding "
+                "wastes virtual space (<=50%%, ~25%% typical) but "
+                "little physical memory;\nbuddy coalescing keeps the "
+                "fragmentation index well below 1 under churn.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    internalFragmentation();
+    externalFragmentation();
+    return 0;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Experiment F4 (Fig. 4): two-way protected subsystem call cost.
+ *
+ * Runs the full Fig. 4 sequence — spill live pointers to the return
+ * segment, scrub registers, enter the subsystem, return through the
+ * return-segment gateway which reloads the caller's pointers — and
+ * compares cycles/call against the one-way call (F3) and a plain
+ * call. The extra cost of two-way protection is the spill/scrub/
+ * reload work, all of it ordinary user-mode instructions.
+ */
+
+#include <string>
+
+#include "bench_util.h"
+#include "sim/log.h"
+#include "isa/assembler.h"
+#include "os/kernel.h"
+
+namespace {
+
+using namespace gp;
+
+constexpr int kCalls = 256;
+constexpr uint64_t kStubOffset = 64;
+
+/** Build a return segment with the reload stub; returns (rw, enter). */
+std::pair<Word, Word>
+makeReturnSegment(os::Kernel &kernel)
+{
+    auto rw = kernel.segments().allocate(256, Perm::ReadWrite);
+    if (!rw)
+        sim::fatal("F4: return segment allocation failed");
+    const uint64_t base = PointerView(rw.value).segmentBase();
+
+    auto stub = isa::assemble(R"(
+        getip r15
+        leabi r15, r15, 0
+        ld r14, 0(r15)   ; continuation IP
+        ld r4, 8(r15)    ; caller's protected pointer
+        ld r2, 16(r15)   ; caller's return-segment RW pointer
+        movi r15, 0
+        jmp r14
+    )");
+    if (!stub.ok)
+        sim::fatal("F4: stub failed: %s", stub.error.c_str());
+    for (size_t i = 0; i < stub.words.size(); ++i)
+        kernel.mem().pokeWord(base + kStubOffset + i * 8,
+                              stub.words[i]);
+
+    auto enter = makePointer(Perm::EnterUser,
+                             PointerView(rw.value).lenLog2(),
+                             base + kStubOffset);
+    if (!enter)
+        sim::fatal("F4: enter pointer mint failed");
+    return {rw.value, enter.value};
+}
+
+double
+runCaller(os::Kernel &kernel, const std::string &src,
+          const std::vector<std::pair<unsigned, Word>> &regs)
+{
+    auto caller = kernel.loadAssembly(src);
+    if (!caller)
+        sim::fatal("F4: caller failed to assemble");
+    const uint64_t before = kernel.machine().cycle();
+    isa::Thread *t = kernel.spawn(caller.value.execPtr, regs);
+    if (!t)
+        sim::fatal("F4: no thread slot");
+    kernel.machine().run(50'000'000);
+    if (t->state() != isa::ThreadState::Halted)
+        sim::fatal("F4: caller did not halt (fault %s)",
+                   std::string(faultName(t->faultRecord().fault))
+                       .c_str());
+    return double(kernel.machine().cycle() - before) / kCalls;
+}
+
+} // namespace
+
+int
+main()
+{
+    os::Kernel kernel;
+    const std::string n = std::to_string(kCalls);
+
+    auto priv = kernel.segments().allocate(4096, Perm::ReadWrite);
+    auto one_way_sub = kernel.buildSubsystem("jmp r14", {});
+    auto two_way_sub = kernel.buildSubsystem("jmp r3", {});
+    auto plain = kernel.loadAssembly("jmp r14");
+    if (!priv || !one_way_sub || !two_way_sub || !plain)
+        sim::fatal("F4: setup failed");
+    auto [ret_rw, ret_enter] = makeReturnSegment(kernel);
+
+    const double loop = runCaller(kernel, R"(
+        movi r10, 0
+        movi r11, )" + n + R"(
+        loop:
+        nop
+        addi r10, r10, 1
+        bne r10, r11, loop
+        halt
+    )",
+                                  {});
+
+    const double plain_call = runCaller(kernel, R"(
+        movi r10, 0
+        movi r11, )" + n + R"(
+        loop:
+        getip r14
+        leai r14, r14, 24
+        jmp r1
+        addi r10, r10, 1
+        bne r10, r11, loop
+        halt
+    )",
+                                        {{1, plain.value.execPtr}});
+
+    const double one_way = runCaller(kernel, R"(
+        movi r10, 0
+        movi r11, )" + n + R"(
+        loop:
+        getip r14
+        leai r14, r14, 24
+        jmp r1
+        addi r10, r10, 1
+        bne r10, r11, loop
+        halt
+    )",
+                                     {{1, one_way_sub.value.enterPtr}});
+
+    // Fig. 4 A->D per iteration: save continuation + 2 pointers,
+    // scrub 3 registers, call; the gateway stub reloads everything.
+    const double two_way = runCaller(kernel, R"(
+        movi r10, 0
+        movi r11, )" + n + R"(
+        loop:
+        getip r14
+        leai r14, r14, 72
+        st r14, 0(r2)
+        st r4, 8(r2)
+        st r2, 16(r2)
+        movi r14, 0
+        movi r4, 0
+        movi r2, 0
+        jmp r1
+        addi r10, r10, 1
+        bne r10, r11, loop
+        halt
+    )",
+                                     {{1, two_way_sub.value.enterPtr},
+                                      {2, ret_rw},
+                                      {3, ret_enter},
+                                      {4, priv.value}});
+
+    gp::bench::Table t("F4: two-way protected call (cycles/call, loop "
+                       "overhead removed)",
+                       {"mechanism", "cycles/call", "vs plain",
+                        "protects"});
+    auto row = [&](const char *name, double c, const char *prot) {
+        t.addRow({name, gp::bench::fmt("%.1f", c - loop),
+                  gp::bench::fmt("%.2fx",
+                                 (c - loop) / (plain_call - loop)),
+                  prot});
+    };
+    row("plain jump/return", plain_call, "nothing");
+    row("one-way enter call (Fig. 3)", one_way, "subsystem from caller");
+    row("two-way call w/ return segment (Fig. 4)", two_way,
+        "both directions");
+    t.print();
+
+    std::printf("\nTwo-way adder = %.1f cycles: 3 stores + 3 register "
+                "scrubs + gateway reload, all unprivileged.\n",
+                two_way - one_way);
+    return 0;
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Experiment F5 (Fig. 5): the MAP chip's interleaved memory system
+ * under multithreaded load.
+ *
+ * Sweeps hardware thread count and cache bank count while every
+ * thread streams loads from its own protection domain. Reproduces the
+ * figure's architectural points: (a) the 4-bank virtually-addressed
+ * cache absorbs the clusters' combined request rate with few bank
+ * conflicts while a single bank serializes; (b) threads from
+ * different protection domains interleave cycle-by-cycle with zero
+ * protection state and zero switch cost — the *machine* stats show no
+ * protection-table traffic because none exists.
+ */
+
+#include <string>
+
+#include "bench_util.h"
+#include "sim/log.h"
+#include "isa/assembler.h"
+#include "isa/loader.h"
+#include "isa/machine.h"
+
+namespace {
+
+using namespace gp;
+
+struct RunStats
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t loads = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t conflicts = 0;
+};
+
+RunStats
+runThreads(unsigned nthreads, unsigned banks, unsigned issue_width = 1)
+{
+    isa::MachineConfig cfg;
+    cfg.mem.cache = gp::bench::mapCache();
+    cfg.mem.cache.banks = banks;
+    cfg.issueWidth = issue_width;
+    isa::Machine machine(cfg);
+
+    // Each thread sweeps a ~4KB window of its segment several times,
+    // so the 16-thread working set (64KB) fits the 128KB cache and
+    // the sweep isolates bank/port behaviour, not capacity misses.
+    const std::string src = R"(
+        movi r12, 0
+        movi r13, 8
+        outer:
+        leabi r2, r1, 0
+        movi r10, 0
+        movi r11, 127
+        inner:
+        ld r3, 0(r2)
+        ld r4, 8(r2)
+        ld r5, 16(r2)
+        ld r6, 24(r2)
+        leai r2, r2, 32
+        addi r10, r10, 1
+        bne r10, r11, inner
+        addi r12, r12, 1
+        bne r12, r13, outer
+        halt
+    )";
+    auto assembly = isa::assemble(src);
+    if (!assembly.ok)
+        sim::fatal("F5: %s", assembly.error.c_str());
+
+    for (unsigned i = 0; i < nthreads; ++i) {
+        // Stagger code bases by one set each so the tiny code
+        // segments spread across sets instead of stacking in set 0.
+        const uint64_t code_base =
+            ((uint64_t(i) + 1) << 20) + uint64_t(i) * 128;
+        auto prog =
+            isa::loadProgram(machine.mem(), code_base, assembly.words);
+        isa::Thread *t = machine.spawn(prog.execPtr);
+        if (!t)
+            sim::fatal("F5: out of thread slots");
+        // 4KB data segments tiled onto disjoint set windows: +4096
+        // per thread advances the set index by 32, so 16 threads
+        // exactly tile the 512 sets with no inter-thread conflicts.
+        t->setReg(1, isa::dataSegment(((uint64_t(i) + 1) << 30) +
+                                          uint64_t(i) * 4096,
+                                      12));
+    }
+
+    machine.run(50'000'000);
+
+    RunStats s;
+    s.cycles = machine.cycle();
+    s.instructions = machine.stats().get("instructions");
+    s.loads = machine.mem().stats().get("loads");
+    s.hits = machine.mem().stats().get("hits");
+    s.misses = machine.mem().stats().get("misses");
+    s.conflicts = machine.mem().stats().get("bank_conflict_stalls");
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    gp::bench::Table t(
+        "F5: MAP memory system — threads x banks sweep",
+        {"threads", "banks", "cycles", "IPC", "data refs/cycle",
+         "hit rate", "bank-conflict stalls/kiloref"});
+
+    for (unsigned banks : {1u, 2u, 4u}) {
+        for (unsigned threads : {1u, 4u, 8u, 16u}) {
+            const RunStats s = runThreads(threads, banks);
+            const uint64_t refs = s.hits + s.misses;
+            t.addRow({gp::bench::fmt("%u", threads),
+                      gp::bench::fmt("%u", banks),
+                      gp::bench::fmt("%llu",
+                                     (unsigned long long)s.cycles),
+                      gp::bench::fmt("%.2f", double(s.instructions) /
+                                                 double(s.cycles)),
+                      gp::bench::fmt("%.2f", double(s.loads) /
+                                                 double(s.cycles)),
+                      gp::bench::fmt("%.1f%%", 100.0 * double(s.hits) /
+                                                   double(refs)),
+                      gp::bench::fmt("%.1f",
+                                     1000.0 * double(s.conflicts) /
+                                         double(refs))});
+        }
+    }
+    t.print();
+
+    // Companion sweep: cluster issue width (the MAP's multiple
+    // function units) at the full 16-thread load, 4 banks.
+    gp::bench::Table w("F5b: issue width x 16 threads (4 banks)",
+                       {"issue width", "cycles", "IPC",
+                        "data refs/cycle"});
+    for (unsigned width : {1u, 2u, 3u, 4u}) {
+        const RunStats s = runThreads(16, 4, width);
+        w.addRow({gp::bench::fmt("%u", width),
+                  gp::bench::fmt("%llu", (unsigned long long)s.cycles),
+                  gp::bench::fmt("%.2f", double(s.instructions) /
+                                             double(s.cycles)),
+                  gp::bench::fmt("%.2f", double(s.loads) /
+                                             double(s.cycles))});
+    }
+    w.print();
+    std::printf(
+        "(F5b note: this sweep is memory-port-bound, so extra issue "
+        "slots go unused — width pays off for compute-bound\nmixes, "
+        "measured in tests/isa/test_issue_width.cc. That the limit "
+        "is the cache port, not the issue logic, is itself\nthe "
+        "Fig. 5 design point: banking, not width, feeds a "
+        "multithreaded memory-bound machine.)\n");
+
+    std::printf(
+        "\nClaims under test (Fig. 5 / SS3): instruction fetch and "
+        "data refs from 4 clusters contend for the array, so one\n"
+        "bank serializes (flat IPC vs threads) while 4 banks roughly "
+        "double throughput and halve conflict stalls; all of it at\n"
+        "zero protection cost — no PLB, no per-thread TLB state, "
+        "translation only on cache miss.\n");
+    return 0;
+}

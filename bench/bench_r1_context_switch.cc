@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Experiment R1 (§5.1): protection-domain switch cost across schemes.
+ *
+ * The paper's central comparison. Identical multi-domain traces are
+ * replayed through every protection scheme while the scheduling
+ * quantum shrinks from thousands of references down to the
+ * cycle-by-cycle interleaving a multithreaded machine performs.
+ * Reported: cycles/reference (total) and the switch-attributable
+ * cost. Expected shape: guarded pointers flat at zero switch cost;
+ * flush-based paging diverges as quanta shrink; ASIDs fix the switch
+ * but lose in-cache sharing; PLB/page-group sit between.
+ */
+
+#include "baselines/runner.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace gp;
+using namespace gp::baselines;
+
+sim::WorkloadConfig
+workload(uint64_t interval)
+{
+    sim::WorkloadConfig w;
+    w.numDomains = 8;
+    w.segmentsPerDomain = 6;
+    w.sharedSegments = 4;
+    w.segmentBytes = 8192;
+    w.sharedFraction = 0.15;
+    w.switchInterval = interval;
+    w.seed = 2024;
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto cache = gp::bench::mapCache();
+    const Costs costs;
+    constexpr uint64_t kRefs = 200000;
+
+    gp::bench::Table t(
+        "R1: cycles/reference vs scheduling quantum (SS5.1)",
+        {"scheme", "q=4096", "q=256", "q=64", "q=16", "q=4",
+         "switch cost @q=16"});
+
+    for (SchemeKind kind : allSchemeKinds()) {
+        std::vector<std::string> row{std::string(schemeName(kind))};
+        double switch_cost_q16 = 0;
+        for (uint64_t q : {4096u, 256u, 64u, 16u, 4u}) {
+            auto scheme = makeScheme(kind, cache, 64, costs);
+            sim::TraceGenerator gen(workload(q));
+            RunResult r = runTrace(*scheme, gen, kRefs);
+            row.push_back(gp::bench::fmt("%.2f", r.cyclesPerRef()));
+            if (q == 16)
+                switch_cost_q16 = r.cyclesPerSwitch();
+        }
+        row.push_back(gp::bench::fmt("%.1f cyc/switch",
+                                     switch_cost_q16));
+        t.addRow(std::move(row));
+    }
+    t.print();
+
+    // Companion series: in-cache sharing. Same trace, rising shared
+    // fraction, guarded vs ASID — the synonym penalty.
+    gp::bench::Table s(
+        "R1b: in-cache sharing — miss rate vs shared fraction",
+        {"scheme", "shared=0%", "shared=25%", "shared=50%",
+         "shared=80%"});
+    for (SchemeKind kind :
+         {SchemeKind::Guarded, SchemeKind::PagedAsid}) {
+        std::vector<std::string> row{std::string(schemeName(kind))};
+        for (double frac : {0.0, 0.25, 0.5, 0.8}) {
+            auto scheme = makeScheme(kind, cache, 64, costs);
+            sim::WorkloadConfig w = workload(64);
+            w.sharedFraction = frac;
+            w.jumpFraction = 0.1;
+            sim::TraceGenerator gen(w);
+            RunResult r = runTrace(*scheme, gen, kRefs);
+            // Infer the miss rate from mean cycles (hit=1).
+            row.push_back(
+                gp::bench::fmt("%.2f cyc/ref", r.cyclesPerRef()));
+        }
+        s.addRow(std::move(row));
+    }
+    s.print();
+
+    std::printf(
+        "\nClaims under test: guarded pointers cost 0 cycles/switch "
+        "at any quantum (zero-cost context switch, SS3);\n"
+        "paged-flush diverges as the quantum shrinks; ASID avoids the "
+        "flush but pays the synonym penalty as sharing rises.\n");
+    return 0;
+}

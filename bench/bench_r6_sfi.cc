@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Experiment R6 (§5.4): software fault isolation (Wahbe et al.) vs
+ * hardware guarded pointers.
+ *
+ * SFI inserts check/sandbox instructions before every reference the
+ * compiler cannot prove safe. Swept here: the statically-provable
+ * fraction and the per-check instruction count (2 = store sandboxing,
+ * 4 = full checking), against the guarded-pointer bound where the
+ * check is hardware and costs zero issue slots. Also run natively on
+ * the ISA machine: the same loop with and without inlined check
+ * instructions.
+ */
+
+#include <string>
+
+#include "baselines/guarded_scheme.h"
+#include "baselines/runner.h"
+#include "baselines/sfi_scheme.h"
+#include "bench_util.h"
+#include "sim/log.h"
+#include "os/kernel.h"
+
+namespace {
+
+using namespace gp;
+using namespace gp::baselines;
+
+sim::WorkloadConfig
+workload()
+{
+    sim::WorkloadConfig w;
+    w.numDomains = 4;
+    w.segmentsPerDomain = 8;
+    w.sharedSegments = 2;
+    w.segmentBytes = 8192;
+    w.switchInterval = 256;
+    w.seed = 93;
+    return w;
+}
+
+/** Run the paper's array loop on the machine, with/without checks. */
+double
+machineLoop(bool sfi_checks)
+{
+    os::Kernel kernel;
+    auto seg = kernel.segments().allocate(8192, Perm::ReadWrite);
+    // The SFI variant emulates Wahbe's sandboxing: two extra ALU
+    // instructions (mask to the fault domain, merge base) before each
+    // store, issued on the same pipeline.
+    const std::string body =
+        sfi_checks ? R"(
+        movi r10, 0
+        movi r11, 512
+        loop:
+        and r6, r4, r5     ; sandbox: mask offset bits
+        or  r6, r6, r7     ; sandbox: force fault-domain bits
+        st r10, 0(r2)
+        leai r2, r2, 8
+        addi r10, r10, 1
+        bne r10, r11, loop
+        halt
+    )"
+                   : R"(
+        movi r10, 0
+        movi r11, 512
+        loop:
+        st r10, 0(r2)
+        leai r2, r2, 8
+        addi r10, r10, 1
+        bne r10, r11, loop
+        halt
+    )";
+    auto prog = kernel.loadAssembly(body);
+    if (!prog || !seg)
+        sim::fatal("R6: setup failed");
+    isa::Thread *t =
+        kernel.spawn(prog.value.execPtr, {{2, seg.value}});
+    const uint64_t before = kernel.machine().cycle();
+    kernel.machine().run(10'000'000);
+    if (t->state() != isa::ThreadState::Halted)
+        sim::fatal("R6: loop did not halt");
+    return double(kernel.machine().cycle() - before) / 512.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto cache = gp::bench::mapCache();
+    const Costs costs;
+    constexpr uint64_t kRefs = 200000;
+
+    gp::bench::Table t(
+        "R6: SFI overhead vs statically-safe fraction",
+        {"check instrs", "static-safe", "sfi cyc/ref",
+         "guarded cyc/ref", "overhead"});
+
+    GuardedScheme g(cache, 64, costs);
+    sim::TraceGenerator ggen(workload());
+    RunResult rg = runTrace(g, ggen.generate(kRefs));
+
+    for (unsigned check : {2u, 4u}) {
+        for (double safe : {0.0, 0.3, 0.6, 0.9}) {
+            SfiScheme sfi(cache, 64, costs, check, safe, 17);
+            sim::TraceGenerator gen(workload());
+            RunResult rs = runTrace(sfi, gen.generate(kRefs));
+            t.addRow({gp::bench::fmt("%u", check),
+                      gp::bench::fmt("%.0f%%", safe * 100),
+                      gp::bench::fmt("%.2f", rs.cyclesPerRef()),
+                      gp::bench::fmt("%.2f", rg.cyclesPerRef()),
+                      gp::bench::fmt("%+.0f%%",
+                                     100.0 * (rs.cyclesPerRef() /
+                                                  rg.cyclesPerRef() -
+                                              1.0))});
+        }
+    }
+    t.print();
+
+    const double plain = machineLoop(false);
+    const double sandboxed = machineLoop(true);
+    gp::bench::Table m("R6b: store loop on the MAP simulator",
+                       {"variant", "cycles/iteration", "overhead"});
+    m.addRow({"guarded pointers (hardware check)",
+              gp::bench::fmt("%.2f", plain), "baseline"});
+    m.addRow({"SFI sandboxed stores (2 extra instrs)",
+              gp::bench::fmt("%.2f", sandboxed),
+              gp::bench::fmt("%+.0f%%",
+                             100.0 * (sandboxed / plain - 1.0))});
+    m.print();
+
+    std::printf(
+        "\nClaims under test (SS5.4): SFI cost scales with the "
+        "unproven-reference fraction and is paid in issue slots;\n"
+        "it also relies on toolchain discipline — hand-written code "
+        "bypasses it, which no guarded-pointer program can do.\n");
+    return 0;
+}

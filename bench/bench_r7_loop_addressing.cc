@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Experiment R7 (§2.2): the paper's array-loop example.
+ *
+ *   for (i = 0; i < N; i++) a[i] = i;
+ *
+ * Under conventional segmentation the hardware re-adds the segment
+ * base for every a[i]; with guarded pointers the add happens once and
+ * the pointer is stepped incrementally ("the resulting pointer can be
+ * incrementally stepped through the array, avoiding the additional
+ * level of indirection"). Both code shapes run on the MAP simulator;
+ * a third variant shows the rebase-per-access form a compiler is
+ * forced into when the base add is implicit.
+ */
+
+#include <string>
+
+#include "bench_util.h"
+#include "sim/log.h"
+#include "os/kernel.h"
+
+namespace {
+
+using namespace gp;
+
+constexpr int kIters = 1024;
+
+double
+runLoop(const std::string &src)
+{
+    os::Kernel kernel;
+    // One extra line of slack: the stepped loop's final LEA lands
+    // one-past-the-end, which a guarded pointer (like any capability)
+    // cannot represent outside its segment. Real compilers reorder
+    // the increment or use displacement addressing; the bench just
+    // sizes the segment with headroom.
+    auto seg =
+        kernel.segments().allocate((kIters + 4) * 8, Perm::ReadWrite);
+    auto prog = kernel.loadAssembly(src);
+    if (!prog || !seg)
+        sim::fatal("R7: setup failed");
+    isa::Thread *t =
+        kernel.spawn(prog.value.execPtr, {{1, seg.value}});
+    const uint64_t before = kernel.machine().cycle();
+    kernel.machine().run(50'000'000);
+    if (t->state() != isa::ThreadState::Halted)
+        sim::fatal("R7: loop faulted: %s",
+                   std::string(faultName(t->faultRecord().fault))
+                       .c_str());
+    return double(kernel.machine().cycle() - before) / kIters;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string n = std::to_string(kIters);
+
+    // Guarded pointers, strength-reduced: one LEA per element.
+    const double stepped = runLoop(R"(
+        movi r10, 0
+        movi r11, )" + n + R"(
+        mov r2, r1
+        loop:
+        st r10, 0(r2)
+        leai r2, r2, 8
+        addi r10, r10, 1
+        bne r10, r11, loop
+        halt
+    )");
+
+    // Segmentation-style: recompute base+offset for every access
+    // (the add the segmentation hardware performs implicitly, made
+    // visible as instructions).
+    const double rebased = runLoop(R"(
+        movi r10, 0
+        movi r11, )" + n + R"(
+        loop:
+        shli r6, r10, 3
+        itop r2, r1, r6     ; base + i*8, bounds-checked
+        st r10, 0(r2)
+        addi r10, r10, 1
+        bne r10, r11, loop
+        halt
+    )");
+
+    // Displacement addressing from a stepped pointer: the common
+    // compiled form (one LEA carries several displaced accesses).
+    const double displaced = runLoop(R"(
+        movi r10, 0
+        movi r11, )" + n + R"(
+        mov r2, r1
+        loop:
+        st r10, 0(r2)
+        st r10, 8(r2)
+        st r10, 16(r2)
+        st r10, 24(r2)
+        leai r2, r2, 32
+        addi r10, r10, 4
+        bne r10, r11, loop
+        halt
+    )");
+
+    gp::bench::Table t(
+        "R7: the SS2.2 array-loop example on the MAP simulator",
+        {"addressing style", "cycles/element", "vs stepped"});
+    t.addRow({"stepped guarded pointer (paper's form)",
+              gp::bench::fmt("%.2f", stepped), "1.00x"});
+    t.addRow({"rebase per access (segmentation's implicit add)",
+              gp::bench::fmt("%.2f", rebased),
+              gp::bench::fmt("%.2fx", rebased / stepped)});
+    t.addRow({"4x unrolled, displacement addressing",
+              gp::bench::fmt("%.2f", displaced),
+              gp::bench::fmt("%.2fx", displaced / stepped)});
+    t.print();
+
+    std::printf(
+        "\nClaim under test (SS2.2): exposing the address add to "
+        "software lets the compiler hoist and strength-reduce it;\n"
+        "the implicit per-reference segment add cannot be optimized "
+        "away and costs extra issue slots on every access.\n");
+    return 0;
+}

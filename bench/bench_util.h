@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: a fixed-width table
+ * printer so every bench emits the paper-style series in a uniform,
+ * grep-friendly format, and common hardware configurations so all
+ * experiments run over the same simulated machine.
+ */
+
+#ifndef GP_BENCH_BENCH_UTIL_H
+#define GP_BENCH_BENCH_UTIL_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mem/cache.h"
+
+namespace gp::bench {
+
+/** Fixed-width text table with a title, header, and rows. */
+class Table
+{
+  public:
+    Table(std::string title, std::vector<std::string> header)
+        : title_(std::move(title)), header_(std::move(header))
+    {
+    }
+
+    void
+    addRow(std::vector<std::string> row)
+    {
+        rows_.push_back(std::move(row));
+    }
+
+    void
+    print() const
+    {
+        std::vector<size_t> widths(header_.size());
+        for (size_t c = 0; c < header_.size(); ++c)
+            widths[c] = header_[c].size();
+        for (const auto &row : rows_) {
+            for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+        }
+
+        std::printf("\n== %s ==\n", title_.c_str());
+        printRow(header_, widths);
+        std::string rule;
+        for (size_t c = 0; c < widths.size(); ++c) {
+            rule += std::string(widths[c], '-');
+            rule += c + 1 < widths.size() ? "-+-" : "";
+        }
+        std::printf("%s\n", rule.c_str());
+        for (const auto &row : rows_)
+            printRow(row, widths);
+    }
+
+  private:
+    static void
+    printRow(const std::vector<std::string> &row,
+             const std::vector<size_t> &widths)
+    {
+        std::string line;
+        for (size_t c = 0; c < widths.size(); ++c) {
+            std::string cell = c < row.size() ? row[c] : "";
+            cell.resize(widths[c], ' ');
+            line += cell;
+            line += c + 1 < widths.size() ? " | " : "";
+        }
+        std::printf("%s\n", line.c_str());
+    }
+
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style cell formatting. */
+inline std::string
+fmt(const char *format, ...)
+{
+    char buf[128];
+    va_list args;
+    va_start(args, format);
+    std::vsnprintf(buf, sizeof(buf), format, args);
+    va_end(args);
+    return buf;
+}
+
+/** The MAP-like cache geometry every experiment uses (Fig. 5). */
+inline mem::CacheConfig
+mapCache()
+{
+    mem::CacheConfig c;
+    c.banks = 4;
+    c.lineBytes = 32;
+    c.setsPerBank = 512;
+    c.ways = 2;
+    return c;
+}
+
+} // namespace gp::bench
+
+#endif // GP_BENCH_BENCH_UTIL_H

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A file system as an unprivileged protected subsystem (paper §2.3).
+ *
+ * The paper's motivating example: "Modules of an operating system,
+ * e.g., the file-system, can be implemented as unprivileged protected
+ * subsystems that contain pointers to appropriate data structures."
+ *
+ * Here a tiny key-value "file table" lives in a segment whose only
+ * pointer sits in the subsystem's capability table. Clients hold
+ * nothing but an enter pointer: they can call write/read operations,
+ * but no client instruction sequence can touch the table directly —
+ * demonstrated at the end by a malicious client.
+ *
+ * Calling convention (all in registers, Fig. 3 style):
+ *   r5 = opcode (1 = write, 2 = read)
+ *   r6 = file key (nonzero integer)
+ *   r7 = value in (write) / value out (read)
+ *   r14 = RETIP
+ *   r15 = status out (1 = ok, 0 = not found / table full)
+ */
+
+#include <cstdio>
+
+#include "gp/ops.h"
+#include "os/kernel.h"
+
+using namespace gp;
+
+namespace {
+
+/** The subsystem: linear-probe key-value store over 16 slots. */
+constexpr const char *kFsSource = R"(
+    ; locate the private file table through our own code segment
+    getip r2
+    leabi r2, r2, 0      ; capability table at segment base
+    ld r3, 0(r2)         ; file-table pointer (clients never see it)
+    movi r8, 0           ; slot index
+    movi r9, 16          ; slot count
+    scan:
+    ld r4, 0(r3)         ; slot key
+    beq r4, r6, found    ; existing file
+    movi r15, 1
+    bne r5, r15, next    ; reads keep scanning
+    movi r15, 0
+    beq r4, r15, found   ; writes may claim an empty slot
+    next:
+    leai r3, r3, 16
+    addi r8, r8, 1
+    bne r8, r9, scan
+    ; not found / table full
+    movi r7, 0
+    movi r15, 0
+    jmp r14
+    found:
+    movi r2, 2
+    beq r5, r2, do_read
+    st r6, 0(r3)         ; write: store key and value
+    st r7, 8(r3)
+    movi r15, 1
+    jmp r14
+    do_read:
+    ld r7, 8(r3)         ; read: fetch value
+    movi r15, 1
+    jmp r14
+)";
+
+/** An honest client: write file 42, read it back, read missing 99. */
+constexpr const char *kClientSource = R"(
+    movi r5, 1           ; write(42, 1234)
+    movi r6, 42
+    movi r7, 1234
+    getip r14
+    leai r14, r14, 24
+    jmp r1
+    mov r10, r15         ; status of the write (r10-r13 survive
+                         ; the subsystem, which clobbers r2-r4,r8,r9)
+
+    movi r5, 2           ; read(42)
+    movi r6, 42
+    movi r7, 0
+    getip r14
+    leai r14, r14, 24
+    jmp r1
+    mov r11, r7          ; value read back
+    mov r12, r15
+
+    movi r5, 2           ; read(99) - no such file
+    movi r6, 99
+    getip r14
+    leai r14, r14, 24
+    jmp r1
+    mov r13, r15
+    halt
+)";
+
+/** A malicious client: try to read the capability table directly. */
+constexpr const char *kEvilSource = R"(
+    ld r3, -8(r1)        ; reach behind the entry point
+    halt
+)";
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Protected file-system subsystem (paper SS2.3)\n\n");
+
+    os::Kernel kernel;
+
+    // The file table: 16 slots of (key, value); 512B with headroom
+    // for the scan cursor. Only the subsystem ever holds this pointer.
+    auto table = kernel.segments().allocate(512, Perm::ReadWrite);
+    auto fs = kernel.buildSubsystem(kFsSource, {table.value});
+    if (!table || !fs) {
+        std::printf("setup failed\n");
+        return 1;
+    }
+    std::printf("file-system subsystem at %s\n",
+                toString(fs.value.enterPtr).c_str());
+    std::printf("clients receive ONLY the enter pointer above.\n\n");
+
+    // Honest client session.
+    auto client = kernel.loadAssembly(kClientSource);
+    isa::Thread *t =
+        kernel.spawn(client.value.execPtr, {{1, fs.value.enterPtr}});
+    kernel.machine().run();
+    std::printf("honest client:\n");
+    std::printf("  write(42, 1234)  -> status %llu\n",
+                (unsigned long long)t->reg(10).bits());
+    std::printf("  read(42)         -> value %llu, status %llu\n",
+                (unsigned long long)t->reg(11).bits(),
+                (unsigned long long)t->reg(12).bits());
+    std::printf("  read(99)         -> status %llu (no such file)\n",
+                (unsigned long long)t->reg(13).bits());
+
+    // Malicious client session.
+    auto evil = kernel.loadAssembly(kEvilSource);
+    isa::Thread *e =
+        kernel.spawn(evil.value.execPtr, {{1, fs.value.enterPtr}});
+    kernel.machine().run();
+    std::printf("\nmalicious client:\n");
+    std::printf("  ld -8(enter_ptr) -> %s\n",
+                std::string(faultName(e->faultRecord().fault))
+                    .c_str());
+
+    // The kernel can still inspect the table (it kept the pointer).
+    const uint64_t base = PointerView(table.value).segmentBase();
+    std::printf("\nkernel view of the file table (slot 0): key=%llu "
+                "value=%llu\n",
+                (unsigned long long)kernel.mem().peekWord(base).bits(),
+                (unsigned long long)kernel.mem()
+                    .peekWord(base + 8)
+                    .bits());
+
+    std::printf("\nNo kernel call happened on the request path: the "
+                "enter pointer is the entire access-control system.\n");
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Cycle-by-cycle multithreading across protection domains (paper §3).
+ *
+ * Sixteen threads in sixteen distinct protection domains run
+ * simultaneously on the 4-cluster MAP: a pipeline of producers and
+ * consumers connected by shared ring segments, where each stage only
+ * holds the pointers it needs (read-only on its input ring,
+ * read/write on its output ring). The machine interleaves them
+ * cycle-by-cycle with zero protection state — the scenario that
+ * motivated the paper.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gp/ops.h"
+#include "os/kernel.h"
+
+using namespace gp;
+
+namespace {
+
+/**
+ * Stage i: wait for the sequence number in its input cell, add its
+ * stamp, publish to its output cell. Registers:
+ *   r1 = input cell (read-only), r2 = output cell (read/write)
+ *   r3 = expected input value
+ */
+constexpr const char *kStageSource = R"(
+    wait:
+    ld r4, 0(r1)
+    bne r4, r3, wait
+    addi r4, r4, 1       ; stamp: increment through the stage
+    st r4, 0(r2)
+    halt
+)";
+
+} // namespace
+
+int
+main()
+{
+    std::printf("16 protection domains, one machine, zero-cost "
+                "interleaving (paper SS3)\n\n");
+
+    os::Kernel kernel;
+    constexpr int kStages = 16;
+
+    // A chain of 17 single-word cells; stage i reads cell i and
+    // writes cell i+1.
+    std::vector<Word> cells;
+    for (int i = 0; i <= kStages; ++i) {
+        auto c = kernel.segments().allocate(64, Perm::ReadWrite);
+        cells.push_back(c.value);
+    }
+
+    auto stage = kernel.loadAssembly(kStageSource);
+    std::vector<isa::Thread *> threads;
+    for (int i = 0; i < kStages; ++i) {
+        // Each stage's protection domain: read-only on its input,
+        // read/write on its output — nothing else.
+        auto input_ro = restrictPerm(cells[i], Perm::ReadOnly);
+        isa::Thread *t = kernel.spawn(
+            stage.value.execPtr,
+            {{1, input_ro.value},
+             {2, cells[i + 1]},
+             {3, Word::fromInt(uint64_t(i) + 100)}});
+        if (!t) {
+            std::printf("out of thread slots\n");
+            return 1;
+        }
+        threads.push_back(t);
+    }
+
+    // Light the fuse: write 100 into cell 0. Every stage is already
+    // live and spinning — all 16 domains share the machine right now.
+    kernel.mem().pokeWord(PointerView(cells[0]).segmentBase(),
+                          Word::fromInt(100));
+
+    const uint64_t cycles = kernel.machine().run(2'000'000);
+
+    int halted = 0;
+    for (auto *t : threads)
+        halted += t->state() == isa::ThreadState::Halted;
+    const uint64_t result =
+        kernel.mem()
+            .peekWord(PointerView(cells[kStages]).segmentBase())
+            .bits();
+
+    std::printf("pipeline result: %llu (expected %d)\n",
+                (unsigned long long)result, 100 + kStages);
+    std::printf("stages completed: %d/16 in %llu cycles\n", halted,
+                (unsigned long long)cycles);
+    std::printf("faults: %zu\n", kernel.machine().faultLog().size());
+
+    std::printf("\nmachine stats:\n");
+    std::printf("  instructions : %llu\n",
+                (unsigned long long)kernel.machine().stats().get(
+                    "instructions"));
+    std::printf("  cache hits   : %llu\n",
+                (unsigned long long)kernel.mem().stats().get("hits"));
+    std::printf("  cache misses : %llu\n",
+                (unsigned long long)kernel.mem().stats().get(
+                    "misses"));
+    std::printf("  TLB walks    : %llu (translation only on miss)\n",
+                (unsigned long long)kernel.mem().tlb().stats().get(
+                    "misses"));
+
+    std::printf(
+        "\nNote what is absent: no per-thread page tables, no ASIDs, "
+        "no TLB or cache flushes, no protection-table\nlookups — 16 "
+        "mutually untrusting domains interleaved cycle-by-cycle, "
+        "isolated purely by which pointers each holds.\n");
+
+    // Coda: prove the isolation is real. A 17th thread gets NO
+    // pointers and tries to write cell 16's address as an integer.
+    auto thief = kernel.loadAssembly("st r2, 0(r1)\nhalt");
+    isa::Thread *bad = kernel.spawn(
+        thief.value.execPtr,
+        {{1, Word::fromInt(cells[kStages].bits())}});
+    kernel.machine().run();
+    std::printf("\nthief with integer address of the result cell: "
+                "%s\n",
+                std::string(faultName(bad->faultRecord().fault))
+                    .c_str());
+    return 0;
+}

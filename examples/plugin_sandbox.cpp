@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Sandboxed plugins with two-way protection (paper Fig. 4) and
+ * fault-driven lazy relocation (paper §4.3).
+ *
+ * A host application calls an untrusted "plugin" subsystem with full
+ * two-way protection built from the call-gate ABI (os/call_gate.h):
+ * the plugin cannot reach the host's private data even while running
+ * *in the host's own thread*, and the host's pointers come back
+ * intact. Afterwards, the host's data segment is relocated and a
+ * software fault handler transparently patches the host's stale
+ * pointers on first use — the event-driven relocation story of §4.3.
+ */
+
+#include <cstdio>
+
+#include "gp/ops.h"
+#include "os/call_gate.h"
+#include "os/kernel.h"
+
+using namespace gp;
+
+int
+main()
+{
+    std::printf("Plugin sandboxing with two-way protection "
+                "(Fig. 4 + SS4.3)\n\n");
+
+    os::Kernel kernel;
+
+    // Host-private state: a secret the plugin must never see.
+    auto secret = kernel.segments().allocate(4096, Perm::ReadWrite);
+    kernel.mem().pokeWord(PointerView(secret.value).segmentBase(),
+                          Word::fromInt(0x5EC12E7));
+
+    // The untrusted plugin. It gets an input value in r6, returns a
+    // result in r9 — and, being nosy, tries to find the host's data
+    // in its registers first. Everything it can see is r1 (its own
+    // entry), r3 (the opaque gate), r6 (the argument).
+    auto plugin = kernel.buildSubsystem(R"(
+        ; "useful work": double the argument
+        add r9, r6, r6
+        ; snoop attempt 1: r4 was scrubbed by the host
+        isptr r10, r4
+        ; snoop attempt 2: the gate is opaque (checked in a separate
+        ; run below; here we stay polite and return)
+        jmp r3
+    )",
+                                        {});
+
+    auto gate = os::buildReturnSegment(kernel);
+    if (!plugin || !gate || !secret) {
+        std::printf("setup failed\n");
+        return 1;
+    }
+
+    // The host: spill continuation + secret + gate pointer, scrub,
+    // call, use the restored secret afterwards.
+    auto host = kernel.loadAssembly(R"(
+        movi r6, 21          ; plugin argument
+        getip r14
+        leai r14, r14, 72
+        st r14, 0(r2)        ; slot 0: continuation
+        st r4, 8(r2)         ; slot 1: the secret pointer
+        st r2, 48(r2)        ; slot 6: the gate's own RW pointer
+        movi r14, 0
+        movi r4, 0
+        movi r2, 0
+        jmp r1
+        ; --- back, with r4 and r2 restored by the gate stub ---
+        ld r11, 0(r4)        ; use the secret again
+        halt
+    )");
+
+    isa::Thread *t = kernel.spawn(host.value.execPtr,
+                                  {{1, plugin.value.enterPtr},
+                                   {2, gate.value.rwPtr},
+                                   {3, gate.value.enterPtr},
+                                   {4, secret.value}});
+    kernel.machine().run();
+
+    std::printf("host called plugin(21):\n");
+    std::printf("  plugin result (r9):           %llu\n",
+                (unsigned long long)t->reg(9).bits());
+    std::printf("  plugin saw host's pointer?    %s (isptr r4 = "
+                "%llu)\n",
+                t->reg(10).bits() ? "YES (BUG)" : "no",
+                (unsigned long long)t->reg(10).bits());
+    std::printf("  host's secret after return:   0x%llx\n",
+                (unsigned long long)t->reg(11).bits());
+
+    // A hostile plugin run: try to read through the gate.
+    auto hostile = kernel.buildSubsystem("ld r9, 0(r3)\njmp r3", {});
+    auto simple_caller = kernel.loadAssembly("jmp r1");
+    isa::Thread *h = kernel.spawn(simple_caller.value.execPtr,
+                                  {{1, hostile.value.enterPtr},
+                                   {3, gate.value.enterPtr}});
+    kernel.machine().run();
+    std::printf("  hostile plugin reading gate:  %s\n\n",
+                std::string(faultName(h->faultRecord().fault))
+                    .c_str());
+
+    // ------------------------------------------------------------
+    // Act 2: relocate the secret segment; a fault handler patches
+    // stale pointers lazily, exactly as §4.3 sketches.
+    const uint64_t old_base = PointerView(secret.value).segmentBase();
+    auto moved = kernel.segments().relocate(old_base, Perm::ReadWrite);
+    const uint64_t new_base =
+        PointerView(moved.value).segmentBase();
+    std::printf("relocated secret segment 0x%llx -> 0x%llx\n",
+                (unsigned long long)old_base,
+                (unsigned long long)new_base);
+
+    unsigned patched = 0;
+    kernel.machine().setFaultHandler(
+        [&](isa::Thread &thread, const isa::FaultRecord &rec) {
+            if (rec.fault != Fault::UnmappedAddress)
+                return isa::FaultAction::Terminate;
+            for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+                const Word w = thread.reg(r);
+                if (!w.isPointer() ||
+                    PointerView(w).segmentBase() != old_base)
+                    continue;
+                auto fixed =
+                    makePointer(PointerView(w).perm(),
+                                PointerView(w).lenLog2(),
+                                new_base + PointerView(w).offset());
+                thread.setReg(r, fixed.value);
+                patched++;
+            }
+            return patched ? isa::FaultAction::Retry
+                           : isa::FaultAction::Terminate;
+        });
+
+    // A thread still holding the OLD pointer:
+    auto reader = kernel.loadAssembly("ld r2, 0(r1)\nhalt");
+    isa::Thread *stale =
+        kernel.spawn(reader.value.execPtr, {{1, secret.value}});
+    kernel.machine().run();
+    std::printf("stale-pointer read after relocation: value=0x%llx "
+                "(%u register(s) patched by the fault handler, "
+                "thread %s)\n",
+                (unsigned long long)stale->reg(2).bits(), patched,
+                stale->state() == isa::ThreadState::Halted
+                    ? "completed normally"
+                    : "faulted");
+
+    std::printf("\nThe plugin ran in the host's own hardware thread, "
+                "in the same address space, with zero kernel\n"
+                "involvement per call — isolation came entirely from "
+                "which pointers crossed the gate.\n");
+    return 0;
+}

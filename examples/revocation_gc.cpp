@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Segment lifecycle: grant, revoke, relocate, and garbage-collect the
+ * virtual address space (paper §4.3).
+ *
+ * Capabilities-in-pointers make granting trivially cheap but make
+ * *taking back* interesting: this example walks through the paper's
+ * answers — revocation by page unmapping (with its page-granularity
+ * collateral), relocation with pointer invalidation, and the
+ * tag-bit-driven address-space garbage collector.
+ */
+
+#include <cstdio>
+
+#include "gp/ops.h"
+#include "os/gc.h"
+#include "os/kernel.h"
+
+using namespace gp;
+
+namespace {
+
+void
+section(const char *title)
+{
+    std::printf("\n--- %s ---\n", title);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Revocation, relocation, and address-space GC "
+                "(paper SS4.3)\n");
+    os::Kernel kernel;
+
+    // ------------------------------------------------------------
+    section("1. Grant: sharing is just copying a word");
+    auto doc = kernel.segments().allocate(4096, Perm::ReadWrite);
+    kernel.mem().pokeWord(PointerView(doc.value).segmentBase(),
+                          Word::fromInt(0x5ec3e7));
+    auto grant = restrictPerm(doc.value, Perm::ReadOnly);
+    std::printf("  owner holds  %s\n", toString(doc.value).c_str());
+    std::printf("  grantee gets %s\n", toString(grant.value).c_str());
+
+    auto reader = kernel.loadAssembly("ld r2, 0(r1)\nhalt");
+    isa::Thread *t =
+        kernel.spawn(reader.value.execPtr, {{1, grant.value}});
+    kernel.machine().run();
+    std::printf("  grantee reads 0x%llx through its copy\n",
+                (unsigned long long)t->reg(2).bits());
+
+    // ------------------------------------------------------------
+    section("2. Revoke: unmap the pages; every copy dies at once");
+    kernel.segments().revoke(PointerView(doc.value).segmentBase());
+    isa::Thread *t2 =
+        kernel.spawn(reader.value.execPtr, {{1, grant.value}});
+    kernel.machine().run();
+    std::printf("  grantee's copy now: %s\n",
+                std::string(faultName(t2->faultRecord().fault))
+                    .c_str());
+    isa::Thread *t3 =
+        kernel.spawn(reader.value.execPtr, {{1, doc.value}});
+    kernel.machine().run();
+    std::printf("  even the owner's:   %s  (possession-based "
+                "revocation cannot discriminate)\n",
+                std::string(faultName(t3->faultRecord().fault))
+                    .c_str());
+    kernel.segments().reinstate(PointerView(doc.value).segmentBase());
+    std::printf("  ...reinstated; data intact: 0x%llx\n",
+                (unsigned long long)kernel.mem()
+                    .peekWord(PointerView(doc.value).segmentBase())
+                    .bits());
+
+    // ------------------------------------------------------------
+    section("3. Relocate: move the bits, strand the old pointers");
+    auto fresh = kernel.segments().relocate(
+        PointerView(doc.value).segmentBase(), Perm::ReadWrite);
+    std::printf("  new location %s\n", toString(fresh.value).c_str());
+    std::printf("  data moved:  0x%llx\n",
+                (unsigned long long)kernel.mem()
+                    .peekWord(PointerView(fresh.value).segmentBase())
+                    .bits());
+    isa::Thread *t4 =
+        kernel.spawn(reader.value.execPtr, {{1, doc.value}});
+    kernel.machine().run();
+    std::printf("  old pointer: %s  (fault handler would patch it "
+                "to the new segment)\n",
+                std::string(faultName(t4->faultRecord().fault))
+                    .c_str());
+
+    // ------------------------------------------------------------
+    section("4. GC: the tag bit finds every live segment");
+    // Build a little object graph, then drop some roots.
+    auto a = kernel.segments().allocate(4096, Perm::ReadWrite);
+    auto b = kernel.segments().allocate(4096, Perm::ReadWrite);
+    auto c = kernel.segments().allocate(4096, Perm::ReadWrite);
+    auto d = kernel.segments().allocate(4096, Perm::ReadWrite);
+    // a -> b -> c; d is garbage; plus an integer lookalike of d.
+    kernel.mem().pokeWord(PointerView(a.value).segmentBase(), b.value);
+    kernel.mem().pokeWord(PointerView(b.value).segmentBase(), c.value);
+    kernel.mem().pokeWord(PointerView(a.value).segmentBase() + 8,
+                          Word::fromInt(d.value.bits()));
+
+    const size_t before = kernel.segments().segments().size();
+    os::AddressSpaceGc gc(kernel.mem(), kernel.segments());
+    // Roots: the relocated doc and a. (b, c reachable; d is not —
+    // its lookalike integer in a must not retain it.)
+    auto stats = gc.collect({fresh.value, a.value});
+    std::printf("  segments before: %zu, scanned: %llu, freed: %llu "
+                "(incl. code segments & the stranded original)\n",
+                before, (unsigned long long)stats.segmentsScanned,
+                (unsigned long long)stats.segmentsFreed);
+    std::printf("  d retained by its integer lookalike? %s\n",
+                kernel.segments()
+                        .segmentContaining(PointerView(d.value).addr())
+                        .has_value()
+                    ? "yes (BUG)"
+                    : "no — the tag bit keeps GC exact");
+
+    std::printf("\nLifecycle complete: grant, revoke, reinstate, "
+                "relocate, collect — all without per-process tables.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * HP PA-RISC page-group baseline (paper §5.1).
+ *
+ * TLB entries carry a page-group identifier checked against four
+ * protection-ID registers (plus one implicit global group) on every
+ * reference. Switches are cheap — reload four registers — but a domain
+ * that actively touches more than four private page groups thrashes:
+ * each miss traps to the OS to rotate a PID register. The model also
+ * counts the per-access TLB probe the scheme forces even on cache
+ * hits, which is what makes it "prohibitively expensive for a
+ * multi-banked cache" (§5.1).
+ */
+
+#ifndef GP_BASELINES_PAGE_GROUP_SCHEME_H
+#define GP_BASELINES_PAGE_GROUP_SCHEME_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/mem_path.h"
+#include "baselines/scheme.h"
+
+namespace gp::baselines {
+
+/** PA-RISC-style page groups with 4 PID registers per domain. */
+class PageGroupScheme : public Scheme
+{
+  public:
+    PageGroupScheme(const mem::CacheConfig &cache_config,
+                    size_t tlb_entries, const Costs &costs,
+                    unsigned pid_registers = 4)
+        : path_(cache_config, tlb_entries, costs),
+          costs_(costs),
+          pidRegs_(pid_registers)
+    {
+    }
+
+    std::string_view name() const override { return "page-group"; }
+
+    uint64_t
+    access(const sim::MemRef &ref) override
+    {
+        stats_.counter("refs")++;
+        // The page-group check needs the TLB's group id on *every*
+        // reference — a probe (and 4 comparators) per access, per bank.
+        stats_.counter("tlb_probes")++;
+
+        uint64_t cycles = 0;
+        if (!ref.isShared) { // shared segments sit in the global group
+            auto &regs = pids_[ref.domain];
+            bool hit = false;
+            for (size_t i = 0; i < regs.size(); ++i) {
+                if (regs[i] == ref.segment) {
+                    // LRU: move to front.
+                    for (size_t j = i; j > 0; --j)
+                        regs[j] = regs[j - 1];
+                    regs[0] = ref.segment;
+                    hit = true;
+                    break;
+                }
+            }
+            if (!hit) {
+                // Trap to the OS to install the group id.
+                cycles += costs_.pidTrap;
+                stats_.counter("pid_traps")++;
+                if (regs.size() < pidRegs_)
+                    regs.insert(regs.begin(), ref.segment);
+                else {
+                    regs.pop_back();
+                    regs.insert(regs.begin(), ref.segment);
+                }
+            }
+        }
+
+        return cycles + path_.access(ref.vaddr, ref.isWrite);
+    }
+
+    uint64_t
+    contextSwitch(uint32_t, uint32_t to) override
+    {
+        stats_.counter("switches")++;
+        // Reload the four PID registers (cheap, per the paper).
+        (void)to;
+        const uint64_t cycles = pidRegs_ * 2;
+        stats_.counter("switch_cycles") += cycles;
+        return cycles;
+    }
+
+    sim::StatGroup &stats() override { return stats_; }
+
+  private:
+    VirtualCachePath path_;
+    Costs costs_;
+    unsigned pidRegs_;
+    std::unordered_map<uint32_t, std::vector<uint32_t>> pids_;
+    sim::StatGroup stats_{"page_group"};
+};
+
+} // namespace gp::baselines
+
+#endif // GP_BASELINES_PAGE_GROUP_SCHEME_H

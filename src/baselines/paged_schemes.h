@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Page-based baselines (paper §5.1, "Separate Address Spaces").
+ *
+ * PagedFlushScheme: per-process address spaces with no ASIDs. The
+ * virtually-addressed cache and the TLB hold entries of exactly one
+ * process, so every protection-domain switch purges both — the classic
+ * expensive context switch.
+ *
+ * PagedAsidScheme: ASIDs on TLB entries and cache lines avoid the
+ * flush, but the same shared data referenced from two spaces occupies
+ * two cache lines and two TLB entries (synonyms — no in-cache sharing,
+ * §5.1), and each sharing process needs its own page-table entries
+ * (the n x m blowup), which this model counts.
+ */
+
+#ifndef GP_BASELINES_PAGED_SCHEMES_H
+#define GP_BASELINES_PAGED_SCHEMES_H
+
+#include <unordered_set>
+
+#include "baselines/mem_path.h"
+#include "baselines/scheme.h"
+
+namespace gp::baselines {
+
+/** Separate address spaces, no ASIDs: flush TLB + cache per switch. */
+class PagedFlushScheme : public Scheme
+{
+  public:
+    PagedFlushScheme(const mem::CacheConfig &cache_config,
+                     size_t tlb_entries, const Costs &costs)
+        : path_(cache_config, tlb_entries, costs)
+    {
+    }
+
+    std::string_view name() const override { return "paged-flush"; }
+
+    uint64_t
+    access(const sim::MemRef &ref) override
+    {
+        stats_.counter("refs")++;
+        return path_.access(ref.vaddr, ref.isWrite);
+    }
+
+    uint64_t
+    contextSwitch(uint32_t, uint32_t) override
+    {
+        stats_.counter("switches")++;
+        const uint64_t cycles = path_.flushCache() + path_.flushTlb();
+        stats_.counter("switch_cycles") += cycles;
+        return cycles;
+    }
+
+    sim::StatGroup &stats() override { return stats_; }
+
+  private:
+    VirtualCachePath path_;
+    sim::StatGroup stats_{"paged_flush"};
+};
+
+/** Separate address spaces with ASIDs: cheap switch, no sharing. */
+class PagedAsidScheme : public Scheme
+{
+  public:
+    PagedAsidScheme(const mem::CacheConfig &cache_config,
+                    size_t tlb_entries, const Costs &costs)
+        : path_(cache_config, tlb_entries, costs), costs_(costs)
+    {
+    }
+
+    std::string_view name() const override { return "paged-asid"; }
+
+    uint64_t
+    access(const sim::MemRef &ref) override
+    {
+        stats_.counter("refs")++;
+        // ASID tags make every domain's view private: shared data is
+        // a synonym and occupies one line/TLB entry *per domain*.
+        const uint16_t asid = uint16_t(ref.domain + 1);
+        countPte(ref, asid);
+        return path_.access(ref.vaddr, ref.isWrite, asid, asid);
+    }
+
+    uint64_t
+    contextSwitch(uint32_t, uint32_t) override
+    {
+        stats_.counter("switches")++;
+        // Swap the page-table base; nothing is flushed.
+        stats_.counter("switch_cycles") += costs_.switchFixed;
+        return costs_.switchFixed;
+    }
+
+    sim::StatGroup &stats() override { return stats_; }
+
+  private:
+    /** Count distinct (asid, vpn) pairs = page-table entries needed. */
+    void
+    countPte(const sim::MemRef &ref, uint16_t asid)
+    {
+        const uint64_t key =
+            (ref.vaddr >> path_.pageShift()) * 65536 + asid;
+        if (pte_.insert(key).second) {
+            stats_.counter("pte_entries")++;
+            if (ref.isShared)
+                stats_.counter("pte_entries_shared")++;
+        }
+    }
+
+    VirtualCachePath path_;
+    Costs costs_;
+    std::unordered_set<uint64_t> pte_;
+    sim::StatGroup stats_{"paged_asid"};
+};
+
+} // namespace gp::baselines
+
+#endif // GP_BASELINES_PAGED_SCHEMES_H

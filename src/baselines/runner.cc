@@ -1,0 +1,111 @@
+#include "baselines/runner.h"
+
+#include "baselines/cap_table_scheme.h"
+#include "baselines/domain_page_scheme.h"
+#include "baselines/guarded_scheme.h"
+#include "baselines/page_group_scheme.h"
+#include "baselines/paged_schemes.h"
+#include "baselines/segmentation_scheme.h"
+#include "baselines/sfi_scheme.h"
+#include "sim/log.h"
+
+namespace gp::baselines {
+
+RunResult
+runTrace(Scheme &scheme, const std::vector<sim::MemRef> &trace)
+{
+    RunResult result;
+    result.scheme = scheme.name();
+
+    bool have_domain = false;
+    uint32_t domain = 0;
+    for (const sim::MemRef &ref : trace) {
+        if (have_domain && ref.domain != domain) {
+            result.switchCycles +=
+                scheme.contextSwitch(domain, ref.domain);
+            result.switches++;
+        }
+        domain = ref.domain;
+        have_domain = true;
+        result.accessCycles += scheme.access(ref);
+        result.refs++;
+    }
+    return result;
+}
+
+RunResult
+runTrace(Scheme &scheme, sim::TraceGenerator &gen, uint64_t n)
+{
+    return runTrace(scheme, gen.generate(n));
+}
+
+std::unique_ptr<Scheme>
+makeScheme(SchemeKind kind, const mem::CacheConfig &cache,
+           size_t tlb_entries, const Costs &costs)
+{
+    switch (kind) {
+      case SchemeKind::Guarded:
+        return std::make_unique<GuardedScheme>(cache, tlb_entries,
+                                               costs);
+      case SchemeKind::PagedFlush:
+        return std::make_unique<PagedFlushScheme>(cache, tlb_entries,
+                                                  costs);
+      case SchemeKind::PagedAsid:
+        return std::make_unique<PagedAsidScheme>(cache, tlb_entries,
+                                                 costs);
+      case SchemeKind::DomainPage:
+        return std::make_unique<DomainPageScheme>(cache, tlb_entries,
+                                                  /*plb=*/tlb_entries,
+                                                  costs);
+      case SchemeKind::PageGroup:
+        return std::make_unique<PageGroupScheme>(cache, tlb_entries,
+                                                 costs);
+      case SchemeKind::Segmentation:
+        return std::make_unique<SegmentationScheme>(
+            cache, tlb_entries, /*descriptor_cache=*/8, costs);
+      case SchemeKind::CapTable:
+        return std::make_unique<CapTableScheme>(
+            cache, tlb_entries, /*cap_cache=*/64, costs);
+      case SchemeKind::Sfi:
+        return std::make_unique<SfiScheme>(cache, tlb_entries, costs);
+    }
+    sim::panic("makeScheme: unknown kind");
+}
+
+const std::vector<SchemeKind> &
+allSchemeKinds()
+{
+    static const std::vector<SchemeKind> kinds = {
+        SchemeKind::Guarded,      SchemeKind::PagedFlush,
+        SchemeKind::PagedAsid,    SchemeKind::DomainPage,
+        SchemeKind::PageGroup,    SchemeKind::Segmentation,
+        SchemeKind::CapTable,     SchemeKind::Sfi,
+    };
+    return kinds;
+}
+
+std::string_view
+schemeName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::Guarded:
+        return "guarded-ptr";
+      case SchemeKind::PagedFlush:
+        return "paged-flush";
+      case SchemeKind::PagedAsid:
+        return "paged-asid";
+      case SchemeKind::DomainPage:
+        return "domain-page";
+      case SchemeKind::PageGroup:
+        return "page-group";
+      case SchemeKind::Segmentation:
+        return "segmentation";
+      case SchemeKind::CapTable:
+        return "cap-table";
+      case SchemeKind::Sfi:
+        return "sfi";
+    }
+    return "unknown";
+}
+
+} // namespace gp::baselines

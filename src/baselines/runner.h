@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Trace runner and scheme factory for the §5 comparison benches.
+ *
+ * Feeds identical workload traces to each protection scheme and
+ * accounts access cycles and context-switch cycles separately, so the
+ * benches can report both per-reference cost and switch cost — the two
+ * axes of the paper's argument.
+ */
+
+#ifndef GP_BASELINES_RUNNER_H
+#define GP_BASELINES_RUNNER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/scheme.h"
+#include "mem/cache.h"
+#include "sim/workload.h"
+
+namespace gp::baselines {
+
+/** Aggregate result of replaying a trace through one scheme. */
+struct RunResult
+{
+    std::string scheme;
+    uint64_t refs = 0;
+    uint64_t switches = 0;
+    uint64_t accessCycles = 0;
+    uint64_t switchCycles = 0;
+
+    uint64_t
+    totalCycles() const
+    {
+        return accessCycles + switchCycles;
+    }
+
+    /** Mean cycles per reference including switch overhead. */
+    double
+    cyclesPerRef() const
+    {
+        return refs == 0 ? 0.0
+                         : double(totalCycles()) / double(refs);
+    }
+
+    /** Mean cycles per protection-domain switch. */
+    double
+    cyclesPerSwitch() const
+    {
+        return switches == 0 ? 0.0
+                             : double(switchCycles) / double(switches);
+    }
+};
+
+/** Replay a pre-generated trace through a scheme. */
+RunResult runTrace(Scheme &scheme,
+                   const std::vector<sim::MemRef> &trace);
+
+/** Generate-and-replay n references. */
+RunResult runTrace(Scheme &scheme, sim::TraceGenerator &gen,
+                   uint64_t n);
+
+/** All schemes the R-series benches compare. */
+enum class SchemeKind
+{
+    Guarded,
+    PagedFlush,
+    PagedAsid,
+    DomainPage,
+    PageGroup,
+    Segmentation,
+    CapTable,
+    Sfi,
+};
+
+/** Construct a scheme with uniform hardware parameters. */
+std::unique_ptr<Scheme> makeScheme(SchemeKind kind,
+                                   const mem::CacheConfig &cache,
+                                   size_t tlb_entries,
+                                   const Costs &costs);
+
+/** Every SchemeKind, in presentation order. */
+const std::vector<SchemeKind> &allSchemeKinds();
+
+/** Stable display name without constructing the scheme. */
+std::string_view schemeName(SchemeKind kind);
+
+} // namespace gp::baselines
+
+#endif // GP_BASELINES_RUNNER_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Common interface for protection-scheme timing models (paper §5).
+ *
+ * Every scheme the paper compares against is modelled over the same
+ * cache/TLB building blocks with the same cycle costs, so differences
+ * in the benches isolate the *protection architecture*: where
+ * translation happens, what must be flushed on a protection-domain
+ * switch, and what per-access machinery (PLB probe, segment add,
+ * capability indirection, software checks) each scheme inserts.
+ *
+ * These are trace-driven models: they consume sim::MemRef streams from
+ * the workload generator. The cycle-accurate ISA machine handles the
+ * experiments that need real instruction sequences (Figs. 3-5).
+ */
+
+#ifndef GP_BASELINES_SCHEME_H
+#define GP_BASELINES_SCHEME_H
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "sim/stats.h"
+#include "sim/workload.h"
+
+namespace gp::baselines {
+
+/** Cycle costs shared by every scheme (kept equal for fairness). */
+struct Costs
+{
+    uint64_t cacheHit = 1;   //!< cache bank access
+    uint64_t tlbWalk = 20;   //!< page-table walk on TLB miss
+    uint64_t extMem = 8;     //!< line fill from external memory
+    uint64_t writeback = 4;  //!< dirty-victim writeback
+    uint64_t plbWalk = 15;   //!< protection-table walk on PLB miss
+    uint64_t descLoad = 15;  //!< segment-descriptor load from memory
+    uint64_t capLoad = 15;   //!< capability/object-table load
+    uint64_t pidTrap = 30;   //!< OS trap to reload a PA-RISC PID reg
+    uint64_t switchFixed = 5; //!< fixed cost to swap translation roots
+};
+
+/** Abstract per-reference protection/translation model. */
+class Scheme
+{
+  public:
+    virtual ~Scheme() = default;
+
+    /** Short stable name used in bench output. */
+    virtual std::string_view name() const = 0;
+
+    /** Process one reference; @return cycles it consumed. */
+    virtual uint64_t access(const sim::MemRef &ref) = 0;
+
+    /**
+     * Switch protection domains; @return cycles consumed. The runner
+     * calls this whenever consecutive trace references come from
+     * different domains — i.e. at every thread interleave point, the
+     * regime a cycle-by-cycle multithreaded machine lives in.
+     */
+    virtual uint64_t contextSwitch(uint32_t from, uint32_t to) = 0;
+
+    /** Scheme-specific counters for the benches. */
+    virtual sim::StatGroup &stats() = 0;
+};
+
+} // namespace gp::baselines
+
+#endif // GP_BASELINES_SCHEME_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Software fault isolation baseline (Wahbe et al., SOSP '93; §5.4).
+ *
+ * Protection by instrumentation: every load/store that the compiler
+ * cannot statically prove safe is preceded by check (or sandboxing)
+ * instructions. The hardware path is identical to guarded pointers —
+ * shared virtual cache, translate on miss, free switches — the entire
+ * difference is the per-reference instruction tax, controlled by the
+ * fraction of references provable at compile time.
+ */
+
+#ifndef GP_BASELINES_SFI_SCHEME_H
+#define GP_BASELINES_SFI_SCHEME_H
+
+#include "baselines/mem_path.h"
+#include "baselines/scheme.h"
+#include "sim/rng.h"
+
+namespace gp::baselines {
+
+/** Sandboxing / SFI cost model. */
+class SfiScheme : public Scheme
+{
+  public:
+    /**
+     * @param check_instrs  instructions inserted per unproven access
+     *                      (Wahbe reports 2 for sandboxing stores,
+     *                      ~4 for full checking)
+     * @param static_safe   fraction of references proven safe
+     */
+    SfiScheme(const mem::CacheConfig &cache_config, size_t tlb_entries,
+              const Costs &costs, unsigned check_instrs = 4,
+              double static_safe = 0.5, uint64_t seed = 7)
+        : path_(cache_config, tlb_entries, costs),
+          checkInstrs_(check_instrs),
+          staticSafe_(static_safe),
+          rng_(seed)
+    {
+    }
+
+    std::string_view name() const override { return "sfi"; }
+
+    uint64_t
+    access(const sim::MemRef &ref) override
+    {
+        stats_.counter("refs")++;
+        uint64_t cycles = 0;
+        if (!rng_.chance(staticSafe_)) {
+            cycles += checkInstrs_;
+            stats_.counter("check_instructions") += checkInstrs_;
+        }
+        return cycles + path_.access(ref.vaddr, ref.isWrite);
+    }
+
+    uint64_t
+    contextSwitch(uint32_t, uint32_t) override
+    {
+        // Fault domains share the address space; switching is free.
+        stats_.counter("switches")++;
+        return 0;
+    }
+
+    sim::StatGroup &stats() override { return stats_; }
+
+  private:
+    VirtualCachePath path_;
+    unsigned checkInstrs_;
+    double staticSafe_;
+    sim::Rng rng_;
+    sim::StatGroup stats_{"sfi"};
+};
+
+} // namespace gp::baselines
+
+#endif // GP_BASELINES_SFI_SCHEME_H

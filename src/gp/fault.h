@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fault taxonomy and a lightweight Result type for pointer operations.
+ *
+ * Guarded-pointer checks happen on the hot path of every simulated
+ * instruction, so faults are returned as values rather than thrown;
+ * the ISA layer converts a non-None fault into an architectural
+ * exception delivered to the faulting thread.
+ */
+
+#ifndef GP_GP_FAULT_H
+#define GP_GP_FAULT_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace gp {
+
+/** Architectural faults raised by guarded-pointer checking hardware. */
+enum class Fault : uint8_t
+{
+    None = 0,
+    NotAPointer,        //!< operand's tag bit is clear
+    InvalidPermission,  //!< 4-bit encoding names no defined permission
+    PermissionDenied,   //!< operation not allowed by the rights set
+    BoundsViolation,    //!< address arithmetic escaped the segment
+    PrivilegeViolation, //!< privileged operation in user mode
+    Misaligned,         //!< access not naturally aligned
+    NotSubset,          //!< RESTRICT target not a strict rights subset
+    NotSmaller,         //!< SUBSEG length not smaller than original
+    Immutable,          //!< enter/key pointer may not be modified
+    NotEnterPointer,    //!< protected entry requires an enter pointer
+    UnmappedAddress,    //!< translation failed (page not mapped)
+    InvalidInstruction, //!< undecodable or illegal instruction
+};
+
+/** @return a stable human-readable fault name. */
+constexpr std::string_view
+faultName(Fault f)
+{
+    switch (f) {
+      case Fault::None:
+        return "none";
+      case Fault::NotAPointer:
+        return "not-a-pointer";
+      case Fault::InvalidPermission:
+        return "invalid-permission";
+      case Fault::PermissionDenied:
+        return "permission-denied";
+      case Fault::BoundsViolation:
+        return "bounds-violation";
+      case Fault::PrivilegeViolation:
+        return "privilege-violation";
+      case Fault::Misaligned:
+        return "misaligned";
+      case Fault::NotSubset:
+        return "restrict-not-subset";
+      case Fault::NotSmaller:
+        return "subseg-not-smaller";
+      case Fault::Immutable:
+        return "pointer-immutable";
+      case Fault::NotEnterPointer:
+        return "not-enter-pointer";
+      case Fault::UnmappedAddress:
+        return "unmapped-address";
+      case Fault::InvalidInstruction:
+        return "invalid-instruction";
+      default:
+        return "unknown";
+    }
+}
+
+/**
+ * Value-or-fault result of a pointer operation. On fault the value is
+ * default-constructed and must not be used architecturally.
+ */
+template <typename T>
+struct Result
+{
+    T value{};
+    Fault fault = Fault::None;
+
+    /** Successful result. */
+    static Result
+    ok(T v)
+    {
+        return Result{std::move(v), Fault::None};
+    }
+
+    /** Faulting result. */
+    static Result
+    fail(Fault f)
+    {
+        return Result{T{}, f};
+    }
+
+    /** @return true when no fault occurred. */
+    explicit operator bool() const { return fault == Fault::None; }
+};
+
+} // namespace gp
+
+#endif // GP_GP_FAULT_H

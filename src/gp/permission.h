@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The guarded-pointer permission types and their rights lattice
+ * (paper §2.1).
+ *
+ * Each 4-bit permission encodes a set of fundamental rights; the
+ * RESTRICT instruction may replace a permission only with one whose
+ * rights are a strict subset (paper §2.2), which this module decides.
+ */
+
+#ifndef GP_GP_PERMISSION_H
+#define GP_GP_PERMISSION_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace gp {
+
+/**
+ * The representative permission set from §2.1. Values fit the 4-bit
+ * field; unlisted encodings are invalid and fault on any use.
+ */
+enum class Perm : uint8_t
+{
+    None = 0,       //!< no rights; any use faults
+    Key = 1,        //!< unforgeable identifier, not dereferenceable
+    ReadOnly = 2,   //!< loads only
+    ReadWrite = 3,  //!< loads and stores
+    ExecuteUser = 4,       //!< jump target + loads, user mode
+    ExecutePrivileged = 5, //!< jump target + loads, privileged mode
+    EnterUser = 6,         //!< entry-point capability -> ExecuteUser
+    EnterPrivileged = 7,   //!< entry-point capability -> ExecutePrivileged
+};
+
+/** Fundamental rights composing each permission. */
+enum Rights : uint32_t
+{
+    RightRead = 1u << 0,    //!< may load through the pointer
+    RightWrite = 1u << 1,   //!< may store through the pointer
+    RightExecute = 1u << 2, //!< may be an instruction pointer
+    RightEnter = 1u << 3,   //!< may be a protected entry point
+    RightPriv = 1u << 4,    //!< carries supervisor mode
+};
+
+/** @return the rights set of a permission (None/Key have no rights). */
+constexpr uint32_t
+rightsOf(Perm p)
+{
+    switch (p) {
+      case Perm::ReadOnly:
+        return RightRead;
+      case Perm::ReadWrite:
+        return RightRead | RightWrite;
+      case Perm::ExecuteUser:
+        return RightRead | RightExecute;
+      case Perm::ExecutePrivileged:
+        return RightRead | RightExecute | RightPriv;
+      case Perm::EnterUser:
+        return RightEnter;
+      case Perm::EnterPrivileged:
+        return RightEnter | RightPriv;
+      case Perm::Key:
+      case Perm::None:
+      default:
+        return 0;
+    }
+}
+
+/** @return true if the 4-bit encoding names a defined permission. */
+constexpr bool
+permValid(uint64_t raw)
+{
+    return raw >= uint64_t(Perm::Key) &&
+           raw <= uint64_t(Perm::EnterPrivileged);
+}
+
+/**
+ * @return true if permission b's rights are a strict subset of a's,
+ * i.e. RESTRICT from a to b is allowed by the lattice. Note the source
+ * must additionally be modifiable at all (Enter/Key pointers may not be
+ * modified; ops.h enforces that).
+ */
+constexpr bool
+strictSubset(Perm a, Perm b)
+{
+    const uint32_t ra = rightsOf(a);
+    const uint32_t rb = rightsOf(b);
+    return rb != ra && (rb & ~ra) == 0;
+}
+
+/**
+ * @return true if the permission allows the pointer's address field to
+ * be modified by LEA/LEAB (paper §2.1: only read-only, read/write and
+ * execute pointers are mutable).
+ */
+constexpr bool
+addressMutable(Perm p)
+{
+    switch (p) {
+      case Perm::ReadOnly:
+      case Perm::ReadWrite:
+      case Perm::ExecuteUser:
+      case Perm::ExecutePrivileged:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** @return a stable human-readable name for diagnostics. */
+constexpr std::string_view
+permName(Perm p)
+{
+    switch (p) {
+      case Perm::None:
+        return "none";
+      case Perm::Key:
+        return "key";
+      case Perm::ReadOnly:
+        return "read-only";
+      case Perm::ReadWrite:
+        return "read/write";
+      case Perm::ExecuteUser:
+        return "execute-user";
+      case Perm::ExecutePrivileged:
+        return "execute-privileged";
+      case Perm::EnterUser:
+        return "enter-user";
+      case Perm::EnterPrivileged:
+        return "enter-privileged";
+      default:
+        return "invalid";
+    }
+}
+
+} // namespace gp
+
+#endif // GP_GP_PERMISSION_H

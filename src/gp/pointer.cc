@@ -1,0 +1,50 @@
+#include "gp/pointer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace gp {
+
+Result<Word>
+makePointer(Perm perm, uint64_t len_log2, uint64_t addr)
+{
+    if (!permValid(uint64_t(perm)))
+        return Result<Word>::fail(Fault::InvalidPermission);
+    if (len_log2 > kAddrBits)
+        return Result<Word>::fail(Fault::BoundsViolation);
+    if (addr > kAddrMask)
+        return Result<Word>::fail(Fault::BoundsViolation);
+
+    const uint64_t bits = (uint64_t(perm) << kPermShift) |
+                          (len_log2 << kLenShift) | addr;
+    return Result<Word>::ok(Word::fromRawPointerBits(bits));
+}
+
+Result<PointerView>
+decode(Word w)
+{
+    if (!w.isPointer())
+        return Result<PointerView>::fail(Fault::NotAPointer);
+    if (!permValid(w.permBits()))
+        return Result<PointerView>::fail(Fault::InvalidPermission);
+    return Result<PointerView>::ok(PointerView(w));
+}
+
+std::string
+toString(Word w)
+{
+    char buf[128];
+    if (!w.isPointer()) {
+        std::snprintf(buf, sizeof(buf), "int:0x%" PRIx64, w.bits());
+        return buf;
+    }
+    PointerView v(w);
+    std::snprintf(buf, sizeof(buf),
+                  "ptr{%s len=2^%" PRIu64 " base=0x%" PRIx64
+                  " off=0x%" PRIx64 "}",
+                  std::string(permName(v.perm())).c_str(), v.lenLog2(),
+                  v.segmentBase(), v.offset());
+    return buf;
+}
+
+} // namespace gp

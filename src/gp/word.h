@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The tagged 64-bit machine word (Fig. 1 of the paper).
+ *
+ * Every register and every memory word in the system is a Word: 64 bits
+ * of payload plus one out-of-band pointer-tag bit. When the tag is set
+ * the payload is interpreted as a guarded pointer:
+ *
+ *   bit 63..60  permission (4 bits)
+ *   bit 59..54  log2 segment length (6 bits)
+ *   bit 53..0   virtual byte address (54 bits)
+ *
+ * User code can never set the tag bit (only the privileged SETPTR
+ * operation can), which is the entire basis of unforgeability.
+ */
+
+#ifndef GP_GP_WORD_H
+#define GP_GP_WORD_H
+
+#include <cstdint>
+
+namespace gp {
+
+/// Number of virtual-address bits in a guarded pointer.
+inline constexpr unsigned kAddrBits = 54;
+/// Number of segment-length bits in a guarded pointer.
+inline constexpr unsigned kLenBits = 6;
+/// Number of permission bits in a guarded pointer.
+inline constexpr unsigned kPermBits = 4;
+
+/// Mask covering the 54-bit address field.
+inline constexpr uint64_t kAddrMask = (uint64_t(1) << kAddrBits) - 1;
+/// Bit position of the length field.
+inline constexpr unsigned kLenShift = kAddrBits;
+/// Mask for the length field (pre-shift).
+inline constexpr uint64_t kLenFieldMask = (uint64_t(1) << kLenBits) - 1;
+/// Bit position of the permission field.
+inline constexpr unsigned kPermShift = kAddrBits + kLenBits;
+/// Mask for the permission field (pre-shift).
+inline constexpr uint64_t kPermFieldMask = (uint64_t(1) << kPermBits) - 1;
+
+/// Size of the virtual address space in bytes (2^54).
+inline constexpr uint64_t kAddressSpaceBytes = uint64_t(1) << kAddrBits;
+
+/**
+ * A 64-bit payload plus the pointer-tag bit.
+ *
+ * Word is a plain value type; all interpretation (permission checks,
+ * bounds arithmetic) lives in pointer.h / ops.h. Default construction
+ * yields an untagged zero, i.e. the integer 0.
+ */
+class Word
+{
+  public:
+    constexpr Word() = default;
+
+    /** Construct an untagged (integer/float payload) word. */
+    static constexpr Word
+    fromInt(uint64_t bits)
+    {
+        return Word(bits, false);
+    }
+
+    /**
+     * Construct a tagged word from raw bits. This models the privileged
+     * SETPTR datapath; unprivileged software must go through ops.h.
+     */
+    static constexpr Word
+    fromRawPointerBits(uint64_t bits)
+    {
+        return Word(bits, true);
+    }
+
+    /** @return the 64-bit payload regardless of tag. */
+    constexpr uint64_t bits() const { return bits_; }
+
+    /** @return true if the pointer-tag bit is set. */
+    constexpr bool isPointer() const { return tag_; }
+
+    /**
+     * @return this word with the tag bit cleared — the result of feeding
+     * a pointer through any non-pointer functional unit (paper §2.2).
+     */
+    constexpr Word
+    asInt() const
+    {
+        return Word(bits_, false);
+    }
+
+    /** Raw permission field (only meaningful when tagged). */
+    constexpr uint64_t
+    permBits() const
+    {
+        return (bits_ >> kPermShift) & kPermFieldMask;
+    }
+
+    /** Log2 segment length field (only meaningful when tagged). */
+    constexpr uint64_t
+    lenLog2() const
+    {
+        return (bits_ >> kLenShift) & kLenFieldMask;
+    }
+
+    /** 54-bit virtual byte address field. */
+    constexpr uint64_t
+    addr() const
+    {
+        return bits_ & kAddrMask;
+    }
+
+    constexpr bool
+    operator==(const Word &other) const
+    {
+        return bits_ == other.bits_ && tag_ == other.tag_;
+    }
+
+  private:
+    constexpr Word(uint64_t bits, bool tag) : bits_(bits), tag_(tag) {}
+
+    uint64_t bits_ = 0;
+    bool tag_ = false;
+};
+
+} // namespace gp
+
+#endif // GP_GP_WORD_H

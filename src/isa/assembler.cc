@@ -1,0 +1,367 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <optional>
+
+namespace gp::isa {
+
+namespace {
+
+/** Operand shapes an instruction line can contain. */
+enum class Operand
+{
+    Reg,    //!< rN
+    Imm,    //!< integer or label
+    Mem,    //!< imm(rN)
+};
+
+/** Per-opcode operand signature, in encoding order. */
+struct Signature
+{
+    std::vector<Operand> operands;
+    bool immIsBranchTarget = false;
+};
+
+Signature
+signatureFor(Op op)
+{
+    using enum Operand;
+    switch (op) {
+      case Op::NOP:
+      case Op::HALT:
+        return {{}};
+      case Op::ADD:
+      case Op::SUB:
+      case Op::MUL:
+      case Op::AND:
+      case Op::OR:
+      case Op::XOR:
+      case Op::SHL:
+      case Op::SHR:
+      case Op::SRA:
+      case Op::SLT:
+      case Op::SLTU:
+      case Op::LEA:
+      case Op::LEAB:
+      case Op::RESTRICT:
+      case Op::SUBSEG:
+      case Op::ITOP:
+        return {{Reg, Reg, Reg}};
+      case Op::ADDI:
+      case Op::ANDI:
+      case Op::ORI:
+      case Op::XORI:
+      case Op::SHLI:
+      case Op::SHRI:
+      case Op::SRAI:
+      case Op::LEAI:
+      case Op::LEABI:
+        return {{Reg, Reg, Imm}};
+      case Op::MOVI:
+      case Op::LUI:
+        return {{Reg, Imm}};
+      case Op::MOV:
+      case Op::SETPTR:
+      case Op::ISPTR:
+      case Op::PTOI:
+        return {{Reg, Reg}};
+      case Op::LD:
+      case Op::LDW:
+      case Op::LDH:
+      case Op::LDB:
+      case Op::ST:
+      case Op::STW:
+      case Op::STH:
+      case Op::STB:
+        return {{Reg, Mem}};
+      case Op::JMP:
+        return {{Reg}};
+      case Op::GETIP:
+        return {{Reg}};
+      case Op::BEQ:
+      case Op::BNE:
+      case Op::BLT:
+      case Op::BGE:
+        return {{Reg, Reg, Imm}, true};
+      default:
+        return {{}};
+    }
+}
+
+/** Remove comments and surrounding whitespace. */
+std::string_view
+stripLine(std::string_view line)
+{
+    if (auto pos = line.find(';'); pos != std::string_view::npos)
+        line = line.substr(0, pos);
+    if (auto pos = line.find('#'); pos != std::string_view::npos)
+        line = line.substr(0, pos);
+    while (!line.empty() && std::isspace(uint8_t(line.front())))
+        line.remove_prefix(1);
+    while (!line.empty() && std::isspace(uint8_t(line.back())))
+        line.remove_suffix(1);
+    return line;
+}
+
+std::optional<uint8_t>
+parseReg(std::string_view tok)
+{
+    if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R'))
+        return std::nullopt;
+    unsigned value = 0;
+    auto [ptr, ec] = std::from_chars(tok.data() + 1,
+                                     tok.data() + tok.size(), value);
+    if (ec != std::errc() || ptr != tok.data() + tok.size() ||
+        value >= kNumRegs) {
+        return std::nullopt;
+    }
+    return uint8_t(value);
+}
+
+std::optional<int64_t>
+parseInt(std::string_view tok)
+{
+    if (tok.empty())
+        return std::nullopt;
+    bool negative = false;
+    if (tok[0] == '-' || tok[0] == '+') {
+        negative = tok[0] == '-';
+        tok.remove_prefix(1);
+    }
+    int base = 10;
+    if (tok.size() > 2 && tok[0] == '0' &&
+        (tok[1] == 'x' || tok[1] == 'X')) {
+        base = 16;
+        tok.remove_prefix(2);
+    }
+    uint64_t value = 0;
+    auto [ptr, ec] = std::from_chars(tok.data(),
+                                     tok.data() + tok.size(), value,
+                                     base);
+    if (ec != std::errc() || ptr != tok.data() + tok.size())
+        return std::nullopt;
+    int64_t result = int64_t(value);
+    return negative ? -result : result;
+}
+
+/** Split a comma-separated operand list into trimmed tokens. */
+std::vector<std::string_view>
+splitOperands(std::string_view rest)
+{
+    std::vector<std::string_view> toks;
+    while (!rest.empty()) {
+        auto comma = rest.find(',');
+        std::string_view tok = rest.substr(0, comma);
+        toks.push_back(stripLine(tok));
+        if (comma == std::string_view::npos)
+            break;
+        rest.remove_prefix(comma + 1);
+    }
+    return toks;
+}
+
+/** A parsed source line awaiting label resolution. */
+struct PendingInst
+{
+    Inst inst;
+    std::string branchLabel; //!< nonempty if imm must be resolved
+    size_t index;            //!< instruction index
+    int lineNo;
+};
+
+std::string
+err(int line, const std::string &msg)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "line %d: %s", line, msg.c_str());
+    return buf;
+}
+
+} // namespace
+
+Assembly
+assemble(std::string_view source)
+{
+    Assembly out;
+    std::vector<PendingInst> pending;
+
+    int line_no = 0;
+    size_t index = 0;
+    while (!source.empty()) {
+        auto nl = source.find('\n');
+        std::string_view raw = source.substr(0, nl);
+        source.remove_prefix(nl == std::string_view::npos
+                                 ? source.size()
+                                 : nl + 1);
+        line_no++;
+
+        std::string_view line = stripLine(raw);
+        // Leading label definitions (possibly multiple).
+        while (true) {
+            auto colon = line.find(':');
+            if (colon == std::string_view::npos)
+                break;
+            // Only treat as a label if no whitespace precedes the colon
+            // token (i.e. the first token ends with ':').
+            std::string_view head = line.substr(0, colon);
+            if (head.find_first_of(" \t") != std::string_view::npos)
+                break;
+            if (head.empty()) {
+                out.error = err(line_no, "empty label");
+                return out;
+            }
+            if (out.labels.count(std::string(head))) {
+                out.error = err(line_no, "duplicate label '" +
+                                             std::string(head) + "'");
+                return out;
+            }
+            out.labels[std::string(head)] = index;
+            line = stripLine(line.substr(colon + 1));
+        }
+        if (line.empty())
+            continue;
+
+        // Mnemonic.
+        auto space = line.find_first_of(" \t");
+        std::string_view mnemonic = line.substr(0, space);
+        std::string_view rest =
+            space == std::string_view::npos
+                ? std::string_view{}
+                : stripLine(line.substr(space + 1));
+
+        auto op = opFromName(mnemonic);
+        if (!op) {
+            out.error = err(line_no, "unknown mnemonic '" +
+                                         std::string(mnemonic) + "'");
+            return out;
+        }
+
+        const Signature sig = signatureFor(*op);
+        const auto toks = splitOperands(rest);
+        if (toks.size() != sig.operands.size()) {
+            out.error = err(line_no, "expected " +
+                                         std::to_string(
+                                             sig.operands.size()) +
+                                         " operands");
+            return out;
+        }
+
+        PendingInst pi;
+        pi.inst.op = *op;
+        pi.index = index;
+        pi.lineNo = line_no;
+
+        // Registers fill rd, ra, rb in order; JMP's single register is
+        // its source and goes in ra.
+        unsigned reg_slot = (*op == Op::JMP) ? 1 : 0;
+        bool bad = false;
+        for (size_t i = 0; i < toks.size() && !bad; ++i) {
+            switch (sig.operands[i]) {
+              case Operand::Reg: {
+                auto r = parseReg(toks[i]);
+                if (!r) {
+                    out.error = err(line_no, "bad register '" +
+                                                 std::string(toks[i]) +
+                                                 "'");
+                    bad = true;
+                    break;
+                }
+                if (reg_slot == 0)
+                    pi.inst.rd = *r;
+                else if (reg_slot == 1)
+                    pi.inst.ra = *r;
+                else
+                    pi.inst.rb = *r;
+                reg_slot++;
+                break;
+              }
+              case Operand::Imm: {
+                if (auto v = parseInt(toks[i])) {
+                    if (*v < INT32_MIN || *v > INT32_MAX) {
+                        out.error =
+                            err(line_no, "immediate out of range");
+                        bad = true;
+                        break;
+                    }
+                    pi.inst.imm = int32_t(*v);
+                } else if (sig.immIsBranchTarget) {
+                    pi.branchLabel = std::string(toks[i]);
+                } else {
+                    out.error = err(line_no, "bad immediate '" +
+                                                 std::string(toks[i]) +
+                                                 "'");
+                    bad = true;
+                }
+                break;
+              }
+              case Operand::Mem: {
+                // imm(rN)
+                std::string_view tok = toks[i];
+                auto open = tok.find('(');
+                auto close = tok.rfind(')');
+                if (open == std::string_view::npos ||
+                    close == std::string_view::npos || close < open) {
+                    out.error = err(line_no, "bad memory operand '" +
+                                                 std::string(tok) + "'");
+                    bad = true;
+                    break;
+                }
+                std::string_view imm_part = stripLine(tok.substr(0, open));
+                std::string_view reg_part = stripLine(
+                    tok.substr(open + 1, close - open - 1));
+                int64_t disp = 0;
+                if (!imm_part.empty()) {
+                    auto v = parseInt(imm_part);
+                    if (!v || *v < INT32_MIN || *v > INT32_MAX) {
+                        out.error =
+                            err(line_no, "bad displacement");
+                        bad = true;
+                        break;
+                    }
+                    disp = *v;
+                }
+                auto r = parseReg(reg_part);
+                if (!r) {
+                    out.error = err(line_no, "bad base register");
+                    bad = true;
+                    break;
+                }
+                pi.inst.ra = *r;
+                pi.inst.imm = int32_t(disp);
+                reg_slot = 2;
+                break;
+              }
+            }
+        }
+        if (bad)
+            return out;
+
+        pending.push_back(std::move(pi));
+        index++;
+    }
+
+    // Second pass: resolve branch labels to next-instruction-relative
+    // offsets.
+    out.words.reserve(pending.size());
+    for (auto &pi : pending) {
+        if (!pi.branchLabel.empty()) {
+            auto it = out.labels.find(pi.branchLabel);
+            if (it == out.labels.end()) {
+                out.error = err(pi.lineNo, "undefined label '" +
+                                               pi.branchLabel + "'");
+                return out;
+            }
+            const int64_t rel =
+                int64_t(it->second) - (int64_t(pi.index) + 1);
+            pi.inst.imm = int32_t(rel);
+        }
+        out.words.push_back(encode(pi.inst));
+    }
+
+    out.ok = true;
+    return out;
+}
+
+} // namespace gp::isa

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Two-pass assembler for the MAP-like ISA.
+ *
+ * Accepts one instruction per line with optional `label:` definitions
+ * and `;` comments. Branch targets may be labels (resolved to
+ * instruction-relative immediates) or literal immediates. The example
+ * programs and the Fig. 3 / Fig. 4 call-sequence benches are written in
+ * this assembly.
+ *
+ * Syntax summary:
+ *   loop:  addi r1, r1, 1      ; ALU with immediate
+ *          add  r2, r1, r3     ; three-register ALU
+ *          ld   r4, 8(r5)      ; load, displacement addressing
+ *          st   r4, 0(r5)      ; store value r4 at 0(r5)
+ *          leai r5, r5, 8      ; pointer increment (bounds-checked)
+ *          beq  r1, r6, loop   ; branch to label
+ *          jmp  r7             ; jump through pointer in r7
+ *          halt
+ */
+
+#ifndef GP_ISA_ASSEMBLER_H
+#define GP_ISA_ASSEMBLER_H
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gp/word.h"
+#include "isa/inst.h"
+
+namespace gp::isa {
+
+/** Result of assembling a source string. */
+struct Assembly
+{
+    bool ok = false;
+    std::string error;            //!< message with line number on failure
+    std::vector<Word> words;      //!< encoded instructions
+    std::map<std::string, size_t> labels; //!< label -> instruction index
+};
+
+/** Assemble a full program source. */
+Assembly assemble(std::string_view source);
+
+} // namespace gp::isa
+
+#endif // GP_ISA_ASSEMBLER_H

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Instruction set of the simulated MAP-like processor.
+ *
+ * A small 64-bit RISC ISA extended with the guarded-pointer operations
+ * of paper §2.2 (LEA/LEAB, RESTRICT, SUBSEG, SETPTR, ISPTR, the cast
+ * helpers, and pointer-aware jumps). Instructions are encoded one per
+ * 64-bit memory word so that code lives in ordinary tagged memory and
+ * is fetched through execute-permission pointers:
+ *
+ *   bits 63..56 opcode
+ *   bits 55..51 rd
+ *   bits 50..46 ra
+ *   bits 45..41 rb
+ *   bits 31..0  imm (signed)
+ *
+ * ALU results are always untagged: feeding a pointer through any
+ * non-pointer unit clears its tag (§2.2), so arithmetic can never forge
+ * a capability. MOV / 8-byte LD / 8-byte ST move words with their tags,
+ * which is how capabilities travel between registers and memory.
+ */
+
+#ifndef GP_ISA_INST_H
+#define GP_ISA_INST_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "gp/word.h"
+
+namespace gp::isa {
+
+/// Number of general-purpose (tagged) registers per thread.
+inline constexpr unsigned kNumRegs = 16;
+
+/** Opcodes. */
+enum class Op : uint8_t
+{
+    NOP = 0,
+    HALT,
+
+    // Integer ALU (results untagged; pointer inputs read as integers).
+    ADD,
+    SUB,
+    MUL,
+    AND,
+    OR,
+    XOR,
+    SHL,
+    SHR,
+    SRA,
+    SLT,  //!< signed set-less-than
+    SLTU, //!< unsigned set-less-than
+
+    // ALU with immediate.
+    ADDI,
+    ANDI,
+    ORI,
+    XORI,
+    SHLI,
+    SHRI,
+    SRAI,
+    MOVI, //!< rd = sign-extended imm
+    LUI,  //!< rd = imm << 32 (build 64-bit constants with ORI)
+
+    // Register move — preserves the tag (capabilities are copyable).
+    MOV,
+
+    // Memory. LD/ST are 8-byte and tag-preserving; W/H/B variants are
+    // 4/2/1 bytes and untagged.
+    LD,
+    LDW,
+    LDH,
+    LDB,
+    ST,
+    STW,
+    STH,
+    STB,
+
+    // Guarded-pointer operations (§2.2).
+    LEA,      //!< rd = lea(ra, rb)
+    LEAI,     //!< rd = lea(ra, imm)
+    LEAB,     //!< rd = leab(ra, rb)
+    LEABI,    //!< rd = leab(ra, imm)
+    RESTRICT, //!< rd = restrict(ra, perm = rb & 0xf)
+    SUBSEG,   //!< rd = subseg(ra, len = rb & 0x3f)
+    SETPTR,   //!< rd = tag(ra)  [privileged]
+    ISPTR,    //!< rd = tag bit of ra as 0/1
+    PTOI,     //!< rd = offset of ra within its segment (untagged)
+    ITOP,     //!< rd = pointer into ra's segment at offset rb
+
+    // Control flow.
+    JMP,   //!< IP = jumpTarget(ra); enter pointers convert on entry
+    GETIP, //!< rd = current IP (an execute pointer)
+    BEQ,   //!< if ra == rb (bits+tag) branch by imm instructions
+    BNE,
+    BLT, //!< signed compare on payload bits
+    BGE,
+
+    OpCount,
+};
+
+/** Decoded instruction. */
+struct Inst
+{
+    Op op = Op::NOP;
+    uint8_t rd = 0;
+    uint8_t ra = 0;
+    uint8_t rb = 0;
+    int32_t imm = 0;
+};
+
+/** Encode an instruction into an untagged 64-bit memory word. */
+Word encode(const Inst &inst);
+
+/**
+ * Decode a fetched word. Returns nullopt for tagged words (a pointer is
+ * never a valid instruction) or out-of-range opcodes/registers.
+ */
+std::optional<Inst> decodeInst(Word w);
+
+/** @return the assembler mnemonic for an opcode. */
+std::string_view opName(Op op);
+
+/** @return the opcode for a mnemonic, if any (case-insensitive). */
+std::optional<Op> opFromName(std::string_view name);
+
+/** @return a disassembly string for diagnostics. */
+std::string toString(const Inst &inst);
+
+} // namespace gp::isa
+
+#endif // GP_ISA_INST_H

@@ -1,0 +1,60 @@
+#include "isa/loader.h"
+
+#include "gp/pointer.h"
+#include "sim/log.h"
+
+namespace gp::isa {
+
+uint64_t
+segLenFor(uint64_t bytes)
+{
+    uint64_t len = 3; // minimum one 8-byte word
+    while ((uint64_t(1) << len) < bytes && len < kAddrBits)
+        len++;
+    return len;
+}
+
+LoadedProgram
+loadProgram(mem::MemoryPort &mem, uint64_t base,
+            const std::vector<Word> &words, bool privileged)
+{
+    if (words.empty())
+        sim::fatal("loadProgram: empty program");
+
+    LoadedProgram prog;
+    prog.base = base;
+    prog.lenLog2 = segLenFor(words.size() * 8);
+
+    if (base & ((uint64_t(1) << prog.lenLog2) - 1))
+        sim::fatal("loadProgram: base 0x%llx not aligned to 2^%llu",
+                   static_cast<unsigned long long>(base),
+                   static_cast<unsigned long long>(prog.lenLog2));
+
+    for (size_t i = 0; i < words.size(); ++i)
+        mem.portPoke(base + i * 8, words[i]);
+
+    auto exec = makePointer(privileged ? Perm::ExecutePrivileged
+                                       : Perm::ExecuteUser,
+                            prog.lenLog2, base);
+    auto enter = makePointer(privileged ? Perm::EnterPrivileged
+                                        : Perm::EnterUser,
+                             prog.lenLog2, base);
+    if (!exec || !enter)
+        sim::fatal("loadProgram: bad segment geometry");
+    prog.execPtr = exec.value;
+    prog.enterPtr = enter.value;
+    return prog;
+}
+
+Word
+dataSegment(uint64_t base, uint64_t len_log2)
+{
+    auto ptr = makePointer(Perm::ReadWrite, len_log2, base);
+    if (!ptr)
+        sim::fatal("dataSegment: bad geometry base=0x%llx len=%llu",
+                   static_cast<unsigned long long>(base),
+                   static_cast<unsigned long long>(len_log2));
+    return ptr.value;
+}
+
+} // namespace gp::isa

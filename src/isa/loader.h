@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Program loading helpers for tests and benches that drive the machine
+ * without the full OS layer.
+ *
+ * The loader places encoded instructions into memory at a segment-
+ * aligned base and mints the pointers a thread needs: an execute
+ * pointer for spawning, an enter pointer for protected entry, and
+ * read/write data-segment pointers. In a real system these pointers
+ * are created by privileged code via SETPTR; here the loader plays the
+ * role of that privileged boot code.
+ */
+
+#ifndef GP_ISA_LOADER_H
+#define GP_ISA_LOADER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "gp/word.h"
+#include "mem/memory_port.h"
+#include "mem/memory_system.h"
+
+namespace gp::isa {
+
+/** Pointers minted for a loaded code segment. */
+struct LoadedProgram
+{
+    Word execPtr;  //!< execute-user (or -privileged) at first word
+    Word enterPtr; //!< matching enter pointer at first word
+    uint64_t base = 0;
+    uint64_t lenLog2 = 0;
+};
+
+/**
+ * Write a program into memory at a 2^k-aligned base and return its
+ * pointers. The segment length is the smallest power of two covering
+ * the code. The base must be aligned to that length.
+ *
+ * @param privileged mint execute-privileged / enter-privileged pointers
+ */
+LoadedProgram loadProgram(mem::MemoryPort &mem, uint64_t base,
+                          const std::vector<Word> &words,
+                          bool privileged = false);
+
+/**
+ * Create a read/write data segment pointer over [base, base + 2^len).
+ * Purely a pointer mint; memory is demand-allocated on first touch.
+ */
+Word dataSegment(uint64_t base, uint64_t len_log2);
+
+/** @return the smallest k such that 2^k >= bytes (k >= 3). */
+uint64_t segLenFor(uint64_t bytes);
+
+} // namespace gp::isa
+
+#endif // GP_ISA_LOADER_H

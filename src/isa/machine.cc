@@ -1,0 +1,474 @@
+#include "isa/machine.h"
+
+#include "gp/ops.h"
+#include "sim/log.h"
+
+namespace gp::isa {
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config),
+      ownedMem_(std::make_unique<mem::MemorySystem>(config.mem)),
+      port_(ownedMem_.get()),
+      threads_(size_t(config.clusters) * config.threadsPerCluster),
+      rrNext_(config.clusters, 0)
+{
+    if (config_.clusters == 0 || config_.threadsPerCluster == 0)
+        sim::fatal("machine needs at least one cluster and thread slot");
+}
+
+Machine::Machine(const MachineConfig &config, mem::MemoryPort &port)
+    : config_(config),
+      port_(&port),
+      threads_(size_t(config.clusters) * config.threadsPerCluster),
+      rrNext_(config.clusters, 0)
+{
+    if (config_.clusters == 0 || config_.threadsPerCluster == 0)
+        sim::fatal("machine needs at least one cluster and thread slot");
+}
+
+mem::MemorySystem &
+Machine::mem()
+{
+    if (!ownedMem_)
+        sim::panic("Machine::mem(): machine runs on an external "
+                   "memory port; use port() instead");
+    return *ownedMem_;
+}
+
+Thread *
+Machine::spawn(Word entry_ip)
+{
+    // Pick the cluster with the fewest live threads for balance.
+    unsigned best_cluster = 0;
+    unsigned best_live = UINT32_MAX;
+    for (unsigned c = 0; c < config_.clusters; ++c) {
+        unsigned live = 0;
+        bool has_free = false;
+        for (unsigned s = 0; s < config_.threadsPerCluster; ++s) {
+            const Thread &t =
+                threads_[c * config_.threadsPerCluster + s];
+            if (t.state() == ThreadState::Ready)
+                live++;
+            if (t.state() == ThreadState::Idle ||
+                t.state() == ThreadState::Halted ||
+                t.state() == ThreadState::Faulted) {
+                has_free = true;
+            }
+        }
+        if (has_free && live < best_live) {
+            best_live = live;
+            best_cluster = c;
+        }
+    }
+    if (best_live == UINT32_MAX)
+        return nullptr;
+    return spawnOnCluster(best_cluster, entry_ip);
+}
+
+Thread *
+Machine::spawnOnCluster(unsigned cluster, Word entry_ip)
+{
+    if (cluster >= config_.clusters)
+        return nullptr;
+    for (unsigned s = 0; s < config_.threadsPerCluster; ++s) {
+        Thread &t = threads_[cluster * config_.threadsPerCluster + s];
+        if (t.state() == ThreadState::Idle ||
+            t.state() == ThreadState::Halted ||
+            t.state() == ThreadState::Faulted) {
+            t.start(entry_ip, nextThreadId_++);
+            stats_.counter("threads_spawned")++;
+            return &t;
+        }
+    }
+    return nullptr;
+}
+
+bool
+Machine::allDone() const
+{
+    for (const Thread &t : threads_) {
+        if (t.state() == ThreadState::Ready)
+            return false;
+    }
+    return true;
+}
+
+void
+Machine::step()
+{
+    for (unsigned c = 0; c < config_.clusters; ++c)
+        stepCluster(c);
+    cycle_++;
+    stats_.counter("cycles")++;
+}
+
+uint64_t
+Machine::run(uint64_t max_cycles)
+{
+    const uint64_t start = cycle_;
+    while (!allDone() && cycle_ - start < max_cycles)
+        step();
+    if (!allDone())
+        sim::warn("machine: run() hit the %llu-cycle limit",
+                  static_cast<unsigned long long>(max_cycles));
+    return cycle_ - start;
+}
+
+void
+Machine::stepCluster(unsigned cluster)
+{
+    // Round-robin over the cluster's thread slots: issue up to
+    // issueWidth instructions, each from a distinct ready thread.
+    // This is the zero-cost context switch — no protection state is
+    // touched between threads.
+    const unsigned base = cluster * config_.threadsPerCluster;
+    unsigned issued = 0;
+    for (unsigned i = 0;
+         i < config_.threadsPerCluster &&
+         issued < config_.issueWidth;
+         ++i) {
+        const unsigned slot =
+            (rrNext_[cluster] + i) % config_.threadsPerCluster;
+        Thread &t = threads_[base + slot];
+        if (t.canIssue(cycle_)) {
+            issueThread(t);
+            issued++;
+        }
+    }
+    rrNext_[cluster] =
+        (rrNext_[cluster] + 1) % config_.threadsPerCluster;
+    if (issued == 0)
+        stats_.counter("idle_cluster_cycles")++;
+}
+
+void
+Machine::faultThread(Thread &thread, Fault f)
+{
+    thread.takeFault(f, cycle_);
+    faultLog_.push_back(thread.faultRecord());
+    stats_.counter("faults")++;
+
+    if (!faultHandler_)
+        return;
+
+    // Dispatch to the software handler (event code in M-Machine
+    // terms). It may repair the cause and resume the thread; the trap
+    // cost is charged to the thread either way.
+    const FaultAction action =
+        faultHandler_(thread, thread.faultRecord());
+    switch (action) {
+      case FaultAction::Terminate:
+        break;
+      case FaultAction::Retry:
+      case FaultAction::Resume:
+        // Retry re-issues at the (possibly handler-patched) IP;
+        // Resume continues at whatever IP the handler installed. The
+        // machine treats both the same — the distinction is the
+        // handler's contract with itself.
+        thread.resumeFromFault();
+        thread.stallTo(cycle_ + config_.faultTrapCycles);
+        stats_.counter("faults_recovered")++;
+        break;
+    }
+}
+
+bool
+Machine::advanceIp(Thread &thread, int64_t inst_delta)
+{
+    auto next = gp::lea(thread.ip(), inst_delta * 8);
+    if (!next) {
+        // Running or branching off the end of the code segment is a
+        // bounds violation on the IP — by construction code cannot
+        // escape its segment.
+        faultThread(thread, next.fault);
+        return false;
+    }
+    thread.setIp(next.value);
+    return true;
+}
+
+void
+Machine::issueThread(Thread &thread)
+{
+    const mem::MemAccess f = port_->portFetch(thread.ip(), cycle_);
+    if (f.fault != Fault::None) {
+        faultThread(thread, f.fault);
+        return;
+    }
+
+    const auto inst = gp::isa::decodeInst(f.data);
+    if (!inst) {
+        faultThread(thread, Fault::InvalidInstruction);
+        return;
+    }
+
+    if (traceHook_)
+        traceHook_(thread, *inst, cycle_);
+    execute(thread, *inst, f.completeCycle);
+    stats_.counter("instructions")++;
+}
+
+void
+Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
+{
+    const Word ra = thread.reg(inst.ra);
+    const Word rb = thread.reg(inst.rb);
+    const bool priv = gp::ipPrivileged(thread.ip());
+
+    // Default: single-cycle execution after fetch, sequential IP.
+    uint64_t done = ready_at + 1;
+    int64_t branch_delta = 1;
+    // Set when a memory-op lambda takes a fault: the instruction must
+    // not retire or advance IP afterwards (the fault handler may have
+    // arranged a retry at the same IP).
+    bool fault_taken = false;
+
+    auto alu = [&](uint64_t value) {
+        thread.setReg(inst.rd, Word::fromInt(value));
+    };
+    auto ptr_result = [&](const Result<Word> &r) {
+        if (!r) {
+            faultThread(thread, r.fault);
+            return false;
+        }
+        thread.setReg(inst.rd, r.value);
+        return true;
+    };
+
+    // Displacement-addressed memory operand: derive the effective
+    // pointer with a bounds-checked LEA (paper §2.2, Load/Store).
+    auto eff_ptr = [&](Word base, int32_t disp) -> Result<Word> {
+        if (disp == 0)
+            return Result<Word>::ok(base);
+        return gp::lea(base, disp);
+    };
+
+    auto do_load = [&](unsigned size) {
+        auto ptr = eff_ptr(ra, inst.imm);
+        if (!ptr) {
+            faultThread(thread, ptr.fault);
+            fault_taken = true;
+            return;
+        }
+        const mem::MemAccess acc = port_->portLoad(ptr.value, size, ready_at);
+        if (acc.fault != Fault::None) {
+            faultThread(thread, acc.fault);
+            fault_taken = true;
+            return;
+        }
+        thread.setReg(inst.rd, acc.data);
+        done = acc.completeCycle;
+    };
+
+    auto do_store = [&](unsigned size) {
+        auto ptr = eff_ptr(ra, inst.imm);
+        if (!ptr) {
+            faultThread(thread, ptr.fault);
+            fault_taken = true;
+            return;
+        }
+        const Word value = thread.reg(inst.rd);
+        const mem::MemAccess acc =
+            port_->portStore(ptr.value, value, size, ready_at);
+        if (acc.fault != Fault::None) {
+            faultThread(thread, acc.fault);
+            fault_taken = true;
+            return;
+        }
+        done = acc.completeCycle;
+    };
+
+    switch (inst.op) {
+      case Op::NOP:
+        break;
+      case Op::HALT:
+        thread.retire();
+        thread.halt();
+        return;
+
+      case Op::ADD:
+        alu(ra.bits() + rb.bits());
+        break;
+      case Op::SUB:
+        alu(ra.bits() - rb.bits());
+        break;
+      case Op::MUL:
+        alu(ra.bits() * rb.bits());
+        done = ready_at + config_.mulLatency;
+        break;
+      case Op::AND:
+        alu(ra.bits() & rb.bits());
+        break;
+      case Op::OR:
+        alu(ra.bits() | rb.bits());
+        break;
+      case Op::XOR:
+        alu(ra.bits() ^ rb.bits());
+        break;
+      case Op::SHL:
+        alu(ra.bits() << (rb.bits() & 63));
+        break;
+      case Op::SHR:
+        alu(ra.bits() >> (rb.bits() & 63));
+        break;
+      case Op::SRA:
+        alu(uint64_t(int64_t(ra.bits()) >> (rb.bits() & 63)));
+        break;
+      case Op::SLT:
+        alu(int64_t(ra.bits()) < int64_t(rb.bits()) ? 1 : 0);
+        break;
+      case Op::SLTU:
+        alu(ra.bits() < rb.bits() ? 1 : 0);
+        break;
+
+      case Op::ADDI:
+        alu(ra.bits() + uint64_t(int64_t(inst.imm)));
+        break;
+      case Op::ANDI:
+        alu(ra.bits() & uint64_t(int64_t(inst.imm)));
+        break;
+      case Op::ORI:
+        alu(ra.bits() | uint64_t(int64_t(inst.imm)));
+        break;
+      case Op::XORI:
+        alu(ra.bits() ^ uint64_t(int64_t(inst.imm)));
+        break;
+      case Op::SHLI:
+        alu(ra.bits() << (uint32_t(inst.imm) & 63));
+        break;
+      case Op::SHRI:
+        alu(ra.bits() >> (uint32_t(inst.imm) & 63));
+        break;
+      case Op::SRAI:
+        alu(uint64_t(int64_t(ra.bits()) >> (uint32_t(inst.imm) & 63)));
+        break;
+      case Op::MOVI:
+        alu(uint64_t(int64_t(inst.imm)));
+        break;
+      case Op::LUI:
+        alu(uint64_t(uint32_t(inst.imm)) << 32);
+        break;
+
+      case Op::MOV:
+        // Tag-preserving move: capabilities are freely copyable.
+        thread.setReg(inst.rd, ra);
+        break;
+
+      case Op::LD:
+        do_load(8);
+        break;
+      case Op::LDW:
+        do_load(4);
+        break;
+      case Op::LDH:
+        do_load(2);
+        break;
+      case Op::LDB:
+        do_load(1);
+        break;
+      case Op::ST:
+        do_store(8);
+        break;
+      case Op::STW:
+        do_store(4);
+        break;
+      case Op::STH:
+        do_store(2);
+        break;
+      case Op::STB:
+        do_store(1);
+        break;
+
+      case Op::LEA:
+        if (!ptr_result(gp::lea(ra, int64_t(rb.bits()))))
+            return;
+        break;
+      case Op::LEAI:
+        if (!ptr_result(gp::lea(ra, int64_t(inst.imm))))
+            return;
+        break;
+      case Op::LEAB:
+        if (!ptr_result(gp::leab(ra, int64_t(rb.bits()))))
+            return;
+        break;
+      case Op::LEABI:
+        if (!ptr_result(gp::leab(ra, int64_t(inst.imm))))
+            return;
+        break;
+      case Op::RESTRICT:
+        if (!ptr_result(gp::restrictPerm(ra, Perm(rb.bits() & 0xf))))
+            return;
+        break;
+      case Op::SUBSEG:
+        if (!ptr_result(gp::subseg(ra, rb.bits() & 0x3f)))
+            return;
+        break;
+      case Op::SETPTR:
+        // The single privileged operation (§2.2, Pointer Creation).
+        if (!priv) {
+            faultThread(thread, Fault::PrivilegeViolation);
+            return;
+        }
+        thread.setReg(inst.rd, gp::setptr(ra.bits()));
+        break;
+      case Op::ISPTR:
+        alu(gp::ispointer(ra));
+        break;
+      case Op::PTOI:
+        if (!ptr_result(gp::ptrToInt(ra)))
+            return;
+        break;
+      case Op::ITOP:
+        if (!ptr_result(gp::intToPtr(ra, rb.bits())))
+            return;
+        break;
+
+      case Op::JMP: {
+        auto target = gp::jumpTarget(ra, priv);
+        if (!target) {
+            faultThread(thread, target.fault);
+            return;
+        }
+        thread.retire();
+        thread.setIp(target.value);
+        thread.stallTo(ready_at + 1);
+        return;
+      }
+      case Op::GETIP:
+        thread.setReg(inst.rd, thread.ip());
+        break;
+
+      // Branches compare their two register operands, which the
+      // assembler encodes in the rd and ra fields.
+      case Op::BEQ:
+        if (thread.reg(inst.rd) == ra)
+            branch_delta = 1 + int64_t(inst.imm);
+        break;
+      case Op::BNE:
+        if (!(thread.reg(inst.rd) == ra))
+            branch_delta = 1 + int64_t(inst.imm);
+        break;
+      case Op::BLT:
+        if (int64_t(thread.reg(inst.rd).bits()) < int64_t(ra.bits()))
+            branch_delta = 1 + int64_t(inst.imm);
+        break;
+      case Op::BGE:
+        if (int64_t(thread.reg(inst.rd).bits()) >= int64_t(ra.bits()))
+            branch_delta = 1 + int64_t(inst.imm);
+        break;
+
+      default:
+        faultThread(thread, Fault::InvalidInstruction);
+        return;
+    }
+
+    if (fault_taken)
+        return;
+
+    thread.retire();
+    if (!advanceIp(thread, branch_delta))
+        return;
+    thread.stallTo(done);
+}
+
+} // namespace gp::isa

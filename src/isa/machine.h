@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The multithreaded MAP-like machine (paper §3, Fig. 5).
+ *
+ * The machine comprises several clusters, each with a small set of
+ * hardware thread slots. Every cycle each cluster selects one ready
+ * thread round-robin and issues one instruction for it — cycle-by-cycle
+ * multithreading across *different protection domains*, which is the
+ * scenario the paper designs for. All clusters share the banked
+ * virtually-addressed cache through the MemorySystem, whose bank and
+ * external-port contention model supplies the Fig. 5 behaviour.
+ *
+ * Simplifications vs. the real MAP (documented in DESIGN.md): each
+ * cluster issues one operation per cycle rather than a 3-wide LIW
+ * group, and there is no floating-point unit. Neither affects the
+ * protection mechanisms under study.
+ */
+
+#ifndef GP_ISA_MACHINE_H
+#define GP_ISA_MACHINE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gp/fault.h"
+#include "gp/word.h"
+#include "isa/inst.h"
+#include "isa/thread.h"
+#include "mem/memory_system.h"
+#include "sim/stats.h"
+
+namespace gp::isa {
+
+/** Machine-level configuration. */
+struct MachineConfig
+{
+    unsigned clusters = 4;          //!< MAP has 4 clusters
+    unsigned threadsPerCluster = 4; //!< 4 user thread slots each
+    /**
+     * Instructions a cluster may issue per cycle, each from a
+     * distinct ready thread. The real MAP issues a 3-wide LIW group
+     * from ONE thread; issuing from several threads instead exercises
+     * the same function-unit and memory-port pressure without
+     * requiring a bundling compiler, and is the documented
+     * approximation (DESIGN.md). Default 1 = the simple model.
+     */
+    unsigned issueWidth = 1;
+    mem::MemConfig mem;             //!< shared memory system
+    uint64_t mulLatency = 3;        //!< integer multiply latency
+    uint64_t faultTrapCycles = 50;  //!< software fault-handler cost
+};
+
+/** What a software fault handler tells the machine to do next. */
+enum class FaultAction : uint8_t
+{
+    Terminate, //!< leave the thread Faulted (default behaviour)
+    Retry,     //!< re-issue the faulting instruction (cause repaired)
+    Resume,    //!< continue at whatever IP the handler installed
+};
+
+/**
+ * Software fault handler, modelling the M-Machine's event-handling
+ * code: invoked when a thread faults, it may repair state (remap a
+ * page, patch a stale pointer register) and resume the thread. The
+ * configured faultTrapCycles are charged to the thread either way.
+ */
+using FaultHandler =
+    std::function<FaultAction(Thread &, const FaultRecord &)>;
+
+/**
+ * Instruction-trace hook: invoked after each instruction is decoded
+ * and about to execute. For debuggers and the gpsim --trace flag;
+ * adds no cost when unset.
+ */
+using TraceHook =
+    std::function<void(const Thread &, const Inst &, uint64_t cycle)>;
+
+/** The full processor + memory system. */
+class Machine
+{
+  public:
+    /** Construct with an internally-owned MemorySystem (config.mem). */
+    explicit Machine(const MachineConfig &config = MachineConfig{});
+
+    /**
+     * Construct against an external memory port — e.g. one node of
+     * the multicomputer (noc::NodeMemory). The port must outlive the
+     * machine; config.mem is ignored.
+     */
+    Machine(const MachineConfig &config, mem::MemoryPort &port);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /**
+     * Start a thread at the given instruction pointer in the first free
+     * slot (least-loaded cluster first).
+     * @return the thread, or nullptr if every slot is occupied.
+     */
+    Thread *spawn(Word entry_ip);
+
+    /** Start a thread on a specific cluster. */
+    Thread *spawnOnCluster(unsigned cluster, Word entry_ip);
+
+    /** Advance the machine by one cycle. */
+    void step();
+
+    /**
+     * Run until every thread has halted or faulted, or until max_cycles
+     * elapse. @return the number of cycles executed.
+     */
+    uint64_t run(uint64_t max_cycles = 1'000'000);
+
+    /** @return true when no thread is Ready. */
+    bool allDone() const;
+
+    uint64_t cycle() const { return cycle_; }
+
+    /** The owned memory system; only valid for the owning ctor. */
+    mem::MemorySystem &mem();
+
+    /** The memory port instructions execute against (always valid). */
+    mem::MemoryPort &port() { return *port_; }
+
+    /** All thread slots, cluster-major. */
+    std::vector<Thread> &threads() { return threads_; }
+    const std::vector<Thread> &threads() const { return threads_; }
+
+    /** Every fault any thread has taken, in order. */
+    const std::vector<FaultRecord> &faultLog() const { return faultLog_; }
+
+    /**
+     * Install (or clear, with nullptr) the software fault handler.
+     * Without one, faults terminate the thread.
+     */
+    void setFaultHandler(FaultHandler handler)
+    {
+        faultHandler_ = std::move(handler);
+    }
+
+    /** Install (or clear) the per-instruction trace hook. */
+    void setTraceHook(TraceHook hook) { traceHook_ = std::move(hook); }
+
+    const MachineConfig &config() const { return config_; }
+    sim::StatGroup &stats() { return stats_; }
+
+  private:
+    /** Issue for one cluster in the current cycle. */
+    void stepCluster(unsigned cluster);
+
+    /** Fetch, decode, and execute one instruction for a thread. */
+    void issueThread(Thread &thread);
+
+    /**
+     * Execute a decoded instruction whose fetch completed at ready_at.
+     * Updates registers, IP, and the thread's stall time.
+     */
+    void execute(Thread &thread, const Inst &inst, uint64_t ready_at);
+
+    /** Record a fault on the thread and the machine fault log. */
+    void faultThread(Thread &thread, Fault f);
+
+    /**
+     * Advance IP sequentially / by a branch displacement.
+     * @return false if the IP left its code segment (fault taken).
+     */
+    bool advanceIp(Thread &thread, int64_t inst_delta);
+
+    MachineConfig config_;
+    std::unique_ptr<mem::MemorySystem> ownedMem_;
+    mem::MemoryPort *port_;
+    std::vector<Thread> threads_; //!< [cluster][slot] flattened
+    std::vector<unsigned> rrNext_; //!< per-cluster round-robin cursor
+    uint64_t cycle_ = 0;
+    uint32_t nextThreadId_ = 0;
+    std::vector<FaultRecord> faultLog_;
+    FaultHandler faultHandler_;
+    TraceHook traceHook_;
+    sim::StatGroup stats_{"machine"};
+};
+
+} // namespace gp::isa
+
+#endif // GP_ISA_MACHINE_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-thread architectural state.
+ *
+ * A thread is sixteen tagged general-purpose registers plus a tagged
+ * instruction pointer — nothing else. There is no protection-domain
+ * register, no segment table pointer, no ASID: the thread's protection
+ * domain is exactly the transitive closure of the pointers in its
+ * registers (paper §3), which is why switching threads costs zero
+ * cycles of protection work.
+ */
+
+#ifndef GP_ISA_THREAD_H
+#define GP_ISA_THREAD_H
+
+#include <cstdint>
+
+#include "gp/fault.h"
+#include "gp/word.h"
+#include "isa/inst.h"
+
+namespace gp::isa {
+
+/** Scheduling state of a thread slot. */
+enum class ThreadState : uint8_t
+{
+    Idle,    //!< slot unoccupied
+    Ready,   //!< may issue when stallUntil has passed
+    Halted,  //!< executed HALT
+    Faulted, //!< took an unhandled architectural fault
+};
+
+/** Details of an architectural fault taken by a thread. */
+struct FaultRecord
+{
+    Fault fault = Fault::None;
+    Word ip;            //!< IP of the faulting instruction
+    uint64_t cycle = 0; //!< machine cycle of the fault
+};
+
+/** One hardware thread slot of a cluster. */
+class Thread
+{
+  public:
+    Thread() = default;
+
+    /** (Re)initialize the slot with an entry instruction pointer. */
+    void
+    start(Word entry_ip, uint32_t id)
+    {
+        for (auto &r : regs_)
+            r = Word{};
+        ip_ = entry_ip;
+        id_ = id;
+        state_ = ThreadState::Ready;
+        stallUntil_ = 0;
+        instsRetired_ = 0;
+        faultRecord_ = FaultRecord{};
+    }
+
+    const Word &reg(unsigned i) const { return regs_[i]; }
+    void setReg(unsigned i, Word w) { regs_[i] = w; }
+
+    Word ip() const { return ip_; }
+    void setIp(Word ip) { ip_ = ip; }
+
+    ThreadState state() const { return state_; }
+    void halt() { state_ = ThreadState::Halted; }
+
+    /** Record an unhandled fault and stop the thread. */
+    void
+    takeFault(Fault f, uint64_t cycle)
+    {
+        faultRecord_ = FaultRecord{f, ip_, cycle};
+        state_ = ThreadState::Faulted;
+    }
+
+    /**
+     * Return a faulted thread to the run queue (used by the machine's
+     * software fault handler after it has repaired the cause). The
+     * fault record is kept for inspection.
+     */
+    void
+    resumeFromFault()
+    {
+        if (state_ == ThreadState::Faulted)
+            state_ = ThreadState::Ready;
+    }
+
+    const FaultRecord &faultRecord() const { return faultRecord_; }
+
+    /** @return true if the thread can issue at the given cycle. */
+    bool
+    canIssue(uint64_t cycle) const
+    {
+        return state_ == ThreadState::Ready && stallUntil_ <= cycle;
+    }
+
+    uint64_t stallUntil() const { return stallUntil_; }
+    void stallTo(uint64_t cycle) { stallUntil_ = cycle; }
+
+    uint32_t id() const { return id_; }
+
+    uint64_t instsRetired() const { return instsRetired_; }
+    void retire() { instsRetired_++; }
+
+  private:
+    Word regs_[kNumRegs];
+    Word ip_;
+    ThreadState state_ = ThreadState::Idle;
+    uint64_t stallUntil_ = 0;
+    uint64_t instsRetired_ = 0;
+    uint32_t id_ = 0;
+    FaultRecord faultRecord_;
+};
+
+} // namespace gp::isa
+
+#endif // GP_ISA_THREAD_H

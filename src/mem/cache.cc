@@ -1,0 +1,168 @@
+#include "mem/cache.h"
+
+#include "sim/log.h"
+
+namespace gp::mem {
+
+namespace {
+
+unsigned
+log2Exact(uint64_t v, const char *what)
+{
+    if (v == 0 || (v & (v - 1)) != 0)
+        sim::fatal("cache %s must be a power of two", what);
+    return static_cast<unsigned>(__builtin_ctzll(v));
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    lineShift_ = log2Exact(config_.lineBytes, "line size");
+    bankShift_ = log2Exact(config_.banks, "bank count");
+    log2Exact(config_.setsPerBank, "sets per bank");
+    if (config_.ways == 0)
+        sim::fatal("cache associativity must be nonzero");
+    lines_.resize(uint64_t(config_.banks) * config_.setsPerBank *
+                  config_.ways);
+}
+
+unsigned
+Cache::bankOf(uint64_t vaddr) const
+{
+    return (vaddr >> lineShift_) & (config_.banks - 1);
+}
+
+uint64_t
+Cache::capacityBytes() const
+{
+    return uint64_t(config_.banks) * config_.setsPerBank * config_.ways *
+           config_.lineBytes;
+}
+
+void
+Cache::locate(uint64_t vaddr, unsigned &bank, unsigned &set,
+              uint64_t &line_addr) const
+{
+    line_addr = vaddr >> lineShift_;
+    bank = line_addr & (config_.banks - 1);
+    set = (line_addr >> bankShift_) & (config_.setsPerBank - 1);
+}
+
+Cache::Line *
+Cache::findLine(unsigned bank, unsigned set, uint64_t line_addr,
+                uint16_t asid)
+{
+    const uint64_t base =
+        (uint64_t(bank) * config_.setsPerBank + set) * config_.ways;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.lineAddr == line_addr && line.asid == asid)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(unsigned bank, unsigned set, uint64_t line_addr,
+                uint16_t asid) const
+{
+    return const_cast<Cache *>(this)->findLine(bank, set, line_addr,
+                                               asid);
+}
+
+CacheResult
+Cache::access(uint64_t vaddr, bool is_write, uint16_t asid)
+{
+    unsigned bank, set;
+    uint64_t line_addr;
+    locate(vaddr, bank, set, line_addr);
+    stamp_++;
+
+    if (Line *line = findLine(bank, set, line_addr, asid)) {
+        line->lruStamp = stamp_;
+        line->dirty = line->dirty || is_write;
+        stats_.counter("hits")++;
+        return CacheResult{true, false, 0};
+    }
+
+    stats_.counter("misses")++;
+
+    // Choose the LRU way (preferring invalid lines) as victim.
+    const uint64_t base =
+        (uint64_t(bank) * config_.setsPerBank + set) * config_.ways;
+    Line *victim = &lines_[base];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &line = lines_[base + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+
+    CacheResult result{false, false, 0};
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.victimLineAddr = victim->lineAddr;
+        stats_.counter("writebacks")++;
+    }
+
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lineAddr = line_addr;
+    victim->asid = asid;
+    victim->lruStamp = stamp_;
+    return result;
+}
+
+bool
+Cache::probe(uint64_t vaddr, uint16_t asid) const
+{
+    unsigned bank, set;
+    uint64_t line_addr;
+    locate(vaddr, bank, set, line_addr);
+    return findLine(bank, set, line_addr, asid) != nullptr;
+}
+
+unsigned
+Cache::invalidatePage(uint64_t vaddr, unsigned page_shift, uint16_t asid)
+{
+    const uint64_t first_line = (vaddr >> page_shift) <<
+                                (page_shift - lineShift_);
+    const uint64_t lines_per_page = uint64_t(1) << (page_shift -
+                                                    lineShift_);
+    unsigned invalidated = 0;
+    for (uint64_t la = first_line; la < first_line + lines_per_page;
+         ++la) {
+        const unsigned bank = la & (config_.banks - 1);
+        const unsigned set =
+            (la >> bankShift_) & (config_.setsPerBank - 1);
+        if (Line *line = findLine(bank, set, la, asid)) {
+            line->valid = false;
+            line->dirty = false;
+            invalidated++;
+        }
+    }
+    stats_.counter("page_invalidations")++;
+    stats_.counter("lines_invalidated") += invalidated;
+    return invalidated;
+}
+
+unsigned
+Cache::flushAll()
+{
+    unsigned dirty = 0;
+    for (Line &line : lines_) {
+        if (line.valid && line.dirty)
+            dirty++;
+        line.valid = false;
+        line.dirty = false;
+    }
+    stats_.counter("full_flushes")++;
+    stats_.counter("flush_writebacks") += dirty;
+    return dirty;
+}
+
+} // namespace gp::mem

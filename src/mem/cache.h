@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Banked, virtually-addressed, virtually-tagged cache.
+ *
+ * Models the MAP chip's on-chip cache (Fig. 5): the array is interleaved
+ * across banks by low line-address bits so the four clusters can access
+ * distinct banks in the same cycle; lines are tagged with virtual
+ * addresses so no translation happens on a hit.
+ *
+ * Lines optionally carry an ASID so the §5.1 baselines can demonstrate
+ * why ASID-tagged virtual caches cannot share data in-cache (synonyms):
+ * the same virtual line referenced from two address spaces occupies two
+ * lines. The guarded-pointer configuration always uses ASID 0.
+ */
+
+#ifndef GP_MEM_CACHE_H
+#define GP_MEM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace gp::mem {
+
+/** Geometry and behaviour knobs for the cache. */
+struct CacheConfig
+{
+    unsigned banks = 4;       //!< interleave factor (power of two)
+    unsigned lineBytes = 32;  //!< line size (power of two)
+    unsigned setsPerBank = 512; //!< sets in each bank (power of two)
+    unsigned ways = 2;        //!< associativity
+};
+
+/** Outcome of one cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    bool writeback = false;    //!< a dirty victim was evicted
+    uint64_t victimLineAddr = 0; //!< line address of the victim
+};
+
+/** Set-associative banked cache with per-set LRU and write-back. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** @return which bank services the given byte address. */
+    unsigned bankOf(uint64_t vaddr) const;
+
+    /**
+     * Perform one access: on hit, update LRU (and dirty on writes); on
+     * miss, choose a victim, install the line, and report any dirty
+     * writeback. Purely behavioural — data lives in TaggedMemory.
+     */
+    CacheResult access(uint64_t vaddr, bool is_write, uint16_t asid = 0);
+
+    /** @return true if the line holding vaddr is resident (no LRU touch). */
+    bool probe(uint64_t vaddr, uint16_t asid = 0) const;
+
+    /**
+     * Invalidate every line within a virtual page (used when the page
+     * is unmapped for revocation/relocation, §4.3).
+     * @return number of lines invalidated.
+     */
+    unsigned invalidatePage(uint64_t vaddr, unsigned page_shift,
+                            uint16_t asid = 0);
+
+    /**
+     * Invalidate the whole cache (the paged-baseline context switch).
+     * @return number of dirty lines that needed writeback.
+     */
+    unsigned flushAll();
+
+    /** Total data capacity in bytes. */
+    uint64_t capacityBytes() const;
+
+    const CacheConfig &config() const { return config_; }
+    sim::StatGroup &stats() { return stats_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t lineAddr = 0; //!< vaddr >> log2(lineBytes)
+        uint16_t asid = 0;
+        uint64_t lruStamp = 0;
+    };
+
+    /** Map a byte address to (bank, set, lineAddr). */
+    void locate(uint64_t vaddr, unsigned &bank, unsigned &set,
+                uint64_t &line_addr) const;
+
+    Line *findLine(unsigned bank, unsigned set, uint64_t line_addr,
+                   uint16_t asid);
+    const Line *findLine(unsigned bank, unsigned set, uint64_t line_addr,
+                         uint16_t asid) const;
+
+    CacheConfig config_;
+    unsigned lineShift_;
+    unsigned bankShift_;
+    std::vector<Line> lines_; //!< [bank][set][way] flattened
+    uint64_t stamp_ = 0;
+    sim::StatGroup stats_{"cache"};
+};
+
+} // namespace gp::mem
+
+#endif // GP_MEM_CACHE_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Abstract memory port: the interface a processor needs from its
+ * memory system.
+ *
+ * Implemented by the single-node MemorySystem and by the
+ * multicomputer's per-node NodeMemory, so the same Machine (and the
+ * same programs) run unmodified on either — which is itself the
+ * paper's §3 point: the processor side of a guarded-pointer machine
+ * is oblivious to where in the global space its pointers land.
+ */
+
+#ifndef GP_MEM_MEMORY_PORT_H
+#define GP_MEM_MEMORY_PORT_H
+
+#include <cstdint>
+
+#include "gp/word.h"
+
+namespace gp::mem {
+
+struct MemAccess;
+
+/** Processor-facing memory interface. */
+class MemoryPort
+{
+  public:
+    virtual ~MemoryPort() = default;
+
+    /** Timed load through a guarded pointer. */
+    virtual MemAccess portLoad(Word ptr, unsigned size,
+                               uint64_t now) = 0;
+
+    /** Timed store through a guarded pointer. */
+    virtual MemAccess portStore(Word ptr, Word value, unsigned size,
+                                uint64_t now) = 0;
+
+    /** Timed instruction fetch. */
+    virtual MemAccess portFetch(Word ip, uint64_t now) = 0;
+
+    /** Untimed functional word write (loader use). */
+    virtual void portPoke(uint64_t vaddr, Word w) = 0;
+
+    /** Untimed functional word read. */
+    virtual Word portPeek(uint64_t vaddr) = 0;
+};
+
+} // namespace gp::mem
+
+#endif // GP_MEM_MEMORY_PORT_H

@@ -1,0 +1,194 @@
+#include "mem/memory_system.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace gp::mem {
+
+MemorySystem::MemorySystem(const MemConfig &config)
+    : config_(config),
+      pageTable_(config.pageBytes),
+      tlb_(config.tlbEntries),
+      cache_(config.cache),
+      bankBusyUntil_(config.cache.banks, 0)
+{
+}
+
+MemAccess
+MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
+                          uint64_t now, uint64_t &paddr)
+{
+    MemAccess acc;
+    acc.startCycle = now;
+
+    // Pre-issue pointer check: permission decoder + masked comparator,
+    // no table access, no memory cycles (§2.2).
+    acc.fault = checkAccess(ptr, kind, size);
+    if (acc.fault != Fault::None) {
+        acc.completeCycle = now;
+        stats_.counter("access_faults")++;
+        return acc;
+    }
+
+    const uint64_t vaddr = ptr.addr();
+    const unsigned bank = cache_.bankOf(vaddr);
+    const bool is_write = kind == Access::Store;
+
+    // The bank port admits one access per cycle.
+    const uint64_t start = std::max(now, bankBusyUntil_[bank]);
+    if (start > now)
+        stats_.counter("bank_conflict_stalls") += start - now;
+    bankBusyUntil_[bank] = start + 1;
+    uint64_t t = start + config_.timing.cacheHit;
+
+    if (cache_.probe(vaddr)) {
+        cache_.access(vaddr, is_write);
+        acc.cacheHit = true;
+        acc.completeCycle = t;
+        // Functional translation (simulator-internal; a real virtual
+        // cache holds the data, so no architectural translation here).
+        auto pa = pageTable_.translateAddr(vaddr);
+        if (!pa)
+            sim::panic("cached line for unmapped page at 0x%llx",
+                       static_cast<unsigned long long>(vaddr));
+        paddr = *pa;
+        stats_.counter("hits")++;
+        return acc;
+    }
+
+    // Miss: translate (LTLB, then page walk) — the only point where
+    // translation happens at all.
+    const uint64_t vpn = pageTable_.vpn(vaddr);
+    auto pfn = tlb_.lookup(vpn);
+    t += config_.timing.tlbLookup;
+    if (!pfn) {
+        t += config_.timing.ptWalk;
+        auto pa = pageTable_.translateAddr(vaddr);
+        if (!pa) {
+            acc.fault = Fault::UnmappedAddress;
+            acc.completeCycle = t;
+            stats_.counter("unmapped_faults")++;
+            return acc;
+        }
+        pfn = *pa >> pageTable_.pageShift();
+        tlb_.insert(vpn, *pfn);
+    }
+    paddr = (*pfn << pageTable_.pageShift()) |
+            (vaddr & (pageTable_.pageBytes() - 1));
+
+    // Line fill (and any dirty writeback) over the single external
+    // memory interface.
+    const CacheResult cr = cache_.access(vaddr, is_write);
+    const uint64_t ext_start = std::max(t, extBusyUntil_);
+    if (ext_start > t)
+        stats_.counter("ext_port_stalls") += ext_start - t;
+    uint64_t busy = config_.timing.extMemAccess;
+    if (cr.writeback)
+        busy += config_.timing.writeback;
+    t = ext_start + busy;
+    extBusyUntil_ = t;
+
+    acc.cacheHit = false;
+    acc.completeCycle = t;
+    stats_.counter("misses")++;
+    return acc;
+}
+
+MemAccess
+MemorySystem::load(Word ptr, unsigned size, uint64_t now)
+{
+    uint64_t paddr = 0;
+    MemAccess acc = timedAccess(ptr, Access::Load, size, now, paddr);
+    if (acc.fault != Fault::None)
+        return acc;
+
+    if (size == 8)
+        acc.data = phys_.readWord(paddr);
+    else
+        acc.data = Word::fromInt(phys_.readBytes(paddr, size));
+    stats_.counter("loads")++;
+    return acc;
+}
+
+MemAccess
+MemorySystem::store(Word ptr, Word value, unsigned size, uint64_t now)
+{
+    uint64_t paddr = 0;
+    MemAccess acc = timedAccess(ptr, Access::Store, size, now, paddr);
+    if (acc.fault != Fault::None)
+        return acc;
+
+    if (size == 8)
+        phys_.writeWord(paddr, value);
+    else
+        phys_.writeBytes(paddr, size, value.bits());
+    stats_.counter("stores")++;
+    return acc;
+}
+
+MemAccess
+MemorySystem::fetch(Word ip, uint64_t now)
+{
+    uint64_t paddr = 0;
+    MemAccess acc = timedAccess(ip, Access::InstFetch, 8, now, paddr);
+    if (acc.fault != Fault::None)
+        return acc;
+    acc.data = phys_.readWord(paddr);
+    stats_.counter("fetches")++;
+    return acc;
+}
+
+void
+MemorySystem::unmapRange(uint64_t base, uint64_t bytes)
+{
+    const uint64_t page = pageTable_.pageBytes();
+    const uint64_t first = base & ~(page - 1);
+    for (uint64_t va = first; va < base + bytes; va += page) {
+        const uint64_t vpn = pageTable_.vpn(va);
+        pageTable_.unmap(vpn);
+        tlb_.invalidate(vpn);
+        cache_.invalidatePage(va, pageTable_.pageShift());
+    }
+}
+
+void
+MemorySystem::mapRange(uint64_t base, uint64_t bytes)
+{
+    const uint64_t page = pageTable_.pageBytes();
+    const uint64_t first = base & ~(page - 1);
+    for (uint64_t va = first; va < base + bytes; va += page)
+        pageTable_.map(pageTable_.vpn(va));
+}
+
+std::optional<Word>
+MemorySystem::tryPeekWord(uint64_t vaddr) const
+{
+    auto pfn = pageTable_.translate(pageTable_.vpn(vaddr));
+    if (!pfn)
+        return std::nullopt;
+    const uint64_t pa = (*pfn << pageTable_.pageShift()) |
+                        (vaddr & (pageTable_.pageBytes() - 1));
+    return phys_.readWord(pa);
+}
+
+Word
+MemorySystem::peekWord(uint64_t vaddr)
+{
+    auto pa = pageTable_.translateAddr(vaddr);
+    if (!pa)
+        return Word{};
+    return phys_.readWord(*pa);
+}
+
+void
+MemorySystem::pokeWord(uint64_t vaddr, Word w)
+{
+    auto pa = pageTable_.translateAddr(vaddr);
+    if (!pa)
+        sim::fatal("pokeWord to unmapped address 0x%llx",
+                   static_cast<unsigned long long>(vaddr));
+    phys_.writeWord(*pa, w);
+}
+
+} // namespace gp::mem

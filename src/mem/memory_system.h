@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The guarded-pointer memory system façade.
+ *
+ * Ties together the banked virtually-addressed cache, the global LTLB
+ * and page table, and tagged physical memory, and implements the access
+ * sequence of the paper:
+ *
+ *   1. the permission/bounds check happens before issue, from the
+ *      pointer alone, costing no table lookups (§2.2);
+ *   2. the cache is probed with the *virtual* address (§3);
+ *   3. translation is performed only on a cache miss (§3, §4.1).
+ *
+ * Timing is cycle-approximate and models the two contention points of
+ * the MAP memory system: the per-bank port (one access per cycle per
+ * bank) and the single external memory interface.
+ */
+
+#ifndef GP_MEM_MEMORY_SYSTEM_H
+#define GP_MEM_MEMORY_SYSTEM_H
+
+#include <cstdint>
+
+#include "gp/ops.h"
+#include "gp/word.h"
+#include "mem/cache.h"
+#include "mem/memory_port.h"
+#include "mem/page_table.h"
+#include "mem/tagged_memory.h"
+#include "mem/tlb.h"
+#include "sim/stats.h"
+
+namespace gp::mem {
+
+/** Cycle costs of the memory-system components. */
+struct MemTiming
+{
+    uint64_t cacheHit = 1;     //!< bank access (hit or miss probe)
+    uint64_t tlbLookup = 1;    //!< LTLB lookup on the miss path
+    uint64_t ptWalk = 20;      //!< page-table walk on LTLB miss
+    uint64_t extMemAccess = 8; //!< line fill over the external interface
+    uint64_t writeback = 4;    //!< dirty-victim writeback on the same port
+};
+
+/** Full configuration of a memory system instance. */
+struct MemConfig
+{
+    CacheConfig cache;
+    size_t tlbEntries = 64;
+    uint64_t pageBytes = 4096;
+    MemTiming timing;
+};
+
+/** Outcome of a timed memory access. */
+struct MemAccess
+{
+    Fault fault = Fault::None;
+    bool cacheHit = false;
+    uint64_t startCycle = 0;    //!< when the access began service
+    uint64_t completeCycle = 0; //!< when the result is available
+    Word data;                  //!< loaded value (loads only)
+
+    uint64_t
+    latency() const
+    {
+        return completeCycle - startCycle;
+    }
+};
+
+/** The complete guarded-pointer memory hierarchy. */
+class MemorySystem : public MemoryPort
+{
+  public:
+    explicit MemorySystem(const MemConfig &config = MemConfig{});
+
+    /**
+     * Timed load through a guarded pointer. The pre-issue check is the
+     * pointer check only; a fault costs zero memory cycles.
+     * @param ptr   guarded pointer naming the address
+     * @param size  1/2/4/8 bytes, naturally aligned
+     * @param now   current cycle, for bank/port contention
+     */
+    MemAccess load(Word ptr, unsigned size, uint64_t now = 0);
+
+    /** Timed store through a guarded pointer. An 8-byte store of a
+     * tagged word stores the pointer intact; smaller stores clear the
+     * destination word's tag. */
+    MemAccess store(Word ptr, Word value, unsigned size,
+                    uint64_t now = 0);
+
+    /** Timed instruction fetch (requires execute permission). */
+    MemAccess fetch(Word ip, uint64_t now = 0);
+
+    /**
+     * Revoke or relocate a segment by unmapping its pages: removes
+     * translations, blocks demand re-allocation, invalidates TLB
+     * entries and flushes resident cache lines (§4.3). Cached dirty
+     * data in the revoked range is discarded.
+     */
+    void unmapRange(uint64_t base, uint64_t bytes);
+
+    /** Re-enable a previously unmapped range (relocation complete). */
+    void mapRange(uint64_t base, uint64_t bytes);
+
+    /** Untimed functional word read (kernel/loader/debugger use). */
+    Word peekWord(uint64_t vaddr);
+
+    /**
+     * Untimed word read that never demand-allocates: returns nullopt
+     * for unmapped pages. Used by the address-space garbage collector
+     * so scanning does not populate page tables.
+     */
+    std::optional<Word> tryPeekWord(uint64_t vaddr) const;
+
+    /** Untimed functional word write (kernel/loader/debugger use). */
+    void pokeWord(uint64_t vaddr, Word w);
+
+    /** @return bank index that would service vaddr (for arbitration). */
+    unsigned bankOf(uint64_t vaddr) const { return cache_.bankOf(vaddr); }
+
+    // MemoryPort interface (delegates to the named methods above).
+    MemAccess
+    portLoad(Word ptr, unsigned size, uint64_t now) override
+    {
+        return load(ptr, size, now);
+    }
+    MemAccess
+    portStore(Word ptr, Word value, unsigned size,
+              uint64_t now) override
+    {
+        return store(ptr, value, size, now);
+    }
+    MemAccess
+    portFetch(Word ip, uint64_t now) override
+    {
+        return fetch(ip, now);
+    }
+    void
+    portPoke(uint64_t vaddr, Word w) override
+    {
+        pokeWord(vaddr, w);
+    }
+    Word
+    portPeek(uint64_t vaddr) override
+    {
+        return peekWord(vaddr);
+    }
+
+    PageTable &pageTable() { return pageTable_; }
+    Tlb &tlb() { return tlb_; }
+    Cache &cache() { return cache_; }
+    TaggedMemory &phys() { return phys_; }
+    const MemTiming &timing() const { return config_.timing; }
+    sim::StatGroup &stats() { return stats_; }
+
+  private:
+    /**
+     * Common timed path for all access kinds; on success fills in the
+     * physical address of the data.
+     */
+    MemAccess timedAccess(Word ptr, Access kind, unsigned size,
+                          uint64_t now, uint64_t &paddr);
+
+    MemConfig config_;
+    TaggedMemory phys_;
+    PageTable pageTable_;
+    Tlb tlb_;
+    Cache cache_;
+    std::vector<uint64_t> bankBusyUntil_;
+    uint64_t extBusyUntil_ = 0;
+    sim::StatGroup stats_{"memsys"};
+};
+
+} // namespace gp::mem
+
+#endif // GP_MEM_MEMORY_SYSTEM_H

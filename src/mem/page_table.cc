@@ -1,0 +1,78 @@
+#include "mem/page_table.h"
+
+#include "sim/log.h"
+
+namespace gp::mem {
+
+PageTable::PageTable(uint64_t page_bytes)
+{
+    if (page_bytes == 0 || (page_bytes & (page_bytes - 1)) != 0)
+        sim::fatal("page size must be a power of two");
+    pageShift_ = static_cast<unsigned>(__builtin_ctzll(page_bytes));
+}
+
+uint64_t
+PageTable::map(uint64_t vpn)
+{
+    blocked_.erase(vpn);
+    auto it = table_.find(vpn);
+    if (it != table_.end())
+        return it->second;
+    // Re-mapping a previously unmapped page restores its old frame so
+    // reinstated segments keep their contents (§4.3 relocation).
+    uint64_t pfn;
+    if (auto sus = suspended_.find(vpn); sus != suspended_.end()) {
+        pfn = sus->second;
+        suspended_.erase(sus);
+    } else {
+        pfn = nextFrame_++;
+    }
+    table_.emplace(vpn, pfn);
+    stats_.counter("pages_mapped")++;
+    return pfn;
+}
+
+void
+PageTable::mapTo(uint64_t vpn, uint64_t pfn)
+{
+    blocked_.erase(vpn);
+    table_[vpn] = pfn;
+    stats_.counter("pages_mapped")++;
+}
+
+bool
+PageTable::unmap(uint64_t vpn)
+{
+    stats_.counter("pages_unmapped")++;
+    blocked_.insert(vpn);
+    auto it = table_.find(vpn);
+    if (it == table_.end())
+        return false;
+    suspended_[vpn] = it->second;
+    table_.erase(it);
+    return true;
+}
+
+std::optional<uint64_t>
+PageTable::translate(uint64_t vpn) const
+{
+    auto it = table_.find(vpn);
+    if (it == table_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<uint64_t>
+PageTable::translateAddr(uint64_t vaddr)
+{
+    const uint64_t page = vpn(vaddr);
+    auto pfn = translate(page);
+    if (!pfn) {
+        if (!allocateOnTouch_ || blocked_.count(page))
+            return std::nullopt;
+        pfn = map(page);
+    }
+    return (*pfn << pageShift_) | (vaddr & (pageBytes() - 1));
+}
+
+} // namespace gp::mem

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The single global page table of the guarded-pointer memory system.
+ *
+ * Because protection lives entirely in pointers, translation carries no
+ * per-process state: one table maps 54-bit virtual pages to physical
+ * frames for every process on the machine (paper §2). Unmapping a page
+ * is the revocation/relocation hook of §4.3.
+ */
+
+#ifndef GP_MEM_PAGE_TABLE_H
+#define GP_MEM_PAGE_TABLE_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/stats.h"
+
+namespace gp::mem {
+
+/** Global virtual-to-physical page mapping with a frame allocator. */
+class PageTable
+{
+  public:
+    /** @param page_bytes page size; must be a power of two. */
+    explicit PageTable(uint64_t page_bytes = 4096);
+
+    /** @return log2(page size). */
+    unsigned pageShift() const { return pageShift_; }
+    uint64_t pageBytes() const { return uint64_t(1) << pageShift_; }
+
+    /** @return the virtual page number containing vaddr. */
+    uint64_t vpn(uint64_t vaddr) const { return vaddr >> pageShift_; }
+
+    /**
+     * Map a virtual page to a freshly allocated physical frame.
+     * @return the frame number. Remapping an already-mapped page keeps
+     * its existing frame.
+     */
+    uint64_t map(uint64_t vpn);
+
+    /** Map a virtual page to a specific frame (used for aliasing). */
+    void mapTo(uint64_t vpn, uint64_t pfn);
+
+    /**
+     * Remove a translation. Subsequent accesses fault, which is how a
+     * segment's pointers are revoked or relocated en masse (§4.3). The
+     * page is also blocked from demand allocation until map()ed again,
+     * so revocation cannot be undone by a stray touch.
+     * @return true if the page was mapped.
+     */
+    bool unmap(uint64_t vpn);
+
+    /** @return the frame for vpn, or nullopt if unmapped. */
+    std::optional<uint64_t> translate(uint64_t vpn) const;
+
+    /**
+     * Translate a full virtual byte address to a physical byte address,
+     * mapping the page on demand when allocate_on_touch is set.
+     */
+    std::optional<uint64_t> translateAddr(uint64_t vaddr);
+
+    /** Demand-map pages touched through translateAddr(). */
+    void setAllocateOnTouch(bool on) { allocateOnTouch_ = on; }
+
+    size_t mappedPages() const { return table_.size(); }
+
+    sim::StatGroup &stats() { return stats_; }
+
+  private:
+    unsigned pageShift_;
+    bool allocateOnTouch_ = true;
+    uint64_t nextFrame_ = 0;
+    std::unordered_map<uint64_t, uint64_t> table_;
+    /// Frames of unmapped pages, restored on re-map (reinstatement).
+    std::unordered_map<uint64_t, uint64_t> suspended_;
+    std::unordered_set<uint64_t> blocked_;
+    sim::StatGroup stats_{"page_table"};
+};
+
+} // namespace gp::mem
+
+#endif // GP_MEM_PAGE_TABLE_H

@@ -1,0 +1,38 @@
+#include "mem/tagged_memory.h"
+
+#include "sim/log.h"
+
+namespace gp::mem {
+
+uint64_t
+TaggedMemory::readBytes(uint64_t addr, unsigned size) const
+{
+    if (size == 8)
+        return readWord(addr).bits();
+
+    const Word w = readWord(addr);
+    const unsigned shift = (addr & 7) * 8;
+    const uint64_t mask =
+        size == 8 ? ~uint64_t(0) : ((uint64_t(1) << (size * 8)) - 1);
+    return (w.bits() >> shift) & mask;
+}
+
+void
+TaggedMemory::writeBytes(uint64_t addr, unsigned size, uint64_t value)
+{
+    if (size == 8) {
+        writeWord(addr, Word::fromInt(value));
+        return;
+    }
+
+    const Word old = readWord(addr);
+    const unsigned shift = (addr & 7) * 8;
+    const uint64_t mask = ((uint64_t(1) << (size * 8)) - 1) << shift;
+    const uint64_t bits =
+        (old.bits() & ~mask) | ((value << shift) & mask);
+    // Sub-word writes always clear the tag: a partially overwritten
+    // pointer must not remain a valid capability.
+    writeWord(addr, Word::fromInt(bits));
+}
+
+} // namespace gp::mem

@@ -1,0 +1,82 @@
+#include "mem/tlb.h"
+
+#include "sim/log.h"
+
+namespace gp::mem {
+
+Tlb::Tlb(size_t entries) : capacity_(entries)
+{
+    if (entries == 0)
+        sim::fatal("TLB capacity must be nonzero");
+}
+
+std::optional<uint64_t>
+Tlb::lookup(uint64_t vpn, uint16_t asid)
+{
+    auto it = map_.find(Key{vpn, asid});
+    if (it == map_.end()) {
+        stats_.counter("misses")++;
+        return std::nullopt;
+    }
+    stats_.counter("hits")++;
+    // Move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->pfn;
+}
+
+void
+Tlb::insert(uint64_t vpn, uint64_t pfn, uint16_t asid)
+{
+    const Key key{vpn, asid};
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        it->second->pfn = pfn;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (map_.size() >= capacity_) {
+        const Entry &victim = lru_.back();
+        map_.erase(victim.key);
+        lru_.pop_back();
+        stats_.counter("evictions")++;
+    }
+    lru_.push_front(Entry{key, pfn});
+    map_[key] = lru_.begin();
+}
+
+void
+Tlb::invalidate(uint64_t vpn, uint16_t asid)
+{
+    auto it = map_.find(Key{vpn, asid});
+    if (it == map_.end())
+        return;
+    lru_.erase(it->second);
+    map_.erase(it);
+    stats_.counter("invalidations")++;
+}
+
+void
+Tlb::flushAll()
+{
+    stats_.counter("full_flushes")++;
+    stats_.counter("entries_flushed") += map_.size();
+    lru_.clear();
+    map_.clear();
+}
+
+void
+Tlb::flushAsid(uint16_t asid)
+{
+    stats_.counter("asid_flushes")++;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if (it->key.asid == asid) {
+            stats_.counter("entries_flushed")++;
+            map_.erase(it->key);
+            it = lru_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace gp::mem

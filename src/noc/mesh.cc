@@ -1,0 +1,87 @@
+#include "noc/mesh.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace gp::noc {
+
+Mesh::Mesh(const MeshConfig &config) : config_(config)
+{
+    if (config_.dimX == 0 || config_.dimY == 0 || config_.dimZ == 0)
+        sim::fatal("mesh: dimensions must be nonzero");
+}
+
+Coord
+Mesh::coordOf(unsigned node) const
+{
+    Coord c;
+    c.x = node % config_.dimX;
+    c.y = (node / config_.dimX) % config_.dimY;
+    c.z = node / (config_.dimX * config_.dimY);
+    return c;
+}
+
+unsigned
+Mesh::nodeAt(Coord c) const
+{
+    return c.x + config_.dimX * (c.y + config_.dimY * c.z);
+}
+
+unsigned
+Mesh::hops(unsigned from, unsigned to) const
+{
+    const Coord a = coordOf(from);
+    const Coord b = coordOf(to);
+    auto dist = [](unsigned p, unsigned q) {
+        return p > q ? p - q : q - p;
+    };
+    return dist(a.x, b.x) + dist(a.y, b.y) + dist(a.z, b.z);
+}
+
+uint64_t
+Mesh::send(unsigned from, unsigned to, uint64_t now, unsigned flits)
+{
+    if (from >= nodeCount() || to >= nodeCount())
+        sim::fatal("mesh: node id out of range");
+    if (from == to)
+        return now;
+
+    stats_.counter("messages")++;
+    stats_.counter("flits") += flits;
+
+    uint64_t t = now + config_.injectLatency;
+
+    // Dimension-order routing: X, then Y, then Z. At each hop the
+    // message occupies the outgoing link for `flits` cycles.
+    Coord cur = coordOf(from);
+    const Coord dst = coordOf(to);
+    while (cur.x != dst.x || cur.y != dst.y || cur.z != dst.z) {
+        unsigned direction;
+        Coord next = cur;
+        if (cur.x != dst.x) {
+            direction = cur.x < dst.x ? 0 : 1;
+            next.x += cur.x < dst.x ? 1 : -1;
+        } else if (cur.y != dst.y) {
+            direction = cur.y < dst.y ? 2 : 3;
+            next.y += cur.y < dst.y ? 1 : -1;
+        } else {
+            direction = cur.z < dst.z ? 4 : 5;
+            next.z += cur.z < dst.z ? 1 : -1;
+        }
+
+        const uint64_t link = linkId(nodeAt(cur), direction);
+        auto &busy = linkBusy_[link];
+        const uint64_t start = std::max(t, busy);
+        if (start > t)
+            stats_.counter("link_stall_cycles") += start - t;
+        busy = start + flits; // link occupied for the message length
+        t = start + config_.hopLatency;
+        cur = next;
+        stats_.counter("hops_traversed")++;
+    }
+
+    return t + config_.injectLatency + flits - 1;
+}
+
+} // namespace gp::noc

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * 3-D mesh interconnect model (paper §3: "The M-Machine is a
+ * multicomputer with a 3-dimensional mesh interconnect").
+ *
+ * Dimension-order (XYZ) routing with per-link serialization: each
+ * unidirectional link carries one flit per cycle, so concurrent
+ * messages crossing the same link queue behind each other. The model
+ * is cycle-approximate in the same spirit as the memory system — it
+ * supplies hop latency and contention, not flit-level detail.
+ */
+
+#ifndef GP_NOC_MESH_H
+#define GP_NOC_MESH_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/stats.h"
+
+namespace gp::noc {
+
+/** Mesh geometry and per-hop costs. */
+struct MeshConfig
+{
+    unsigned dimX = 4;        //!< nodes per X row
+    unsigned dimY = 2;        //!< nodes per Y column
+    unsigned dimZ = 2;        //!< Z planes
+    uint64_t hopLatency = 2;  //!< router + wire traversal per hop
+    uint64_t injectLatency = 1; //!< network interface entry/exit
+};
+
+/** Node coordinates. */
+struct Coord
+{
+    unsigned x = 0, y = 0, z = 0;
+};
+
+/** The mesh: routing, latency, and link contention. */
+class Mesh
+{
+  public:
+    explicit Mesh(const MeshConfig &config = MeshConfig{});
+
+    unsigned nodeCount() const
+    {
+        return config_.dimX * config_.dimY * config_.dimZ;
+    }
+
+    /** Linear node id -> coordinates. */
+    Coord coordOf(unsigned node) const;
+
+    /** Coordinates -> linear node id. */
+    unsigned nodeAt(Coord c) const;
+
+    /** Manhattan hop count between two nodes. */
+    unsigned hops(unsigned from, unsigned to) const;
+
+    /**
+     * Send a message of `flits` flits at cycle `now`.
+     * @return the delivery cycle, accounting for link queuing along
+     * the dimension-order route.
+     */
+    uint64_t send(unsigned from, unsigned to, uint64_t now,
+                  unsigned flits = 1);
+
+    /** Latency of an uncontended message (for analysis/printing). */
+    uint64_t
+    uncontendedLatency(unsigned from, unsigned to,
+                       unsigned flits = 1) const
+    {
+        if (from == to)
+            return 0;
+        return 2 * config_.injectLatency +
+               uint64_t(hops(from, to)) * config_.hopLatency + flits -
+               1;
+    }
+
+    const MeshConfig &config() const { return config_; }
+    sim::StatGroup &stats() { return stats_; }
+
+  private:
+    /** Unique id of the link leaving `node` in `direction` (0..5). */
+    uint64_t
+    linkId(unsigned node, unsigned direction) const
+    {
+        return uint64_t(node) * 6 + direction;
+    }
+
+    MeshConfig config_;
+    /// per-link busy-until cycle
+    std::unordered_map<uint64_t, uint64_t> linkBusy_;
+    sim::StatGroup stats_{"mesh"};
+};
+
+} // namespace gp::noc
+
+#endif // GP_NOC_MESH_H

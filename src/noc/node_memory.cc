@@ -1,0 +1,144 @@
+#include "noc/node_memory.h"
+
+#include "sim/log.h"
+
+namespace gp::noc {
+
+NodeMemory::NodeMemory(unsigned node, Mesh &mesh, GlobalMemory &global,
+                       const mem::MemConfig &config)
+    : node_(node),
+      mesh_(mesh),
+      global_(global),
+      config_(config),
+      cache_(config.cache),
+      tlb_(config.tlbEntries),
+      stats_("node" + std::to_string(node))
+{
+    if (node >= mesh.nodeCount())
+        sim::fatal("node id %u outside the mesh", node);
+}
+
+mem::MemAccess
+NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
+                   Word store_value)
+{
+    mem::MemAccess acc;
+    acc.startCycle = now;
+
+    // Identical pre-issue check to the single-node machine: the
+    // pointer alone, no tables — and crucially no distinction between
+    // local and remote addresses.
+    acc.fault = checkAccess(ptr, kind, size);
+    if (acc.fault != Fault::None) {
+        acc.completeCycle = now;
+        stats_.counter("access_faults")++;
+        return acc;
+    }
+
+    const uint64_t vaddr = ptr.addr();
+    const bool is_write = kind == Access::Store;
+    uint64_t t = now + config_.timing.cacheHit;
+
+    if (cache_.probe(vaddr)) {
+        cache_.access(vaddr, is_write);
+        acc.cacheHit = true;
+        stats_.counter("hits")++;
+    } else {
+        // Translate (local LTLB; the page table is global).
+        const uint64_t vpn = global_.pageTable.vpn(vaddr);
+        t += config_.timing.tlbLookup;
+        if (!tlb_.lookup(vpn)) {
+            t += config_.timing.ptWalk;
+            auto pa = global_.pageTable.translateAddr(vaddr);
+            if (!pa) {
+                acc.fault = Fault::UnmappedAddress;
+                acc.completeCycle = t;
+                stats_.counter("unmapped_faults")++;
+                return acc;
+            }
+            tlb_.insert(vpn, *pa >> global_.pageTable.pageShift());
+        }
+
+        cache_.access(vaddr, is_write);
+        const unsigned home = homeNode(vaddr);
+        if (home == node_) {
+            t += config_.timing.extMemAccess;
+            stats_.counter("local_misses")++;
+        } else {
+            // Request flit to the home node, memory access there,
+            // line-sized reply back.
+            const unsigned line_flits = config_.cache.lineBytes / 8;
+            const uint64_t arrive = mesh_.send(node_, home, t, 1);
+            const uint64_t served =
+                arrive + config_.timing.extMemAccess;
+            t = mesh_.send(home, node_, served, line_flits);
+            stats_.counter("remote_misses")++;
+            stats_.counter("remote_latency") += t - now;
+        }
+    }
+
+    // Functional data access against the global backing store.
+    auto pa = global_.pageTable.translateAddr(vaddr);
+    if (!pa)
+        sim::panic("node memory: cached but unmapped address");
+    if (kind == Access::Store) {
+        if (size == 8)
+            global_.phys.writeWord(*pa, store_value);
+        else
+            global_.phys.writeBytes(*pa, size, store_value.bits());
+    } else {
+        acc.data = size == 8
+                       ? global_.phys.readWord(*pa)
+                       : Word::fromInt(global_.phys.readBytes(*pa,
+                                                              size));
+    }
+
+    acc.completeCycle = t;
+    return acc;
+}
+
+mem::MemAccess
+NodeMemory::load(Word ptr, unsigned size, uint64_t now)
+{
+    mem::MemAccess acc = access(ptr, Access::Load, size, now, Word{});
+    if (acc.fault == Fault::None)
+        stats_.counter("loads")++;
+    return acc;
+}
+
+mem::MemAccess
+NodeMemory::store(Word ptr, Word value, unsigned size, uint64_t now)
+{
+    mem::MemAccess acc = access(ptr, Access::Store, size, now, value);
+    if (acc.fault == Fault::None)
+        stats_.counter("stores")++;
+    return acc;
+}
+
+mem::MemAccess
+NodeMemory::fetch(Word ip, uint64_t now)
+{
+    mem::MemAccess acc =
+        access(ip, Access::InstFetch, 8, now, Word{});
+    if (acc.fault == Fault::None)
+        stats_.counter("fetches")++;
+    return acc;
+}
+
+void
+NodeMemory::pokeWord(uint64_t vaddr, Word w)
+{
+    auto pa = global_.pageTable.translateAddr(vaddr);
+    if (!pa)
+        sim::fatal("pokeWord: unmapped global address");
+    global_.phys.writeWord(*pa, w);
+}
+
+Word
+NodeMemory::peekWord(uint64_t vaddr)
+{
+    auto pa = global_.pageTable.translateAddr(vaddr);
+    return pa ? global_.phys.readWord(*pa) : Word{};
+}
+
+} // namespace gp::noc

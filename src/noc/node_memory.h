@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Per-node memory system of the multicomputer (paper §3).
+ *
+ * The M-Machine's 54-bit space is global across nodes: the high
+ * address bits name the home node, and a guarded pointer to remote
+ * memory is *exactly* the same 64-bit word as a local one — no proxy
+ * objects, no message-passing stubs, no per-node capability tables.
+ *
+ * Each node has its own banked virtually-addressed cache and LTLB;
+ * the page table and tagged physical storage are global (the home
+ * node owns the data; the model keeps them in one shared structure).
+ * A miss whose line lives on a remote home pays a mesh round trip —
+ * one request flit out, a cache line of flits back — on top of the
+ * remote memory access.
+ *
+ * Modelling note: the per-node cache is behavioural (timing) only;
+ * data functionally reads and writes the global store, so stores are
+ * immediately visible to every node as if write-through with ideal
+ * coherence. Coherence-protocol *timing* (invalidations, upgrades)
+ * is outside this reproduction's scope — the paper predates and is
+ * orthogonal to it.
+ */
+
+#ifndef GP_NOC_NODE_MEMORY_H
+#define GP_NOC_NODE_MEMORY_H
+
+#include <cstdint>
+
+#include "gp/ops.h"
+#include "mem/memory_system.h"
+#include "noc/mesh.h"
+
+namespace gp::noc {
+
+/// VA bits 53..48 name the home node of an address.
+inline constexpr unsigned kNodeShift = 48;
+inline constexpr uint64_t kNodeMask = 0x3f;
+
+/** @return the home node id encoded in a virtual address. */
+inline unsigned
+homeNode(uint64_t vaddr)
+{
+    return unsigned((vaddr >> kNodeShift) & kNodeMask);
+}
+
+/** @return the base virtual address of a node's partition. */
+inline uint64_t
+nodeBase(unsigned node)
+{
+    return uint64_t(node) << kNodeShift;
+}
+
+/** Globally shared backing state: one space, one translation. */
+struct GlobalMemory
+{
+    mem::PageTable pageTable{4096};
+    mem::TaggedMemory phys;
+};
+
+/** One node's cache/TLB view of the global space. */
+class NodeMemory : public mem::MemoryPort
+{
+  public:
+    NodeMemory(unsigned node, Mesh &mesh, GlobalMemory &global,
+               const mem::MemConfig &config = mem::MemConfig{});
+
+    /** Timed load through a guarded pointer (local or remote). */
+    mem::MemAccess load(Word ptr, unsigned size, uint64_t now = 0);
+
+    /** Timed store through a guarded pointer (local or remote). */
+    mem::MemAccess store(Word ptr, Word value, unsigned size,
+                         uint64_t now = 0);
+
+    /** Timed instruction fetch (local or remote code!). */
+    mem::MemAccess fetch(Word ip, uint64_t now = 0);
+
+    // MemoryPort interface — a Machine runs against a node directly.
+    mem::MemAccess
+    portLoad(Word ptr, unsigned size, uint64_t now) override
+    {
+        return load(ptr, size, now);
+    }
+    mem::MemAccess
+    portStore(Word ptr, Word value, unsigned size,
+              uint64_t now) override
+    {
+        return store(ptr, value, size, now);
+    }
+    mem::MemAccess
+    portFetch(Word ip, uint64_t now) override
+    {
+        return fetch(ip, now);
+    }
+    void
+    portPoke(uint64_t vaddr, Word w) override
+    {
+        pokeWord(vaddr, w);
+    }
+    Word
+    portPeek(uint64_t vaddr) override
+    {
+        return peekWord(vaddr);
+    }
+
+    /** Untimed functional write (loader/host use). */
+    void pokeWord(uint64_t vaddr, Word w);
+
+    /** Untimed functional read. */
+    Word peekWord(uint64_t vaddr);
+
+    unsigned node() const { return node_; }
+    mem::Cache &cache() { return cache_; }
+    sim::StatGroup &stats() { return stats_; }
+
+  private:
+    mem::MemAccess access(Word ptr, Access kind, unsigned size,
+                          uint64_t now, Word store_value);
+
+    unsigned node_;
+    Mesh &mesh_;
+    GlobalMemory &global_;
+    mem::MemConfig config_;
+    mem::Cache cache_;
+    mem::Tlb tlb_;
+    sim::StatGroup stats_;
+};
+
+} // namespace gp::noc
+
+#endif // GP_NOC_NODE_MEMORY_H

@@ -1,0 +1,124 @@
+#include "os/buddy_allocator.h"
+
+#include "sim/log.h"
+
+namespace gp::os {
+
+BuddyAllocator::BuddyAllocator(uint64_t base, uint64_t len_log2,
+                               uint64_t min_log2)
+    : base_(base), regionLog2_(len_log2), minLog2_(min_log2)
+{
+    if (min_log2 > len_log2)
+        sim::fatal("buddy: min order exceeds region order");
+    if (base & ((uint64_t(1) << len_log2) - 1))
+        sim::fatal("buddy: region base not aligned to its size");
+    freeLists_.resize(len_log2 - min_log2 + 1);
+    freeLists_.back().insert(base);
+}
+
+std::optional<uint64_t>
+BuddyAllocator::allocate(uint64_t order)
+{
+    if (order < minLog2_)
+        order = minLog2_;
+    if (order > regionLog2_)
+        return std::nullopt;
+
+    // Find the smallest free block of order >= the request.
+    uint64_t from = order;
+    while (from <= regionLog2_ &&
+           freeLists_[from - minLog2_].empty()) {
+        from++;
+    }
+    if (from > regionLog2_) {
+        stats_.counter("failed_allocations")++;
+        return std::nullopt;
+    }
+
+    auto &list = freeLists_[from - minLog2_];
+    const uint64_t block = *list.begin();
+    list.erase(list.begin());
+
+    // Split down to the requested order, freeing the upper halves.
+    while (from > order) {
+        from--;
+        freeLists_[from - minLog2_].insert(block +
+                                           (uint64_t(1) << from));
+        stats_.counter("splits")++;
+    }
+
+    stats_.counter("allocations")++;
+    return block;
+}
+
+std::optional<std::pair<uint64_t, uint64_t>>
+BuddyAllocator::allocateBytes(uint64_t bytes)
+{
+    uint64_t order = minLog2_;
+    while ((uint64_t(1) << order) < bytes && order < regionLog2_)
+        order++;
+    if ((uint64_t(1) << order) < bytes)
+        return std::nullopt;
+    auto base = allocate(order);
+    if (!base)
+        return std::nullopt;
+    return std::make_pair(*base, order);
+}
+
+bool
+BuddyAllocator::free(uint64_t base, uint64_t order)
+{
+    if (order < minLog2_ || order > regionLog2_)
+        return false;
+    if ((base - base_) & ((uint64_t(1) << order) - 1))
+        return false;
+
+    // Coalesce with the buddy as long as it is also free.
+    uint64_t addr = base;
+    while (order < regionLog2_) {
+        const uint64_t buddy = buddyOf(addr, order);
+        auto &list = freeLists_[order - minLog2_];
+        auto it = list.find(buddy);
+        if (it == list.end())
+            break;
+        list.erase(it);
+        addr = std::min(addr, buddy);
+        order++;
+        stats_.counter("coalesces")++;
+    }
+    freeLists_[order - minLog2_].insert(addr);
+    stats_.counter("frees")++;
+    return true;
+}
+
+uint64_t
+BuddyAllocator::freeBytes() const
+{
+    uint64_t total = 0;
+    for (size_t i = 0; i < freeLists_.size(); ++i) {
+        total += freeLists_[i].size() *
+                 (uint64_t(1) << (i + minLog2_));
+    }
+    return total;
+}
+
+std::optional<uint64_t>
+BuddyAllocator::largestFreeOrder() const
+{
+    for (size_t i = freeLists_.size(); i-- > 0;) {
+        if (!freeLists_[i].empty())
+            return i + minLog2_;
+    }
+    return std::nullopt;
+}
+
+size_t
+BuddyAllocator::freeBlockCount() const
+{
+    size_t count = 0;
+    for (const auto &list : freeLists_)
+        count += list.size();
+    return count;
+}
+
+} // namespace gp::os

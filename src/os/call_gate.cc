@@ -1,0 +1,56 @@
+#include "os/call_gate.h"
+
+#include "gp/pointer.h"
+#include "isa/assembler.h"
+#include "os/kernel.h"
+#include "sim/log.h"
+
+namespace gp::os {
+
+Result<ReturnSegment>
+buildReturnSegment(Kernel &kernel)
+{
+    auto rw = kernel.segments().allocate(256, Perm::ReadWrite);
+    if (!rw)
+        return Result<ReturnSegment>::fail(rw.fault);
+
+    ReturnSegment gate;
+    gate.rwPtr = rw.value;
+    gate.base = PointerView(rw.value).segmentBase();
+
+    // The reload stub. Loads go through the stub's own IP-derived
+    // pointer (execute grants read); unspilled slots restore as 0,
+    // which conveniently scrubs those registers.
+    const isa::Assembly stub = isa::assemble(R"(
+        getip r15
+        leabi r15, r15, 0
+        ld r14, 0(r15)   ; continuation IP
+        ld r4, 8(r15)
+        ld r5, 16(r15)
+        ld r6, 24(r15)
+        ld r7, 32(r15)
+        ld r8, 40(r15)
+        ld r2, 48(r15)   ; this segment's own RW pointer
+        movi r15, 0
+        jmp r14
+    )");
+    if (!stub.ok)
+        sim::panic("return-segment stub failed to assemble: %s",
+                   stub.error.c_str());
+
+    for (size_t i = 0; i < stub.words.size(); ++i) {
+        kernel.mem().pokeWord(gate.base + ReturnSegment::kStubOffset +
+                                  i * 8,
+                              stub.words[i]);
+    }
+
+    auto enter =
+        makePointer(Perm::EnterUser, PointerView(rw.value).lenLog2(),
+                    gate.base + ReturnSegment::kStubOffset);
+    if (!enter)
+        return Result<ReturnSegment>::fail(enter.fault);
+    gate.enterPtr = enter.value;
+    return Result<ReturnSegment>::ok(gate);
+}
+
+} // namespace gp::os

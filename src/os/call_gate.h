@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Call-gate helpers: the Fig. 4 return segment as a reusable ABI.
+ *
+ * A return segment lets a caller protect its own protection domain
+ * from a subsystem it calls (two-way protection): before the call it
+ * spills its live pointers into the segment and scrubs its registers;
+ * the subsystem receives only an enter pointer to the segment's
+ * reload stub, which restores the spilled state and jumps to the
+ * saved continuation.
+ *
+ * Layout (fixed ABI, one 256-byte segment):
+ *   word 0            continuation IP (execute pointer)
+ *   words 1..5        five spill slots (r4..r8 by convention)
+ *   byte 64 onwards   the reload stub (read via the stub's own IP)
+ *
+ * The stub restores r2 (the return segment's own RW pointer), r4..r8,
+ * and jumps to the continuation; r15 is used as scratch and scrubbed.
+ */
+
+#ifndef GP_OS_CALL_GATE_H
+#define GP_OS_CALL_GATE_H
+
+#include "gp/fault.h"
+#include "gp/word.h"
+
+namespace gp::os {
+
+class Kernel;
+
+/** A ready-to-use Fig. 4 return segment. */
+struct ReturnSegment
+{
+    Word rwPtr;    //!< read/write pointer (caller spills through it)
+    Word enterPtr; //!< gateway to the reload stub (give to subsystem)
+    uint64_t base = 0;
+
+    /// Byte offset of spill slot i (0 = continuation IP).
+    static constexpr uint64_t
+    slotOffset(unsigned i)
+    {
+        return uint64_t(i) * 8;
+    }
+
+    /// Byte offset of the reload stub inside the segment.
+    static constexpr uint64_t kStubOffset = 64;
+};
+
+/**
+ * Allocate a return segment and install the reload stub. The stub
+ * reloads r2 (this segment's RW pointer, from slot 6), r4..r8 (slots
+ * 1..5), and jumps to the continuation IP in slot 0.
+ */
+Result<ReturnSegment> buildReturnSegment(Kernel &kernel);
+
+} // namespace gp::os
+
+#endif // GP_OS_CALL_GATE_H

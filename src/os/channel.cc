@@ -1,0 +1,95 @@
+#include "os/channel.h"
+
+#include "gp/ops.h"
+#include "os/kernel.h"
+#include "sim/log.h"
+
+namespace gp::os {
+
+namespace {
+
+uint64_t
+roundPow2(uint64_t v)
+{
+    uint64_t p = 2;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+Result<Channel>
+Channel::create(Kernel &kernel, uint64_t slots)
+{
+    Channel ch(kernel);
+    ch.slots_ = roundPow2(std::max<uint64_t>(slots, 2));
+
+    auto ring =
+        kernel.segments().allocate(ch.slots_ * 8, Perm::ReadWrite);
+    auto head = kernel.segments().allocate(8, Perm::ReadWrite);
+    auto tail = kernel.segments().allocate(8, Perm::ReadWrite);
+    if (!ring || !head || !tail) {
+        return Result<Channel>::fail(ring ? (head ? tail.fault
+                                                  : head.fault)
+                                          : ring.fault);
+    }
+
+    ch.ringBase_ = PointerView(ring.value).segmentBase();
+    ch.headBase_ = PointerView(head.value).segmentBase();
+    ch.tailBase_ = PointerView(tail.value).segmentBase();
+
+    auto ro = [](Word w) {
+        auto r = restrictPerm(w, Perm::ReadOnly);
+        if (!r)
+            sim::panic("channel: restrict failed");
+        return r.value;
+    };
+
+    ch.sender_ = ChannelEndpoint{ring.value, head.value,
+                                 ro(tail.value)};
+    ch.receiver_ = ChannelEndpoint{ro(ring.value), ro(head.value),
+                                   tail.value};
+
+    // Counters start at zero (memory is zero-filled on first touch,
+    // but make it explicit).
+    kernel.mem().pokeWord(ch.headBase_, Word::fromInt(0));
+    kernel.mem().pokeWord(ch.tailBase_, Word::fromInt(0));
+    return Result<Channel>::ok(ch);
+}
+
+uint64_t
+Channel::depth() const
+{
+    const uint64_t head = kernel_->mem().peekWord(headBase_).bits();
+    const uint64_t tail = kernel_->mem().peekWord(tailBase_).bits();
+    return head - tail;
+}
+
+bool
+Channel::send(Word value)
+{
+    const uint64_t head = kernel_->mem().peekWord(headBase_).bits();
+    const uint64_t tail = kernel_->mem().peekWord(tailBase_).bits();
+    if (head - tail >= slots_)
+        return false;
+    kernel_->mem().pokeWord(ringBase_ + (head & (slots_ - 1)) * 8,
+                            value);
+    kernel_->mem().pokeWord(headBase_, Word::fromInt(head + 1));
+    return true;
+}
+
+std::optional<Word>
+Channel::tryRecv()
+{
+    const uint64_t head = kernel_->mem().peekWord(headBase_).bits();
+    const uint64_t tail = kernel_->mem().peekWord(tailBase_).bits();
+    if (head == tail)
+        return std::nullopt;
+    const Word value =
+        kernel_->mem().peekWord(ringBase_ + (tail & (slots_ - 1)) * 8);
+    kernel_->mem().pokeWord(tailBase_, Word::fromInt(tail + 1));
+    return value;
+}
+
+} // namespace gp::os

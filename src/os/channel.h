@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Capability-passing channels: single-producer single-consumer rings
+ * built entirely from guarded-pointer primitives.
+ *
+ * The paper's sharing model (§6): "A thread can grant another thread
+ * access to private data by passing a guarded pointer to it." This
+ * module packages that as a typed channel. Because memory words carry
+ * the tag bit, *capabilities themselves* travel through the ring —
+ * a receiver can be granted segments at runtime by an untrusting
+ * sender, with the permissions the sender chose (typically narrowed
+ * with RESTRICT/SUBSEG first).
+ *
+ * Protection is asymmetric by construction, with no locks or kernel
+ * mediation:
+ *   - the sender holds read/write on the ring and head counter but
+ *     only read-only on the tail counter;
+ *   - the receiver holds read-only on the ring and head but
+ *     read/write on the tail.
+ * Neither side can corrupt the other's cursor, and the receiver can
+ * never fabricate ring contents.
+ */
+
+#ifndef GP_OS_CHANNEL_H
+#define GP_OS_CHANNEL_H
+
+#include <cstdint>
+#include <optional>
+
+#include "gp/fault.h"
+#include "gp/word.h"
+
+namespace gp::os {
+
+class Kernel;
+
+/** The three pointers one side of a channel holds. */
+struct ChannelEndpoint
+{
+    Word ring; //!< ring buffer (RW for sender, RO for receiver)
+    Word head; //!< producer counter (RW sender, RO receiver)
+    Word tail; //!< consumer counter (RO sender, RW receiver)
+};
+
+/** An SPSC capability channel. */
+class Channel
+{
+  public:
+    /**
+     * Create a channel with the given number of one-word slots
+     * (rounded up to a power of two, min 2).
+     */
+    static Result<Channel> create(Kernel &kernel, uint64_t slots);
+
+    /** Pointers to hand to the sending thread. */
+    const ChannelEndpoint &sender() const { return sender_; }
+
+    /** Pointers to hand to the receiving thread. */
+    const ChannelEndpoint &receiver() const { return receiver_; }
+
+    uint64_t slots() const { return slots_; }
+
+    /**
+     * Host-side send (functional, for tests and host/guest mixing).
+     * @return false if the ring is full.
+     */
+    bool send(Word value);
+
+    /** Host-side receive. @return nullopt if the ring is empty. */
+    std::optional<Word> tryRecv();
+
+    /** Words currently queued. */
+    uint64_t depth() const;
+
+  private:
+    friend struct gp::Result<Channel>;
+
+    /** Empty channel: placeholder value inside a faulting Result. */
+    Channel() = default;
+
+    explicit Channel(Kernel &kernel) : kernel_(&kernel) {}
+
+    Kernel *kernel_ = nullptr;
+    ChannelEndpoint sender_;
+    ChannelEndpoint receiver_;
+    uint64_t slots_ = 0;
+    uint64_t ringBase_ = 0;
+    uint64_t headBase_ = 0;
+    uint64_t tailBase_ = 0;
+};
+
+} // namespace gp::os
+
+#endif // GP_OS_CHANNEL_H

@@ -1,0 +1,95 @@
+#include "os/freelist_allocator.h"
+
+#include "sim/log.h"
+
+namespace gp::os {
+
+FreeListAllocator::FreeListAllocator(uint64_t base, uint64_t bytes)
+{
+    if (bytes == 0)
+        sim::fatal("freelist: empty region");
+    freeByAddr_.emplace(base, bytes);
+    freeBytes_ = bytes;
+}
+
+std::optional<uint64_t>
+FreeListAllocator::allocate(uint64_t bytes)
+{
+    if (bytes == 0)
+        return std::nullopt;
+    bytes = (bytes + 7) & ~uint64_t(7);
+
+    // Best fit: smallest free block that holds the request.
+    auto best = freeByAddr_.end();
+    for (auto it = freeByAddr_.begin(); it != freeByAddr_.end();
+         ++it) {
+        if (it->second >= bytes &&
+            (best == freeByAddr_.end() ||
+             it->second < best->second)) {
+            best = it;
+        }
+    }
+    if (best == freeByAddr_.end()) {
+        stats_.counter("failed_allocations")++;
+        return std::nullopt;
+    }
+
+    const uint64_t base = best->first;
+    const uint64_t remainder = best->second - bytes;
+    freeByAddr_.erase(best);
+    if (remainder > 0)
+        freeByAddr_.emplace(base + bytes, remainder);
+
+    live_.emplace(base, bytes);
+    freeBytes_ -= bytes;
+    stats_.counter("allocations")++;
+    return base;
+}
+
+bool
+FreeListAllocator::free(uint64_t base)
+{
+    auto it = live_.find(base);
+    if (it == live_.end())
+        return false;
+    uint64_t addr = base;
+    uint64_t size = it->second;
+    const uint64_t released = it->second;
+    live_.erase(it);
+
+    // Coalesce with the free neighbour on each side if adjacent.
+    auto next = freeByAddr_.lower_bound(addr);
+    if (next != freeByAddr_.end() && addr + size == next->first) {
+        size += next->second;
+        freeByAddr_.erase(next);
+        stats_.counter("coalesces")++;
+    }
+    if (!freeByAddr_.empty()) {
+        auto prev = freeByAddr_.lower_bound(addr);
+        if (prev != freeByAddr_.begin()) {
+            --prev;
+            if (prev->first + prev->second == addr) {
+                addr = prev->first;
+                size += prev->second;
+                freeByAddr_.erase(prev);
+                stats_.counter("coalesces")++;
+            }
+        }
+    }
+
+    freeByAddr_.emplace(addr, size);
+    freeBytes_ += released;
+    stats_.counter("frees")++;
+    return true;
+}
+
+uint64_t
+FreeListAllocator::largestFreeBlock() const
+{
+    uint64_t best = 0;
+    for (const auto &[base, size] : freeByAddr_)
+        best = std::max(best, size);
+    return best;
+}
+
+} // namespace gp::os

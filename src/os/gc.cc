@@ -1,0 +1,98 @@
+#include "os/gc.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "gp/pointer.h"
+
+namespace gp::os {
+
+std::optional<uint64_t>
+AddressSpaceGc::referent(Word w) const
+{
+    uint64_t addr;
+    if (mode_ == Mode::TagAccurate) {
+        if (!w.isPointer())
+            return std::nullopt;
+        addr = w.addr();
+    } else {
+        // Conservative: any word whose low 54 bits land inside a live
+        // segment might be a pointer, so it must be treated as one.
+        addr = w.bits() & kAddrMask;
+    }
+    auto seg = segments_.segmentContaining(addr);
+    if (!seg)
+        return std::nullopt;
+    return seg->base;
+}
+
+GcStats
+AddressSpaceGc::collect(const std::vector<Word> &roots)
+{
+    GcStats stats;
+    std::unordered_set<uint64_t> marked;
+    std::deque<uint64_t> worklist;
+
+    auto mark = [&](Word w) {
+        auto base = referent(w);
+        if (!base)
+            return;
+        stats.pointersSeen++;
+        if (marked.insert(*base).second)
+            worklist.push_back(*base);
+    };
+
+    for (const Word &root : roots)
+        mark(root);
+
+    while (!worklist.empty()) {
+        const uint64_t base = worklist.front();
+        worklist.pop_front();
+        auto seg = segments_.segmentContaining(base);
+        if (!seg)
+            continue;
+        stats.segmentsScanned++;
+
+        const uint64_t bytes = uint64_t(1) << seg->lenLog2;
+        for (uint64_t off = 0; off < bytes; off += 8) {
+            auto word = mem_.tryPeekWord(seg->base + off);
+            if (!word)
+                continue; // unmapped page: holds no pointers
+            stats.wordsScanned++;
+            mark(*word);
+        }
+    }
+
+    // Sweep: free every live segment the mark phase never reached.
+    std::vector<uint64_t> doomed;
+    for (const auto &[base, seg] : segments_.segments()) {
+        if (marked.count(base))
+            stats.segmentsLive++;
+        else
+            doomed.push_back(base);
+    }
+    for (uint64_t base : doomed) {
+        auto seg = segments_.segmentContaining(base);
+        stats.bytesFreed += uint64_t(1) << seg->lenLog2;
+        segments_.freeBase(base);
+        stats.segmentsFreed++;
+    }
+    return stats;
+}
+
+GcStats
+AddressSpaceGc::collectFromMachine(const isa::Machine &machine,
+                                   const std::vector<Word> &extra_roots)
+{
+    std::vector<Word> roots = extra_roots;
+    for (const isa::Thread &t : machine.threads()) {
+        if (t.state() == isa::ThreadState::Idle)
+            continue;
+        roots.push_back(t.ip());
+        for (unsigned r = 0; r < isa::kNumRegs; ++r)
+            roots.push_back(t.reg(r));
+    }
+    return collect(roots);
+}
+
+} // namespace gp::os

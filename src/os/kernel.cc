@@ -1,0 +1,104 @@
+#include "os/kernel.h"
+
+#include "gp/ops.h"
+#include "gp/pointer.h"
+#include "isa/assembler.h"
+#include "sim/log.h"
+
+namespace gp::os {
+
+Kernel::Kernel(const KernelConfig &config)
+    : machine_(config.machine),
+      segments_(machine_.mem(), config.heapBase, config.heapLog2)
+{
+}
+
+Result<ProgramImage>
+Kernel::loadWords(const std::vector<Word> &words, bool privileged)
+{
+    auto code = segments_.allocate(words.size() * 8,
+                                   privileged
+                                       ? Perm::ExecutePrivileged
+                                       : Perm::ExecuteUser);
+    if (!code)
+        return Result<ProgramImage>::fail(code.fault);
+
+    const PointerView view(code.value);
+    for (size_t i = 0; i < words.size(); ++i)
+        mem().pokeWord(view.segmentBase() + i * 8, words[i]);
+
+    ProgramImage image;
+    image.execPtr = code.value;
+    image.base = view.segmentBase();
+    image.lenLog2 = view.lenLog2();
+    image.words = words.size();
+
+    auto enter = makePointer(privileged ? Perm::EnterPrivileged
+                                        : Perm::EnterUser,
+                             image.lenLog2, image.base);
+    if (!enter)
+        return Result<ProgramImage>::fail(enter.fault);
+    image.enterPtr = enter.value;
+    return Result<ProgramImage>::ok(image);
+}
+
+Result<ProgramImage>
+Kernel::loadAssembly(std::string_view source, bool privileged)
+{
+    const isa::Assembly assembly = isa::assemble(source);
+    if (!assembly.ok) {
+        sim::warn("loadAssembly: %s", assembly.error.c_str());
+        return Result<ProgramImage>::fail(Fault::InvalidInstruction);
+    }
+    return loadWords(assembly.words, privileged);
+}
+
+Result<SubsystemImage>
+Kernel::buildSubsystem(std::string_view source,
+                       const std::vector<Word> &table, bool privileged)
+{
+    const isa::Assembly assembly = isa::assemble(source);
+    if (!assembly.ok) {
+        sim::warn("buildSubsystem: %s", assembly.error.c_str());
+        return Result<SubsystemImage>::fail(Fault::InvalidInstruction);
+    }
+
+    // Capability table first, then code. Table words fetched as
+    // instructions would fault (tagged words never decode), so a
+    // malicious caller cannot enter the table region usefully even if
+    // it could forge an enter pointer — which it cannot.
+    std::vector<Word> words = table;
+    words.insert(words.end(), assembly.words.begin(),
+                 assembly.words.end());
+
+    auto image = loadWords(words, privileged);
+    if (!image)
+        return Result<SubsystemImage>::fail(image.fault);
+
+    SubsystemImage sub;
+    sub.base = image.value.base;
+    sub.lenLog2 = image.value.lenLog2;
+    sub.tableWords = table.size();
+
+    auto enter = makePointer(privileged ? Perm::EnterPrivileged
+                                        : Perm::EnterUser,
+                             sub.lenLog2, sub.base + table.size() * 8);
+    if (!enter)
+        return Result<SubsystemImage>::fail(enter.fault);
+    sub.enterPtr = enter.value;
+    return Result<SubsystemImage>::ok(sub);
+}
+
+isa::Thread *
+Kernel::spawn(Word exec_ptr,
+              const std::vector<std::pair<unsigned, Word>> &regs)
+{
+    isa::Thread *thread = machine_.spawn(exec_ptr);
+    if (!thread)
+        return nullptr;
+    for (const auto &[index, value] : regs)
+        thread->setReg(index, value);
+    return thread;
+}
+
+} // namespace gp::os

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Software job scheduler over the machine's hardware thread slots.
+ *
+ * The MAP offers 16 hardware thread slots; a real system runs many
+ * more protection domains than that. This scheduler multiplexes a
+ * queue of jobs onto free slots as they open. The salient point —
+ * and the reason it is this short — is what a "context switch"
+ * consists of here: starting a thread is nothing but loading an
+ * entry pointer and initial registers. No page-table base, no ASID,
+ * no segment-table reload, no flush: the registers *are* the
+ * protection domain (paper §3, §6).
+ */
+
+#ifndef GP_OS_SCHEDULER_H
+#define GP_OS_SCHEDULER_H
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "gp/word.h"
+#include "isa/machine.h"
+#include "sim/stats.h"
+
+namespace gp::os {
+
+class Kernel;
+
+/** A schedulable unit: entry point plus its protection domain. */
+struct Job
+{
+    Word entry; //!< execute pointer to the job's code
+    std::vector<std::pair<unsigned, Word>> regs; //!< initial domain
+    uint64_t id = 0; //!< caller-assigned identifier
+};
+
+/** Completion record for one job. */
+struct JobResult
+{
+    uint64_t id = 0;
+    bool faulted = false;
+    Fault fault = Fault::None;
+    uint64_t instructions = 0;
+};
+
+/** FIFO multiplexer of jobs onto hardware thread slots. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(Kernel &kernel);
+
+    /** Queue a job for execution. */
+    void submit(Job job);
+
+    /** @return number of jobs not yet completed. */
+    size_t pending() const;
+
+    /**
+     * Run until every submitted job has halted or faulted, or the
+     * cycle budget is exhausted. Jobs are dispatched into free slots
+     * as earlier jobs finish. @return cycles consumed.
+     */
+    uint64_t runAll(uint64_t max_cycles = 10'000'000);
+
+    /** Results of all completed jobs, in completion-scan order. */
+    const std::vector<JobResult> &results() const { return results_; }
+
+    sim::StatGroup &stats() { return stats_; }
+
+  private:
+    /** Dispatch queued jobs into free hardware slots. */
+    void dispatch();
+
+    /** Harvest finished threads into results_. */
+    void harvest();
+
+    Kernel &kernel_;
+    std::deque<Job> queue_;
+    /// live (thread, job id) pairs
+    std::vector<std::pair<isa::Thread *, uint64_t>> running_;
+    std::vector<JobResult> results_;
+    sim::StatGroup stats_{"scheduler"};
+};
+
+} // namespace gp::os
+
+#endif // GP_OS_SCHEDULER_H

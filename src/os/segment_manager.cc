@@ -1,0 +1,135 @@
+#include "os/segment_manager.h"
+
+#include "sim/log.h"
+
+namespace gp::os {
+
+SegmentManager::SegmentManager(mem::MemorySystem &mem,
+                               uint64_t heap_base, uint64_t heap_log2)
+    : mem_(mem), buddy_(heap_base, heap_log2)
+{
+}
+
+Result<Word>
+SegmentManager::allocate(uint64_t bytes, Perm perm)
+{
+    if (bytes == 0)
+        return Result<Word>::fail(Fault::BoundsViolation);
+
+    auto block = buddy_.allocateBytes(bytes);
+    if (!block)
+        return Result<Word>::fail(Fault::BoundsViolation);
+
+    auto [base, order] = *block;
+    auto ptr = makePointer(perm, order, base);
+    if (!ptr) {
+        buddy_.free(base, order);
+        return ptr;
+    }
+
+    // Ensure the pages are mapped (and unblocked if previously freed).
+    mem_.mapRange(base, uint64_t(1) << order);
+
+    Segment seg;
+    seg.base = base;
+    seg.lenLog2 = order;
+    seg.requestedBytes = bytes;
+    segments_[base] = seg;
+    requestedBytes_ += bytes;
+    allocatedBytes_ += uint64_t(1) << order;
+    stats_.counter("segments_allocated")++;
+    return ptr;
+}
+
+bool
+SegmentManager::free(Word ptr)
+{
+    auto dec = decode(ptr);
+    if (!dec)
+        return false;
+    return freeBase(dec.value.segmentBase());
+}
+
+bool
+SegmentManager::freeBase(uint64_t base)
+{
+    auto it = segments_.find(base);
+    if (it == segments_.end())
+        return false;
+    const Segment seg = it->second;
+
+    // Unmap so dangling pointers fault instead of silently reading a
+    // future occupant of the same virtual range.
+    mem_.unmapRange(seg.base, uint64_t(1) << seg.lenLog2);
+    buddy_.free(seg.base, seg.lenLog2);
+    requestedBytes_ -= seg.requestedBytes;
+    allocatedBytes_ -= uint64_t(1) << seg.lenLog2;
+    segments_.erase(it);
+    stats_.counter("segments_freed")++;
+    return true;
+}
+
+bool
+SegmentManager::revoke(uint64_t base)
+{
+    auto it = segments_.find(base);
+    if (it == segments_.end())
+        return false;
+    mem_.unmapRange(it->second.base,
+                    uint64_t(1) << it->second.lenLog2);
+    it->second.revoked = true;
+    stats_.counter("segments_revoked")++;
+    return true;
+}
+
+bool
+SegmentManager::reinstate(uint64_t base)
+{
+    auto it = segments_.find(base);
+    if (it == segments_.end() || !it->second.revoked)
+        return false;
+    mem_.mapRange(it->second.base, uint64_t(1) << it->second.lenLog2);
+    it->second.revoked = false;
+    stats_.counter("segments_reinstated")++;
+    return true;
+}
+
+Result<Word>
+SegmentManager::relocate(uint64_t base, Perm perm)
+{
+    auto it = segments_.find(base);
+    if (it == segments_.end())
+        return Result<Word>::fail(Fault::UnmappedAddress);
+    const Segment old = it->second;
+    const uint64_t bytes = uint64_t(1) << old.lenLog2;
+
+    auto fresh = allocate(old.requestedBytes, perm);
+    if (!fresh)
+        return fresh;
+    const uint64_t new_base = PointerView(fresh.value).segmentBase();
+
+    // Copy word-by-word (tags included), then cut off the old range.
+    for (uint64_t off = 0; off < bytes; off += 8)
+        mem_.pokeWord(new_base + off, mem_.peekWord(base + off));
+    mem_.unmapRange(base, bytes);
+    it = segments_.find(base); // allocate() may invalidate iterators
+    if (it != segments_.end())
+        it->second.revoked = true;
+    stats_.counter("segments_relocated")++;
+    return fresh;
+}
+
+std::optional<Segment>
+SegmentManager::segmentContaining(uint64_t addr) const
+{
+    auto it = segments_.upper_bound(addr);
+    if (it == segments_.begin())
+        return std::nullopt;
+    --it;
+    const Segment &seg = it->second;
+    if (addr < seg.base + (uint64_t(1) << seg.lenLog2))
+        return seg;
+    return std::nullopt;
+}
+
+} // namespace gp::os

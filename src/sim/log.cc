@@ -1,0 +1,77 @@
+#include "sim/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gp::sim {
+
+namespace {
+
+std::atomic<bool> quietFlag{false};
+
+void
+vreport(const char *tag, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietFlag.load(std::memory_order_relaxed))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietFlag.load(std::memory_order_relaxed))
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("info", fmt, args);
+    va_end(args);
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+quiet()
+{
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+} // namespace gp::sim

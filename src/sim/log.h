@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Logging and error-reporting helpers for the guarded-pointer simulator.
+ *
+ * Follows the gem5 convention: panic() for internal simulator bugs
+ * (aborts), fatal() for unrecoverable user/configuration errors (exits),
+ * warn()/inform() for status messages that never stop the simulation.
+ */
+
+#ifndef GP_SIM_LOG_H
+#define GP_SIM_LOG_H
+
+#include <cstdarg>
+#include <string>
+
+namespace gp::sim {
+
+/** Print an error caused by a simulator bug and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an error caused by bad user input/configuration and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a non-fatal warning about suspicious behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Globally silence warn()/inform() output (used by tests and benches that
+ * intentionally exercise noisy paths). panic()/fatal() are never silenced.
+ */
+void setQuiet(bool quiet);
+
+/** @return true if warn()/inform() output is currently suppressed. */
+bool quiet();
+
+} // namespace gp::sim
+
+#endif // GP_SIM_LOG_H

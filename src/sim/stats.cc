@@ -1,0 +1,92 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+
+namespace gp::sim {
+
+Histogram::Histogram(size_t bucket_count, uint64_t max)
+    : buckets_(bucket_count + 1, 0),
+      range_(std::max<uint64_t>(max, 1))
+{
+}
+
+void
+Histogram::sample(uint64_t value)
+{
+    const size_t n = buckets_.size() - 1;
+    size_t idx;
+    if (value >= range_) {
+        idx = n; // overflow bucket
+    } else {
+        idx = static_cast<size_t>((value * n) / range_);
+    }
+    buckets_[idx]++;
+    count_++;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Histogram &
+StatGroup::histogram(const std::string &name, size_t buckets, uint64_t max)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(name, Histogram(buckets, max)).first;
+    }
+    return it->second;
+}
+
+uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, ctr] : counters_)
+        ctr.reset();
+    for (auto &[name, hist] : histograms_)
+        hist.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, ctr] : counters_) {
+        os << name_ << "." << name << " " << ctr.value() << "\n";
+    }
+    for (const auto &[name, hist] : histograms_) {
+        os << name_ << "." << name << ".count " << hist.count() << "\n";
+        os << name_ << "." << name << ".mean " << hist.mean() << "\n";
+    }
+}
+
+} // namespace gp::sim

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Lightweight statistics package for the simulator.
+ *
+ * Components own named Counter / Histogram objects grouped in a
+ * StatGroup; groups can be dumped in a uniform text format by tests,
+ * examples, and the bench harness. This mirrors (in miniature) the role
+ * of the gem5 stats package: every architectural event of interest is
+ * counted, and experiments read results from stats rather than ad-hoc
+ * printfs.
+ */
+
+#ifndef GP_SIM_STATS_H
+#define GP_SIM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gp::sim {
+
+/** A monotonically increasing (or explicitly settable) event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(uint64_t n) { value_ += n; }
+
+    void set(uint64_t v) { value_ = v; }
+    void reset() { value_ = 0; }
+
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * A fixed-bucket histogram over a [0, max) range with uniform buckets,
+ * plus an overflow bucket. Tracks count/sum/min/max for summary stats.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_count number of uniform buckets.
+     * @param max upper bound of the bucketed range; samples >= max land
+     *            in the overflow bucket.
+     */
+    Histogram(size_t bucket_count = 16, uint64_t max = 16);
+
+    /** Record one sample. */
+    void sample(uint64_t value);
+
+    /** Discard all samples. */
+    void reset();
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t minValue() const { return min_; }
+    uint64_t maxValue() const { return max_; }
+    double mean() const;
+
+    /** @return number of samples in bucket i (the last is overflow). */
+    uint64_t bucket(size_t i) const { return buckets_.at(i); }
+    size_t bucketCount() const { return buckets_.size(); }
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t range_;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = UINT64_MAX;
+    uint64_t max_ = 0;
+};
+
+/**
+ * A named collection of counters and histograms owned by one simulated
+ * component. Registration hands out references that stay valid for the
+ * life of the group.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Create (or fetch) the counter with the given name. */
+    Counter &counter(const std::string &name);
+
+    /** Create (or fetch) the histogram with the given name. */
+    Histogram &histogram(const std::string &name, size_t buckets = 16,
+                         uint64_t max = 16);
+
+    /** @return the counter's current value, or 0 if never created. */
+    uint64_t get(const std::string &name) const;
+
+    /** Reset every counter and histogram in the group. */
+    void resetAll();
+
+    /** Write all stats as "group.name value" lines. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace gp::sim
+
+#endif // GP_SIM_STATS_H

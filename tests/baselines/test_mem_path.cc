@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the shared VirtualCachePath the baseline schemes are
+ * built on — its correctness underpins every R-series comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/mem_path.h"
+
+namespace gp::baselines {
+namespace {
+
+mem::CacheConfig
+smallCache()
+{
+    mem::CacheConfig c;
+    c.banks = 2;
+    c.lineBytes = 32;
+    c.setsPerBank = 8;
+    c.ways = 2;
+    return c;
+}
+
+TEST(MemPath, ColdMissWarmHitCosts)
+{
+    VirtualCachePath path(smallCache(), 8, Costs{});
+    EXPECT_EQ(path.access(0x1000, false), 1u + 1 + 20 + 8)
+        << "cold: hit-time + tlb + walk + fill";
+    EXPECT_EQ(path.access(0x1000, false), 1u) << "warm";
+}
+
+TEST(MemPath, TlbHitSkipsWalk)
+{
+    VirtualCachePath path(smallCache(), 8, Costs{});
+    path.access(0x1000, false);
+    EXPECT_EQ(path.access(0x1020, false), 1u + 1 + 8)
+        << "same page, new line: no walk";
+}
+
+TEST(MemPath, DirtyEvictionAddsWriteback)
+{
+    mem::CacheConfig c = smallCache();
+    c.banks = 1;
+    c.setsPerBank = 1;
+    c.ways = 1;
+    VirtualCachePath path(c, 8, Costs{});
+    path.access(0x0, true); // dirty
+    const uint64_t cycles = path.access(0x20, false); // evicts dirty
+    EXPECT_EQ(cycles, 1u + 1 + 8 + 4) << "writeback charged";
+}
+
+TEST(MemPath, AsidIsolationOnBothStructures)
+{
+    VirtualCachePath path(smallCache(), 8, Costs{});
+    path.access(0x1000, false, /*cache_asid=*/1, /*tlb_asid=*/1);
+    // Different ASID: cold again (cache AND TLB partitioned).
+    EXPECT_EQ(path.access(0x1000, false, 2, 2), 1u + 1 + 20 + 8);
+    // Same ASID: warm.
+    EXPECT_EQ(path.access(0x1000, false, 1, 1), 1u);
+}
+
+TEST(MemPath, SharedAsidZeroIsGlobal)
+{
+    VirtualCachePath path(smallCache(), 8, Costs{});
+    path.access(0x1000, false, 0, 0);
+    EXPECT_EQ(path.access(0x1000, false, 0, 0), 1u);
+}
+
+TEST(MemPath, FlushCacheChargesWritebacks)
+{
+    VirtualCachePath path(smallCache(), 8, Costs{});
+    const uint64_t clean = path.flushCache();
+    EXPECT_EQ(clean, Costs{}.switchFixed) << "nothing dirty";
+    path.access(0x0, true);
+    path.access(0x20, true);
+    const uint64_t dirty = path.flushCache();
+    EXPECT_EQ(dirty, Costs{}.switchFixed + 2 * Costs{}.writeback);
+    // Everything cold afterwards.
+    EXPECT_GT(path.access(0x0, false), 1u);
+}
+
+TEST(MemPath, FlushTlbForcesRewalks)
+{
+    VirtualCachePath path(smallCache(), 8, Costs{});
+    path.access(0x1000, false);
+    path.flushTlb();
+    // Cache still warm (flushTlb does not purge the cache)...
+    EXPECT_EQ(path.access(0x1000, false), 1u);
+    // ...but a new line in the same page re-walks.
+    EXPECT_EQ(path.access(0x1040, false), 1u + 1 + 20 + 8);
+}
+
+TEST(MemPath, CustomCostsPropagate)
+{
+    Costs costs;
+    costs.cacheHit = 3;
+    costs.tlbWalk = 100;
+    costs.extMem = 50;
+    VirtualCachePath path(smallCache(), 8, costs);
+    EXPECT_EQ(path.access(0x1000, false), 3u + 1 + 100 + 50);
+    EXPECT_EQ(path.access(0x1000, false), 3u);
+}
+
+} // namespace
+} // namespace gp::baselines

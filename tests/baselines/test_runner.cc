@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the trace runner and scheme factory, plus shape-level
+ * checks of the R1 context-switch comparison the benches report.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/runner.h"
+
+namespace gp::baselines {
+namespace {
+
+mem::CacheConfig
+smallCache()
+{
+    mem::CacheConfig c;
+    c.banks = 4;
+    c.lineBytes = 32;
+    c.setsPerBank = 64;
+    c.ways = 2;
+    return c;
+}
+
+sim::WorkloadConfig
+workload(uint64_t switch_interval = 64)
+{
+    sim::WorkloadConfig w;
+    w.numDomains = 4;
+    w.segmentsPerDomain = 4;
+    w.sharedSegments = 2;
+    w.segmentBytes = 2048;
+    w.switchInterval = switch_interval;
+    w.seed = 42;
+    return w;
+}
+
+TEST(Runner, CountsRefsAndSwitches)
+{
+    auto scheme = makeScheme(SchemeKind::Guarded, smallCache(), 64,
+                             Costs{});
+    sim::TraceGenerator gen(workload(100));
+    RunResult r = runTrace(*scheme, gen, 1000);
+    EXPECT_EQ(r.refs, 1000u);
+    EXPECT_EQ(r.switches, 9u) << "domain changes every 100 refs";
+    EXPECT_GT(r.accessCycles, 1000u);
+    EXPECT_EQ(r.switchCycles, 0u) << "guarded switches are free";
+}
+
+TEST(Runner, SameTraceSameResult)
+{
+    auto s1 = makeScheme(SchemeKind::Guarded, smallCache(), 64,
+                         Costs{});
+    auto s2 = makeScheme(SchemeKind::Guarded, smallCache(), 64,
+                         Costs{});
+    sim::TraceGenerator gen(workload());
+    const auto trace = gen.generate(2000);
+    EXPECT_EQ(runTrace(*s1, trace).totalCycles(),
+              runTrace(*s2, trace).totalCycles());
+}
+
+TEST(Runner, FactoryProducesEveryScheme)
+{
+    for (SchemeKind kind : allSchemeKinds()) {
+        auto scheme = makeScheme(kind, smallCache(), 64, Costs{});
+        ASSERT_NE(scheme, nullptr);
+        EXPECT_EQ(scheme->name(), schemeName(kind));
+        sim::TraceGenerator gen(workload());
+        RunResult r = runTrace(*scheme, gen, 500);
+        EXPECT_EQ(r.refs, 500u) << scheme->name();
+        EXPECT_GT(r.accessCycles, 0u) << scheme->name();
+    }
+}
+
+TEST(Runner, R1ShapeGuardedBeatsFlushUnderFrequentSwitching)
+{
+    // The central §5.1 comparison: as switch frequency rises, the
+    // flush-based paged scheme degrades while guarded pointers do not.
+    auto run_with = [&](SchemeKind kind, uint64_t interval) {
+        auto scheme = makeScheme(kind, smallCache(), 64, Costs{});
+        sim::TraceGenerator gen(workload(interval));
+        return runTrace(*scheme, gen, 20000);
+    };
+
+    const auto guarded = run_with(SchemeKind::Guarded, 16);
+    const auto flush = run_with(SchemeKind::PagedFlush, 16);
+    EXPECT_LT(guarded.cyclesPerRef() * 1.5, flush.cyclesPerRef())
+        << "frequent switching murders the flush scheme";
+
+    // With very rare switches the gap narrows substantially.
+    const auto guarded_rare = run_with(SchemeKind::Guarded, 10000);
+    const auto flush_rare = run_with(SchemeKind::PagedFlush, 10000);
+    const double gap_frequent =
+        flush.cyclesPerRef() / guarded.cyclesPerRef();
+    const double gap_rare =
+        flush_rare.cyclesPerRef() / guarded_rare.cyclesPerRef();
+    EXPECT_LT(gap_rare, gap_frequent);
+}
+
+TEST(Runner, R1ShapeAsidAvoidsFlushButLosesSharing)
+{
+    auto run_with = [&](SchemeKind kind, double shared_frac) {
+        sim::WorkloadConfig w = workload(16);
+        w.sharedFraction = shared_frac;
+        w.jumpFraction = 0.2;
+        auto scheme = makeScheme(kind, smallCache(), 64, Costs{});
+        sim::TraceGenerator gen(w);
+        return runTrace(*scheme, gen, 20000);
+    };
+
+    // Heavy sharing: guarded benefits from in-cache sharing, ASID
+    // duplicates lines.
+    const auto guarded = run_with(SchemeKind::Guarded, 0.8);
+    const auto asid = run_with(SchemeKind::PagedAsid, 0.8);
+    EXPECT_LT(guarded.cyclesPerRef(), asid.cyclesPerRef());
+}
+
+TEST(Runner, R5ShapeCapTablePaysIndirection)
+{
+    auto run_with = [&](SchemeKind kind) {
+        auto scheme = makeScheme(kind, smallCache(), 64, Costs{});
+        sim::TraceGenerator gen(workload(256));
+        return runTrace(*scheme, gen, 20000);
+    };
+    const auto guarded = run_with(SchemeKind::Guarded);
+    const auto cap = run_with(SchemeKind::CapTable);
+    EXPECT_GE(cap.cyclesPerRef(), guarded.cyclesPerRef() + 0.9)
+        << "at least the serialized lookup cycle per access";
+}
+
+TEST(Runner, EmptyTrace)
+{
+    auto scheme = makeScheme(SchemeKind::Guarded, smallCache(), 64,
+                             Costs{});
+    RunResult r = runTrace(*scheme, std::vector<sim::MemRef>{});
+    EXPECT_EQ(r.refs, 0u);
+    EXPECT_EQ(r.cyclesPerRef(), 0.0);
+    EXPECT_EQ(r.cyclesPerSwitch(), 0.0);
+}
+
+} // namespace
+} // namespace gp::baselines

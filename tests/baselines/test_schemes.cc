@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for the §5 baseline scheme models: each scheme's
+ * characteristic cost structure must appear in its cycle accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/cap_table_scheme.h"
+#include "baselines/domain_page_scheme.h"
+#include "baselines/guarded_scheme.h"
+#include "baselines/page_group_scheme.h"
+#include "baselines/paged_schemes.h"
+#include "baselines/segmentation_scheme.h"
+#include "baselines/sfi_scheme.h"
+
+namespace gp::baselines {
+namespace {
+
+mem::CacheConfig
+smallCache()
+{
+    mem::CacheConfig c;
+    c.banks = 4;
+    c.lineBytes = 32;
+    c.setsPerBank = 64;
+    c.ways = 2;
+    return c;
+}
+
+sim::MemRef
+ref(uint64_t vaddr, uint32_t domain = 0, bool write = false,
+    uint32_t segment = 0, bool shared = false)
+{
+    sim::MemRef r;
+    r.vaddr = vaddr;
+    r.domain = domain;
+    r.isWrite = write;
+    r.segment = segment;
+    r.isShared = shared;
+    return r;
+}
+
+TEST(GuardedScheme, HitIsOneCycleAndSwitchIsFree)
+{
+    GuardedScheme s(smallCache(), 64, Costs{});
+    const uint64_t miss = s.access(ref(0x1000));
+    EXPECT_EQ(miss, 1u + 1 + 20 + 8) << "cold miss: walk + fill";
+    EXPECT_EQ(s.access(ref(0x1000)), 1u) << "hit";
+    EXPECT_EQ(s.contextSwitch(0, 1), 0u) << "the headline claim";
+}
+
+TEST(GuardedScheme, SharedLinesAcrossDomains)
+{
+    GuardedScheme s(smallCache(), 64, Costs{});
+    s.access(ref(0x1000, /*domain=*/0));
+    EXPECT_EQ(s.access(ref(0x1000, /*domain=*/3)), 1u)
+        << "another domain hits the same line (in-cache sharing)";
+}
+
+TEST(PagedFlush, SwitchPurgesCacheAndTlb)
+{
+    PagedFlushScheme s(smallCache(), 64, Costs{});
+    s.access(ref(0x1000));
+    EXPECT_EQ(s.access(ref(0x1000)), 1u);
+    const uint64_t sw = s.contextSwitch(0, 1);
+    EXPECT_GE(sw, 10u) << "two fixed flush costs at least";
+    EXPECT_EQ(s.access(ref(0x1000)), 1u + 1 + 20 + 8)
+        << "everything cold after the switch";
+}
+
+TEST(PagedFlush, DirtyLinesRaiseSwitchCost)
+{
+    PagedFlushScheme s(smallCache(), 64, Costs{});
+    const uint64_t clean_switch = s.contextSwitch(0, 1);
+    for (int i = 0; i < 16; ++i)
+        s.access(ref(0x1000 + i * 32, 1, /*write=*/true));
+    const uint64_t dirty_switch = s.contextSwitch(1, 0);
+    EXPECT_GT(dirty_switch, clean_switch)
+        << "writebacks charged on purge";
+}
+
+TEST(PagedAsid, SwitchCheapButNoSharing)
+{
+    PagedAsidScheme s(smallCache(), 64, Costs{});
+    EXPECT_EQ(s.contextSwitch(0, 1), Costs{}.switchFixed);
+    // Domain 0 warms a line; domain 1 misses on the same address.
+    s.access(ref(0x1000, 0));
+    EXPECT_EQ(s.access(ref(0x1000, 0)), 1u);
+    EXPECT_GT(s.access(ref(0x1000, 1)), 1u) << "synonym, not shared";
+}
+
+TEST(PagedAsid, PteBlowupCounted)
+{
+    PagedAsidScheme s(smallCache(), 64, Costs{});
+    // Three domains touch the same shared page: 3 PTEs (n x m).
+    for (uint32_t d = 0; d < 3; ++d)
+        s.access(ref(0x5000, d, false, 9, /*shared=*/true));
+    EXPECT_EQ(s.stats().get("pte_entries"), 3u);
+    EXPECT_EQ(s.stats().get("pte_entries_shared"), 3u);
+}
+
+TEST(DomainPage, PlbMissWalksProtectionTable)
+{
+    DomainPageScheme s(smallCache(), 64, 64, Costs{});
+    const uint64_t first = s.access(ref(0x1000, 0));
+    EXPECT_GE(first, Costs{}.plbWalk) << "cold PLB walk included";
+    EXPECT_EQ(s.access(ref(0x1000, 0)), 1u) << "PLB + cache hot";
+    EXPECT_EQ(s.stats().get("plb_probes"), 2u)
+        << "every access probes the PLB";
+}
+
+TEST(DomainPage, SwitchFreeButPerDomainPlbEntries)
+{
+    DomainPageScheme s(smallCache(), 64, 64, Costs{});
+    EXPECT_EQ(s.contextSwitch(0, 1), 0u);
+    s.access(ref(0x1000, 0));
+    // Same page, new domain: cache hits but the PLB must re-walk.
+    const uint64_t other = s.access(ref(0x1000, 1));
+    EXPECT_EQ(other, 1u + Costs{}.plbWalk)
+        << "protection state is per-domain even in one space";
+}
+
+TEST(PageGroup, PidRegisterThrash)
+{
+    PageGroupScheme s(smallCache(), 64, Costs{}, /*pid_registers=*/4);
+    // Four active segments fit the PID registers...
+    for (uint32_t seg = 0; seg < 4; ++seg)
+        s.access(ref(0x1000 * (seg + 1), 0, false, seg));
+    const uint64_t traps_4 = s.stats().get("pid_traps");
+    EXPECT_EQ(traps_4, 4u) << "one install each";
+    for (int round = 0; round < 3; ++round) {
+        for (uint32_t seg = 0; seg < 4; ++seg)
+            s.access(ref(0x1000 * (seg + 1), 0, false, seg));
+    }
+    EXPECT_EQ(s.stats().get("pid_traps"), 4u) << "steady state: none";
+
+    // ...a fifth thrashes (LRU rotation faults every time).
+    for (int round = 0; round < 3; ++round) {
+        for (uint32_t seg = 0; seg < 5; ++seg)
+            s.access(ref(0x1000 * (seg + 1), 0, false, seg));
+    }
+    EXPECT_GT(s.stats().get("pid_traps"), 10u) << "working set > 4";
+}
+
+TEST(PageGroup, SharedSegmentsUseGlobalGroup)
+{
+    PageGroupScheme s(smallCache(), 64, Costs{});
+    for (int i = 0; i < 10; ++i)
+        s.access(ref(0x9000, 0, false, 7, /*shared=*/true));
+    EXPECT_EQ(s.stats().get("pid_traps"), 0u);
+}
+
+TEST(PageGroup, EveryAccessProbesTlb)
+{
+    PageGroupScheme s(smallCache(), 64, Costs{});
+    s.access(ref(0x1000, 0, false, 0));
+    s.access(ref(0x1000, 0, false, 0));
+    EXPECT_EQ(s.stats().get("tlb_probes"), 2u)
+        << "page-group check forces TLB on hits too (§5.1)";
+}
+
+TEST(Segmentation, EveryAccessPaysTheSegmentAdd)
+{
+    SegmentationScheme s(smallCache(), 64, 8, Costs{});
+    s.access(ref(0x1000, 0, false, 1));
+    // Hot everything: still 1 (cache) + 1 (segment add).
+    EXPECT_EQ(s.access(ref(0x1000, 0, false, 1)), 2u)
+        << "two-level translation tax on the fast path";
+}
+
+TEST(Segmentation, DescriptorMissCost)
+{
+    SegmentationScheme s(smallCache(), 64, /*descriptors=*/2,
+                         Costs{});
+    const uint64_t cold = s.access(ref(0x1000, 0, false, 1));
+    EXPECT_GE(cold, Costs{}.descLoad);
+    // Cycle through 3 segments with a 2-entry descriptor cache.
+    for (int round = 0; round < 3; ++round) {
+        for (uint32_t seg = 1; seg <= 3; ++seg)
+            s.access(ref(0x1000 * seg, 0, false, seg));
+    }
+    EXPECT_GT(s.stats().get("descriptor_misses"), 5u);
+}
+
+TEST(CapTable, IndirectionOnEveryAccess)
+{
+    CapTableScheme s(smallCache(), 64, 64, Costs{});
+    s.access(ref(0x1000, 0, false, 1));
+    EXPECT_EQ(s.access(ref(0x1000, 0, false, 1)), 2u)
+        << "capability lookup serialized before the access";
+    EXPECT_EQ(s.contextSwitch(0, 1), 0u)
+        << "capability systems do switch freely";
+}
+
+TEST(CapTable, CapCacheMissLoadsObjectTable)
+{
+    CapTableScheme s(smallCache(), 64, /*cap_cache=*/2, Costs{});
+    for (int round = 0; round < 3; ++round) {
+        for (uint32_t seg = 1; seg <= 3; ++seg)
+            s.access(ref(0x1000 * seg, 0, false, seg));
+    }
+    EXPECT_GT(s.stats().get("cap_cache_misses"), 5u);
+}
+
+TEST(Sfi, CheckInstructionTax)
+{
+    // static_safe = 0: every access pays the full check cost.
+    SfiScheme all_checked(smallCache(), 64, Costs{}, 4, 0.0);
+    all_checked.access(ref(0x1000));
+    EXPECT_EQ(all_checked.access(ref(0x1000)), 1u + 4);
+
+    // static_safe = 1: no checks ever.
+    SfiScheme none_checked(smallCache(), 64, Costs{}, 4, 1.0);
+    none_checked.access(ref(0x1000));
+    EXPECT_EQ(none_checked.access(ref(0x1000)), 1u);
+    EXPECT_EQ(none_checked.stats().get("check_instructions"), 0u);
+}
+
+TEST(Sfi, SwitchFree)
+{
+    SfiScheme s(smallCache(), 64, Costs{});
+    EXPECT_EQ(s.contextSwitch(0, 1), 0u);
+}
+
+TEST(AllSchemes, HitPathOrdering)
+{
+    // The paper's §5 summary in one assertion set: steady-state cost
+    // per reference — guarded pointers match the best and beat every
+    // scheme with mandatory per-access machinery.
+    const auto costs = Costs{};
+    GuardedScheme guarded(smallCache(), 64, costs);
+    SegmentationScheme segm(smallCache(), 64, 8, costs);
+    CapTableScheme cap(smallCache(), 64, 64, costs);
+    SfiScheme sfi(smallCache(), 64, costs, 4, 0.5, 7);
+
+    auto steady = [&](Scheme &s) {
+        uint64_t total = 0;
+        s.access(ref(0x1000, 0, false, 1)); // warm
+        for (int i = 0; i < 100; ++i)
+            total += s.access(ref(0x1000, 0, false, 1));
+        return total;
+    };
+
+    const uint64_t g = steady(guarded);
+    EXPECT_LT(g, steady(segm));
+    EXPECT_LT(g, steady(cap));
+    EXPECT_LT(g, steady(sfi));
+}
+
+} // namespace
+} // namespace gp::baselines

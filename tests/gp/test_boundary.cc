@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Boundary-condition tests at the edges of the 54-bit address space
+ * and the permission/length field encodings — the corners where
+ * mask arithmetic goes wrong first.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.h"
+
+namespace gp {
+namespace {
+
+TEST(Boundary, TopOfAddressSpaceSegment)
+{
+    // The last 4KB segment of the space.
+    const uint64_t base = kAddressSpaceBytes - 4096;
+    auto p = makePointer(Perm::ReadWrite, 12, base);
+    ASSERT_TRUE(p);
+    PointerView v(p.value);
+    EXPECT_EQ(v.segmentLimit(), kAddressSpaceBytes);
+    // To the last byte: fine. One past: wraps to address 0, which
+    // changes the fixed bits -> fault, not wraparound access.
+    EXPECT_TRUE(lea(p.value, 4095));
+    EXPECT_EQ(lea(p.value, 4096).fault, Fault::BoundsViolation);
+}
+
+TEST(Boundary, FirstSegmentUnderflowWraps)
+{
+    auto p = makePointer(Perm::ReadWrite, 12, 0);
+    ASSERT_TRUE(p);
+    // -1 wraps to the top of the 54-bit space: fixed bits change.
+    EXPECT_EQ(lea(p.value, -1).fault, Fault::BoundsViolation);
+}
+
+TEST(Boundary, HalfSpaceSegments)
+{
+    // len = 53: two segments cover the space.
+    auto lo = makePointer(Perm::ReadWrite, 53, 0x1234);
+    auto hi = makePointer(Perm::ReadWrite, 53,
+                          (uint64_t(1) << 53) + 0x1234);
+    ASSERT_TRUE(lo);
+    ASSERT_TRUE(hi);
+    EXPECT_EQ(PointerView(lo.value).segmentBase(), 0u);
+    EXPECT_EQ(PointerView(hi.value).segmentBase(), uint64_t(1) << 53);
+    // Crossing the midpoint faults in both directions.
+    EXPECT_EQ(lea(lo.value, int64_t(uint64_t(1) << 53)).fault,
+              Fault::BoundsViolation);
+    EXPECT_TRUE(lea(lo.value, (int64_t(1) << 53) - 0x1234 - 1));
+}
+
+TEST(Boundary, MaxLenFieldEncodings)
+{
+    // The 6-bit length field can encode 55..63, all invalid (the
+    // space is 54 bits). makePointer rejects them; decode of a
+    // privileged-minted one must still behave sanely.
+    for (uint64_t len = 55; len <= 63; ++len) {
+        EXPECT_FALSE(makePointer(Perm::ReadWrite, len, 0)) << len;
+        const Word forged =
+            setptr((uint64_t(Perm::ReadWrite) << kPermShift) |
+                   (len << kLenShift));
+        // Decode succeeds (perm valid) and geometry saturates at the
+        // whole space rather than shifting out of range.
+        auto d = decode(forged);
+        ASSERT_TRUE(d) << len;
+        EXPECT_EQ(d.value.segmentBytes(), kAddressSpaceBytes) << len;
+        EXPECT_EQ(d.value.segmentBase(), 0u) << len;
+        // Access and arithmetic work as a whole-space segment.
+        EXPECT_EQ(checkAccess(forged, Access::Load, 8), Fault::None);
+        EXPECT_TRUE(lea(forged, 12345678));
+    }
+}
+
+TEST(Boundary, ReservedPermEncodingsAlwaysFault)
+{
+    for (uint64_t perm = 8; perm <= 15; ++perm) {
+        const Word forged = setptr((perm << kPermShift) | 0x1000);
+        EXPECT_EQ(checkAccess(forged, Access::Load, 8),
+                  Fault::InvalidPermission)
+            << perm;
+        EXPECT_EQ(lea(forged, 8).fault, Fault::InvalidPermission)
+            << perm;
+        EXPECT_EQ(restrictPerm(forged, Perm::Key).fault,
+                  Fault::InvalidPermission)
+            << perm;
+        EXPECT_EQ(jumpTarget(forged, true).fault,
+                  Fault::InvalidPermission)
+            << perm;
+    }
+}
+
+TEST(Boundary, SubsegToZeroLengthAtOddAddress)
+{
+    // A 1-byte segment at any address: base == addr, offset == 0.
+    auto p = makePointer(Perm::ReadWrite, 20, 0x123457);
+    ASSERT_TRUE(p);
+    auto narrowed = subseg(p.value, 0);
+    ASSERT_TRUE(narrowed);
+    PointerView v(narrowed.value);
+    EXPECT_EQ(v.segmentBase(), 0x123457u);
+    EXPECT_EQ(v.segmentBytes(), 1u);
+    EXPECT_EQ(checkAccess(narrowed.value, Access::Load, 1),
+              Fault::None);
+    // At an odd address the alignment check fires before bounds...
+    EXPECT_EQ(checkAccess(narrowed.value, Access::Load, 8),
+              Fault::Misaligned);
+    // ...at an aligned one the segment-too-small bounds check does.
+    auto aligned = subseg(lea(p.value, 1).value, 0);
+    ASSERT_TRUE(aligned);
+    EXPECT_EQ(PointerView(aligned.value).addr() & 7, 0u);
+    EXPECT_EQ(checkAccess(aligned.value, Access::Load, 8),
+              Fault::BoundsViolation);
+}
+
+TEST(Boundary, LeaDeltaExtremes)
+{
+    auto p = makePointer(Perm::ReadWrite, 54, 0);
+    ASSERT_TRUE(p);
+    // Whole-space segment: INT64 extremes wrap mod 2^54, always ok.
+    EXPECT_TRUE(lea(p.value, INT64_MAX));
+    EXPECT_TRUE(lea(p.value, INT64_MIN));
+
+    auto small = makePointer(Perm::ReadWrite, 3, 0x1000);
+    ASSERT_TRUE(small);
+    // The address adder is 54 bits wide, so deltas act mod 2^54:
+    // INT64_MAX = -1 (mod 2^54) -> underflow fault; INT64_MIN = 0
+    // (mod 2^54) -> the pointer is unchanged and no fault occurs.
+    EXPECT_EQ(lea(small.value, INT64_MAX).fault,
+              Fault::BoundsViolation);
+    auto unchanged = lea(small.value, INT64_MIN);
+    ASSERT_TRUE(unchanged);
+    EXPECT_EQ(PointerView(unchanged.value).addr(), 0x1000u);
+}
+
+TEST(Boundary, IntToPtrAtSegmentEdges)
+{
+    auto p = makePointer(Perm::ReadWrite, 12, 0x7000);
+    ASSERT_TRUE(p);
+    EXPECT_TRUE(intToPtr(p.value, 0));
+    EXPECT_TRUE(intToPtr(p.value, 4095));
+    EXPECT_EQ(intToPtr(p.value, 4096).fault, Fault::BoundsViolation);
+    EXPECT_EQ(intToPtr(p.value, UINT64_MAX).fault,
+              Fault::BoundsViolation);
+}
+
+TEST(Boundary, PermFieldUntouchedByAddressArithmetic)
+{
+    // Sweep every mutable permission: LEA must never change the
+    // permission or length fields, only the offset bits.
+    for (Perm perm : {Perm::ReadOnly, Perm::ReadWrite,
+                      Perm::ExecuteUser, Perm::ExecutePrivileged}) {
+        auto p = makePointer(perm, 16, 0xabcd0000);
+        ASSERT_TRUE(p);
+        auto q = lea(p.value, 0x8000);
+        ASSERT_TRUE(q);
+        EXPECT_EQ(PointerView(q.value).perm(), perm);
+        EXPECT_EQ(PointerView(q.value).lenLog2(), 16u);
+        EXPECT_EQ(q.value.bits() >> kLenShift,
+                  p.value.bits() >> kLenShift)
+            << "upper fields bit-identical";
+    }
+}
+
+} // namespace
+} // namespace gp

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for jump-target evaluation and enter-pointer conversion
+ * (§2.1 Enter pointers, §2.2 Pointer Creation privilege rules).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.h"
+
+namespace gp {
+namespace {
+
+Word
+ptrOf(Perm perm, uint64_t addr = 0x20000)
+{
+    auto p = makePointer(perm, 12, addr);
+    EXPECT_TRUE(p);
+    return p.value;
+}
+
+TEST(EnterToExecute, UserGateway)
+{
+    auto x = enterToExecute(ptrOf(Perm::EnterUser));
+    ASSERT_TRUE(x);
+    PointerView v(x.value);
+    EXPECT_EQ(v.perm(), Perm::ExecuteUser);
+    EXPECT_EQ(v.addr(), 0x20000u) << "entry at the designated point";
+    EXPECT_EQ(v.lenLog2(), 12u);
+}
+
+TEST(EnterToExecute, PrivilegedGateway)
+{
+    auto x = enterToExecute(ptrOf(Perm::EnterPrivileged));
+    ASSERT_TRUE(x);
+    EXPECT_EQ(PointerView(x.value).perm(), Perm::ExecutePrivileged);
+}
+
+TEST(EnterToExecute, NonEnterFaults)
+{
+    EXPECT_EQ(enterToExecute(ptrOf(Perm::ReadWrite)).fault,
+              Fault::NotEnterPointer);
+    EXPECT_EQ(enterToExecute(ptrOf(Perm::ExecuteUser)).fault,
+              Fault::NotEnterPointer);
+    EXPECT_EQ(enterToExecute(Word::fromInt(1)).fault,
+              Fault::NotAPointer);
+}
+
+TEST(JumpTarget, ExecuteUserFromAnyMode)
+{
+    EXPECT_TRUE(jumpTarget(ptrOf(Perm::ExecuteUser), false));
+    EXPECT_TRUE(jumpTarget(ptrOf(Perm::ExecuteUser), true))
+        << "privileged code exits to user by jumping to a user pointer";
+}
+
+TEST(JumpTarget, ExecutePrivilegedOnlyFromPrivileged)
+{
+    EXPECT_EQ(jumpTarget(ptrOf(Perm::ExecutePrivileged), false).fault,
+              Fault::PrivilegeViolation)
+        << "privilege is entered only via enter-privileged gateways";
+    EXPECT_TRUE(jumpTarget(ptrOf(Perm::ExecutePrivileged), true));
+}
+
+TEST(JumpTarget, EnterPointersConvert)
+{
+    auto u = jumpTarget(ptrOf(Perm::EnterUser), false);
+    ASSERT_TRUE(u);
+    EXPECT_EQ(PointerView(u.value).perm(), Perm::ExecuteUser);
+
+    // The crucial gateway: user mode -> privileged mode, but only at
+    // the entry point the kernel blessed.
+    auto p = jumpTarget(ptrOf(Perm::EnterPrivileged), false);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(PointerView(p.value).perm(), Perm::ExecutePrivileged);
+}
+
+TEST(JumpTarget, DataPointersFault)
+{
+    EXPECT_EQ(jumpTarget(ptrOf(Perm::ReadWrite), false).fault,
+              Fault::PermissionDenied);
+    EXPECT_EQ(jumpTarget(ptrOf(Perm::ReadOnly), true).fault,
+              Fault::PermissionDenied);
+    EXPECT_EQ(jumpTarget(ptrOf(Perm::Key), true).fault,
+              Fault::PermissionDenied);
+}
+
+TEST(JumpTarget, IntegerFaults)
+{
+    EXPECT_EQ(jumpTarget(Word::fromInt(0x20000), false).fault,
+              Fault::NotAPointer);
+}
+
+TEST(IpPrivileged, OnlyExecutePrivilegedConfers)
+{
+    EXPECT_TRUE(ipPrivileged(ptrOf(Perm::ExecutePrivileged)));
+    EXPECT_FALSE(ipPrivileged(ptrOf(Perm::ExecuteUser)));
+    EXPECT_FALSE(ipPrivileged(ptrOf(Perm::EnterPrivileged)));
+    EXPECT_FALSE(ipPrivileged(Word::fromInt(0)));
+}
+
+TEST(JumpTarget, GatewayRoundTrip)
+{
+    // User jumps through an enter-privileged pointer, lands privileged,
+    // then exits by jumping to an execute-user return pointer.
+    auto in = jumpTarget(ptrOf(Perm::EnterPrivileged), false);
+    ASSERT_TRUE(in);
+    EXPECT_TRUE(ipPrivileged(in.value));
+    auto out = jumpTarget(ptrOf(Perm::ExecuteUser, 0x30000),
+                          ipPrivileged(in.value));
+    ASSERT_TRUE(out);
+    EXPECT_FALSE(ipPrivileged(out.value));
+}
+
+} // namespace
+} // namespace gp

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the permission rights lattice (§2.1) — exhaustive over the
+ * permission pairs RESTRICT may see.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/permission.h"
+
+namespace gp {
+namespace {
+
+TEST(Permission, RightsOfEachType)
+{
+    EXPECT_EQ(rightsOf(Perm::ReadOnly), uint32_t(RightRead));
+    EXPECT_EQ(rightsOf(Perm::ReadWrite), RightRead | RightWrite);
+    EXPECT_EQ(rightsOf(Perm::ExecuteUser), RightRead | RightExecute);
+    EXPECT_EQ(rightsOf(Perm::ExecutePrivileged),
+              RightRead | RightExecute | RightPriv);
+    EXPECT_EQ(rightsOf(Perm::EnterUser), uint32_t(RightEnter));
+    EXPECT_EQ(rightsOf(Perm::EnterPrivileged), RightEnter | RightPriv);
+    EXPECT_EQ(rightsOf(Perm::Key), 0u);
+    EXPECT_EQ(rightsOf(Perm::None), 0u);
+}
+
+TEST(Permission, ValidEncodings)
+{
+    EXPECT_FALSE(permValid(0)); // None is not usable
+    for (uint64_t p = 1; p <= 7; ++p)
+        EXPECT_TRUE(permValid(p)) << p;
+    for (uint64_t p = 8; p <= 15; ++p)
+        EXPECT_FALSE(permValid(p)) << p;
+}
+
+TEST(Permission, ExecuteIsReadable)
+{
+    // §2.1: an execute pointer "enables a program to jump to any
+    // location within the segment and to read the segment".
+    EXPECT_TRUE(rightsOf(Perm::ExecuteUser) & RightRead);
+    EXPECT_TRUE(rightsOf(Perm::ExecutePrivileged) & RightRead);
+}
+
+TEST(Permission, EnterIsOpaque)
+{
+    // Enter pointers may not be used to load or store.
+    EXPECT_FALSE(rightsOf(Perm::EnterUser) & RightRead);
+    EXPECT_FALSE(rightsOf(Perm::EnterUser) & RightWrite);
+    EXPECT_FALSE(rightsOf(Perm::EnterPrivileged) & RightRead);
+}
+
+struct SubsetCase
+{
+    Perm from;
+    Perm to;
+    bool allowed;
+};
+
+class StrictSubsetTest : public ::testing::TestWithParam<SubsetCase>
+{
+};
+
+TEST_P(StrictSubsetTest, Lattice)
+{
+    const auto &c = GetParam();
+    EXPECT_EQ(strictSubset(c.from, c.to), c.allowed)
+        << permName(c.from) << " -> " << permName(c.to);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattice, StrictSubsetTest,
+    ::testing::Values(
+        // Shrinking data rights.
+        SubsetCase{Perm::ReadWrite, Perm::ReadOnly, true},
+        SubsetCase{Perm::ReadWrite, Perm::Key, true},
+        SubsetCase{Perm::ReadOnly, Perm::Key, true},
+        // Execute decays to read-only / key.
+        SubsetCase{Perm::ExecuteUser, Perm::ReadOnly, true},
+        SubsetCase{Perm::ExecuteUser, Perm::Key, true},
+        SubsetCase{Perm::ExecutePrivileged, Perm::ExecuteUser, true},
+        SubsetCase{Perm::ExecutePrivileged, Perm::ReadOnly, true},
+        SubsetCase{Perm::EnterPrivileged, Perm::EnterUser, true},
+        // Never widen.
+        SubsetCase{Perm::ReadOnly, Perm::ReadWrite, false},
+        SubsetCase{Perm::ExecuteUser, Perm::ExecutePrivileged, false},
+        SubsetCase{Perm::ReadOnly, Perm::ExecuteUser, false},
+        SubsetCase{Perm::Key, Perm::ReadOnly, false},
+        SubsetCase{Perm::EnterUser, Perm::EnterPrivileged, false},
+        // Data cannot become code, code segment rights are not data
+        // writable.
+        SubsetCase{Perm::ReadWrite, Perm::ExecuteUser, false},
+        SubsetCase{Perm::ExecuteUser, Perm::ReadWrite, false},
+        // Disjoint right sets.
+        SubsetCase{Perm::ReadWrite, Perm::EnterUser, false},
+        SubsetCase{Perm::EnterUser, Perm::ReadOnly, false},
+        // Not *strict*: identical rights.
+        SubsetCase{Perm::ReadWrite, Perm::ReadWrite, false},
+        SubsetCase{Perm::Key, Perm::Key, false}));
+
+TEST(Permission, StrictSubsetIsIrreflexive)
+{
+    for (uint64_t p = 1; p <= 7; ++p)
+        EXPECT_FALSE(strictSubset(Perm(p), Perm(p))) << p;
+}
+
+TEST(Permission, StrictSubsetIsAntisymmetric)
+{
+    for (uint64_t a = 1; a <= 7; ++a) {
+        for (uint64_t b = 1; b <= 7; ++b) {
+            EXPECT_FALSE(strictSubset(Perm(a), Perm(b)) &&
+                         strictSubset(Perm(b), Perm(a)))
+                << a << " " << b;
+        }
+    }
+}
+
+TEST(Permission, StrictSubsetIsTransitive)
+{
+    for (uint64_t a = 1; a <= 7; ++a) {
+        for (uint64_t b = 1; b <= 7; ++b) {
+            for (uint64_t c = 1; c <= 7; ++c) {
+                if (strictSubset(Perm(a), Perm(b)) &&
+                    strictSubset(Perm(b), Perm(c))) {
+                    EXPECT_TRUE(strictSubset(Perm(a), Perm(c)))
+                        << a << " " << b << " " << c;
+                }
+            }
+        }
+    }
+}
+
+TEST(Permission, AddressMutability)
+{
+    EXPECT_TRUE(addressMutable(Perm::ReadOnly));
+    EXPECT_TRUE(addressMutable(Perm::ReadWrite));
+    EXPECT_TRUE(addressMutable(Perm::ExecuteUser));
+    EXPECT_TRUE(addressMutable(Perm::ExecutePrivileged));
+    EXPECT_FALSE(addressMutable(Perm::EnterUser));
+    EXPECT_FALSE(addressMutable(Perm::EnterPrivileged));
+    EXPECT_FALSE(addressMutable(Perm::Key));
+    EXPECT_FALSE(addressMutable(Perm::None));
+}
+
+TEST(Permission, NamesAreStable)
+{
+    EXPECT_EQ(permName(Perm::ReadWrite), "read/write");
+    EXPECT_EQ(permName(Perm::Key), "key");
+    EXPECT_EQ(permName(Perm::EnterPrivileged), "enter-privileged");
+    EXPECT_EQ(permName(Perm(12)), "invalid");
+}
+
+} // namespace
+} // namespace gp

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for guarded-pointer construction and the segment geometry
+ * derivable from a pointer alone (§2: base, offset, bounds with no
+ * tables).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/pointer.h"
+
+namespace gp {
+namespace {
+
+TEST(MakePointer, RoundTripsFields)
+{
+    auto p = makePointer(Perm::ReadWrite, 12, 0x123456789000ull);
+    ASSERT_TRUE(p);
+    PointerView v(p.value);
+    EXPECT_EQ(v.perm(), Perm::ReadWrite);
+    EXPECT_EQ(v.lenLog2(), 12u);
+    EXPECT_EQ(v.addr(), 0x123456789000ull);
+    EXPECT_TRUE(p.value.isPointer());
+}
+
+TEST(MakePointer, RejectsInvalidPermission)
+{
+    EXPECT_EQ(makePointer(Perm::None, 12, 0).fault,
+              Fault::InvalidPermission);
+    EXPECT_EQ(makePointer(Perm(12), 12, 0).fault,
+              Fault::InvalidPermission);
+}
+
+TEST(MakePointer, RejectsOversizedLength)
+{
+    EXPECT_TRUE(makePointer(Perm::ReadOnly, 54, 0));
+    EXPECT_EQ(makePointer(Perm::ReadOnly, 55, 0).fault,
+              Fault::BoundsViolation);
+    EXPECT_EQ(makePointer(Perm::ReadOnly, 63, 0).fault,
+              Fault::BoundsViolation);
+}
+
+TEST(MakePointer, RejectsAddressAbove54Bits)
+{
+    EXPECT_TRUE(makePointer(Perm::ReadOnly, 4, kAddrMask));
+    EXPECT_EQ(makePointer(Perm::ReadOnly, 4, kAddrMask + 1).fault,
+              Fault::BoundsViolation);
+}
+
+TEST(Decode, UntaggedWordFaults)
+{
+    EXPECT_EQ(decode(Word::fromInt(123)).fault, Fault::NotAPointer);
+}
+
+TEST(Decode, InvalidPermissionFaults)
+{
+    // Raw pointer bits with perm nibble 0 (None) or >= 8.
+    Word bad0 = Word::fromRawPointerBits(0x42);
+    EXPECT_EQ(decode(bad0).fault, Fault::InvalidPermission);
+    Word bad9 = Word::fromRawPointerBits(uint64_t(9) << kPermShift);
+    EXPECT_EQ(decode(bad9).fault, Fault::InvalidPermission);
+}
+
+TEST(Decode, ValidPointerDecodes)
+{
+    auto p = makePointer(Perm::Key, 0, 0x1000);
+    ASSERT_TRUE(p);
+    auto d = decode(p.value);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d.value.perm(), Perm::Key);
+}
+
+TEST(PointerView, SegmentBaseAlignsToLength)
+{
+    auto p = makePointer(Perm::ReadWrite, 12, 0x5432'1abc);
+    ASSERT_TRUE(p);
+    PointerView v(p.value);
+    EXPECT_EQ(v.segmentBase(), 0x5432'1000u);
+    EXPECT_EQ(v.offset(), 0xabcu);
+    EXPECT_EQ(v.segmentBytes(), 4096u);
+    EXPECT_EQ(v.segmentLimit(), 0x5432'2000u);
+}
+
+TEST(PointerView, OneByteSegment)
+{
+    auto p = makePointer(Perm::ReadOnly, 0, 0x77);
+    ASSERT_TRUE(p);
+    PointerView v(p.value);
+    EXPECT_EQ(v.segmentBytes(), 1u);
+    EXPECT_EQ(v.segmentBase(), 0x77u);
+    EXPECT_EQ(v.offset(), 0u);
+    EXPECT_TRUE(v.contains(0x77));
+    EXPECT_FALSE(v.contains(0x78));
+    EXPECT_FALSE(v.contains(0x76));
+}
+
+TEST(PointerView, WholeSpaceSegment)
+{
+    auto p = makePointer(Perm::ReadWrite, 54, 0xdead000);
+    ASSERT_TRUE(p);
+    PointerView v(p.value);
+    EXPECT_EQ(v.segmentBytes(), kAddressSpaceBytes);
+    EXPECT_EQ(v.segmentBase(), 0u);
+    EXPECT_EQ(v.offset(), 0xdead000u);
+    EXPECT_TRUE(v.contains(0));
+    EXPECT_TRUE(v.contains(kAddrMask));
+}
+
+/** Geometry sweep across every legal segment length. */
+class GeometryTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(GeometryTest, BaseOffsetReassemble)
+{
+    const uint64_t len = GetParam();
+    const uint64_t seg_bytes =
+        len >= 54 ? kAddressSpaceBytes : (uint64_t(1) << len);
+    // Put the segment somewhere non-trivial and the address mid-way.
+    const uint64_t base = (seg_bytes * 3) & kAddrMask &
+                          ~(seg_bytes - 1);
+    const uint64_t addr = base + seg_bytes / 2;
+    auto p = makePointer(Perm::ReadWrite, len, addr & kAddrMask);
+    ASSERT_TRUE(p);
+    PointerView v(p.value);
+    EXPECT_EQ(v.segmentBase() + v.offset(), v.addr());
+    EXPECT_EQ(v.segmentBase() % v.segmentBytes(), 0u)
+        << "segments are aligned on their length";
+    EXPECT_TRUE(v.contains(v.segmentBase()));
+    EXPECT_TRUE(v.contains(v.segmentBase() + seg_bytes - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, GeometryTest,
+                         ::testing::Range(uint64_t(0), uint64_t(55)));
+
+TEST(PointerView, OffsetMaskHelpers)
+{
+    EXPECT_EQ(offsetMask(0), 0u);
+    EXPECT_EQ(offsetMask(3), 7u);
+    EXPECT_EQ(offsetMask(54), kAddrMask);
+    EXPECT_EQ(offsetMask(60), kAddrMask); // clamped
+    EXPECT_EQ(segmentMask(0), kAddrMask);
+    EXPECT_EQ(segmentMask(54), 0u);
+    for (uint64_t len = 0; len <= 54; ++len) {
+        EXPECT_EQ(offsetMask(len) | segmentMask(len), kAddrMask);
+        EXPECT_EQ(offsetMask(len) & segmentMask(len), 0u);
+    }
+}
+
+TEST(ToString, RendersPointersAndInts)
+{
+    EXPECT_NE(toString(Word::fromInt(7)).find("int"),
+              std::string::npos);
+    auto p = makePointer(Perm::ReadOnly, 4, 0x100);
+    ASSERT_TRUE(p);
+    const std::string s = toString(p.value);
+    EXPECT_NE(s.find("read-only"), std::string::npos);
+    EXPECT_NE(s.find("2^4"), std::string::npos);
+}
+
+} // namespace
+} // namespace gp

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for RESTRICT and SUBSEG (§2.2, "Restricting Access"): the two
+ * unprivileged narrowing operations. The key property — exhaustively
+ * checked — is monotonicity: no sequence of user operations ever
+ * widens rights or grows a segment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.h"
+
+namespace gp {
+namespace {
+
+Word
+ptrOf(Perm perm, uint64_t len = 12, uint64_t addr = 0x10400)
+{
+    auto p = makePointer(perm, len, addr);
+    EXPECT_TRUE(p);
+    return p.value;
+}
+
+TEST(Restrict, ReadWriteToReadOnly)
+{
+    auto q = restrictPerm(ptrOf(Perm::ReadWrite), Perm::ReadOnly);
+    ASSERT_TRUE(q);
+    PointerView v(q.value);
+    EXPECT_EQ(v.perm(), Perm::ReadOnly);
+    EXPECT_EQ(v.addr(), 0x10400u);
+    EXPECT_EQ(v.lenLog2(), 12u);
+}
+
+TEST(Restrict, ToKeyMakesUnforgeableIdentifier)
+{
+    auto q = restrictPerm(ptrOf(Perm::ReadWrite), Perm::Key);
+    ASSERT_TRUE(q);
+    EXPECT_EQ(PointerView(q.value).perm(), Perm::Key);
+    // A key can do nothing at all.
+    EXPECT_EQ(lea(q.value, 0).fault, Fault::Immutable);
+    EXPECT_EQ(checkAccess(q.value, Access::Load, 8),
+              Fault::PermissionDenied);
+}
+
+TEST(Restrict, WideningFaults)
+{
+    EXPECT_EQ(restrictPerm(ptrOf(Perm::ReadOnly), Perm::ReadWrite)
+                  .fault,
+              Fault::NotSubset);
+    EXPECT_EQ(restrictPerm(ptrOf(Perm::ExecuteUser),
+                           Perm::ExecutePrivileged)
+                  .fault,
+              Fault::NotSubset);
+}
+
+TEST(Restrict, SamePermissionFaults)
+{
+    // Must be a *strict* subset.
+    EXPECT_EQ(
+        restrictPerm(ptrOf(Perm::ReadWrite), Perm::ReadWrite).fault,
+        Fault::NotSubset);
+}
+
+TEST(Restrict, DataCannotBecomeCode)
+{
+    EXPECT_EQ(
+        restrictPerm(ptrOf(Perm::ReadWrite), Perm::ExecuteUser).fault,
+        Fault::NotSubset);
+}
+
+TEST(Restrict, PrivilegeDecays)
+{
+    auto q = restrictPerm(ptrOf(Perm::ExecutePrivileged),
+                          Perm::ExecuteUser);
+    ASSERT_TRUE(q);
+    EXPECT_EQ(PointerView(q.value).perm(), Perm::ExecuteUser);
+}
+
+TEST(Restrict, EnterAndKeySourcesAreImmutable)
+{
+    EXPECT_EQ(
+        restrictPerm(ptrOf(Perm::EnterUser), Perm::Key).fault,
+        Fault::Immutable);
+    EXPECT_EQ(
+        restrictPerm(ptrOf(Perm::EnterPrivileged), Perm::EnterUser)
+            .fault,
+        Fault::Immutable);
+    EXPECT_EQ(restrictPerm(ptrOf(Perm::Key), Perm::Key).fault,
+              Fault::Immutable);
+}
+
+TEST(Restrict, InvalidTargetFaults)
+{
+    EXPECT_EQ(restrictPerm(ptrOf(Perm::ReadWrite), Perm::None).fault,
+              Fault::InvalidPermission);
+    EXPECT_EQ(restrictPerm(ptrOf(Perm::ReadWrite), Perm(13)).fault,
+              Fault::InvalidPermission);
+}
+
+TEST(Restrict, UntaggedSourceFaults)
+{
+    EXPECT_EQ(restrictPerm(Word::fromInt(5), Perm::ReadOnly).fault,
+              Fault::NotAPointer);
+}
+
+/**
+ * Exhaustive monotonicity: across every (source, target) permission
+ * pair, if RESTRICT succeeds the result's rights are a strict subset.
+ */
+TEST(Restrict, ExhaustiveMonotonicity)
+{
+    for (uint64_t a = 1; a <= 7; ++a) {
+        for (uint64_t b = 0; b <= 15; ++b) {
+            auto src = makePointer(Perm(a), 12, 0x10000);
+            ASSERT_TRUE(src);
+            auto q = restrictPerm(src.value, Perm(b));
+            if (q) {
+                const uint32_t before = rightsOf(Perm(a));
+                const uint32_t after = rightsOf(Perm(b));
+                EXPECT_NE(after, before);
+                EXPECT_EQ(after & ~before, 0u)
+                    << "widened " << a << "->" << b;
+            }
+        }
+    }
+}
+
+TEST(Subseg, ShrinksAroundCurrentAddress)
+{
+    // Pointer at 0x10455 in a 4KB segment; shrink to 256 bytes.
+    auto q = subseg(ptrOf(Perm::ReadWrite, 12, 0x10455), 8);
+    ASSERT_TRUE(q);
+    PointerView v(q.value);
+    EXPECT_EQ(v.lenLog2(), 8u);
+    EXPECT_EQ(v.addr(), 0x10455u);
+    EXPECT_EQ(v.segmentBase(), 0x10400u) << "aligned subsegment";
+    EXPECT_EQ(v.segmentBytes(), 256u);
+}
+
+TEST(Subseg, EqualLengthFaults)
+{
+    EXPECT_EQ(subseg(ptrOf(Perm::ReadWrite, 12), 12).fault,
+              Fault::NotSmaller);
+}
+
+TEST(Subseg, GrowthFaults)
+{
+    EXPECT_EQ(subseg(ptrOf(Perm::ReadWrite, 12), 20).fault,
+              Fault::NotSmaller);
+}
+
+TEST(Subseg, DownToOneByte)
+{
+    auto q = subseg(ptrOf(Perm::ReadOnly, 12, 0x10455), 0);
+    ASSERT_TRUE(q);
+    EXPECT_EQ(PointerView(q.value).segmentBytes(), 1u);
+}
+
+TEST(Subseg, ImmutableTypesFault)
+{
+    EXPECT_EQ(subseg(ptrOf(Perm::EnterUser), 4).fault,
+              Fault::Immutable);
+    EXPECT_EQ(subseg(ptrOf(Perm::Key), 4).fault, Fault::Immutable);
+}
+
+TEST(Subseg, ChainedShrinksAreMonotone)
+{
+    Word p = ptrOf(Perm::ReadWrite, 20, 0x100000 + 0x2345);
+    uint64_t prev_len = 20;
+    for (uint64_t len : {16, 12, 8, 4, 0}) {
+        auto q = subseg(p, len);
+        ASSERT_TRUE(q) << len;
+        PointerView v(q.value);
+        EXPECT_LT(v.lenLog2(), prev_len);
+        // The shrunken segment always contains the address.
+        EXPECT_TRUE(v.contains(v.addr()));
+        p = q.value;
+        prev_len = len;
+    }
+}
+
+TEST(Subseg, CombinedWithRestrict)
+{
+    // A realistic grant: RW over 4KB -> RO over one 64-byte line.
+    Word p = ptrOf(Perm::ReadWrite, 12, 0x10440);
+    auto narrowed = subseg(p, 6);
+    ASSERT_TRUE(narrowed);
+    auto readonly = restrictPerm(narrowed.value, Perm::ReadOnly);
+    ASSERT_TRUE(readonly);
+    PointerView v(readonly.value);
+    EXPECT_EQ(v.perm(), Perm::ReadOnly);
+    EXPECT_EQ(v.segmentBytes(), 64u);
+    EXPECT_EQ(checkAccess(readonly.value, Access::Store, 8),
+              Fault::PermissionDenied);
+    EXPECT_EQ(checkAccess(readonly.value, Access::Load, 8),
+              Fault::None);
+}
+
+} // namespace
+} // namespace gp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the Result<T> value-or-fault type and the fault name
+ * table (completeness and stability).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/fault.h"
+#include "gp/word.h"
+
+namespace gp {
+namespace {
+
+TEST(Result, OkCarriesValueAndNoFault)
+{
+    auto r = Result<Word>::ok(Word::fromInt(42));
+    EXPECT_TRUE(bool(r));
+    EXPECT_EQ(r.fault, Fault::None);
+    EXPECT_EQ(r.value.bits(), 42u);
+}
+
+TEST(Result, FailCarriesFaultAndDefaultValue)
+{
+    auto r = Result<Word>::fail(Fault::BoundsViolation);
+    EXPECT_FALSE(bool(r));
+    EXPECT_EQ(r.fault, Fault::BoundsViolation);
+    EXPECT_EQ(r.value.bits(), 0u);
+    EXPECT_FALSE(r.value.isPointer());
+}
+
+TEST(Result, WorksWithScalarTypes)
+{
+    auto ok = Result<uint64_t>::ok(7);
+    EXPECT_TRUE(bool(ok));
+    EXPECT_EQ(ok.value, 7u);
+    auto bad = Result<uint64_t>::fail(Fault::Misaligned);
+    EXPECT_FALSE(bool(bad));
+    EXPECT_EQ(bad.value, 0u);
+}
+
+TEST(FaultNames, EveryFaultHasAUniqueName)
+{
+    std::set<std::string_view> names;
+    for (uint8_t f = 0; f <= uint8_t(Fault::InvalidInstruction); ++f) {
+        const auto name = faultName(Fault(f));
+        EXPECT_NE(name, "unknown") << unsigned(f);
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate name " << name;
+    }
+}
+
+TEST(FaultNames, OutOfRangeIsUnknown)
+{
+    EXPECT_EQ(faultName(Fault(200)), "unknown");
+}
+
+TEST(FaultNames, StableSpellings)
+{
+    // These strings appear in docs, examples, and test assertions:
+    // renaming them is a breaking change.
+    EXPECT_EQ(faultName(Fault::None), "none");
+    EXPECT_EQ(faultName(Fault::NotAPointer), "not-a-pointer");
+    EXPECT_EQ(faultName(Fault::BoundsViolation), "bounds-violation");
+    EXPECT_EQ(faultName(Fault::PrivilegeViolation),
+              "privilege-violation");
+    EXPECT_EQ(faultName(Fault::UnmappedAddress), "unmapped-address");
+}
+
+} // namespace
+} // namespace gp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the tagged word type (Fig. 1 field layout).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/word.h"
+
+namespace gp {
+namespace {
+
+TEST(Word, DefaultIsUntaggedZero)
+{
+    Word w;
+    EXPECT_FALSE(w.isPointer());
+    EXPECT_EQ(w.bits(), 0u);
+}
+
+TEST(Word, FromIntCarriesNoTag)
+{
+    Word w = Word::fromInt(0xdeadbeefcafef00dull);
+    EXPECT_FALSE(w.isPointer());
+    EXPECT_EQ(w.bits(), 0xdeadbeefcafef00dull);
+}
+
+TEST(Word, FromRawPointerBitsSetsTag)
+{
+    Word w = Word::fromRawPointerBits(0x12345678ull);
+    EXPECT_TRUE(w.isPointer());
+    EXPECT_EQ(w.bits(), 0x12345678ull);
+}
+
+TEST(Word, AsIntClearsTagOnly)
+{
+    Word p = Word::fromRawPointerBits(0xabcdull);
+    Word i = p.asInt();
+    EXPECT_FALSE(i.isPointer());
+    EXPECT_EQ(i.bits(), p.bits());
+}
+
+TEST(Word, FieldLayoutMatchesFigure1)
+{
+    // perm=0xA, len=0x2B, addr=0x123456789abcd — hand-packed.
+    const uint64_t bits = (uint64_t(0xA) << 60) | (uint64_t(0x2B) << 54) |
+                          0x123456789abcdull;
+    Word w = Word::fromRawPointerBits(bits);
+    EXPECT_EQ(w.permBits(), 0xAu);
+    EXPECT_EQ(w.lenLog2(), 0x2Bu);
+    EXPECT_EQ(w.addr(), 0x123456789abcdull);
+}
+
+TEST(Word, AddrFieldIs54Bits)
+{
+    Word w = Word::fromRawPointerBits(~uint64_t(0));
+    EXPECT_EQ(w.addr(), kAddrMask);
+    EXPECT_EQ(w.lenLog2(), 63u & kLenFieldMask);
+    EXPECT_EQ(w.permBits(), 0xFu);
+}
+
+TEST(Word, ConstantsConsistent)
+{
+    EXPECT_EQ(kAddrBits + kLenBits + kPermBits, 64u);
+    EXPECT_EQ(kAddressSpaceBytes, uint64_t(1) << 54);
+    // The paper: 54-bit space ~ 1.8e16 bytes.
+    EXPECT_NEAR(double(kAddressSpaceBytes), 1.8e16, 0.05e16);
+}
+
+TEST(Word, EqualityIncludesTag)
+{
+    Word a = Word::fromInt(42);
+    Word b = Word::fromRawPointerBits(42);
+    EXPECT_FALSE(a == b);
+    EXPECT_TRUE(a == Word::fromInt(42));
+    EXPECT_TRUE(b == Word::fromRawPointerBits(42));
+}
+
+} // namespace
+} // namespace gp

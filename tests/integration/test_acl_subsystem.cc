@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Access-control lists behind a protected subsystem (paper §4.3):
+ * "the subsystem ... can implement arbitrary protection mechanisms,
+ * such as per-process access control lists. Revoking a single
+ * process' access rights can be performed by updating the access
+ * control list."
+ *
+ * This is the paper's answer to capability systems' coarse
+ * revocation: identity = an unforgeable Key pointer, authorization =
+ * membership in an ACL the subsystem owns, and revoking ONE process
+ * is one table write — no page unmapping, no memory sweep, and no
+ * collateral damage to other holders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.h"
+#include "os/kernel.h"
+
+namespace gp {
+namespace {
+
+/**
+ * The object server. Capability table:
+ *   slot 0: pointer to the guarded object (one word)
+ *   slot 1: pointer to the 8-entry ACL of key words
+ * Request ABI: r6 = caller's identity key, r14 = RETIP.
+ * Response: r7 = object value, r15 = 1 granted / 0 denied.
+ */
+constexpr const char *kAclServer = R"(
+    getip r2
+    leabi r2, r2, 0
+    ld r3, 0(r2)       ; object pointer
+    ld r4, 8(r2)        ; ACL pointer
+    movi r8, 0
+    movi r9, 8
+    scan:
+    ld r10, 0(r4)      ; ACL entry (a key word, or 0)
+    beq r10, r6, grant ; full-word compare: tags must match too
+    leai r4, r4, 8
+    addi r8, r8, 1
+    bne r8, r9, scan
+    movi r7, 0
+    movi r15, 0
+    jmp r14
+    grant:
+    ld r7, 0(r3)
+    movi r15, 1
+    jmp r14
+)";
+
+class AclTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        object_ = alloc();
+        kernel_.mem().pokeWord(PointerView(object_).segmentBase(),
+                               Word::fromInt(0x0B1EC7));
+        acl_ = alloc(128); // 8 slots + scan headroom
+
+        auto sub = kernel_.buildSubsystem(kAclServer,
+                                          {object_, acl_});
+        ASSERT_TRUE(sub);
+        server_ = sub.value.enterPtr;
+    }
+
+    Word
+    alloc(uint64_t bytes = 4096)
+    {
+        auto p = kernel_.segments().allocate(bytes, Perm::ReadWrite);
+        EXPECT_TRUE(p);
+        return p.value;
+    }
+
+    /** Mint a process identity: a Key pointer to a 1-word segment. */
+    Word
+    mintIdentity()
+    {
+        auto seg = kernel_.segments().allocate(8, Perm::ReadWrite);
+        EXPECT_TRUE(seg);
+        auto key = restrictPerm(seg.value, Perm::Key);
+        EXPECT_TRUE(key);
+        return key.value;
+    }
+
+    /** Kernel-side: add/remove a key in ACL slot i. */
+    void
+    setAclSlot(unsigned i, Word key)
+    {
+        kernel_.mem().pokeWord(PointerView(acl_).segmentBase() + i * 8,
+                               key);
+    }
+
+    /** Call the server presenting `identity`; returns (status, value). */
+    std::pair<uint64_t, uint64_t>
+    request(Word identity)
+    {
+        auto caller = kernel_.loadAssembly(R"(
+            getip r14
+            leai r14, r14, 24
+            jmp r1
+            halt
+        )");
+        EXPECT_TRUE(caller);
+        isa::Thread *t = kernel_.spawn(caller.value.execPtr,
+                                       {{1, server_}, {6, identity}});
+        EXPECT_NE(t, nullptr);
+        kernel_.machine().run();
+        EXPECT_EQ(t->state(), isa::ThreadState::Halted);
+        return {t->reg(15).bits(), t->reg(7).bits()};
+    }
+
+    os::Kernel kernel_;
+    Word object_;
+    Word acl_;
+    Word server_;
+};
+
+TEST_F(AclTest, AuthorizedKeyGranted)
+{
+    Word alice = mintIdentity();
+    setAclSlot(0, alice);
+    auto [status, value] = request(alice);
+    EXPECT_EQ(status, 1u);
+    EXPECT_EQ(value, 0x0B1EC7u);
+}
+
+TEST_F(AclTest, UnknownKeyDenied)
+{
+    Word alice = mintIdentity();
+    Word mallory = mintIdentity();
+    setAclSlot(0, alice);
+    auto [status, value] = request(mallory);
+    EXPECT_EQ(status, 0u);
+    EXPECT_EQ(value, 0u);
+}
+
+TEST_F(AclTest, ForgedKeyBitsDenied)
+{
+    // An integer with the same bits as an authorized key: the
+    // full-word compare (payload AND tag) rejects it.
+    Word alice = mintIdentity();
+    setAclSlot(0, alice);
+    auto [status, value] = request(Word::fromInt(alice.bits()));
+    EXPECT_EQ(status, 0u);
+    (void)value;
+}
+
+TEST_F(AclTest, PerProcessRevocationIsOneWrite)
+{
+    // The §4.3 punchline: revoke Alice without touching Bob.
+    Word alice = mintIdentity();
+    Word bob = mintIdentity();
+    setAclSlot(0, alice);
+    setAclSlot(1, bob);
+    EXPECT_EQ(request(alice).first, 1u);
+    EXPECT_EQ(request(bob).first, 1u);
+
+    setAclSlot(0, Word::fromInt(0)); // revoke Alice only
+    EXPECT_EQ(request(alice).first, 0u) << "Alice revoked";
+    EXPECT_EQ(request(bob).first, 1u) << "Bob unaffected";
+
+    // And unlike revoke-by-unmap, the object itself stayed live the
+    // whole time for authorized users.
+    EXPECT_EQ(request(bob).second, 0x0B1EC7u);
+}
+
+TEST_F(AclTest, KeysCannotBeUsedForAnythingElse)
+{
+    // An identity key grants nothing outside the ACL protocol: it
+    // cannot be dereferenced, jumped to, or modified by its holder.
+    Word key = mintIdentity();
+    EXPECT_EQ(checkAccess(key, Access::Load, 8),
+              Fault::PermissionDenied);
+    EXPECT_EQ(jumpTarget(key, false).fault, Fault::PermissionDenied);
+    EXPECT_EQ(lea(key, 0).fault, Fault::Immutable);
+    EXPECT_EQ(restrictPerm(key, Perm::Key).fault, Fault::Immutable);
+}
+
+TEST_F(AclTest, CallerCannotEditTheAcl)
+{
+    // The ACL lives behind the subsystem: a caller holding only the
+    // enter pointer cannot reach it (separate thread faults).
+    Word alice = mintIdentity();
+    setAclSlot(0, alice);
+    auto thief = kernel_.loadAssembly("ld r2, 8(r1)\nhalt");
+    ASSERT_TRUE(thief);
+    isa::Thread *t =
+        kernel_.spawn(thief.value.execPtr, {{1, server_}});
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Faulted);
+}
+
+} // namespace
+} // namespace gp

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Compute-kernel integration tests: realistic nested-loop programs
+ * (matrix multiply, memcpy, string search) running entirely under
+ * guarded-pointer protection, verifying results against host-side
+ * references. These exercise long pointer-derivation chains, mixed
+ * load/store patterns, and the interaction of bounds checks with
+ * real address arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.h"
+#include "os/kernel.h"
+#include "sim/rng.h"
+
+namespace gp {
+namespace {
+
+class KernelPrograms : public ::testing::Test
+{
+  protected:
+    Word
+    rw(uint64_t bytes)
+    {
+        auto p = kernel_.segments().allocate(bytes, Perm::ReadWrite);
+        EXPECT_TRUE(p);
+        return p.value;
+    }
+
+    uint64_t
+    wordAt(Word seg, uint64_t index)
+    {
+        return kernel_.mem()
+            .peekWord(PointerView(seg).segmentBase() + index * 8)
+            .bits();
+    }
+
+    void
+    setWord(Word seg, uint64_t index, uint64_t value)
+    {
+        kernel_.mem().pokeWord(PointerView(seg).segmentBase() +
+                                   index * 8,
+                               Word::fromInt(value));
+    }
+
+    os::Kernel kernel_;
+};
+
+TEST_F(KernelPrograms, MatrixMultiply4x4)
+{
+    // C = A * B over 4x4 matrices of 64-bit ints, row-major.
+    // r1 = A (read-only), r2 = B (read-only), r3 = C (read/write).
+    constexpr int N = 4;
+    Word a = rw(N * N * 8), b = rw(N * N * 8), c = rw(N * N * 8);
+
+    sim::Rng rng(1);
+    uint64_t A[N][N], B[N][N];
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            A[i][j] = rng.below(100);
+            B[i][j] = rng.below(100);
+            setWord(a, i * N + j, A[i][j]);
+            setWord(b, i * N + j, B[i][j]);
+        }
+    }
+
+    auto ro_a = restrictPerm(a, Perm::ReadOnly);
+    auto ro_b = restrictPerm(b, Perm::ReadOnly);
+    ASSERT_TRUE(ro_a);
+    ASSERT_TRUE(ro_b);
+
+    // i in r4, j in r5, k in r6; accumulator r7.
+    auto prog = kernel_.loadAssembly(R"(
+        movi r4, 0
+        iloop:
+        movi r5, 0
+        jloop:
+        movi r6, 0
+        movi r7, 0
+        kloop:
+        ; A[i][k]: offset = (i*4 + k) * 8
+        shli r8, r4, 2
+        add r8, r8, r6
+        shli r8, r8, 3
+        itop r9, r1, r8
+        ld r10, 0(r9)
+        ; B[k][j]: offset = (k*4 + j) * 8
+        shli r8, r6, 2
+        add r8, r8, r5
+        shli r8, r8, 3
+        itop r9, r2, r8
+        ld r11, 0(r9)
+        mul r12, r10, r11
+        add r7, r7, r12
+        addi r6, r6, 1
+        movi r13, 4
+        bne r6, r13, kloop
+        ; C[i][j] = acc
+        shli r8, r4, 2
+        add r8, r8, r5
+        shli r8, r8, 3
+        itop r9, r3, r8
+        st r7, 0(r9)
+        addi r5, r5, 1
+        movi r13, 4
+        bne r5, r13, jloop
+        addi r4, r4, 1
+        movi r13, 4
+        bne r4, r13, iloop
+        halt
+    )");
+    ASSERT_TRUE(prog);
+
+    isa::Thread *t = kernel_.spawn(
+        prog.value.execPtr,
+        {{1, ro_a.value}, {2, ro_b.value}, {3, c}});
+    ASSERT_NE(t, nullptr);
+    kernel_.machine().run(5'000'000);
+    ASSERT_EQ(t->state(), isa::ThreadState::Halted)
+        << faultName(t->faultRecord().fault);
+
+    for (int i = 0; i < N; ++i) {
+        for (int j = 0; j < N; ++j) {
+            uint64_t expect = 0;
+            for (int k = 0; k < N; ++k)
+                expect += A[i][k] * B[k][j];
+            EXPECT_EQ(wordAt(c, i * N + j), expect)
+                << "C[" << i << "][" << j << "]";
+        }
+    }
+}
+
+TEST_F(KernelPrograms, MemcpyKernel)
+{
+    // Word-wise copy of 128 words, src read-only, dst read/write.
+    // One word of headroom: the final LEA lands one-past-the-end,
+    // which a capability cannot represent outside its segment.
+    Word src = rw(1032), dst = rw(1032);
+    sim::Rng rng(2);
+    std::vector<uint64_t> data(128);
+    for (int i = 0; i < 128; ++i) {
+        data[i] = rng.next();
+        setWord(src, i, data[i]);
+    }
+    auto ro = restrictPerm(src, Perm::ReadOnly);
+    ASSERT_TRUE(ro);
+
+    auto prog = kernel_.loadAssembly(R"(
+        movi r3, 0
+        movi r4, 128
+        mov r5, r1
+        mov r6, r2
+        loop:
+        ld r7, 0(r5)
+        st r7, 0(r6)
+        leai r5, r5, 8
+        leai r6, r6, 8
+        addi r3, r3, 1
+        bne r3, r4, loop
+        halt
+    )");
+    ASSERT_TRUE(prog);
+    isa::Thread *t = kernel_.spawn(prog.value.execPtr,
+                                   {{1, ro.value}, {2, dst}});
+    kernel_.machine().run(5'000'000);
+    ASSERT_EQ(t->state(), isa::ThreadState::Halted)
+        << faultName(t->faultRecord().fault);
+    for (int i = 0; i < 128; ++i)
+        ASSERT_EQ(wordAt(dst, i), data[i]) << i;
+}
+
+TEST_F(KernelPrograms, FindFirstKernel)
+{
+    // Linear search for the first word equal to a target; returns
+    // its index in r8 or -1.
+    Word hay = rw(1024);
+    for (int i = 0; i < 128; ++i)
+        setWord(hay, i, 1000 + i * 3);
+
+    auto prog = kernel_.loadAssembly(R"(
+        movi r3, 0
+        movi r4, 128
+        mov r5, r1
+        movi r8, -1
+        loop:
+        ld r6, 0(r5)
+        bne r6, r2, next
+        mov r8, r3
+        halt
+        next:
+        leai r5, r5, 8
+        addi r3, r3, 1
+        bne r3, r4, loop
+        halt
+    )");
+    ASSERT_TRUE(prog);
+
+    // Present target.
+    isa::Thread *t1 = kernel_.spawn(
+        prog.value.execPtr,
+        {{1, hay}, {2, Word::fromInt(1000 + 77 * 3)}});
+    kernel_.machine().run();
+    EXPECT_EQ(t1->reg(8).bits(), 77u);
+
+    // Absent target.
+    isa::Thread *t2 = kernel_.spawn(prog.value.execPtr,
+                                    {{1, hay}, {2, Word::fromInt(13)}});
+    kernel_.machine().run();
+    EXPECT_EQ(int64_t(t2->reg(8).bits()), -1);
+}
+
+TEST_F(KernelPrograms, MatmulOutputIsBoundsProtected)
+{
+    // A store computed one element past the output segment faults —
+    // no silent corruption. (96 requested bytes round up to a
+    // 128-byte segment, so the first out-of-segment offset is 128.)
+    Word c_small = rw(3 * 4 * 8);
+    ASSERT_EQ(PointerView(c_small).segmentBytes(), 128u);
+    auto prog = kernel_.loadAssembly(R"(
+        movi r8, 128
+        itop r9, r3, r8
+        st r7, 0(r9)
+        halt
+    )");
+    ASSERT_TRUE(prog);
+    isa::Thread *t =
+        kernel_.spawn(prog.value.execPtr, {{3, c_small}});
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::BoundsViolation);
+}
+
+} // namespace
+} // namespace gp

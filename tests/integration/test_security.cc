@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Adversarial security property tests: randomized instruction fuzzing
+ * asserting the two global invariants of the architecture —
+ *
+ *  (1) unforgeability: no user-mode instruction sequence ever
+ *      manufactures a pointer to memory outside the segments it was
+ *      granted;
+ *  (2) monotonicity: derived pointers never have more rights or a
+ *      larger segment than their ancestors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gp/ops.h"
+#include "isa/assembler.h"
+#include "isa/loader.h"
+#include "isa/machine.h"
+#include "sim/rng.h"
+
+namespace gp {
+namespace {
+
+using isa::Inst;
+using isa::Machine;
+using isa::Op;
+using isa::Thread;
+using isa::ThreadState;
+
+/** Segment geometry of the single grant the fuzzed thread receives. */
+constexpr uint64_t kGrantBase = uint64_t(1) << 30;
+constexpr uint64_t kGrantLen = 16; // 64KB
+
+/** @return true if the word is a pointer that escapes the grant. */
+bool
+escapesGrant(Word w, uint64_t code_base, uint64_t code_len)
+{
+    if (!w.isPointer())
+        return false;
+    auto dec = decode(w);
+    if (!dec)
+        return false; // invalid permission: unusable anyway
+    const PointerView &v = dec.value;
+    // Within the granted data segment?
+    if (v.segmentBase() >= kGrantBase &&
+        v.segmentLimit() <= kGrantBase + (uint64_t(1) << kGrantLen)) {
+        return false;
+    }
+    // Within the code segment (GETIP-derived pointers)?
+    const uint64_t code_limit = code_base + (uint64_t(1) << code_len);
+    if (v.segmentBase() >= code_base && v.segmentLimit() <= code_limit)
+        return false;
+    return true;
+}
+
+/** Build a random but decodable user-mode instruction. */
+Inst
+randomInst(sim::Rng &rng)
+{
+    Inst inst;
+    inst.op = Op(rng.below(uint64_t(Op::OpCount)));
+    inst.rd = uint8_t(rng.below(isa::kNumRegs));
+    inst.ra = uint8_t(rng.below(isa::kNumRegs));
+    inst.rb = uint8_t(rng.below(isa::kNumRegs));
+    switch (rng.below(4)) {
+      case 0:
+        inst.imm = int32_t(rng.below(64)) * 8;
+        break;
+      case 1:
+        inst.imm = -int32_t(rng.below(64)) * 8;
+        break;
+      case 2:
+        inst.imm = int32_t(uint32_t(rng.next()));
+        break;
+      default:
+        inst.imm = int32_t(rng.below(16));
+        break;
+    }
+    // HALT would end the run early too often; JMP to random registers
+    // is kept (it mostly faults, which is fine).
+    if (inst.op == Op::HALT)
+        inst.op = Op::NOP;
+    return inst;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FuzzTest, NoForgedPointersNoEscapes)
+{
+    sim::Rng rng(GetParam());
+
+    isa::MachineConfig cfg;
+    cfg.clusters = 1;
+    Machine machine(cfg);
+
+    // Random program of 200 instructions ending in HALT.
+    std::vector<Word> words;
+    for (int i = 0; i < 200; ++i)
+        words.push_back(encode(randomInst(rng)));
+    Inst halt;
+    halt.op = Op::HALT;
+    words.push_back(encode(halt));
+
+    const uint64_t code_base = uint64_t(1) << 24;
+    auto prog = isa::loadProgram(machine.mem(), code_base, words);
+
+    Thread *t = machine.spawn(prog.execPtr);
+    ASSERT_NE(t, nullptr);
+    // The thread's entire protection domain: one RW data segment and
+    // some integers.
+    t->setReg(1, isa::dataSegment(kGrantBase, kGrantLen));
+    t->setReg(2, Word::fromInt(rng.next()));
+    t->setReg(3, Word::fromInt(0x8));
+
+    machine.run(100000);
+
+    // Invariant 1: every register is either an integer, or a pointer
+    // confined to the grant or the code segment.
+    for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+        EXPECT_FALSE(
+            escapesGrant(t->reg(r), code_base, prog.lenLog2))
+            << "r" << r << " escaped: " << toString(t->reg(r))
+            << " (seed " << GetParam() << ")";
+    }
+
+    // Invariant 2: no pointer gained write-beyond or privilege.
+    for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+        const Word w = t->reg(r);
+        if (!w.isPointer())
+            continue;
+        auto dec = decode(w);
+        if (!dec)
+            continue;
+        const uint32_t rights = rightsOf(dec.value.perm());
+        EXPECT_FALSE(rights & RightPriv)
+            << "user thread minted privilege (seed " << GetParam()
+            << ")";
+    }
+
+    // Invariant 3: memory inside the grant may contain pointers, but
+    // none that escape (stores only copy existing pointers).
+    for (uint64_t off = 0; off < (uint64_t(1) << kGrantLen);
+         off += 8) {
+        auto w = machine.mem().tryPeekWord(kGrantBase + off);
+        if (!w)
+            continue;
+        EXPECT_FALSE(escapesGrant(*w, code_base, prog.lenLog2))
+            << "memory word at +" << off << " (seed " << GetParam()
+            << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Range(uint64_t(1), uint64_t(33)));
+
+TEST(SecurityProperty, SetptrIsTheOnlyAmplifier)
+{
+    // Directed check: every pointer-producing user operation is
+    // narrowing. Enumerate the ops that yield pointers and verify
+    // each result's rights/segment against its input.
+    auto src = makePointer(Perm::ReadWrite, 12, 0x5000);
+    ASSERT_TRUE(src);
+
+    const auto check_narrowed = [&](Result<Word> r) {
+        if (!r)
+            return;
+        auto d = decode(r.value);
+        ASSERT_TRUE(d);
+        PointerView in(src.value), out(d.value);
+        EXPECT_LE(rightsOf(out.perm()) & ~rightsOf(in.perm()), 0u);
+        EXPECT_LE(out.segmentBytes(), in.segmentBytes());
+        EXPECT_GE(out.segmentBase(), in.segmentBase());
+        EXPECT_LE(out.segmentLimit(), in.segmentLimit());
+    };
+
+    check_narrowed(lea(src.value, 8));
+    check_narrowed(leab(src.value, 16));
+    check_narrowed(restrictPerm(src.value, Perm::ReadOnly));
+    check_narrowed(restrictPerm(src.value, Perm::Key));
+    check_narrowed(subseg(src.value, 6));
+    check_narrowed(intToPtr(src.value, 24));
+}
+
+TEST(SecurityProperty, OnlySetptrIsPrivileged)
+{
+    // §2.2: "No other operations need be privileged." Run every
+    // opcode in user mode with benign operands; SETPTR must be the
+    // only one that raises a privilege violation.
+    for (unsigned op = 0; op < unsigned(isa::Op::OpCount); ++op) {
+        isa::MachineConfig cfg;
+        cfg.clusters = 1;
+        isa::Machine machine(cfg);
+
+        std::vector<Word> words;
+        isa::Inst inst;
+        inst.op = isa::Op(op);
+        inst.rd = 2;
+        inst.ra = 1;
+        inst.rb = 3;
+        inst.imm = 8;
+        words.push_back(encode(inst));
+        isa::Inst halt;
+        halt.op = isa::Op::HALT;
+        words.push_back(encode(halt));
+
+        auto prog = isa::loadProgram(machine.mem(), 1 << 20, words);
+        isa::Thread *t = machine.spawn(prog.execPtr);
+        ASSERT_NE(t, nullptr);
+        // Benign operands: r1 = RW data pointer, r3 = small int.
+        t->setReg(1, isa::dataSegment(1 << 24, 12));
+        t->setReg(3, Word::fromInt(2)); // Perm::ReadOnly for RESTRICT
+        machine.run(10000);
+
+        const bool priv_fault =
+            t->state() == isa::ThreadState::Faulted &&
+            t->faultRecord().fault == Fault::PrivilegeViolation;
+        if (isa::Op(op) == isa::Op::SETPTR) {
+            EXPECT_TRUE(priv_fault) << "SETPTR must be privileged";
+        } else {
+            EXPECT_FALSE(priv_fault)
+                << opName(isa::Op(op)) << " must be unprivileged";
+        }
+    }
+}
+
+TEST(SecurityProperty, FuzzedRawWordsNeverCheckAsWritable)
+{
+    // Random untagged bit patterns must never pass an access check.
+    sim::Rng rng(7777);
+    for (int i = 0; i < 10000; ++i) {
+        Word w = Word::fromInt(rng.next());
+        EXPECT_NE(checkAccess(w, Access::Store, 8), Fault::None);
+        EXPECT_NE(checkAccess(w, Access::Load, 8), Fault::None);
+    }
+}
+
+TEST(SecurityProperty, FuzzedPointerOpsPreserveDecodability)
+{
+    // Chains of random pointer ops either fault or produce pointers
+    // that still decode and stay inside the original segment.
+    sim::Rng rng(1234);
+    for (int trial = 0; trial < 200; ++trial) {
+        auto p = makePointer(Perm::ReadWrite, 10, 0x10000 + 0x200);
+        ASSERT_TRUE(p);
+        Word cur = p.value;
+        for (int step = 0; step < 50; ++step) {
+            Result<Word> r = Result<Word>::fail(Fault::None);
+            switch (rng.below(4)) {
+              case 0:
+                r = lea(cur, int64_t(rng.below(2048)) - 1024);
+                break;
+              case 1:
+                r = leab(cur, int64_t(rng.below(1024)));
+                break;
+              case 2:
+                r = restrictPerm(cur, Perm(rng.below(16)));
+                break;
+              default:
+                r = subseg(cur, rng.below(12));
+                break;
+            }
+            if (!r)
+                continue; // faulted: fine
+            cur = r.value;
+            auto d = decode(cur);
+            ASSERT_TRUE(d);
+            EXPECT_GE(d.value.segmentBase(), 0x10000u);
+            EXPECT_LE(d.value.segmentLimit(), 0x10000u + 1024u);
+        }
+    }
+}
+
+} // namespace
+} // namespace gp

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * End-to-end integration tests: multi-domain workloads on the full
+ * kernel+machine stack, combining segments, subsystems, sharing,
+ * revocation, and GC in single scenarios.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.h"
+#include "os/gc.h"
+#include "os/kernel.h"
+
+namespace gp {
+namespace {
+
+using isa::Thread;
+using isa::ThreadState;
+using os::AddressSpaceGc;
+using os::Kernel;
+
+class EndToEndTest : public ::testing::Test
+{
+  protected:
+    Word
+    rw(uint64_t bytes = 4096)
+    {
+        auto p = kernel_.segments().allocate(bytes, Perm::ReadWrite);
+        EXPECT_TRUE(p);
+        return p.value;
+    }
+
+    Kernel kernel_;
+};
+
+TEST_F(EndToEndTest, ProducerConsumerAcrossDomains)
+{
+    // A producer domain fills a shared ring; a consumer domain (with
+    // read-only access) sums it. Both run interleaved on the machine.
+    Word ring = rw(4096);
+    auto ro = restrictPerm(ring, Perm::ReadOnly);
+    ASSERT_TRUE(ro);
+    Word flag = rw(64);
+
+    auto producer = kernel_.loadAssembly(R"(
+        movi r3, 0
+        movi r4, 32
+        mov r5, r1
+        fill:
+        st r3, 0(r5)
+        leai r5, r5, 8
+        addi r3, r3, 1
+        bne r3, r4, fill
+        movi r3, 1
+        st r3, 0(r2)      ; publish
+        halt
+    )");
+    ASSERT_TRUE(producer);
+
+    auto consumer = kernel_.loadAssembly(R"(
+        wait:
+        ld r3, 0(r2)
+        movi r4, 1
+        bne r3, r4, wait
+        movi r3, 0
+        movi r4, 32
+        movi r6, 0
+        mov r5, r1
+        sum:
+        ld r7, 0(r5)
+        add r6, r6, r7
+        leai r5, r5, 8
+        addi r3, r3, 1
+        bne r3, r4, sum
+        halt
+    )");
+    ASSERT_TRUE(consumer);
+
+    auto ro_flag = restrictPerm(flag, Perm::ReadOnly);
+    ASSERT_TRUE(ro_flag);
+
+    Thread *tp = kernel_.spawn(producer.value.execPtr,
+                               {{1, ring}, {2, flag}});
+    Thread *tc = kernel_.spawn(consumer.value.execPtr,
+                               {{1, ro.value}, {2, ro_flag.value}});
+    ASSERT_NE(tp, nullptr);
+    ASSERT_NE(tc, nullptr);
+    kernel_.machine().run();
+
+    EXPECT_EQ(tp->state(), ThreadState::Halted);
+    EXPECT_EQ(tc->state(), ThreadState::Halted);
+    EXPECT_EQ(tc->reg(6).bits(), 496u) << "sum 0..31";
+}
+
+TEST_F(EndToEndTest, RevocationStopsARunningThread)
+{
+    // A thread loops over a segment; mid-run the kernel revokes it
+    // and the thread faults on its next access.
+    Word seg = rw(4096);
+    auto prog = kernel_.loadAssembly(R"(
+        loop:
+        ld r2, 0(r1)
+        beq r0, r0, loop
+    )");
+    ASSERT_TRUE(prog);
+    Thread *t = kernel_.spawn(prog.value.execPtr, {{1, seg}});
+    ASSERT_NE(t, nullptr);
+
+    for (int i = 0; i < 200; ++i)
+        kernel_.machine().step();
+    EXPECT_EQ(t->state(), ThreadState::Ready) << "still looping";
+
+    kernel_.segments().revoke(PointerView(seg).segmentBase());
+    kernel_.machine().run(10000);
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::UnmappedAddress);
+}
+
+TEST_F(EndToEndTest, GcReclaimsAfterThreadsRelease)
+{
+    // Segments referenced only by halted threads' dead registers are
+    // reclaimed once the roots are recomputed from live threads.
+    Word keep = rw();
+    Word drop = rw();
+    (void)drop;
+
+    auto prog = kernel_.loadAssembly(R"(
+        movi r2, 0       ; overwrite the 'drop' pointer
+        spin:
+        ld r3, 0(r1)
+        halt
+    )");
+    ASSERT_TRUE(prog);
+    Thread *t =
+        kernel_.spawn(prog.value.execPtr, {{1, keep}, {2, drop}});
+    ASSERT_NE(t, nullptr);
+    kernel_.machine().run();
+    ASSERT_EQ(t->state(), ThreadState::Halted);
+
+    AddressSpaceGc gc(kernel_.mem(), kernel_.segments());
+    // Roots: the halted thread's registers still hold 'keep' in r1
+    // (r2 was scrubbed by the program), and the IP roots the code
+    // segment, which the kernel also allocated from the heap.
+    std::vector<Word> roots{t->ip()};
+    for (unsigned r = 0; r < isa::kNumRegs; ++r)
+        roots.push_back(t->reg(r));
+    auto stats = gc.collect(roots);
+    EXPECT_EQ(stats.segmentsLive, 2u) << "'keep' and the code segment";
+    EXPECT_EQ(stats.segmentsFreed, 1u) << "'drop' reclaimed";
+}
+
+TEST_F(EndToEndTest, SixteenDomainsStressInterleave)
+{
+    // Sixteen threads in sixteen protection domains, each hammering
+    // its own segment — zero cross-domain faults, all complete.
+    std::vector<Thread *> threads;
+    for (int i = 0; i < 16; ++i) {
+        Word seg = rw(2048);
+        auto prog = kernel_.loadAssembly(R"(
+            movi r2, 0
+            movi r3, 64
+            mov r4, r1
+            loop:
+            st r2, 0(r4)
+            ld r5, 0(r4)
+            leai r4, r4, 8
+            addi r2, r2, 1
+            bne r2, r3, loop
+            halt
+        )");
+        ASSERT_TRUE(prog) << i;
+        Thread *t = kernel_.spawn(prog.value.execPtr, {{1, seg}});
+        ASSERT_NE(t, nullptr) << i;
+        threads.push_back(t);
+    }
+    kernel_.machine().run(2'000'000);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(threads[i]->state(), ThreadState::Halted) << i;
+    EXPECT_TRUE(kernel_.machine().faultLog().empty());
+}
+
+TEST_F(EndToEndTest, KeyAsUnforgeableToken)
+{
+    // A subsystem issues a key to the caller; later the caller proves
+    // identity by presenting it. The caller cannot mint its own.
+    Word token_seg = rw(64);
+    auto key = restrictPerm(token_seg, Perm::Key);
+    ASSERT_TRUE(key);
+
+    // Subsystem compares the presented token (r5) with its stored key
+    // (capability table slot 0) and writes the verdict through the
+    // caller-provided result pointer (r6).
+    auto sub = kernel_.buildSubsystem(R"(
+        getip r2
+        leabi r2, r2, 0
+        ld r3, 0(r2)      ; the authentic key
+        movi r7, 0
+        bne r3, r5, deny
+        movi r7, 1
+        deny:
+        st r7, 0(r6)
+        jmp r14
+    )",
+                                      {key.value});
+    ASSERT_TRUE(sub);
+
+    Word result = rw(64);
+    auto caller = kernel_.loadAssembly(R"(
+        getip r14
+        leai r14, r14, 24
+        jmp r1
+        ld r9, 0(r6)
+        halt
+    )");
+    ASSERT_TRUE(caller);
+
+    // Genuine key: accepted.
+    Thread *ok = kernel_.spawn(
+        caller.value.execPtr,
+        {{1, sub.value.enterPtr}, {5, key.value}, {6, result}});
+    ASSERT_NE(ok, nullptr);
+    kernel_.machine().run();
+    EXPECT_EQ(ok->reg(9).bits(), 1u);
+
+    // Forged key (same bits, no tag): rejected.
+    Thread *forged = kernel_.spawn(caller.value.execPtr,
+                                   {{1, sub.value.enterPtr},
+                                    {5, Word::fromInt(key.value.bits())},
+                                    {6, result}});
+    ASSERT_NE(forged, nullptr);
+    kernel_.machine().run();
+    EXPECT_EQ(forged->reg(9).bits(), 0u);
+}
+
+TEST_F(EndToEndTest, RelocationInvisibleThroughSubsystemIndirection)
+{
+    // §4.3 "Protected Indirection": accesses made through a protected
+    // subsystem keep working across relocation because only the
+    // subsystem's capability table must change.
+    Word obj = rw(4096);
+    kernel_.mem().pokeWord(PointerView(obj).segmentBase(),
+                           Word::fromInt(11));
+
+    // The subsystem reads the object through a pointer it loads from
+    // a mutable cell (second segment), so the kernel can relocate.
+    Word cell = rw(64);
+    kernel_.mem().pokeWord(PointerView(cell).segmentBase(), obj);
+
+    auto sub = kernel_.buildSubsystem(R"(
+        getip r2
+        leabi r2, r2, 0
+        ld r3, 0(r2)     ; pointer to the cell
+        ld r4, 0(r3)     ; current object pointer
+        ld r5, 0(r4)     ; object payload
+        jmp r14
+    )",
+                                      {cell});
+    ASSERT_TRUE(sub);
+
+    auto caller = kernel_.loadAssembly(R"(
+        getip r14
+        leai r14, r14, 24
+        jmp r1
+        halt
+    )");
+    ASSERT_TRUE(caller);
+
+    Thread *before = kernel_.spawn(caller.value.execPtr,
+                                   {{1, sub.value.enterPtr}});
+    kernel_.machine().run();
+    EXPECT_EQ(before->reg(5).bits(), 11u);
+
+    // Relocate the object and update only the cell.
+    auto fresh = kernel_.segments().relocate(
+        PointerView(obj).segmentBase(), Perm::ReadWrite);
+    ASSERT_TRUE(fresh);
+    kernel_.mem().pokeWord(PointerView(cell).segmentBase(),
+                           fresh.value);
+
+    Thread *after = kernel_.spawn(caller.value.execPtr,
+                                  {{1, sub.value.enterPtr}});
+    kernel_.machine().run();
+    EXPECT_EQ(after->state(), ThreadState::Halted);
+    EXPECT_EQ(after->reg(5).bits(), 11u)
+        << "same service, relocated object";
+}
+
+} // namespace
+} // namespace gp

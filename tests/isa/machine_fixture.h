@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared gtest fixture that assembles a program, loads it into a
+ * machine, spawns a thread, runs to completion, and exposes the final
+ * architectural state to assertions.
+ */
+
+#ifndef GP_TESTS_ISA_MACHINE_FIXTURE_H
+#define GP_TESTS_ISA_MACHINE_FIXTURE_H
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gp/ops.h"
+#include "isa/assembler.h"
+#include "isa/loader.h"
+#include "isa/machine.h"
+
+namespace gp::isa::testutil {
+
+class MachineFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        MachineConfig cfg;
+        cfg.mem.cache.setsPerBank = 64;
+        machine_ = std::make_unique<Machine>(cfg);
+    }
+
+    /** Assemble and load a program at the next free code base. */
+    LoadedProgram
+    load(const std::string &src, bool privileged = false)
+    {
+        Assembly assembly = assemble(src);
+        EXPECT_TRUE(assembly.ok) << assembly.error;
+        LoadedProgram prog = loadProgram(machine_->mem(), nextBase_,
+                                         assembly.words, privileged);
+        nextBase_ += uint64_t(1) << 20; // 1MB apart, always aligned
+        return prog;
+    }
+
+    /** Spawn a thread with initial registers and run to completion. */
+    Thread *
+    runThread(const LoadedProgram &prog,
+              const std::vector<std::pair<unsigned, Word>> &regs = {},
+              uint64_t max_cycles = 200000)
+    {
+        Thread *t = machine_->spawn(prog.execPtr);
+        EXPECT_NE(t, nullptr);
+        for (const auto &[i, w] : regs)
+            t->setReg(i, w);
+        machine_->run(max_cycles);
+        return t;
+    }
+
+    /** Assemble+load+run in one step. */
+    Thread *
+    run(const std::string &src,
+        const std::vector<std::pair<unsigned, Word>> &regs = {},
+        bool privileged = false)
+    {
+        return runThread(load(src, privileged), regs);
+    }
+
+    /** Mint a read/write data segment pointer. */
+    Word
+    data(uint64_t len_log2)
+    {
+        const uint64_t bytes = uint64_t(1) << len_log2;
+        dataBase_ = (dataBase_ + bytes - 1) & ~(bytes - 1);
+        Word p = dataSegment(dataBase_, len_log2);
+        dataBase_ += bytes;
+        return p;
+    }
+
+    std::unique_ptr<Machine> machine_;
+    uint64_t nextBase_ = uint64_t(1) << 24;
+    uint64_t dataBase_ = uint64_t(1) << 30;
+};
+
+} // namespace gp::isa::testutil
+
+#endif // GP_TESTS_ISA_MACHINE_FIXTURE_H

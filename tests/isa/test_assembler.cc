@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the two-pass assembler: syntax forms, labels, and error
+ * reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+
+namespace gp::isa {
+namespace {
+
+Inst
+first(const Assembly &a)
+{
+    EXPECT_TRUE(a.ok) << a.error;
+    EXPECT_FALSE(a.words.empty());
+    auto d = decodeInst(a.words.at(0));
+    EXPECT_TRUE(d.has_value());
+    return *d;
+}
+
+TEST(Assembler, ThreeRegForm)
+{
+    Inst i = first(assemble("add r1, r2, r3"));
+    EXPECT_EQ(i.op, Op::ADD);
+    EXPECT_EQ(i.rd, 1);
+    EXPECT_EQ(i.ra, 2);
+    EXPECT_EQ(i.rb, 3);
+}
+
+TEST(Assembler, ImmediateForm)
+{
+    Inst i = first(assemble("addi r4, r5, -42"));
+    EXPECT_EQ(i.op, Op::ADDI);
+    EXPECT_EQ(i.rd, 4);
+    EXPECT_EQ(i.ra, 5);
+    EXPECT_EQ(i.imm, -42);
+}
+
+TEST(Assembler, HexImmediates)
+{
+    Inst i = first(assemble("movi r1, 0x7fff"));
+    EXPECT_EQ(i.imm, 0x7fff);
+    Inst j = first(assemble("movi r1, -0x10"));
+    EXPECT_EQ(j.imm, -16);
+}
+
+TEST(Assembler, MemoryOperandForm)
+{
+    Inst i = first(assemble("ld r2, 16(r7)"));
+    EXPECT_EQ(i.op, Op::LD);
+    EXPECT_EQ(i.rd, 2);
+    EXPECT_EQ(i.ra, 7);
+    EXPECT_EQ(i.imm, 16);
+}
+
+TEST(Assembler, MemoryOperandNegativeDisplacement)
+{
+    Inst i = first(assemble("st r3, -8(r4)"));
+    EXPECT_EQ(i.op, Op::ST);
+    EXPECT_EQ(i.rd, 3);
+    EXPECT_EQ(i.ra, 4);
+    EXPECT_EQ(i.imm, -8);
+}
+
+TEST(Assembler, MemoryOperandNoDisplacement)
+{
+    Inst i = first(assemble("ldb r1, (r2)"));
+    EXPECT_EQ(i.imm, 0);
+    EXPECT_EQ(i.ra, 2);
+}
+
+TEST(Assembler, JmpUsesRaSlot)
+{
+    Inst i = first(assemble("jmp r9"));
+    EXPECT_EQ(i.op, Op::JMP);
+    EXPECT_EQ(i.ra, 9);
+}
+
+TEST(Assembler, NoOperandForms)
+{
+    EXPECT_EQ(first(assemble("nop")).op, Op::NOP);
+    EXPECT_EQ(first(assemble("halt")).op, Op::HALT);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    auto a = assemble(R"(
+        ; a comment line
+        nop           ; trailing comment
+        # hash comment
+        halt
+    )");
+    ASSERT_TRUE(a.ok) << a.error;
+    EXPECT_EQ(a.words.size(), 2u);
+}
+
+TEST(Assembler, ForwardBranchLabel)
+{
+    auto a = assemble(R"(
+        beq r1, r2, done
+        nop
+        nop
+        done: halt
+    )");
+    ASSERT_TRUE(a.ok) << a.error;
+    auto b = decodeInst(a.words[0]);
+    ASSERT_TRUE(b.has_value());
+    // Branch is relative to the *next* instruction: skip 2 nops.
+    EXPECT_EQ(b->imm, 2);
+    EXPECT_EQ(a.labels.at("done"), 3u);
+}
+
+TEST(Assembler, BackwardBranchLabel)
+{
+    auto a = assemble(R"(
+        loop: addi r1, r1, 1
+        bne r1, r2, loop
+        halt
+    )");
+    ASSERT_TRUE(a.ok) << a.error;
+    auto b = decodeInst(a.words[1]);
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->imm, -2);
+}
+
+TEST(Assembler, LabelOnOwnLine)
+{
+    auto a = assemble(R"(
+        start:
+        nop
+        beq r0, r0, start
+    )");
+    ASSERT_TRUE(a.ok) << a.error;
+    EXPECT_EQ(a.labels.at("start"), 0u);
+}
+
+TEST(Assembler, NumericBranchOffset)
+{
+    auto a = assemble("beq r1, r2, -1");
+    ASSERT_TRUE(a.ok) << a.error;
+    auto b = decodeInst(a.words[0]);
+    EXPECT_EQ(b->imm, -1);
+}
+
+TEST(Assembler, ErrorUnknownMnemonic)
+{
+    auto a = assemble("frobnicate r1, r2");
+    EXPECT_FALSE(a.ok);
+    EXPECT_NE(a.error.find("unknown mnemonic"), std::string::npos);
+    EXPECT_NE(a.error.find("line 1"), std::string::npos);
+}
+
+TEST(Assembler, ErrorWrongOperandCount)
+{
+    auto a = assemble("add r1, r2");
+    EXPECT_FALSE(a.ok);
+    EXPECT_NE(a.error.find("operands"), std::string::npos);
+}
+
+TEST(Assembler, ErrorBadRegister)
+{
+    EXPECT_FALSE(assemble("add r1, r99, r2").ok);
+    EXPECT_FALSE(assemble("add r1, x2, r3").ok);
+}
+
+TEST(Assembler, ErrorUndefinedLabel)
+{
+    auto a = assemble("beq r1, r2, nowhere");
+    EXPECT_FALSE(a.ok);
+    EXPECT_NE(a.error.find("undefined label"), std::string::npos);
+}
+
+TEST(Assembler, ErrorDuplicateLabel)
+{
+    auto a = assemble("x: nop\nx: halt");
+    EXPECT_FALSE(a.ok);
+    EXPECT_NE(a.error.find("duplicate label"), std::string::npos);
+}
+
+TEST(Assembler, ErrorReportsLineNumber)
+{
+    auto a = assemble("nop\nnop\nbogus r1\n");
+    EXPECT_FALSE(a.ok);
+    EXPECT_NE(a.error.find("line 3"), std::string::npos);
+}
+
+TEST(Assembler, ErrorImmediateOutOfRange)
+{
+    EXPECT_FALSE(assemble("movi r1, 0x100000000").ok);
+}
+
+TEST(Assembler, PointerOpsParse)
+{
+    EXPECT_EQ(first(assemble("lea r1, r2, r3")).op, Op::LEA);
+    EXPECT_EQ(first(assemble("leai r1, r2, 8")).op, Op::LEAI);
+    EXPECT_EQ(first(assemble("leab r1, r2, r3")).op, Op::LEAB);
+    EXPECT_EQ(first(assemble("leabi r1, r2, 0")).op, Op::LEABI);
+    EXPECT_EQ(first(assemble("restrict r1, r2, r3")).op, Op::RESTRICT);
+    EXPECT_EQ(first(assemble("subseg r1, r2, r3")).op, Op::SUBSEG);
+    EXPECT_EQ(first(assemble("setptr r1, r2")).op, Op::SETPTR);
+    EXPECT_EQ(first(assemble("isptr r1, r2")).op, Op::ISPTR);
+    EXPECT_EQ(first(assemble("ptoi r1, r2")).op, Op::PTOI);
+    EXPECT_EQ(first(assemble("itop r1, r2, r3")).op, Op::ITOP);
+    EXPECT_EQ(first(assemble("getip r5")).op, Op::GETIP);
+}
+
+TEST(Assembler, WholeProgramInstructionCount)
+{
+    auto a = assemble(R"(
+        movi r1, 0
+        movi r2, 10
+        loop:
+        addi r1, r1, 1
+        bne r1, r2, loop
+        halt
+    )");
+    ASSERT_TRUE(a.ok) << a.error;
+    EXPECT_EQ(a.words.size(), 5u);
+}
+
+} // namespace
+} // namespace gp::isa

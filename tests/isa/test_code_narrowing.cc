@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Code-segment narrowing: SUBSEG and RESTRICT applied to *execute*
+ * pointers. Execute pointers are ordinary mutable pointers (§2.1),
+ * so a program can hand out a view of a subset of its own code —
+ * function-granularity sandboxing with no new mechanism.
+ */
+
+#include "machine_fixture.h"
+
+namespace gp::isa {
+namespace {
+
+using testutil::MachineFixture;
+
+class CodeNarrowing : public MachineFixture
+{
+};
+
+TEST_F(CodeNarrowing, SubsegExecutePointerLimitsReach)
+{
+    // 8-instruction program = 64-byte segment; narrow an execute
+    // pointer to the first 32 bytes (4 instructions).
+    LoadedProgram prog = load(R"(
+        nop
+        nop
+        nop
+        halt
+        movi r5, 666    ; "forbidden" tail
+        halt
+        nop
+        halt
+    )");
+    auto narrowed = gp::subseg(prog.execPtr, 5); // 32 bytes
+    ASSERT_TRUE(narrowed);
+    EXPECT_EQ(PointerView(narrowed.value).segmentBytes(), 32u);
+
+    // Running inside the narrowed window halts cleanly at inst 3.
+    Thread *t = runThread(
+        LoadedProgram{narrowed.value, prog.enterPtr, prog.base, 5});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(5).bits(), 0u) << "tail never ran";
+}
+
+TEST_F(CodeNarrowing, NarrowedIpCannotWalkIntoTail)
+{
+    // Without the halt, sequential execution hits the narrowed
+    // boundary and faults — the tail is unreachable even by falling
+    // through.
+    LoadedProgram prog = load(R"(
+        nop
+        nop
+        nop
+        nop
+        movi r5, 666
+        halt
+        nop
+        halt
+    )");
+    auto narrowed = gp::subseg(prog.execPtr, 5);
+    ASSERT_TRUE(narrowed);
+    Thread *t = machine_->spawn(narrowed.value);
+    ASSERT_NE(t, nullptr);
+    machine_->run();
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::BoundsViolation);
+    EXPECT_EQ(t->reg(5).bits(), 0u);
+}
+
+TEST_F(CodeNarrowing, BranchOutOfNarrowedWindowFaults)
+{
+    LoadedProgram prog = load(R"(
+        beq r0, r0, 6   ; tries to jump to instruction 7
+        nop
+        nop
+        halt
+        nop
+        nop
+        nop
+        halt
+    )");
+    // Full pointer: the branch works.
+    Thread *t1 = machine_->spawn(prog.execPtr);
+    machine_->run();
+    EXPECT_EQ(t1->state(), ThreadState::Halted);
+
+    // Narrowed to 4 instructions: the same branch faults.
+    auto narrowed = gp::subseg(prog.execPtr, 5);
+    ASSERT_TRUE(narrowed);
+    Thread *t2 = machine_->spawn(narrowed.value);
+    machine_->run();
+    EXPECT_EQ(t2->state(), ThreadState::Faulted);
+    EXPECT_EQ(t2->faultRecord().fault, Fault::BoundsViolation);
+}
+
+TEST_F(CodeNarrowing, ExecuteDecaysToReadOnlyForIntrospection)
+{
+    // RESTRICT execute -> read-only: the holder may read the code
+    // (e.g. a debugger or verifier) but no longer jump to it.
+    LoadedProgram prog = load("movi r1, 7\nhalt");
+    auto ro = gp::restrictPerm(prog.execPtr, Perm::ReadOnly);
+    ASSERT_TRUE(ro);
+    EXPECT_EQ(gp::checkAccess(ro.value, Access::Load, 8),
+              Fault::None);
+    EXPECT_EQ(gp::jumpTarget(ro.value, false).fault,
+              Fault::PermissionDenied);
+    // And rights never come back.
+    EXPECT_EQ(gp::restrictPerm(ro.value, Perm::ExecuteUser).fault,
+              Fault::NotSubset);
+}
+
+TEST_F(CodeNarrowing, GetipInsideNarrowedWindowStaysNarrow)
+{
+    // GETIP returns the *narrowed* IP: code running under a narrowed
+    // view cannot re-derive its full segment.
+    LoadedProgram prog = load(R"(
+        getip r2
+        halt
+        nop
+        nop
+        nop
+        nop
+        nop
+        halt
+    )");
+    auto narrowed = gp::subseg(prog.execPtr, 4); // 16B = 2 insts
+    ASSERT_TRUE(narrowed);
+    Thread *t = machine_->spawn(narrowed.value);
+    machine_->run();
+    ASSERT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(PointerView(t->reg(2)).segmentBytes(), 16u)
+        << "the thread's own view of its code is the narrow one";
+    EXPECT_EQ(gp::lea(t->reg(2), 32).fault, Fault::BoundsViolation);
+}
+
+} // namespace
+} // namespace gp::isa

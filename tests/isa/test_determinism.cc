@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Determinism tests: identical configurations and programs must
+ * produce bit-identical architectural outcomes and cycle counts —
+ * the property every experiment in EXPERIMENTS.md relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/loader.h"
+#include "isa/machine.h"
+#include "sim/workload.h"
+
+namespace gp::isa {
+namespace {
+
+struct Outcome
+{
+    uint64_t cycles;
+    uint64_t instructions;
+    uint64_t hits;
+    uint64_t misses;
+    std::vector<uint64_t> regs;
+};
+
+Outcome
+runOnce()
+{
+    MachineConfig cfg;
+    Machine m(cfg);
+    Assembly a = assemble(R"(
+        movi r2, 0
+        movi r3, 100
+        mov r4, r1
+        loop:
+        st r2, 0(r4)
+        ld r5, 0(r4)
+        leai r4, r4, 8
+        addi r2, r2, 1
+        bne r2, r3, loop
+        halt
+    )");
+    EXPECT_TRUE(a.ok);
+    auto prog = loadProgram(m.mem(), 1 << 20, a.words);
+    Thread *t = m.spawn(prog.execPtr);
+    t->setReg(1, dataSegment(1 << 24, 12));
+    m.run();
+
+    Outcome o;
+    o.cycles = m.cycle();
+    o.instructions = m.stats().get("instructions");
+    o.hits = m.mem().stats().get("hits");
+    o.misses = m.mem().stats().get("misses");
+    for (unsigned r = 0; r < kNumRegs; ++r)
+        o.regs.push_back(t->reg(r).bits());
+    return o;
+}
+
+TEST(Determinism, IdenticalRunsAreIdentical)
+{
+    const Outcome a = runOnce();
+    const Outcome b = runOnce();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.regs, b.regs);
+}
+
+TEST(Determinism, MultithreadedRunsAreIdentical)
+{
+    auto run = [] {
+        MachineConfig cfg;
+        Machine m(cfg);
+        Assembly a = assemble(R"(
+            movi r2, 0
+            movi r3, 50
+            loop:
+            ld r5, 0(r1)
+            leai r1, r1, 8
+            addi r2, r2, 1
+            bne r2, r3, loop
+            halt
+        )");
+        EXPECT_TRUE(a.ok);
+        for (int i = 0; i < 8; ++i) {
+            auto prog = loadProgram(
+                m.mem(), ((uint64_t(i) + 1) << 20), a.words);
+            Thread *t = m.spawn(prog.execPtr);
+            t->setReg(1,
+                      dataSegment((uint64_t(i) + 1) << 24, 12));
+        }
+        m.run();
+        return m.cycle();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Determinism, WorkloadTracesAreStableAcrossInstances)
+{
+    sim::WorkloadConfig w;
+    w.seed = 31337;
+    sim::TraceGenerator g1(w), g2(w);
+    for (int i = 0; i < 1000; ++i) {
+        auto a = g1.next();
+        auto b = g2.next();
+        ASSERT_EQ(a.vaddr, b.vaddr) << i;
+        ASSERT_EQ(a.domain, b.domain) << i;
+        ASSERT_EQ(a.isWrite, b.isWrite) << i;
+    }
+}
+
+TEST(Determinism, StepAndRunAgree)
+{
+    // Stepping one cycle at a time must match a single run() call.
+    auto build = [](Machine &m) {
+        Assembly a = assemble("movi r1, 5\nmovi r2, 6\nadd r3, r1, "
+                              "r2\nhalt");
+        EXPECT_TRUE(a.ok);
+        auto prog = loadProgram(m.mem(), 1 << 20, a.words);
+        m.spawn(prog.execPtr);
+    };
+    MachineConfig cfg;
+    Machine m1(cfg), m2(cfg);
+    build(m1);
+    build(m2);
+    m1.run();
+    while (!m2.allDone())
+        m2.step();
+    EXPECT_EQ(m1.cycle(), m2.cycle());
+    EXPECT_EQ(m1.threads()[0].reg(3).bits(),
+              m2.threads()[0].reg(3).bits());
+}
+
+} // namespace
+} // namespace gp::isa

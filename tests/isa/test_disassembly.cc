@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Disassembly tests: toString(Inst) emits assembler-accepted syntax,
+ * so decode -> toString -> assemble is the identity on encodings, and
+ * golden encodings pin the binary format (a compatibility contract
+ * for anything that serializes programs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "sim/rng.h"
+
+namespace gp::isa {
+namespace {
+
+TEST(Disassembly, SyntaxExamples)
+{
+    auto dis = [](const char *src) {
+        Assembly a = assemble(src);
+        EXPECT_TRUE(a.ok) << a.error;
+        auto inst = decodeInst(a.words.at(0));
+        EXPECT_TRUE(inst.has_value());
+        return toString(*inst);
+    };
+    EXPECT_EQ(dis("add r1, r2, r3"), "add r1, r2, r3");
+    EXPECT_EQ(dis("addi r1, r2, -5"), "addi r1, r2, -5");
+    EXPECT_EQ(dis("ld r4, 16(r7)"), "ld r4, 16(r7)");
+    EXPECT_EQ(dis("st r4, -8(r7)"), "st r4, -8(r7)");
+    EXPECT_EQ(dis("movi r9, 100"), "movi r9, 100");
+    EXPECT_EQ(dis("jmp r3"), "jmp r3");
+    EXPECT_EQ(dis("getip r14"), "getip r14");
+    EXPECT_EQ(dis("halt"), "halt");
+    EXPECT_EQ(dis("restrict r1, r2, r3"), "restrict r1, r2, r3");
+    EXPECT_EQ(dis("setptr r1, r2"), "setptr r1, r2");
+}
+
+TEST(Disassembly, RoundTripsRandomInstructions)
+{
+    sim::Rng rng(2468);
+    int round_tripped = 0;
+    for (int trial = 0; trial < 8000; ++trial) {
+        const Word w = Word::fromInt(rng.next());
+        auto inst = decodeInst(w);
+        if (!inst)
+            continue;
+        const std::string text = toString(*inst);
+        Assembly a = assemble(text);
+        ASSERT_TRUE(a.ok) << text << ": " << a.error;
+        auto back = decodeInst(a.words.at(0));
+        ASSERT_TRUE(back.has_value()) << text;
+        // Fields the syntax carries must survive; unsyntaxed fields
+        // (e.g. rb of an immediate form) re-encode as zero.
+        EXPECT_EQ(back->op, inst->op) << text;
+        round_tripped++;
+    }
+    // ~2.3% of random words decode (47/256 opcodes x (16/32)^3 regs).
+    EXPECT_GT(round_tripped, 80) << "decode rate sanity";
+}
+
+TEST(Disassembly, CanonicalProgramsRoundTripExactly)
+{
+    // Programs written in canonical syntax survive
+    // assemble -> disassemble -> assemble bit-exactly.
+    const char *src = R"(
+        movi r2, 0
+        movi r3, 10
+        st r2, 0(r1)
+        leai r1, r1, 8
+        addi r2, r2, 1
+        bne r2, r3, -4
+        halt
+    )";
+    Assembly first = assemble(src);
+    ASSERT_TRUE(first.ok) << first.error;
+
+    std::string regen;
+    for (const Word &w : first.words) {
+        auto inst = decodeInst(w);
+        ASSERT_TRUE(inst.has_value());
+        regen += toString(*inst) + "\n";
+    }
+    Assembly second = assemble(regen);
+    ASSERT_TRUE(second.ok) << second.error;
+    ASSERT_EQ(second.words.size(), first.words.size());
+    for (size_t i = 0; i < first.words.size(); ++i)
+        EXPECT_EQ(second.words[i].bits(), first.words[i].bits()) << i;
+}
+
+TEST(GoldenEncodings, BinaryFormatIsStable)
+{
+    // Frozen encodings: changing any of these breaks every serialized
+    // program and the encoding documented in docs/ISA.md.
+    struct Golden
+    {
+        const char *src;
+        uint64_t bits;
+    };
+    const Golden goldens[] = {
+        {"nop", 0x0000000000000000ull},
+        {"halt", 0x0100000000000000ull},
+        {"add r1, r2, r3", 0x0208860000000000ull},
+        {"movi r2, 5", 0x1410000000000005ull},
+        {"ld r5, 0(r1)", 0x1728400000000000ull},
+        {"st r4, 0(r1)", 0x1b20400000000000ull},
+        {"mul r4, r2, r3", 0x0420860000000000ull},
+    };
+    for (const Golden &g : goldens) {
+        Assembly a = assemble(g.src);
+        ASSERT_TRUE(a.ok) << g.src;
+        EXPECT_EQ(a.words.at(0).bits(), g.bits) << g.src;
+    }
+}
+
+} // namespace
+} // namespace gp::isa

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the software fault handler (M-Machine-style event
+ * handling): termination, retry-after-repair, resume-with-patched
+ * state, and the trap-cost accounting.
+ */
+
+#include "machine_fixture.h"
+
+#include "isa/loader.h"
+
+namespace gp::isa {
+namespace {
+
+using testutil::MachineFixture;
+
+class FaultHandlerTest : public MachineFixture
+{
+};
+
+TEST_F(FaultHandlerTest, DefaultTerminates)
+{
+    Thread *t = run("ld r2, 0(r1)\nhalt"); // r1 = integer 0
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+}
+
+TEST_F(FaultHandlerTest, HandlerSeesTheFault)
+{
+    Fault seen = Fault::None;
+    machine_->setFaultHandler(
+        [&](Thread &, const FaultRecord &rec) {
+            seen = rec.fault;
+            return FaultAction::Terminate;
+        });
+    Thread *t = run("ld r2, 0(r1)\nhalt");
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(seen, Fault::NotAPointer);
+}
+
+TEST_F(FaultHandlerTest, RetryAfterRepair)
+{
+    // The program loads through r1, which starts as an integer. The
+    // handler installs a real pointer and retries; the load then
+    // succeeds and the thread halts normally.
+    Word seg = data(12);
+    machine_->mem().pokeWord(PointerView(seg).segmentBase(),
+                             Word::fromInt(777));
+    machine_->setFaultHandler(
+        [&](Thread &thread, const FaultRecord &rec) {
+            EXPECT_EQ(rec.fault, Fault::NotAPointer);
+            thread.setReg(1, seg); // repair the cause
+            return FaultAction::Retry;
+        });
+
+    Thread *t = run("ld r2, 0(r1)\nhalt");
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(2).bits(), 777u);
+    EXPECT_EQ(machine_->stats().get("faults_recovered"), 1u);
+    EXPECT_EQ(machine_->faultLog().size(), 1u)
+        << "the fault is still logged";
+}
+
+TEST_F(FaultHandlerTest, TrapCostCharged)
+{
+    // Same repair scenario; the recovered thread must have stalled
+    // for the configured trap cost.
+    MachineConfig cfg;
+    cfg.clusters = 1;
+    cfg.faultTrapCycles = 200;
+    Machine m(cfg);
+    auto assembly = assemble("ld r2, 0(r1)\nhalt");
+    ASSERT_TRUE(assembly.ok);
+    auto prog = loadProgram(m.mem(), 1 << 20, assembly.words);
+
+    Word seg = dataSegment(1 << 22, 12);
+    m.setFaultHandler([&](Thread &thread, const FaultRecord &) {
+        thread.setReg(1, seg);
+        return FaultAction::Retry;
+    });
+    m.spawn(prog.execPtr);
+    const uint64_t cycles = m.run(100000);
+    EXPECT_GE(cycles, 200u) << "trap cost appears in the runtime";
+}
+
+TEST_F(FaultHandlerTest, ResumeSkipsViaPatchedIp)
+{
+    // The handler treats the faulting instruction as a no-op: it
+    // advances IP past it and resumes.
+    Thread *t0 = nullptr;
+    machine_->setFaultHandler(
+        [&](Thread &thread, const FaultRecord &rec) {
+            auto next = gp::lea(rec.ip, 8);
+            EXPECT_TRUE(next);
+            thread.setIp(next.value);
+            return FaultAction::Resume;
+        });
+    t0 = run(R"(
+        ld r2, 0(r1)    ; faults (r1 integer); handler skips it
+        movi r3, 5
+        halt
+    )");
+    EXPECT_EQ(t0->state(), ThreadState::Halted);
+    EXPECT_EQ(t0->reg(3).bits(), 5u);
+    EXPECT_EQ(t0->reg(2).bits(), 0u) << "skipped load wrote nothing";
+}
+
+TEST_F(FaultHandlerTest, UnrepairedRetryFaultsAgain)
+{
+    // A handler that retries without repairing gets called again;
+    // give up on the second attempt.
+    int calls = 0;
+    machine_->setFaultHandler(
+        [&](Thread &, const FaultRecord &) {
+            calls++;
+            return calls < 2 ? FaultAction::Retry
+                             : FaultAction::Terminate;
+        });
+    Thread *t = run("ld r2, 0(r1)\nhalt");
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(machine_->faultLog().size(), 2u);
+}
+
+TEST_F(FaultHandlerTest, LazyRelocationFixup)
+{
+    // The paper's SS4.3 relocation story end-to-end: a segment moves,
+    // old pointers fault on next use, and the fault handler patches
+    // the thread's stale registers to the new location and retries.
+    Word old_seg = data(12);
+    const uint64_t old_base = PointerView(old_seg).segmentBase();
+    machine_->mem().pokeWord(old_base, Word::fromInt(0xCAFE));
+
+    // "Relocate": copy the word, unmap the old page.
+    Word new_seg = data(12);
+    const uint64_t new_base = PointerView(new_seg).segmentBase();
+    machine_->mem().pokeWord(new_base,
+                             machine_->mem().peekWord(old_base));
+    machine_->mem().unmapRange(old_base, 4096);
+
+    machine_->setFaultHandler(
+        [&](Thread &thread, const FaultRecord &rec) {
+            if (rec.fault != Fault::UnmappedAddress)
+                return FaultAction::Terminate;
+            // Patch every register pointing into the old segment.
+            for (unsigned r = 0; r < kNumRegs; ++r) {
+                const Word w = thread.reg(r);
+                if (!w.isPointer())
+                    continue;
+                PointerView v(w);
+                if (v.segmentBase() != old_base)
+                    continue;
+                auto patched = makePointer(v.perm(), v.lenLog2(),
+                                           new_base + v.offset());
+                EXPECT_TRUE(patched);
+                thread.setReg(r, patched.value);
+            }
+            return FaultAction::Retry;
+        });
+
+    Thread *t = run("ld r2, 0(r1)\nhalt", {{1, old_seg}});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(2).bits(), 0xCAFEu)
+        << "stale pointer transparently redirected";
+    EXPECT_EQ(PointerView(t->reg(1)).segmentBase(), new_base);
+}
+
+TEST_F(FaultHandlerTest, HandlerCannotWidenThreadRights)
+{
+    // Even the fault handler works through the same pointer mint: a
+    // handler that grants a pointer grants exactly what it mints, no
+    // ambient authority appears. (Regression guard: recovery must not
+    // set the thread privileged.)
+    machine_->setFaultHandler(
+        [&](Thread &thread, const FaultRecord &) {
+            auto next = gp::lea(thread.ip(), 8);
+            if (next)
+                thread.setIp(next.value);
+            return FaultAction::Resume;
+        });
+    Thread *t = run(R"(
+        setptr r2, r1   ; privileged op in user mode: faults, skipped
+        movi r3, 9
+        halt
+    )");
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(3).bits(), 9u);
+    EXPECT_FALSE(t->reg(2).isPointer())
+        << "SETPTR never executed; recovery didn't mint anything";
+}
+
+} // namespace
+} // namespace gp::isa

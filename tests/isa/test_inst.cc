@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for instruction encode/decode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/pointer.h"
+#include "isa/inst.h"
+
+namespace gp::isa {
+namespace {
+
+TEST(Inst, EncodeDecodeRoundTrip)
+{
+    Inst in;
+    in.op = Op::ADDI;
+    in.rd = 3;
+    in.ra = 14;
+    in.rb = 7;
+    in.imm = -12345;
+    auto out = decodeInst(encode(in));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->op, Op::ADDI);
+    EXPECT_EQ(out->rd, 3);
+    EXPECT_EQ(out->ra, 14);
+    EXPECT_EQ(out->rb, 7);
+    EXPECT_EQ(out->imm, -12345);
+}
+
+TEST(Inst, RoundTripEveryOpcode)
+{
+    for (unsigned op = 0; op < unsigned(Op::OpCount); ++op) {
+        Inst in;
+        in.op = Op(op);
+        in.rd = 1;
+        in.ra = 2;
+        in.rb = 3;
+        in.imm = 42;
+        auto out = decodeInst(encode(in));
+        ASSERT_TRUE(out.has_value()) << op;
+        EXPECT_EQ(unsigned(out->op), op);
+    }
+}
+
+TEST(Inst, ImmediateExtremes)
+{
+    for (int32_t imm : {INT32_MIN, -1, 0, 1, INT32_MAX}) {
+        Inst in;
+        in.op = Op::MOVI;
+        in.imm = imm;
+        auto out = decodeInst(encode(in));
+        ASSERT_TRUE(out.has_value());
+        EXPECT_EQ(out->imm, imm);
+    }
+}
+
+TEST(Inst, TaggedWordNeverDecodes)
+{
+    // A guarded pointer fetched as an instruction must fault — even if
+    // its payload happens to look like a valid opcode.
+    Inst in;
+    in.op = Op::NOP;
+    Word w = encode(in);
+    Word forged = Word::fromRawPointerBits(w.bits());
+    EXPECT_FALSE(decodeInst(forged).has_value());
+}
+
+TEST(Inst, OutOfRangeOpcodeRejected)
+{
+    const uint64_t bits = uint64_t(Op::OpCount) << 56;
+    EXPECT_FALSE(decodeInst(Word::fromInt(bits)).has_value());
+    EXPECT_FALSE(decodeInst(Word::fromInt(uint64_t(0xff) << 56)).has_value());
+}
+
+TEST(Inst, OutOfRangeRegisterRejected)
+{
+    // Register field 16..31 encodes but does not decode (16 regs).
+    Inst in;
+    in.op = Op::ADD;
+    in.rd = 17;
+    EXPECT_FALSE(decodeInst(encode(in)).has_value());
+}
+
+TEST(Inst, OpNamesRoundTrip)
+{
+    for (unsigned op = 0; op < unsigned(Op::OpCount); ++op) {
+        const auto name = opName(Op(op));
+        ASSERT_NE(name, "???") << op;
+        auto back = opFromName(name);
+        ASSERT_TRUE(back.has_value()) << name;
+        EXPECT_EQ(unsigned(*back), op);
+    }
+}
+
+TEST(Inst, OpFromNameCaseInsensitive)
+{
+    EXPECT_EQ(opFromName("ADD"), Op::ADD);
+    EXPECT_EQ(opFromName("Restrict"), Op::RESTRICT);
+    EXPECT_FALSE(opFromName("bogus").has_value());
+}
+
+TEST(Inst, ToStringContainsMnemonic)
+{
+    Inst in;
+    in.op = Op::LEAB;
+    EXPECT_NE(toString(in).find("leab"), std::string::npos);
+}
+
+} // namespace
+} // namespace gp::isa

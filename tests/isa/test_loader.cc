@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the program loader and its segment-geometry helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/loader.h"
+#include "mem/memory_system.h"
+
+namespace gp::isa {
+namespace {
+
+TEST(SegLenFor, SmallestCoveringPower)
+{
+    EXPECT_EQ(segLenFor(1), 3u) << "minimum one word";
+    EXPECT_EQ(segLenFor(8), 3u);
+    EXPECT_EQ(segLenFor(9), 4u);
+    EXPECT_EQ(segLenFor(16), 4u);
+    EXPECT_EQ(segLenFor(17), 5u);
+    EXPECT_EQ(segLenFor(4096), 12u);
+    EXPECT_EQ(segLenFor(4097), 13u);
+}
+
+TEST(Loader, PlacesWordsAndMintsPointers)
+{
+    mem::MemorySystem mem{mem::MemConfig{}};
+    Assembly a = assemble("movi r1, 3\nhalt");
+    ASSERT_TRUE(a.ok);
+    LoadedProgram prog = loadProgram(mem, 1 << 16, a.words);
+
+    EXPECT_EQ(prog.base, uint64_t(1) << 16);
+    EXPECT_EQ(prog.lenLog2, 4u) << "2 words -> 16-byte segment";
+    EXPECT_EQ(PointerView(prog.execPtr).perm(), Perm::ExecuteUser);
+    EXPECT_EQ(PointerView(prog.enterPtr).perm(), Perm::EnterUser);
+    EXPECT_EQ(PointerView(prog.execPtr).addr(), prog.base);
+
+    // Words are in memory, untagged, decodable.
+    EXPECT_EQ(mem.peekWord(prog.base).bits(), a.words[0].bits());
+    EXPECT_FALSE(mem.peekWord(prog.base).isPointer());
+    EXPECT_TRUE(decodeInst(mem.peekWord(prog.base + 8)).has_value());
+}
+
+TEST(Loader, PrivilegedFlagMintsPrivilegedPointers)
+{
+    mem::MemorySystem mem{mem::MemConfig{}};
+    Assembly a = assemble("halt");
+    ASSERT_TRUE(a.ok);
+    LoadedProgram prog =
+        loadProgram(mem, 1 << 16, a.words, /*privileged=*/true);
+    EXPECT_EQ(PointerView(prog.execPtr).perm(),
+              Perm::ExecutePrivileged);
+    EXPECT_EQ(PointerView(prog.enterPtr).perm(),
+              Perm::EnterPrivileged);
+}
+
+TEST(Loader, SegmentCoversWholeProgram)
+{
+    mem::MemorySystem mem{mem::MemConfig{}};
+    std::string src;
+    for (int i = 0; i < 100; ++i)
+        src += "nop\n";
+    src += "halt";
+    Assembly a = assemble(src);
+    ASSERT_TRUE(a.ok);
+    ASSERT_EQ(a.words.size(), 101u);
+    LoadedProgram prog = loadProgram(mem, 1 << 16, a.words);
+    EXPECT_EQ(prog.lenLog2, 10u) << "101 words = 808 bytes -> 1KB";
+    PointerView v(prog.execPtr);
+    EXPECT_TRUE(v.contains(prog.base + 100 * 8))
+        << "last instruction inside the segment";
+}
+
+TEST(Loader, DataSegmentMintsRwPointer)
+{
+    Word p = dataSegment(uint64_t(1) << 20, 12);
+    PointerView v(p);
+    EXPECT_EQ(v.perm(), Perm::ReadWrite);
+    EXPECT_EQ(v.segmentBase(), uint64_t(1) << 20);
+    EXPECT_EQ(v.segmentBytes(), 4096u);
+}
+
+} // namespace
+} // namespace gp::isa

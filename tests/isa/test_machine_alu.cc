@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for ALU instruction semantics on the machine, including the
+ * §2.2 rule that non-pointer operations clear the tag bit.
+ */
+
+#include "machine_fixture.h"
+
+namespace gp::isa {
+namespace {
+
+using testutil::MachineFixture;
+
+class AluTest : public MachineFixture
+{
+};
+
+TEST_F(AluTest, MoviAndAdd)
+{
+    Thread *t = run(R"(
+        movi r1, 20
+        movi r2, 22
+        add r3, r1, r2
+        halt
+    )");
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(3).bits(), 42u);
+}
+
+TEST_F(AluTest, MoviSignExtends)
+{
+    Thread *t = run("movi r1, -5\nhalt");
+    EXPECT_EQ(int64_t(t->reg(1).bits()), -5);
+}
+
+TEST_F(AluTest, LuiOriBuilds64BitConstant)
+{
+    Thread *t = run(R"(
+        lui r1, 0x12345678
+        ori r1, r1, 0x7abcde
+        halt
+    )");
+    EXPECT_EQ(t->reg(1).bits(), 0x12345678007abcdeull);
+}
+
+TEST_F(AluTest, SubMul)
+{
+    Thread *t = run(R"(
+        movi r1, 100
+        movi r2, 7
+        sub r3, r1, r2
+        mul r4, r2, r2
+        halt
+    )");
+    EXPECT_EQ(t->reg(3).bits(), 93u);
+    EXPECT_EQ(t->reg(4).bits(), 49u);
+}
+
+TEST_F(AluTest, Bitwise)
+{
+    Thread *t = run(R"(
+        movi r1, 0xf0
+        movi r2, 0x3c
+        and r3, r1, r2
+        or  r4, r1, r2
+        xor r5, r1, r2
+        halt
+    )");
+    EXPECT_EQ(t->reg(3).bits(), 0x30u);
+    EXPECT_EQ(t->reg(4).bits(), 0xfcu);
+    EXPECT_EQ(t->reg(5).bits(), 0xccu);
+}
+
+TEST_F(AluTest, Shifts)
+{
+    Thread *t = run(R"(
+        movi r1, -8
+        movi r2, 2
+        shl r3, r1, r2
+        shr r4, r1, r2
+        sra r5, r1, r2
+        shli r6, r2, 10
+        srai r7, r1, 1
+        halt
+    )");
+    EXPECT_EQ(int64_t(t->reg(3).bits()), -32);
+    EXPECT_EQ(t->reg(4).bits(), (uint64_t(-8)) >> 2);
+    EXPECT_EQ(int64_t(t->reg(5).bits()), -2);
+    EXPECT_EQ(t->reg(6).bits(), 2048u);
+    EXPECT_EQ(int64_t(t->reg(7).bits()), -4);
+}
+
+TEST_F(AluTest, SetLessThan)
+{
+    Thread *t = run(R"(
+        movi r1, -1
+        movi r2, 1
+        slt r3, r1, r2
+        slt r4, r2, r1
+        sltu r5, r1, r2
+        halt
+    )");
+    EXPECT_EQ(t->reg(3).bits(), 1u);
+    EXPECT_EQ(t->reg(4).bits(), 0u);
+    EXPECT_EQ(t->reg(5).bits(), 0u) << "-1 unsigned is max";
+}
+
+TEST_F(AluTest, AluOnPointerClearsTag)
+{
+    // §2.2: using a pointer in a non-pointer operation yields the
+    // integer with the same bit fields.
+    Word cap = data(12);
+    Thread *t = run(R"(
+        movi r2, 0
+        add r3, r1, r2
+        halt
+    )",
+                    {{1, cap}});
+    EXPECT_EQ(t->reg(3).bits(), cap.bits()) << "bits preserved";
+    EXPECT_FALSE(t->reg(3).isPointer()) << "tag cleared";
+    EXPECT_TRUE(t->reg(1).isPointer()) << "source untouched";
+}
+
+TEST_F(AluTest, AddiOnPointerClearsTag)
+{
+    Word cap = data(12);
+    Thread *t = run("addi r2, r1, 0\nhalt", {{1, cap}});
+    EXPECT_FALSE(t->reg(2).isPointer());
+}
+
+TEST_F(AluTest, MovPreservesTag)
+{
+    Word cap = data(12);
+    Thread *t = run("mov r2, r1\nhalt", {{1, cap}});
+    EXPECT_TRUE(t->reg(2).isPointer());
+    EXPECT_EQ(t->reg(2).bits(), cap.bits());
+}
+
+TEST_F(AluTest, XorCannotForgePointer)
+{
+    // Adversarial: xor a pointer with 0 — identical bits, but no tag.
+    Word cap = data(12);
+    Thread *t = run(R"(
+        movi r2, 0
+        xor r3, r1, r2
+        isptr r4, r3
+        halt
+    )",
+                    {{1, cap}});
+    EXPECT_EQ(t->reg(4).bits(), 0u);
+}
+
+TEST_F(AluTest, LoopComputesSum)
+{
+    Thread *t = run(R"(
+        movi r1, 0      ; sum
+        movi r2, 0      ; i
+        movi r3, 10     ; limit
+        loop:
+        add r1, r1, r2
+        addi r2, r2, 1
+        bne r2, r3, loop
+        halt
+    )");
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(1).bits(), 45u);
+}
+
+TEST_F(AluTest, InstructionCountTracked)
+{
+    Thread *t = run("nop\nnop\nnop\nhalt");
+    EXPECT_EQ(t->instsRetired(), 4u);
+}
+
+} // namespace
+} // namespace gp::isa

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for control flow: branches, jumps through execute/enter
+ * pointers, GETIP-based return linkage, and privilege transitions.
+ */
+
+#include "machine_fixture.h"
+
+namespace gp::isa {
+namespace {
+
+using testutil::MachineFixture;
+
+class ControlTest : public MachineFixture
+{
+};
+
+TEST_F(ControlTest, TakenAndNotTakenBranches)
+{
+    Thread *t = run(R"(
+        movi r1, 1
+        movi r2, 1
+        movi r3, 0
+        beq r1, r2, yes
+        movi r3, 111   ; skipped
+        yes:
+        bne r1, r2, no
+        movi r4, 222   ; executed
+        no:
+        halt
+    )");
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(3).bits(), 0u);
+    EXPECT_EQ(t->reg(4).bits(), 222u);
+}
+
+TEST_F(ControlTest, SignedBranches)
+{
+    Thread *t = run(R"(
+        movi r1, -3
+        movi r2, 2
+        movi r5, 0
+        blt r1, r2, a
+        movi r5, 1
+        a:
+        bge r2, r1, b
+        movi r5, 2
+        b:
+        halt
+    )");
+    EXPECT_EQ(t->reg(5).bits(), 0u) << "both branches taken";
+}
+
+TEST_F(ControlTest, BeqComparesTags)
+{
+    // A pointer and an integer with identical bits are *not* equal.
+    Word seg = data(12);
+    Thread *t = run(R"(
+        movi r3, 0
+        beq r1, r2, same
+        movi r3, 1
+        same:
+        halt
+    )",
+                    {{1, seg}, {2, Word::fromInt(seg.bits())}});
+    EXPECT_EQ(t->reg(3).bits(), 1u) << "tag mismatch => not equal";
+}
+
+TEST_F(ControlTest, JumpThroughExecutePointer)
+{
+    LoadedProgram callee = load("movi r5, 77\nhalt");
+    Thread *t = run("jmp r1", {{1, callee.execPtr}});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(5).bits(), 77u);
+}
+
+TEST_F(ControlTest, JumpThroughEnterPointerConverts)
+{
+    LoadedProgram callee = load("getip r6\nmovi r5, 88\nhalt");
+    Thread *t = run("jmp r1", {{1, callee.enterPtr}});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(5).bits(), 88u);
+    // Inside, the IP is an execute pointer, not enter.
+    EXPECT_EQ(PointerView(t->reg(6)).perm(), Perm::ExecuteUser);
+}
+
+TEST_F(ControlTest, JumpThroughDataPointerFaults)
+{
+    Word seg = data(12);
+    Thread *t = run("jmp r1", {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::PermissionDenied);
+}
+
+TEST_F(ControlTest, JumpThroughIntegerFaults)
+{
+    Thread *t = run("jmp r1", {{1, Word::fromInt(0x1000000)}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::NotAPointer);
+}
+
+TEST_F(ControlTest, GetipReturnLinkage)
+{
+    // Caller computes RETIP = GETIP + 3 instructions, passes it in r14,
+    // callee jumps back (the paper's RETIP convention, Fig. 3).
+    LoadedProgram callee = load("movi r5, 5\njmp r14");
+    Thread *t = run(R"(
+        getip r14
+        leai r14, r14, 24   ; skip getip, leai, jmp
+        jmp r1
+        movi r6, 6          ; executed after return
+        halt
+    )",
+                    {{1, callee.execPtr}});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(5).bits(), 5u);
+    EXPECT_EQ(t->reg(6).bits(), 6u);
+}
+
+TEST_F(ControlTest, RunningOffSegmentEndFaults)
+{
+    // No halt: IP increments past the last instruction and the IP
+    // bounds check fires.
+    Thread *t = run("nop\nnop");
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::BoundsViolation);
+}
+
+TEST_F(ControlTest, BranchOutOfSegmentFaults)
+{
+    Thread *t = run("beq r1, r1, 1000");
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::BoundsViolation);
+}
+
+TEST_F(ControlTest, FetchingDataAsCodeFaults)
+{
+    // Jump into a segment of tagged words: decode must reject them.
+    Word seg = data(12);
+    Word inner = data(8);
+    machine_->mem().pokeWord(PointerView(seg).segmentBase(), inner);
+    auto exec = makePointer(Perm::ExecuteUser, 12,
+                            PointerView(seg).segmentBase());
+    ASSERT_TRUE(exec);
+    Thread *t = run("jmp r1", {{1, exec.value}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::InvalidInstruction);
+}
+
+TEST_F(ControlTest, SetptrFaultsInUserMode)
+{
+    Thread *t = run("movi r1, 42\nsetptr r2, r1\nhalt");
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::PrivilegeViolation);
+}
+
+TEST_F(ControlTest, SetptrWorksInPrivilegedMode)
+{
+    Thread *t = run(R"(
+        lui r1, 0x08400000   ; perm=rw(2)... build a pointer pattern
+        setptr r2, r1
+        isptr r3, r2
+        halt
+    )",
+                    {}, /*privileged=*/true);
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(3).bits(), 1u);
+}
+
+TEST_F(ControlTest, UserCannotJumpToRawExecutePrivileged)
+{
+    LoadedProgram privileged = load("halt", /*privileged=*/true);
+    Thread *t = run("jmp r1", {{1, privileged.execPtr}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::PrivilegeViolation);
+}
+
+TEST_F(ControlTest, EnterPrivilegedGatewayGrantsPrivilege)
+{
+    // User thread enters privileged code through the gateway; SETPTR
+    // now succeeds.
+    LoadedProgram privileged = load(R"(
+        movi r2, 99
+        setptr r3, r2
+        isptr r4, r3
+        halt
+    )",
+                                    /*privileged=*/true);
+    Thread *t = run("jmp r1", {{1, privileged.enterPtr}});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(4).bits(), 1u);
+}
+
+TEST_F(ControlTest, PrivilegedCodeReturnsToUser)
+{
+    LoadedProgram user_tail = load("movi r5, 1\nsetptr r6, r5\nhalt");
+    LoadedProgram privileged = load("jmp r8", /*privileged=*/true);
+    Thread *t = run("jmp r1", {{1, privileged.enterPtr},
+                               {8, user_tail.execPtr}});
+    // Back in user mode the SETPTR faults.
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::PrivilegeViolation);
+    EXPECT_EQ(t->reg(5).bits(), 1u) << "user code did run";
+}
+
+} // namespace
+} // namespace gp::isa

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for load/store execution through guarded pointers on the
+ * machine: displacement addressing with bounds checks, tag flow
+ * through memory, and faulting accesses.
+ */
+
+#include "machine_fixture.h"
+
+namespace gp::isa {
+namespace {
+
+using testutil::MachineFixture;
+
+class MemTest : public MachineFixture
+{
+};
+
+TEST_F(MemTest, StoreLoadWord)
+{
+    Word seg = data(12);
+    Thread *t = run(R"(
+        movi r2, 1234
+        st r2, 0(r1)
+        ld r3, 0(r1)
+        halt
+    )",
+                    {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(3).bits(), 1234u);
+}
+
+TEST_F(MemTest, DisplacementAddressing)
+{
+    Word seg = data(12);
+    Thread *t = run(R"(
+        movi r2, 7
+        movi r3, 9
+        st r2, 8(r1)
+        st r3, 16(r1)
+        ld r4, 8(r1)
+        ld r5, 16(r1)
+        halt
+    )",
+                    {{1, seg}});
+    EXPECT_EQ(t->reg(4).bits(), 7u);
+    EXPECT_EQ(t->reg(5).bits(), 9u);
+}
+
+TEST_F(MemTest, DisplacementOutOfSegmentFaults)
+{
+    Word seg = data(12); // 4KB
+    Thread *t = run("ld r2, 4096(r1)\nhalt", {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::BoundsViolation);
+}
+
+TEST_F(MemTest, NegativeDisplacementUnderflowFaults)
+{
+    Word seg = data(12);
+    Thread *t = run("ld r2, -8(r1)\nhalt", {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::BoundsViolation);
+}
+
+TEST_F(MemTest, StoreThroughReadOnlyFaults)
+{
+    Word seg = data(12);
+    auto ro = gp::restrictPerm(seg, Perm::ReadOnly);
+    ASSERT_TRUE(ro);
+    Thread *t = run("st r2, 0(r1)\nhalt", {{1, ro.value}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::PermissionDenied);
+}
+
+TEST_F(MemTest, LoadThroughReadOnlyWorks)
+{
+    Word seg = data(12);
+    machine_->mem().pokeWord(PointerView(seg).segmentBase(),
+                             Word::fromInt(55));
+    auto ro = gp::restrictPerm(seg, Perm::ReadOnly);
+    ASSERT_TRUE(ro);
+    Thread *t = run("ld r2, 0(r1)\nhalt", {{1, ro.value}});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(2).bits(), 55u);
+}
+
+TEST_F(MemTest, LoadThroughIntegerFaults)
+{
+    Thread *t = run("ld r2, 0(r1)\nhalt",
+                    {{1, Word::fromInt(uint64_t(1) << 30)}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::NotAPointer);
+}
+
+TEST_F(MemTest, PointerSurvivesMemoryRoundTrip)
+{
+    Word seg = data(12);
+    Word other = data(8);
+    Thread *t = run(R"(
+        st r2, 0(r1)
+        ld r3, 0(r1)
+        isptr r4, r3
+        halt
+    )",
+                    {{1, seg}, {2, other}});
+    EXPECT_EQ(t->reg(4).bits(), 1u);
+    EXPECT_EQ(t->reg(3).bits(), other.bits());
+}
+
+TEST_F(MemTest, SubWordStoreDestroysStoredPointer)
+{
+    Word seg = data(12);
+    Word other = data(8);
+    Thread *t = run(R"(
+        st r2, 0(r1)      ; store capability
+        movi r5, 0xff
+        stb r5, 0(r1)     ; clobber one byte
+        ld r3, 0(r1)
+        isptr r4, r3
+        halt
+    )",
+                    {{1, seg}, {2, other}});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(4).bits(), 0u) << "capability destroyed";
+}
+
+TEST_F(MemTest, SubWordWidths)
+{
+    Word seg = data(12);
+    Thread *t = run(R"(
+        lui r2, 0x11223344
+        ori r2, r2, 0x55667788
+        st r2, 0(r1)
+        ldb r3, 0(r1)
+        ldh r4, 0(r1)
+        ldw r5, 0(r1)
+        ldb r6, 7(r1)
+        halt
+    )",
+                    {{1, seg}});
+    EXPECT_EQ(t->reg(3).bits(), 0x88u);
+    EXPECT_EQ(t->reg(4).bits(), 0x7788u);
+    EXPECT_EQ(t->reg(5).bits(), 0x55667788u);
+    EXPECT_EQ(t->reg(6).bits(), 0x11u);
+}
+
+TEST_F(MemTest, MisalignedWordLoadFaults)
+{
+    Word seg = data(12);
+    Thread *t = run("ld r2, 4(r1)\nhalt", {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::Misaligned);
+}
+
+TEST_F(MemTest, ArrayLoopThroughLea)
+{
+    // The paper's §2.2 loop example: step a pointer through an array.
+    Word seg = data(12);
+    Thread *t = run(R"(
+        mov r2, r1       ; cursor
+        movi r3, 0       ; i
+        movi r4, 16      ; n
+        movi r5, 0       ; sum of stores later
+        fill:
+        st r3, 0(r2)
+        leai r2, r2, 8
+        addi r3, r3, 1
+        bne r3, r4, fill
+        ; sum them back
+        mov r2, r1
+        movi r3, 0
+        acc:
+        ld r6, 0(r2)
+        add r5, r5, r6
+        leai r2, r2, 8
+        addi r3, r3, 1
+        bne r3, r4, acc
+        halt
+    )",
+                    {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(5).bits(), 120u) << "sum 0..15";
+}
+
+TEST_F(MemTest, KeyPointerCannotBeDereferenced)
+{
+    Word seg = data(12);
+    auto key = gp::restrictPerm(seg, Perm::Key);
+    ASSERT_TRUE(key);
+    Thread *t = run("ld r2, 0(r1)\nhalt", {{1, key.value}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::PermissionDenied);
+}
+
+TEST_F(MemTest, FaultRecordsIp)
+{
+    Word seg = data(12);
+    auto ro = gp::restrictPerm(seg, Perm::ReadOnly);
+    ASSERT_TRUE(ro);
+    LoadedProgram prog = load("nop\nst r2, 0(r1)\nhalt");
+    Thread *t = runThread(prog, {{1, ro.value}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    // Fault IP is the second instruction.
+    EXPECT_EQ(t->faultRecord().ip.addr(), prog.base + 8);
+    ASSERT_EQ(machine_->faultLog().size(), 1u);
+    EXPECT_EQ(machine_->faultLog()[0].fault, Fault::PermissionDenied);
+}
+
+} // namespace
+} // namespace gp::isa

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the pointer-manipulation instructions executing on the
+ * machine: LEA/LEAB/RESTRICT/SUBSEG/ISPTR/PTOI/ITOP, and the §2.2
+ * cast code sequences exactly as the paper writes them.
+ */
+
+#include "machine_fixture.h"
+
+namespace gp::isa {
+namespace {
+
+using testutil::MachineFixture;
+
+class PointerTest : public MachineFixture
+{
+};
+
+TEST_F(PointerTest, LeaRegisterOffset)
+{
+    Word seg = data(12);
+    Thread *t = run(R"(
+        movi r2, 64
+        lea r3, r1, r2
+        ptoi r4, r3
+        halt
+    )",
+                    {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(t->reg(4).bits(), 64u);
+    EXPECT_TRUE(t->reg(3).isPointer());
+}
+
+TEST_F(PointerTest, LeaOutOfBoundsFaults)
+{
+    Word seg = data(12);
+    Thread *t = run("leai r2, r1, 5000\nhalt", {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::BoundsViolation);
+}
+
+TEST_F(PointerTest, LeabSeeksFromBase)
+{
+    Word seg = data(12);
+    auto mid = gp::lea(seg, 0x500);
+    ASSERT_TRUE(mid);
+    Thread *t = run(R"(
+        movi r2, 16
+        leab r3, r1, r2
+        ptoi r4, r3
+        halt
+    )",
+                    {{1, mid.value}});
+    EXPECT_EQ(t->reg(4).bits(), 16u);
+}
+
+TEST_F(PointerTest, PaperPtrToIntSequence)
+{
+    // The exact §2.2 sequence: LEAB Ptr,0,Base ; SUB Ptr,Base,Int.
+    Word seg = data(12);
+    auto mid = gp::lea(seg, 0x123 * 8);
+    ASSERT_TRUE(mid);
+    Thread *t = run(R"(
+        leabi r2, r1, 0     ; Base = segment base
+        sub r3, r1, r2      ; Int = Ptr - Base (ALU clears tag)
+        isptr r4, r3
+        halt
+    )",
+                    {{1, mid.value}});
+    EXPECT_EQ(t->reg(3).bits(), uint64_t(0x123 * 8));
+    EXPECT_EQ(t->reg(4).bits(), 0u) << "result is an integer";
+}
+
+TEST_F(PointerTest, PaperIntToPtrSequence)
+{
+    // Integer-to-pointer: ITOP (LEAB with dynamic offset).
+    Word seg = data(12);
+    Thread *t = run(R"(
+        movi r2, 0x80
+        itop r3, r1, r2
+        ptoi r4, r3
+        isptr r5, r3
+        halt
+    )",
+                    {{1, seg}});
+    EXPECT_EQ(t->reg(4).bits(), 0x80u);
+    EXPECT_EQ(t->reg(5).bits(), 1u);
+}
+
+TEST_F(PointerTest, ItopOutOfRangeFaults)
+{
+    Word seg = data(12);
+    Thread *t = run(R"(
+        movi r2, 0x2000
+        itop r3, r1, r2
+        halt
+    )",
+                    {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::BoundsViolation);
+}
+
+TEST_F(PointerTest, RestrictNarrowsInUserMode)
+{
+    // §2.2: RESTRICT is unprivileged — user code shares safely with
+    // no system call.
+    Word seg = data(12);
+    Thread *t = run(R"(
+        movi r2, 2          ; Perm::ReadOnly
+        restrict r3, r1, r2
+        ld r4, 0(r3)        ; read ok
+        halt
+    )",
+                    {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(PointerView(t->reg(3)).perm(), Perm::ReadOnly);
+}
+
+TEST_F(PointerTest, RestrictedPointerCannotStore)
+{
+    Word seg = data(12);
+    Thread *t = run(R"(
+        movi r2, 2
+        restrict r3, r1, r2
+        st r4, 0(r3)
+        halt
+    )",
+                    {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::PermissionDenied);
+}
+
+TEST_F(PointerTest, RestrictWideningFaults)
+{
+    Word seg = data(12);
+    auto ro = gp::restrictPerm(seg, Perm::ReadOnly);
+    ASSERT_TRUE(ro);
+    Thread *t = run(R"(
+        movi r2, 3          ; Perm::ReadWrite
+        restrict r3, r1, r2
+        halt
+    )",
+                    {{1, ro.value}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::NotSubset);
+}
+
+TEST_F(PointerTest, SubsegNarrows)
+{
+    Word seg = data(12);
+    Thread *t = run(R"(
+        movi r2, 6          ; 64-byte subsegment
+        subseg r3, r1, r2
+        leai r4, r3, 63     ; last byte: ok
+        halt
+    )",
+                    {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(PointerView(t->reg(3)).segmentBytes(), 64u);
+}
+
+TEST_F(PointerTest, SubsegThenEscapeFaults)
+{
+    Word seg = data(12);
+    Thread *t = run(R"(
+        movi r2, 6
+        subseg r3, r1, r2
+        leai r4, r3, 64     ; one past the subsegment
+        halt
+    )",
+                    {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::BoundsViolation);
+}
+
+TEST_F(PointerTest, SubsegGrowFaults)
+{
+    Word seg = data(12);
+    Thread *t = run(R"(
+        movi r2, 20
+        subseg r3, r1, r2
+        halt
+    )",
+                    {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::NotSmaller);
+}
+
+TEST_F(PointerTest, IsptrDistinguishes)
+{
+    Word seg = data(12);
+    Thread *t = run(R"(
+        isptr r3, r1
+        isptr r4, r2
+        halt
+    )",
+                    {{1, seg}, {2, Word::fromInt(seg.bits())}});
+    EXPECT_EQ(t->reg(3).bits(), 1u);
+    EXPECT_EQ(t->reg(4).bits(), 0u);
+}
+
+TEST_F(PointerTest, SharingByRegisterPassing)
+{
+    // Thread A writes through a restricted pointer derived from its
+    // own segment — the full grant story in user mode: derive,
+    // restrict, hand over (here: to itself), use.
+    Word seg = data(12);
+    Thread *t = run(R"(
+        movi r2, 0x40
+        itop r3, r1, r2     ; subobject pointer
+        movi r4, 6
+        subseg r3, r3, r4   ; narrow to 64 bytes
+        movi r4, 2
+        restrict r3, r3, r4 ; read-only grant
+        ld r5, 0(r3)
+        halt
+    )",
+                    {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    PointerView grant(t->reg(3));
+    EXPECT_EQ(grant.perm(), Perm::ReadOnly);
+    EXPECT_EQ(grant.segmentBytes(), 64u);
+}
+
+} // namespace
+} // namespace gp::isa

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the banked virtually-addressed cache: interleaving,
+ * associativity/LRU, write-back, page invalidation (revocation), and
+ * the ASID synonym behaviour the §5.1 comparison leans on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+
+namespace gp::mem {
+namespace {
+
+CacheConfig
+smallConfig()
+{
+    CacheConfig c;
+    c.banks = 4;
+    c.lineBytes = 32;
+    c.setsPerBank = 8;
+    c.ways = 2;
+    return c;
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(smallConfig());
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x101f, false).hit) << "same line";
+    EXPECT_FALSE(cache.access(0x1020, false).hit) << "next line";
+}
+
+TEST(Cache, BankInterleavingByLineAddress)
+{
+    Cache cache(smallConfig());
+    EXPECT_EQ(cache.bankOf(0x00), 0u);
+    EXPECT_EQ(cache.bankOf(0x20), 1u);
+    EXPECT_EQ(cache.bankOf(0x40), 2u);
+    EXPECT_EQ(cache.bankOf(0x60), 3u);
+    EXPECT_EQ(cache.bankOf(0x80), 0u);
+    EXPECT_EQ(cache.bankOf(0x1f), 0u) << "within-line offset ignored";
+}
+
+TEST(Cache, CapacityBytes)
+{
+    Cache cache(smallConfig());
+    EXPECT_EQ(cache.capacityBytes(), 4u * 8 * 2 * 32);
+}
+
+TEST(Cache, LruWithinSet)
+{
+    // Two ways: fill both, touch the first, insert a third mapping to
+    // the same set; the untouched second way is evicted.
+    Cache cache(smallConfig());
+    const uint64_t set_stride = 32ull * 4 * 8; // line*banks*sets
+    cache.access(0x0, false);
+    cache.access(set_stride, false);
+    cache.access(0x0, false); // 0 becomes MRU
+    cache.access(2 * set_stride, false);
+    EXPECT_TRUE(cache.probe(0x0));
+    EXPECT_FALSE(cache.probe(set_stride));
+    EXPECT_TRUE(cache.probe(2 * set_stride));
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache cache(smallConfig());
+    const uint64_t set_stride = 32ull * 4 * 8;
+    cache.access(0x0, true); // dirty
+    cache.access(set_stride, false);
+    auto r = cache.access(2 * set_stride, false); // evicts one of them
+    // Evicting the dirty line must report a writeback; run one more
+    // conflicting access so both victims have cycled.
+    auto r2 = cache.access(3 * set_stride, false);
+    EXPECT_TRUE(r.writeback || r2.writeback);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache cache(smallConfig());
+    const uint64_t set_stride = 32ull * 4 * 8;
+    cache.access(0x0, false);
+    cache.access(set_stride, false);
+    auto r = cache.access(2 * set_stride, false);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache cache(smallConfig());
+    const uint64_t set_stride = 32ull * 4 * 8;
+    cache.access(0x0, false);
+    cache.access(0x0, true); // hit, now dirty
+    cache.access(set_stride, false);
+    auto r = cache.access(2 * set_stride, false);
+    auto r2 = cache.access(3 * set_stride, false);
+    EXPECT_TRUE(r.writeback || r2.writeback);
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    Cache cache(smallConfig());
+    EXPECT_FALSE(cache.probe(0x1000));
+    EXPECT_FALSE(cache.probe(0x1000)) << "probe does not install";
+    cache.access(0x1000, false);
+    EXPECT_TRUE(cache.probe(0x1000));
+    EXPECT_EQ(cache.stats().get("hits"), 0u)
+        << "probe is not counted as an access";
+}
+
+TEST(Cache, AsidCreatesSynonyms)
+{
+    // The §5.1 point: with ASID-tagged lines, the same address from
+    // two domains occupies two lines — no in-cache sharing.
+    Cache cache(smallConfig());
+    cache.access(0x1000, false, /*asid=*/1);
+    EXPECT_FALSE(cache.probe(0x1000, 2));
+    EXPECT_FALSE(cache.access(0x1000, false, 2).hit);
+    EXPECT_TRUE(cache.probe(0x1000, 1));
+    EXPECT_TRUE(cache.probe(0x1000, 2));
+}
+
+TEST(Cache, SharedLinesWithAsidZero)
+{
+    // Guarded pointers: one space, ASID always 0 — true sharing.
+    Cache cache(smallConfig());
+    cache.access(0x1000, false, 0);
+    EXPECT_TRUE(cache.access(0x1000, false, 0).hit)
+        << "any domain hits the same line";
+}
+
+TEST(Cache, InvalidatePageDropsAllItsLines)
+{
+    Cache cache(smallConfig());
+    // Touch every line of the 4KB page at 0x2000 that fits the cache.
+    for (uint64_t a = 0x2000; a < 0x3000; a += 32)
+        cache.access(a, false);
+    // Also a line in a different page.
+    cache.access(0x8000, false);
+    const unsigned dropped = cache.invalidatePage(0x2000, 12);
+    EXPECT_GT(dropped, 0u);
+    for (uint64_t a = 0x2000; a < 0x3000; a += 32)
+        EXPECT_FALSE(cache.probe(a)) << std::hex << a;
+    EXPECT_TRUE(cache.probe(0x8000)) << "other pages untouched";
+}
+
+TEST(Cache, FlushAllReportsDirtyCount)
+{
+    Cache cache(smallConfig());
+    cache.access(0x0, true);
+    cache.access(0x20, true);
+    cache.access(0x40, false);
+    EXPECT_EQ(cache.flushAll(), 2u);
+    EXPECT_FALSE(cache.probe(0x0));
+    EXPECT_FALSE(cache.probe(0x40));
+}
+
+TEST(Cache, StatsCount)
+{
+    Cache cache(smallConfig());
+    cache.access(0x0, false);
+    cache.access(0x0, false);
+    cache.access(0x20, false);
+    EXPECT_EQ(cache.stats().get("hits"), 1u);
+    EXPECT_EQ(cache.stats().get("misses"), 2u);
+}
+
+TEST(Cache, SingleBankConfig)
+{
+    CacheConfig c = smallConfig();
+    c.banks = 1;
+    Cache cache(c);
+    EXPECT_EQ(cache.bankOf(0x12345), 0u);
+    EXPECT_FALSE(cache.access(0x100, false).hit);
+    EXPECT_TRUE(cache.access(0x100, false).hit);
+}
+
+TEST(Cache, DirectMappedConfig)
+{
+    CacheConfig c = smallConfig();
+    c.ways = 1;
+    Cache cache(c);
+    const uint64_t set_stride = 32ull * 4 * 8;
+    cache.access(0x0, false);
+    cache.access(set_stride, false); // conflict, evicts
+    EXPECT_FALSE(cache.probe(0x0));
+}
+
+} // namespace
+} // namespace gp::mem

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Deeper timing tests for the memory system: external-port
+ * serialization, stall accounting, custom timing parameters, and the
+ * histogram/counter surface the benches depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.h"
+#include "mem/memory_system.h"
+
+namespace gp::mem {
+namespace {
+
+MemConfig
+config()
+{
+    MemConfig c;
+    c.cache.banks = 4;
+    c.cache.lineBytes = 32;
+    c.cache.setsPerBank = 16;
+    c.cache.ways = 2;
+    c.tlbEntries = 8;
+    return c;
+}
+
+Word
+rw(uint64_t addr, uint64_t len = 20)
+{
+    return makePointer(Perm::ReadWrite, len, addr).value;
+}
+
+TEST(MemTiming, ExtPortSerializesConcurrentMisses)
+{
+    MemorySystem m(config());
+    // Two misses to different banks issued the same cycle: bank
+    // access proceeds in parallel, but the fills share one external
+    // port, so the second completes ~extMem later than the first.
+    Word a = rw(0x100000);
+    Word b = rw(0x100020);
+    ASSERT_NE(m.bankOf(0x100000), m.bankOf(0x100020));
+    auto r1 = m.load(a, 8, 0);
+    auto r2 = m.load(b, 8, 0);
+    EXPECT_FALSE(r1.cacheHit);
+    EXPECT_FALSE(r2.cacheHit);
+    EXPECT_GE(r2.completeCycle, r1.completeCycle + 8)
+        << "single external memory interface (Fig. 5)";
+    EXPECT_GT(m.stats().get("ext_port_stalls"), 0u);
+}
+
+TEST(MemTiming, CustomTimingParametersRespected)
+{
+    MemConfig c = config();
+    c.timing.cacheHit = 2;
+    c.timing.tlbLookup = 3;
+    c.timing.ptWalk = 7;
+    c.timing.extMemAccess = 11;
+    MemorySystem m(c);
+    Word p = rw(0x100000);
+    auto miss = m.load(p, 8, 0);
+    EXPECT_EQ(miss.latency(), 2u + 3 + 7 + 11);
+    auto hit = m.load(p, 8, miss.completeCycle);
+    EXPECT_EQ(hit.latency(), 2u);
+}
+
+TEST(MemTiming, BankStallAccounting)
+{
+    MemorySystem m(config());
+    Word a = rw(0x100000);
+    // Warm, then hammer the same bank in one cycle.
+    uint64_t t = m.load(a, 8, 0).completeCycle;
+    const uint64_t before = m.stats().get("bank_conflict_stalls");
+    m.load(a, 8, t);
+    m.load(a, 8, t);
+    m.load(a, 8, t);
+    EXPECT_EQ(m.stats().get("bank_conflict_stalls") - before, 1u + 2)
+        << "second waits 1, third waits 2";
+}
+
+TEST(MemTiming, FetchSharesTheSamePorts)
+{
+    // Instruction fetches contend for banks like data accesses: a
+    // fetch and a load to the same bank in the same cycle serialize.
+    MemorySystem m(config());
+    auto exec = makePointer(Perm::ExecuteUser, 20, 0x100000);
+    ASSERT_TRUE(exec);
+    Word data = rw(0x100080); // same bank as 0x100000
+    ASSERT_EQ(m.bankOf(0x100000), m.bankOf(0x100080));
+    uint64_t t = m.fetch(exec.value, 0).completeCycle;
+    t = std::max(t, m.load(data, 8, t).completeCycle);
+
+    auto f = m.fetch(exec.value, t);
+    auto l = m.load(data, 8, t);
+    EXPECT_EQ(l.completeCycle, f.completeCycle + 1);
+}
+
+TEST(MemTiming, TlbEvictionCausesRewalk)
+{
+    MemConfig c = config();
+    c.tlbEntries = 2;
+    MemorySystem m(c);
+    // Touch 3 pages round-robin: with 2 TLB entries, LRU thrash.
+    Word pages[3] = {rw(0x100000, 24), rw(0x101000, 24),
+                     rw(0x102000, 24)};
+    uint64_t t = 0;
+    for (int round = 0; round < 3; ++round) {
+        for (auto &p : pages) {
+            // New line each round to force misses (hence TLB use).
+            auto q = gp::lea(p, round * 32 + 0x200);
+            ASSERT_TRUE(q);
+            t = m.load(q.value, 8, t).completeCycle;
+        }
+    }
+    EXPECT_GT(m.tlb().stats().get("evictions"), 0u);
+    EXPECT_GT(m.tlb().stats().get("misses"), 3u)
+        << "re-walks after eviction";
+}
+
+TEST(MemTiming, HitsNeverTouchTheTlb)
+{
+    MemorySystem m(config());
+    Word p = rw(0x100000);
+    uint64_t t = m.load(p, 8, 0).completeCycle;
+    const uint64_t probes_after_miss =
+        m.tlb().stats().get("hits") + m.tlb().stats().get("misses");
+    for (int i = 0; i < 50; ++i)
+        t = m.load(p, 8, t).completeCycle;
+    EXPECT_EQ(m.tlb().stats().get("hits") +
+                  m.tlb().stats().get("misses"),
+              probes_after_miss)
+        << "translation only on miss (SS3)";
+}
+
+TEST(MemTiming, FaultsConsumeNoPorts)
+{
+    MemorySystem m(config());
+    auto ro = makePointer(Perm::ReadOnly, 12, 0x100000);
+    ASSERT_TRUE(ro);
+    const uint64_t stalls = m.stats().get("bank_conflict_stalls");
+    for (int i = 0; i < 10; ++i)
+        m.store(ro.value, Word::fromInt(1), 8, 5);
+    EXPECT_EQ(m.stats().get("bank_conflict_stalls"), stalls)
+        << "pre-issue faults never reach the banks";
+    EXPECT_EQ(m.stats().get("access_faults"), 10u);
+}
+
+TEST(MemTiming, HitUnderMissIsAllowed)
+{
+    // The bank is only occupied for the access cycle; the fill uses
+    // the external port. A hit issued while an earlier miss is still
+    // filling completes before it (non-blocking cache).
+    MemorySystem m(config());
+    Word warm = rw(0x100000);
+    Word cold = rw(0x200020); // adjacent line index -> next bank
+    ASSERT_NE(m.bankOf(0x100000), m.bankOf(0x200020));
+    uint64_t t = m.load(warm, 8, 0).completeCycle;
+    auto miss = m.load(cold, 8, t);
+    auto hit = m.load(warm, 8, t);
+    EXPECT_FALSE(miss.cacheHit);
+    EXPECT_TRUE(hit.cacheHit);
+    EXPECT_LT(hit.completeCycle, miss.completeCycle);
+}
+
+TEST(MemTiming, SameBankHitsSerializeByOneCycle)
+{
+    MemorySystem m(config());
+    Word p = rw(0x100000);
+    uint64_t t = m.load(p, 8, 0).completeCycle; // warm the line
+    auto h1 = m.load(p, 8, t);
+    auto h2 = m.load(p, 8, t);
+    auto h3 = m.load(p, 8, t);
+    EXPECT_EQ(h2.completeCycle, h1.completeCycle + 1);
+    EXPECT_EQ(h3.completeCycle, h2.completeCycle + 1);
+}
+
+} // namespace
+} // namespace gp::mem

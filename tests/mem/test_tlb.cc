@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the LTLB: LRU behaviour, ASID tagging, and the flush
+ * operations the §5.1 baselines depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.h"
+
+namespace gp::mem {
+namespace {
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb(4);
+    EXPECT_FALSE(tlb.lookup(1).has_value());
+    tlb.insert(1, 100);
+    auto hit = tlb.lookup(1);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 100u);
+}
+
+TEST(Tlb, LruEviction)
+{
+    Tlb tlb(2);
+    tlb.insert(1, 10);
+    tlb.insert(2, 20);
+    tlb.lookup(1);      // 1 becomes MRU
+    tlb.insert(3, 30);  // evicts 2
+    EXPECT_TRUE(tlb.lookup(1).has_value());
+    EXPECT_FALSE(tlb.lookup(2).has_value());
+    EXPECT_TRUE(tlb.lookup(3).has_value());
+}
+
+TEST(Tlb, InsertUpdatesExisting)
+{
+    Tlb tlb(2);
+    tlb.insert(1, 10);
+    tlb.insert(1, 11);
+    EXPECT_EQ(tlb.size(), 1u);
+    EXPECT_EQ(*tlb.lookup(1), 11u);
+}
+
+TEST(Tlb, AsidsSeparateEntries)
+{
+    Tlb tlb(8);
+    tlb.insert(5, 100, /*asid=*/1);
+    tlb.insert(5, 200, /*asid=*/2);
+    EXPECT_EQ(*tlb.lookup(5, 1), 100u);
+    EXPECT_EQ(*tlb.lookup(5, 2), 200u);
+    EXPECT_FALSE(tlb.lookup(5, 3).has_value());
+    EXPECT_EQ(tlb.size(), 2u) << "same vpn, two spaces = two entries";
+}
+
+TEST(Tlb, InvalidateSingleEntry)
+{
+    Tlb tlb(4);
+    tlb.insert(1, 10);
+    tlb.insert(2, 20);
+    tlb.invalidate(1);
+    EXPECT_FALSE(tlb.lookup(1).has_value());
+    EXPECT_TRUE(tlb.lookup(2).has_value());
+}
+
+TEST(Tlb, InvalidateRespectsAsid)
+{
+    Tlb tlb(4);
+    tlb.insert(1, 10, 1);
+    tlb.insert(1, 20, 2);
+    tlb.invalidate(1, 1);
+    EXPECT_FALSE(tlb.lookup(1, 1).has_value());
+    EXPECT_TRUE(tlb.lookup(1, 2).has_value());
+}
+
+TEST(Tlb, FlushAllEmpties)
+{
+    Tlb tlb(4);
+    tlb.insert(1, 10);
+    tlb.insert(2, 20);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.size(), 0u);
+    EXPECT_FALSE(tlb.lookup(1).has_value());
+    EXPECT_GE(tlb.stats().get("entries_flushed"), 2u);
+}
+
+TEST(Tlb, FlushAsidIsSelective)
+{
+    Tlb tlb(8);
+    tlb.insert(1, 10, 1);
+    tlb.insert(2, 20, 1);
+    tlb.insert(3, 30, 2);
+    tlb.flushAsid(1);
+    EXPECT_FALSE(tlb.lookup(1, 1).has_value());
+    EXPECT_FALSE(tlb.lookup(2, 1).has_value());
+    EXPECT_TRUE(tlb.lookup(3, 2).has_value());
+}
+
+TEST(Tlb, StatsCountHitsAndMisses)
+{
+    Tlb tlb(4);
+    tlb.lookup(9);
+    tlb.insert(9, 90);
+    tlb.lookup(9);
+    tlb.lookup(9);
+    EXPECT_EQ(tlb.stats().get("misses"), 1u);
+    EXPECT_EQ(tlb.stats().get("hits"), 2u);
+}
+
+TEST(Tlb, CapacityEvictionCounted)
+{
+    Tlb tlb(2);
+    tlb.insert(1, 1);
+    tlb.insert(2, 2);
+    tlb.insert(3, 3);
+    EXPECT_EQ(tlb.stats().get("evictions"), 1u);
+    EXPECT_EQ(tlb.size(), 2u);
+}
+
+} // namespace
+} // namespace gp::mem

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the 3-D mesh interconnect: coordinates, dimension-order
+ * routing distances, uncontended latency, and link contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh.h"
+
+namespace gp::noc {
+namespace {
+
+MeshConfig
+config422()
+{
+    MeshConfig c;
+    c.dimX = 4;
+    c.dimY = 2;
+    c.dimZ = 2;
+    c.hopLatency = 2;
+    c.injectLatency = 1;
+    return c;
+}
+
+TEST(Mesh, CoordinateRoundTrip)
+{
+    Mesh mesh(config422());
+    EXPECT_EQ(mesh.nodeCount(), 16u);
+    for (unsigned n = 0; n < mesh.nodeCount(); ++n)
+        EXPECT_EQ(mesh.nodeAt(mesh.coordOf(n)), n) << n;
+}
+
+TEST(Mesh, ManhattanHops)
+{
+    Mesh mesh(config422());
+    EXPECT_EQ(mesh.hops(0, 0), 0u);
+    EXPECT_EQ(mesh.hops(0, 1), 1u) << "x neighbour";
+    EXPECT_EQ(mesh.hops(0, 4), 1u) << "y neighbour";
+    EXPECT_EQ(mesh.hops(0, 8), 1u) << "z neighbour";
+    EXPECT_EQ(mesh.hops(0, 3), 3u) << "x across";
+    EXPECT_EQ(mesh.hops(0, 15), 3u + 1 + 1) << "far corner";
+    EXPECT_EQ(mesh.hops(15, 0), mesh.hops(0, 15)) << "symmetric";
+}
+
+TEST(Mesh, UncontendedLatencyFormula)
+{
+    Mesh mesh(config422());
+    // 1 hop, 1 flit: 2x inject + 1x hop = 2 + 2 = 4.
+    EXPECT_EQ(mesh.uncontendedLatency(0, 1), 4u);
+    // 5 hops, 4 flits: 2 + 5*2 + 3 = 15.
+    EXPECT_EQ(mesh.uncontendedLatency(0, 15, 4), 15u);
+    EXPECT_EQ(mesh.uncontendedLatency(3, 3), 0u);
+}
+
+TEST(Mesh, SendMatchesUncontendedWhenIdle)
+{
+    Mesh mesh(config422());
+    const uint64_t t = mesh.send(0, 15, 100, 4);
+    EXPECT_EQ(t, 100 + mesh.uncontendedLatency(0, 15, 4));
+}
+
+TEST(Mesh, SelfSendIsFree)
+{
+    Mesh mesh(config422());
+    EXPECT_EQ(mesh.send(7, 7, 42), 42u);
+}
+
+TEST(Mesh, LatencyScalesWithDistance)
+{
+    Mesh mesh(config422());
+    uint64_t prev = 0;
+    for (unsigned dst : {1u, 2u, 3u}) {
+        const uint64_t lat = mesh.uncontendedLatency(0, dst);
+        EXPECT_GT(lat, prev);
+        prev = lat;
+    }
+}
+
+TEST(Mesh, SharedLinkContention)
+{
+    // Two long messages entering the same first link at the same
+    // cycle: the second queues behind the first's flits.
+    Mesh mesh(config422());
+    const uint64_t a = mesh.send(0, 3, 10, 8);
+    const uint64_t b = mesh.send(0, 3, 10, 8);
+    EXPECT_GT(b, a) << "second message delayed by link occupancy";
+    EXPECT_GT(mesh.stats().get("link_stall_cycles"), 0u);
+}
+
+TEST(Mesh, DisjointRoutesDoNotInterfere)
+{
+    Mesh mesh(config422());
+    const uint64_t a = mesh.send(0, 1, 10, 8);
+    const uint64_t b = mesh.send(2, 3, 10, 8);
+    EXPECT_EQ(a - 10, b - 10) << "different links, same latency";
+}
+
+TEST(Mesh, StatsCountTraffic)
+{
+    Mesh mesh(config422());
+    mesh.send(0, 15, 0, 2);
+    EXPECT_EQ(mesh.stats().get("messages"), 1u);
+    EXPECT_EQ(mesh.stats().get("flits"), 2u);
+    EXPECT_EQ(mesh.stats().get("hops_traversed"), 5u);
+}
+
+} // namespace
+} // namespace gp::noc

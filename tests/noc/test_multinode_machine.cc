@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Full machines on mesh nodes: the same Machine class running against
+ * NodeMemory ports. Threads execute remote loads/stores, fetch *code*
+ * from remote nodes, and make cross-node protected subsystem calls —
+ * all with the unmodified guarded-pointer mechanism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gp/ops.h"
+#include "isa/assembler.h"
+#include "isa/loader.h"
+#include "isa/machine.h"
+#include "noc/node_memory.h"
+
+namespace gp::noc {
+namespace {
+
+class MultiNodeTest : public ::testing::Test
+{
+  protected:
+    MultiNodeTest()
+    {
+        mem::MemConfig cfg;
+        cfg.cache.setsPerBank = 64;
+        isa::MachineConfig mcfg;
+        mcfg.clusters = 1;
+        for (unsigned n = 0; n < 4; ++n) {
+            mems_.push_back(std::make_unique<NodeMemory>(
+                n, mesh_, global_, cfg));
+            machines_.push_back(
+                std::make_unique<isa::Machine>(mcfg, *mems_[n]));
+        }
+    }
+
+    /** Load a program into node n's partition. */
+    isa::LoadedProgram
+    loadOn(unsigned n, const std::string &src, uint64_t offset,
+           bool privileged = false)
+    {
+        isa::Assembly a = isa::assemble(src);
+        EXPECT_TRUE(a.ok) << a.error;
+        return isa::loadProgram(*mems_[n], nodeBase(n) + offset,
+                                a.words, privileged);
+    }
+
+    /** Run all machines round-robin until quiescent. */
+    void
+    runAll(uint64_t max_cycles = 200000)
+    {
+        for (uint64_t c = 0; c < max_cycles; ++c) {
+            bool any = false;
+            for (auto &m : machines_) {
+                if (!m->allDone()) {
+                    m->step();
+                    any = true;
+                }
+            }
+            if (!any)
+                return;
+        }
+    }
+
+    Word
+    rwOn(unsigned n, uint64_t offset, uint64_t len = 12)
+    {
+        auto p = makePointer(Perm::ReadWrite, len,
+                             nodeBase(n) + offset);
+        EXPECT_TRUE(p);
+        return p.value;
+    }
+
+    Mesh mesh_{MeshConfig{}};
+    GlobalMemory global_;
+    std::vector<std::unique_ptr<NodeMemory>> mems_;
+    std::vector<std::unique_ptr<isa::Machine>> machines_;
+};
+
+TEST_F(MultiNodeTest, MemAccessorPanicsButPortWorks)
+{
+    EXPECT_DEATH(machines_[0]->mem(), "external memory port");
+    EXPECT_EQ(&machines_[0]->port(), mems_[0].get());
+}
+
+TEST_F(MultiNodeTest, ThreadReadsRemoteData)
+{
+    Word remote = rwOn(2, 0x10000);
+    mems_[2]->pokeWord(PointerView(remote).segmentBase(),
+                       Word::fromInt(0xFEED));
+    auto prog = loadOn(0, "ld r2, 0(r1)\nhalt", 0x20000);
+    isa::Thread *t = machines_[0]->spawn(prog.execPtr);
+    ASSERT_NE(t, nullptr);
+    t->setReg(1, remote);
+    runAll();
+    EXPECT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(2).bits(), 0xFEEDu);
+    EXPECT_GE(mems_[0]->stats().get("remote_misses"), 1u);
+}
+
+TEST_F(MultiNodeTest, ThreadExecutesRemoteCode)
+{
+    // Node 1's thread jumps to code living in node 3's partition:
+    // instruction fetches cross the mesh (and then cache locally).
+    auto remote_fn = loadOn(3, "movi r5, 99\njmp r14", 0x30000);
+    auto local = loadOn(1, R"(
+        getip r14
+        leai r14, r14, 24
+        jmp r1
+        movi r6, 1
+        halt
+    )",
+                        0x40000);
+    isa::Thread *t = machines_[1]->spawn(local.execPtr);
+    ASSERT_NE(t, nullptr);
+    t->setReg(1, remote_fn.execPtr);
+    runAll();
+    EXPECT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(5).bits(), 99u) << "remote code executed";
+    EXPECT_EQ(t->reg(6).bits(), 1u) << "returned home";
+}
+
+TEST_F(MultiNodeTest, CrossNodeProtectedSubsystemCall)
+{
+    // The capstone: a protected subsystem whose code AND private data
+    // live on node 0, invoked from node 2 through an enter pointer —
+    // protection semantics identical to the single-node case.
+    Word counter = rwOn(0, 0x50000);
+    mems_[0]->pokeWord(PointerView(counter).segmentBase(),
+                       Word::fromInt(10));
+
+    // Subsystem on node 0: capability table word + code.
+    isa::Assembly body = isa::assemble(R"(
+        getip r2
+        leabi r2, r2, 0
+        ld r3, 0(r2)
+        ld r4, 0(r3)
+        addi r4, r4, 1
+        st r4, 0(r3)
+        jmp r14
+    )");
+    ASSERT_TRUE(body.ok) << body.error;
+    std::vector<Word> words{counter};
+    words.insert(words.end(), body.words.begin(), body.words.end());
+    const uint64_t sub_base = nodeBase(0) + 0x60000;
+    auto image = isa::loadProgram(*mems_[0], sub_base, words);
+    auto enter = makePointer(Perm::EnterUser, image.lenLog2,
+                             sub_base + 8);
+    ASSERT_TRUE(enter);
+
+    auto caller = loadOn(2, R"(
+        getip r14
+        leai r14, r14, 24
+        jmp r1
+        movi r7, 1
+        halt
+    )",
+                         0x70000);
+    isa::Thread *t = machines_[2]->spawn(caller.execPtr);
+    ASSERT_NE(t, nullptr);
+    t->setReg(1, enter.value);
+    runAll();
+
+    EXPECT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(7).bits(), 1u);
+    EXPECT_EQ(mems_[2]
+                  ->peekWord(PointerView(counter).segmentBase())
+                  .bits(),
+              11u)
+        << "remote subsystem updated its private data";
+
+    // The caller still cannot read the capability table directly.
+    auto snoop = loadOn(2, "ld r2, 0(r1)\nhalt", 0x80000);
+    isa::Thread *s = machines_[2]->spawn(snoop.execPtr);
+    s->setReg(1, enter.value);
+    runAll();
+    EXPECT_EQ(s->state(), isa::ThreadState::Faulted);
+    EXPECT_EQ(s->faultRecord().fault, Fault::PermissionDenied);
+}
+
+TEST_F(MultiNodeTest, NodesShareDataThroughTheGlobalSpace)
+{
+    // Producer on node 0, consumer on node 3, one shared cell.
+    Word cell = rwOn(1, 0x90000);
+    auto producer = loadOn(0, R"(
+        movi r2, 777
+        st r2, 0(r1)
+        halt
+    )",
+                           0xa0000);
+    auto consumer = loadOn(3, R"(
+        wait:
+        ld r3, 0(r1)
+        movi r4, 777
+        bne r3, r4, wait
+        halt
+    )",
+                           0xb0000);
+    isa::Thread *tp = machines_[0]->spawn(producer.execPtr);
+    isa::Thread *tc = machines_[3]->spawn(consumer.execPtr);
+    tp->setReg(1, cell);
+    auto ro = restrictPerm(cell, Perm::ReadOnly);
+    ASSERT_TRUE(ro);
+    tc->setReg(1, ro.value);
+    runAll();
+    EXPECT_EQ(tp->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(tc->state(), isa::ThreadState::Halted);
+}
+
+} // namespace
+} // namespace gp::noc

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the buddy allocator (§4.2): alignment invariants,
+ * splitting, coalescing, and fragmentation behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "os/buddy_allocator.h"
+#include "sim/rng.h"
+
+namespace gp::os {
+namespace {
+
+TEST(Buddy, AllocatesAlignedBlocks)
+{
+    BuddyAllocator b(0x100000, 20); // 1MB region
+    for (uint64_t order : {3u, 5u, 10u, 15u}) {
+        auto addr = b.allocate(order);
+        ASSERT_TRUE(addr.has_value()) << order;
+        EXPECT_EQ(*addr & ((uint64_t(1) << order) - 1), 0u)
+            << "aligned on its length";
+    }
+}
+
+TEST(Buddy, FullRegionAllocatable)
+{
+    BuddyAllocator b(0, 16);
+    auto a = b.allocate(16);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a, 0u);
+    EXPECT_EQ(b.freeBytes(), 0u);
+    EXPECT_FALSE(b.allocate(3).has_value());
+}
+
+TEST(Buddy, SplitAndExhaust)
+{
+    BuddyAllocator b(0, 6, 3); // 64 bytes, min 8 -> 8 blocks of 8
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 8; ++i) {
+        auto a = b.allocate(3);
+        ASSERT_TRUE(a.has_value()) << i;
+        EXPECT_TRUE(seen.insert(*a).second) << "no double allocation";
+    }
+    EXPECT_FALSE(b.allocate(3).has_value());
+    EXPECT_EQ(b.freeBytes(), 0u);
+}
+
+TEST(Buddy, FreeCoalescesToFullRegion)
+{
+    BuddyAllocator b(0, 6, 3);
+    std::vector<uint64_t> blocks;
+    for (int i = 0; i < 8; ++i)
+        blocks.push_back(*b.allocate(3));
+    for (uint64_t a : blocks)
+        EXPECT_TRUE(b.free(a, 3));
+    EXPECT_EQ(b.freeBytes(), 64u);
+    EXPECT_EQ(b.largestFreeOrder(), 6u) << "fully coalesced";
+    EXPECT_EQ(b.freeBlockCount(), 1u);
+}
+
+TEST(Buddy, PartialFreeLeavesFragments)
+{
+    BuddyAllocator b(0, 6, 3);
+    std::vector<uint64_t> blocks;
+    for (int i = 0; i < 8; ++i)
+        blocks.push_back(*b.allocate(3));
+    // Free every other block: no buddies pair up.
+    for (int i = 0; i < 8; i += 2)
+        b.free(blocks[i], 3);
+    EXPECT_EQ(b.freeBytes(), 32u);
+    EXPECT_EQ(b.largestFreeOrder(), 3u) << "external fragmentation";
+    EXPECT_FALSE(b.allocate(4).has_value())
+        << "32 free bytes but no 16-byte block";
+}
+
+TEST(Buddy, AllocateBytesRoundsUp)
+{
+    BuddyAllocator b(0, 20);
+    auto r = b.allocateBytes(100);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->second, 7u) << "100 bytes -> 128-byte block";
+    auto r2 = b.allocateBytes(128);
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_EQ(r2->second, 7u) << "exact power of two not inflated";
+    auto r3 = b.allocateBytes(1);
+    ASSERT_TRUE(r3.has_value());
+    EXPECT_EQ(r3->second, 3u) << "min order enforced";
+}
+
+TEST(Buddy, AllocateBytesTooLargeFails)
+{
+    BuddyAllocator b(0, 10);
+    EXPECT_FALSE(b.allocateBytes(2048).has_value());
+    EXPECT_TRUE(b.allocateBytes(1024).has_value());
+}
+
+TEST(Buddy, FreeRejectsMisalignedBase)
+{
+    BuddyAllocator b(0, 10);
+    EXPECT_FALSE(b.free(4, 3)) << "4 is not 8-aligned";
+    EXPECT_FALSE(b.free(8, 11)) << "order beyond region";
+}
+
+TEST(Buddy, NonZeroRegionBase)
+{
+    BuddyAllocator b(uint64_t(1) << 32, 12);
+    auto a = b.allocate(12);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(*a, uint64_t(1) << 32);
+    EXPECT_TRUE(b.free(*a, 12));
+    EXPECT_EQ(b.freeBytes(), 4096u);
+}
+
+TEST(Buddy, ReuseAfterFree)
+{
+    BuddyAllocator b(0, 12);
+    auto a = b.allocate(8);
+    ASSERT_TRUE(a.has_value());
+    b.free(*a, 8);
+    auto a2 = b.allocate(8);
+    ASSERT_TRUE(a2.has_value());
+    EXPECT_EQ(*a2, *a) << "freed block reused";
+}
+
+TEST(Buddy, RandomChurnInvariant)
+{
+    // Property test: after arbitrary alloc/free churn, allocated
+    // blocks never overlap and free bytes stay consistent.
+    BuddyAllocator b(0, 16, 3);
+    sim::Rng rng(99);
+    std::vector<std::pair<uint64_t, uint64_t>> live; // (base, order)
+    uint64_t allocated = 0;
+
+    for (int step = 0; step < 2000; ++step) {
+        if (live.empty() || rng.chance(0.6)) {
+            const uint64_t order = 3 + rng.below(8);
+            auto a = b.allocate(order);
+            if (a) {
+                // No overlap with any live block.
+                const uint64_t lo = *a;
+                const uint64_t hi = lo + (uint64_t(1) << order);
+                for (const auto &[lbase, lorder] : live) {
+                    const uint64_t llo = lbase;
+                    const uint64_t lhi =
+                        lbase + (uint64_t(1) << lorder);
+                    EXPECT_TRUE(hi <= llo || lo >= lhi)
+                        << "overlap at step " << step;
+                }
+                live.emplace_back(lo, order);
+                allocated += uint64_t(1) << order;
+            }
+        } else {
+            const size_t i = rng.below(live.size());
+            EXPECT_TRUE(b.free(live[i].first, live[i].second));
+            allocated -= uint64_t(1) << live[i].second;
+            live.erase(live.begin() + i);
+        }
+        EXPECT_EQ(b.freeBytes(), (uint64_t(1) << 16) - allocated);
+    }
+
+    for (const auto &[base, order] : live)
+        b.free(base, order);
+    EXPECT_EQ(b.freeBytes(), uint64_t(1) << 16);
+    EXPECT_EQ(b.largestFreeOrder(), 16u)
+        << "full coalescing after all frees";
+}
+
+TEST(Buddy, StatsCount)
+{
+    BuddyAllocator b(0, 10);
+    b.allocate(3);
+    EXPECT_GT(b.stats().get("splits"), 0u);
+    EXPECT_EQ(b.stats().get("allocations"), 1u);
+}
+
+} // namespace
+} // namespace gp::os

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the reusable Fig. 4 return-segment ABI (os/call_gate.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.h"
+#include "os/call_gate.h"
+#include "os/kernel.h"
+
+namespace gp::os {
+namespace {
+
+class CallGateTest : public ::testing::Test
+{
+  protected:
+    Kernel kernel_;
+};
+
+TEST_F(CallGateTest, BuildsWellFormedGate)
+{
+    auto gate = buildReturnSegment(kernel_);
+    ASSERT_TRUE(gate);
+    EXPECT_EQ(PointerView(gate.value.rwPtr).perm(), Perm::ReadWrite);
+    EXPECT_EQ(PointerView(gate.value.enterPtr).perm(),
+              Perm::EnterUser);
+    EXPECT_EQ(PointerView(gate.value.enterPtr).addr(),
+              gate.value.base + ReturnSegment::kStubOffset);
+    // Both pointers cover the same segment.
+    EXPECT_EQ(PointerView(gate.value.rwPtr).segmentBase(),
+              PointerView(gate.value.enterPtr).segmentBase());
+}
+
+TEST_F(CallGateTest, SlotOffsetsAreStable)
+{
+    EXPECT_EQ(ReturnSegment::slotOffset(0), 0u);
+    EXPECT_EQ(ReturnSegment::slotOffset(1), 8u);
+    EXPECT_EQ(ReturnSegment::slotOffset(6), 48u);
+    EXPECT_LT(ReturnSegment::slotOffset(6) + 8,
+              ReturnSegment::kStubOffset)
+        << "spill slots must not overlap the stub";
+}
+
+TEST_F(CallGateTest, FullTwoWayCallThroughTheAbi)
+{
+    auto gate = buildReturnSegment(kernel_);
+    ASSERT_TRUE(gate);
+
+    // Caller secret, spilled into slot 1 (restored into r4).
+    auto secret = kernel_.segments().allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(secret);
+    kernel_.mem().pokeWord(PointerView(secret.value).segmentBase(),
+                           Word::fromInt(0x600D));
+
+    auto sub = kernel_.buildSubsystem("movi r9, 1\njmp r3", {});
+    ASSERT_TRUE(sub);
+
+    // ABI: spill continuation (slot 0), r4 (slot 1), own r2 (slot 6),
+    // scrub, call with ENTER3 in r3.
+    auto caller = kernel_.loadAssembly(R"(
+        getip r14
+        leai r14, r14, 72
+        st r14, 0(r2)
+        st r4, 8(r2)
+        st r2, 48(r2)
+        movi r14, 0
+        movi r4, 0
+        movi r2, 0
+        jmp r1
+        ; continuation — r4 and r2 restored by the stub
+        ld r10, 0(r4)
+        halt
+    )");
+    ASSERT_TRUE(caller);
+
+    isa::Thread *t = kernel_.spawn(caller.value.execPtr,
+                                   {{1, sub.value.enterPtr},
+                                    {2, gate.value.rwPtr},
+                                    {3, gate.value.enterPtr},
+                                    {4, secret.value}});
+    ASSERT_NE(t, nullptr);
+    kernel_.machine().run();
+
+    EXPECT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(9).bits(), 1u) << "subsystem ran";
+    EXPECT_EQ(t->reg(10).bits(), 0x600Du)
+        << "secret restored and usable";
+    EXPECT_TRUE(t->reg(2).isPointer())
+        << "own RW pointer restored from slot 6";
+}
+
+TEST_F(CallGateTest, UnspilledSlotsScrubRegisters)
+{
+    // Registers whose slots were never written restore as integer 0 —
+    // the gate cannot leak a previous call's pointers.
+    auto gate = buildReturnSegment(kernel_);
+    ASSERT_TRUE(gate);
+    auto sub = kernel_.buildSubsystem("jmp r3", {});
+    ASSERT_TRUE(sub);
+    auto caller = kernel_.loadAssembly(R"(
+        getip r14
+        leai r14, r14, 32
+        st r14, 0(r2)
+        jmp r1
+        halt
+    )");
+    ASSERT_TRUE(caller);
+    // r5..r8 hold pointers before the call but are never spilled.
+    auto junk = kernel_.segments().allocate(256, Perm::ReadWrite);
+    isa::Thread *t = kernel_.spawn(caller.value.execPtr,
+                                   {{1, sub.value.enterPtr},
+                                    {2, gate.value.rwPtr},
+                                    {3, gate.value.enterPtr},
+                                    {5, junk.value},
+                                    {6, junk.value}});
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Halted);
+    for (unsigned r : {5u, 6u, 7u, 8u}) {
+        EXPECT_FALSE(t->reg(r).isPointer()) << "r" << r;
+        EXPECT_EQ(t->reg(r).bits(), 0u) << "r" << r;
+    }
+}
+
+TEST_F(CallGateTest, GateIsOpaqueToTheSubsystem)
+{
+    auto gate = buildReturnSegment(kernel_);
+    ASSERT_TRUE(gate);
+    auto sub = kernel_.buildSubsystem(R"(
+        ld r9, 0(r3)     ; peek at the gate: faults
+        jmp r3
+    )",
+                                      {});
+    ASSERT_TRUE(sub);
+    auto caller = kernel_.loadAssembly("jmp r1");
+    isa::Thread *t = kernel_.spawn(caller.value.execPtr,
+                                   {{1, sub.value.enterPtr},
+                                    {3, gate.value.enterPtr}});
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::PermissionDenied);
+}
+
+TEST_F(CallGateTest, GatesAreReusableAcrossCalls)
+{
+    auto gate = buildReturnSegment(kernel_);
+    ASSERT_TRUE(gate);
+    auto sub = kernel_.buildSubsystem("addi r9, r9, 1\njmp r3", {});
+    ASSERT_TRUE(sub);
+    // Two calls in a row through the same gate.
+    auto caller = kernel_.loadAssembly(R"(
+        movi r9, 0
+        getip r14
+        leai r14, r14, 40
+        st r14, 0(r2)
+        st r2, 48(r2)
+        jmp r1
+        getip r14
+        leai r14, r14, 40
+        st r14, 0(r2)
+        st r2, 48(r2)
+        jmp r1
+        halt
+    )");
+    ASSERT_TRUE(caller);
+    isa::Thread *t = kernel_.spawn(caller.value.execPtr,
+                                   {{1, sub.value.enterPtr},
+                                    {2, gate.value.rwPtr},
+                                    {3, gate.value.enterPtr}});
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(9).bits(), 2u) << "both calls completed";
+}
+
+} // namespace
+} // namespace gp::os

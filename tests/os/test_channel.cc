@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for capability-passing channels: host-side semantics, the
+ * permission asymmetry between endpoints, and a full guest-to-guest
+ * capability grant running as simulated assembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.h"
+#include "os/channel.h"
+#include "os/kernel.h"
+
+namespace gp::os {
+namespace {
+
+class ChannelTest : public ::testing::Test
+{
+  protected:
+    Kernel kernel_;
+};
+
+TEST_F(ChannelTest, CreateRoundsSlotsToPowerOfTwo)
+{
+    auto ch = Channel::create(kernel_, 5);
+    ASSERT_TRUE(ch);
+    EXPECT_EQ(ch.value.slots(), 8u);
+    auto ch2 = Channel::create(kernel_, 1);
+    ASSERT_TRUE(ch2);
+    EXPECT_EQ(ch2.value.slots(), 2u);
+}
+
+TEST_F(ChannelTest, HostSendRecvInts)
+{
+    auto ch = Channel::create(kernel_, 4);
+    ASSERT_TRUE(ch);
+    EXPECT_TRUE(ch.value.send(Word::fromInt(1)));
+    EXPECT_TRUE(ch.value.send(Word::fromInt(2)));
+    EXPECT_EQ(ch.value.depth(), 2u);
+    EXPECT_EQ(ch.value.tryRecv()->bits(), 1u);
+    EXPECT_EQ(ch.value.tryRecv()->bits(), 2u);
+    EXPECT_FALSE(ch.value.tryRecv().has_value());
+}
+
+TEST_F(ChannelTest, FullRingRejectsSend)
+{
+    auto ch = Channel::create(kernel_, 2);
+    ASSERT_TRUE(ch);
+    EXPECT_TRUE(ch.value.send(Word::fromInt(1)));
+    EXPECT_TRUE(ch.value.send(Word::fromInt(2)));
+    EXPECT_FALSE(ch.value.send(Word::fromInt(3))) << "full";
+    ch.value.tryRecv();
+    EXPECT_TRUE(ch.value.send(Word::fromInt(3))) << "slot reopened";
+}
+
+TEST_F(ChannelTest, CapabilitiesSurviveTheRing)
+{
+    auto ch = Channel::create(kernel_, 4);
+    ASSERT_TRUE(ch);
+    auto seg = kernel_.segments().allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(seg);
+    auto grant = restrictPerm(seg.value, Perm::ReadOnly);
+    ASSERT_TRUE(grant);
+    ASSERT_TRUE(ch.value.send(grant.value));
+    auto got = ch.value.tryRecv();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(got->isPointer()) << "tag travelled with the word";
+    EXPECT_EQ(PointerView(*got).perm(), Perm::ReadOnly);
+    EXPECT_EQ(got->bits(), grant.value.bits());
+}
+
+TEST_F(ChannelTest, EndpointPermissionsAreAsymmetric)
+{
+    auto ch = Channel::create(kernel_, 4);
+    ASSERT_TRUE(ch);
+    const auto &s = ch.value.sender();
+    const auto &r = ch.value.receiver();
+    EXPECT_EQ(PointerView(s.ring).perm(), Perm::ReadWrite);
+    EXPECT_EQ(PointerView(s.head).perm(), Perm::ReadWrite);
+    EXPECT_EQ(PointerView(s.tail).perm(), Perm::ReadOnly);
+    EXPECT_EQ(PointerView(r.ring).perm(), Perm::ReadOnly);
+    EXPECT_EQ(PointerView(r.head).perm(), Perm::ReadOnly);
+    EXPECT_EQ(PointerView(r.tail).perm(), Perm::ReadWrite);
+    // The receiver cannot scribble on the ring or the head counter.
+    EXPECT_EQ(checkAccess(r.ring, Access::Store, 8),
+              Fault::PermissionDenied);
+    EXPECT_EQ(checkAccess(r.head, Access::Store, 8),
+              Fault::PermissionDenied);
+}
+
+TEST_F(ChannelTest, GuestToGuestCapabilityGrant)
+{
+    // Sender thread: restrict its private segment to read-only and
+    // push the grant through the ring. Receiver thread: poll the
+    // ring, pull the capability, and read through it.
+    auto ch = Channel::create(kernel_, 4);
+    ASSERT_TRUE(ch);
+    auto secret = kernel_.segments().allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(secret);
+    kernel_.mem().pokeWord(PointerView(secret.value).segmentBase(),
+                           Word::fromInt(0xBEEF));
+
+    // Registers: r1=ring r2=head r3=tail r4=payload
+    auto sender = kernel_.loadAssembly(R"(
+        ; grant = restrict(secret, read-only)
+        movi r5, 2
+        restrict r4, r4, r5
+        ; slot = head & (slots-1); slots=4
+        ld r6, 0(r2)        ; head
+        andi r7, r6, 3
+        shli r7, r7, 3
+        itop r8, r1, r7     ; &ring[slot]
+        st r4, 0(r8)        ; publish the capability
+        addi r6, r6, 1
+        st r6, 0(r2)        ; bump head
+        halt
+    )");
+    ASSERT_TRUE(sender);
+
+    auto receiver = kernel_.loadAssembly(R"(
+        wait:
+        ld r6, 0(r2)        ; head
+        ld r7, 0(r3)        ; tail
+        beq r6, r7, wait    ; empty
+        andi r8, r7, 3
+        shli r8, r8, 3
+        itop r9, r1, r8     ; &ring[slot] (read-only ring pointer)
+        ld r4, 0(r9)        ; the granted capability
+        addi r7, r7, 1
+        st r7, 0(r3)        ; bump tail
+        ld r10, 0(r4)       ; use the grant
+        halt
+    )");
+    ASSERT_TRUE(receiver);
+
+    isa::Thread *ts = kernel_.spawn(sender.value.execPtr,
+                                    {{1, ch.value.sender().ring},
+                                     {2, ch.value.sender().head},
+                                     {3, ch.value.sender().tail},
+                                     {4, secret.value}});
+    isa::Thread *tr = kernel_.spawn(receiver.value.execPtr,
+                                    {{1, ch.value.receiver().ring},
+                                     {2, ch.value.receiver().head},
+                                     {3, ch.value.receiver().tail}});
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(tr, nullptr);
+    kernel_.machine().run();
+
+    EXPECT_EQ(ts->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(tr->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(tr->reg(10).bits(), 0xBEEFu)
+        << "receiver read through the granted capability";
+    EXPECT_EQ(PointerView(tr->reg(4)).perm(), Perm::ReadOnly)
+        << "and got exactly the narrowed rights";
+}
+
+TEST_F(ChannelTest, ReceiverCannotWriteBackThroughGrant)
+{
+    auto ch = Channel::create(kernel_, 4);
+    ASSERT_TRUE(ch);
+    auto secret = kernel_.segments().allocate(4096, Perm::ReadWrite);
+    auto grant = restrictPerm(secret.value, Perm::ReadOnly);
+    ASSERT_TRUE(grant);
+    ASSERT_TRUE(ch.value.send(grant.value));
+
+    auto receiver = kernel_.loadAssembly(R"(
+        ld r6, 0(r3)        ; tail (=0)
+        itop r9, r1, r6
+        ld r4, 0(r9)        ; the capability
+        st r5, 0(r4)        ; try to WRITE through a read-only grant
+        halt
+    )");
+    ASSERT_TRUE(receiver);
+    isa::Thread *tr = kernel_.spawn(receiver.value.execPtr,
+                                    {{1, ch.value.receiver().ring},
+                                     {3, ch.value.receiver().tail}});
+    kernel_.machine().run();
+    EXPECT_EQ(tr->state(), isa::ThreadState::Faulted);
+    EXPECT_EQ(tr->faultRecord().fault, Fault::PermissionDenied);
+}
+
+} // namespace
+} // namespace gp::os

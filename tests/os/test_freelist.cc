@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the best-fit free-list allocator (the A2 ablation's
+ * counterfactual to the paper's buddy system).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "os/freelist_allocator.h"
+#include "sim/rng.h"
+
+namespace gp::os {
+namespace {
+
+TEST(FreeList, AllocatesExactRoundedSizes)
+{
+    FreeListAllocator a(0x1000, 4096);
+    auto p = a.allocate(100);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 0x1000u);
+    EXPECT_EQ(a.freeBytes(), 4096u - 104) << "rounded to 8";
+}
+
+TEST(FreeList, ZeroBytesRejected)
+{
+    FreeListAllocator a(0, 4096);
+    EXPECT_FALSE(a.allocate(0).has_value());
+}
+
+TEST(FreeList, ExhaustionFails)
+{
+    FreeListAllocator a(0, 256);
+    EXPECT_TRUE(a.allocate(256).has_value());
+    EXPECT_FALSE(a.allocate(8).has_value());
+}
+
+TEST(FreeList, BestFitChoosesSmallestHole)
+{
+    FreeListAllocator a(0, 4096);
+    auto p1 = a.allocate(512);
+    auto p2 = a.allocate(64);
+    auto p3 = a.allocate(1024);
+    ASSERT_TRUE(p1 && p2 && p3);
+    // Free the 512 and 1024 holes; a 400-byte request must take the
+    // 512 hole (best fit), not the 1024 one.
+    a.free(*p1);
+    a.free(*p3);
+    auto p4 = a.allocate(400);
+    ASSERT_TRUE(p4.has_value());
+    EXPECT_EQ(*p4, *p1);
+}
+
+TEST(FreeList, FreeUnknownBaseFails)
+{
+    FreeListAllocator a(0, 4096);
+    EXPECT_FALSE(a.free(0x10));
+    auto p = a.allocate(64);
+    EXPECT_FALSE(a.free(*p + 8)) << "interior address rejected";
+    EXPECT_TRUE(a.free(*p));
+    EXPECT_FALSE(a.free(*p)) << "double free rejected";
+}
+
+TEST(FreeList, CoalescesBothNeighbours)
+{
+    FreeListAllocator a(0, 4096);
+    auto p1 = a.allocate(512);
+    auto p2 = a.allocate(512);
+    auto p3 = a.allocate(512);
+    ASSERT_TRUE(p1 && p2 && p3);
+    a.free(*p1);
+    a.free(*p3); // merges immediately with the tail block
+    EXPECT_EQ(a.freeBlockCount(), 2u); // hole@p1 + (p3..end)
+    a.free(*p2); // merges with both sides
+    EXPECT_EQ(a.freeBlockCount(), 1u);
+    EXPECT_EQ(a.freeBytes(), 4096u);
+    EXPECT_EQ(a.largestFreeBlock(), 4096u);
+}
+
+TEST(FreeList, NoInternalFragmentation)
+{
+    // The whole point of arbitrary-size blocks: requested == consumed
+    // (modulo 8-byte rounding).
+    FreeListAllocator a(0, 1 << 20);
+    uint64_t requested = 0;
+    sim::Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t bytes = 8 * (1 + rng.below(1000));
+        ASSERT_TRUE(a.allocate(bytes).has_value());
+        requested += bytes;
+    }
+    EXPECT_EQ(a.freeBytes(), (uint64_t(1) << 20) - requested);
+}
+
+TEST(FreeList, ChurnInvariants)
+{
+    FreeListAllocator a(0, 1 << 18);
+    sim::Rng rng(11);
+    std::vector<std::pair<uint64_t, uint64_t>> live; // (base, size)
+    uint64_t allocated = 0;
+
+    for (int step = 0; step < 3000; ++step) {
+        if (live.empty() || rng.chance(0.6)) {
+            const uint64_t bytes = 8 * (1 + rng.below(512));
+            auto p = a.allocate(bytes);
+            if (p) {
+                // No overlap with existing allocations.
+                for (const auto &[lbase, lsize] : live) {
+                    EXPECT_TRUE(*p + bytes <= lbase ||
+                                *p >= lbase + lsize)
+                        << "overlap at step " << step;
+                }
+                live.emplace_back(*p, bytes);
+                allocated += bytes;
+            }
+        } else {
+            const size_t i = rng.below(live.size());
+            EXPECT_TRUE(a.free(live[i].first));
+            allocated -= live[i].second;
+            live.erase(live.begin() + i);
+        }
+        EXPECT_EQ(a.freeBytes(), (uint64_t(1) << 18) - allocated);
+    }
+    for (const auto &[base, size] : live)
+        a.free(base);
+    EXPECT_EQ(a.freeBytes(), uint64_t(1) << 18);
+    EXPECT_EQ(a.freeBlockCount(), 1u) << "fully coalesced";
+}
+
+} // namespace
+} // namespace gp::os

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the kernel runtime: program loading, spawning with a
+ * protection domain in registers, and subsystem image construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.h"
+#include "os/kernel.h"
+#include "sim/log.h"
+
+namespace gp::os {
+namespace {
+
+class KernelTest : public ::testing::Test
+{
+  protected:
+    Kernel kernel_;
+};
+
+TEST_F(KernelTest, LoadAndRunProgram)
+{
+    auto prog = kernel_.loadAssembly("movi r1, 7\nhalt");
+    ASSERT_TRUE(prog);
+    isa::Thread *t = kernel_.spawn(prog.value.execPtr);
+    ASSERT_NE(t, nullptr);
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(1).bits(), 7u);
+}
+
+TEST_F(KernelTest, LoadAssemblyReportsErrors)
+{
+    sim::setQuiet(true);
+    auto prog = kernel_.loadAssembly("not an instruction");
+    sim::setQuiet(false);
+    EXPECT_FALSE(prog);
+}
+
+TEST_F(KernelTest, SpawnSetsInitialRegisters)
+{
+    auto seg = kernel_.segments().allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(seg);
+    auto prog = kernel_.loadAssembly(R"(
+        movi r2, 11
+        st r2, 0(r1)
+        ld r3, 0(r1)
+        halt
+    )");
+    ASSERT_TRUE(prog);
+    isa::Thread *t =
+        kernel_.spawn(prog.value.execPtr, {{1, seg.value}});
+    ASSERT_NE(t, nullptr);
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(3).bits(), 11u);
+}
+
+TEST_F(KernelTest, CodeSegmentIsExecutablePointer)
+{
+    auto prog = kernel_.loadAssembly("halt");
+    ASSERT_TRUE(prog);
+    EXPECT_EQ(PointerView(prog.value.execPtr).perm(),
+              Perm::ExecuteUser);
+    EXPECT_EQ(PointerView(prog.value.enterPtr).perm(), Perm::EnterUser);
+}
+
+TEST_F(KernelTest, PrivilegedLoadMintsPrivilegedPointers)
+{
+    auto prog = kernel_.loadAssembly("halt", /*privileged=*/true);
+    ASSERT_TRUE(prog);
+    EXPECT_EQ(PointerView(prog.value.execPtr).perm(),
+              Perm::ExecutePrivileged);
+    EXPECT_EQ(PointerView(prog.value.enterPtr).perm(),
+              Perm::EnterPrivileged);
+}
+
+TEST_F(KernelTest, UserCannotWriteOwnCode)
+{
+    // The execute pointer permits reads (for capability tables) but
+    // never stores: code is immutable to its owner.
+    auto prog = kernel_.loadAssembly(R"(
+        getip r1
+        st r2, 0(r1)
+        halt
+    )");
+    ASSERT_TRUE(prog);
+    isa::Thread *t = kernel_.spawn(prog.value.execPtr);
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::PermissionDenied);
+}
+
+TEST_F(KernelTest, BuildSubsystemLayout)
+{
+    auto seg = kernel_.segments().allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(seg);
+    auto sub = kernel_.buildSubsystem("halt", {seg.value});
+    ASSERT_TRUE(sub);
+    EXPECT_EQ(sub.value.tableWords, 1u);
+    // Enter pointer targets the first instruction, after the table.
+    PointerView enter(sub.value.enterPtr);
+    EXPECT_EQ(enter.perm(), Perm::EnterUser);
+    EXPECT_EQ(enter.addr(), sub.value.base + 8);
+    // The capability table holds the data pointer, tagged.
+    Word table0 = kernel_.mem().peekWord(sub.value.base);
+    EXPECT_TRUE(table0.isPointer());
+    EXPECT_EQ(table0.bits(), seg.value.bits());
+}
+
+TEST_F(KernelTest, SubsystemReadsItsCapabilityTable)
+{
+    // The Fig. 3 mechanism end-to-end: caller holds only an enter
+    // pointer; the subsystem derives a pointer to its own segment
+    // base from its IP and loads its private data pointer.
+    auto seg = kernel_.segments().allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(seg);
+    kernel_.mem().pokeWord(PointerView(seg.value).segmentBase(),
+                           Word::fromInt(31337));
+    auto sub = kernel_.buildSubsystem(R"(
+        getip r2
+        leabi r2, r2, 0   ; segment base = capability table start
+        ld r3, 0(r2)      ; the private data pointer
+        ld r4, 0(r3)      ; read through it
+        halt
+    )",
+                                      {seg.value});
+    ASSERT_TRUE(sub);
+    // Enter pointers convert only via jump, so enter from a caller.
+    auto caller = kernel_.loadAssembly("jmp r1");
+    ASSERT_TRUE(caller);
+    isa::Thread *c =
+        kernel_.spawn(caller.value.execPtr, {{1, sub.value.enterPtr}});
+    ASSERT_NE(c, nullptr);
+    kernel_.machine().run();
+    EXPECT_EQ(c->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(c->reg(4).bits(), 31337u);
+}
+
+TEST_F(KernelTest, SubsystemTableNotReadableByCaller)
+{
+    // The caller holds only the enter pointer — loads through it
+    // fault, so the capability table stays private.
+    auto seg = kernel_.segments().allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(seg);
+    auto sub = kernel_.buildSubsystem("halt", {seg.value});
+    ASSERT_TRUE(sub);
+    auto caller = kernel_.loadAssembly(R"(
+        ld r2, -8(r1)     ; try to read the table through enter ptr
+        halt
+    )");
+    ASSERT_TRUE(caller);
+    isa::Thread *c =
+        kernel_.spawn(caller.value.execPtr, {{1, sub.value.enterPtr}});
+    kernel_.machine().run();
+    EXPECT_EQ(c->state(), isa::ThreadState::Faulted);
+    // Enter pointers are immutable: even the LEA for the displacement
+    // faults before any load happens.
+    EXPECT_EQ(c->faultRecord().fault, Fault::Immutable);
+}
+
+TEST_F(KernelTest, ManyProgramsLoadDisjoint)
+{
+    std::vector<ProgramImage> images;
+    for (int i = 0; i < 8; ++i) {
+        auto prog = kernel_.loadAssembly("movi r1, " +
+                                         std::to_string(i) + "\nhalt");
+        ASSERT_TRUE(prog) << i;
+        images.push_back(prog.value);
+    }
+    for (size_t i = 0; i < images.size(); ++i) {
+        for (size_t j = i + 1; j < images.size(); ++j)
+            EXPECT_NE(images[i].base, images[j].base);
+    }
+}
+
+} // namespace
+} // namespace gp::os

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the paper's §2.2 observation that RESTRICT and SUBSEG
+ * "are not completely necessary, as they can be emulated by providing
+ * user processes with enter-privileged pointers to routines that use
+ * the SETPTR instruction" — the approach the real M-Machine took.
+ *
+ * A privileged "rights service" subsystem rebuilds pointers with
+ * SETPTR under software-enforced narrowing rules; these tests show
+ * it is observably equivalent to the hardware RESTRICT for legal
+ * requests and refuses amplification, and that reaching SETPTR any
+ * other way still faults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.h"
+#include "os/kernel.h"
+
+namespace gp::os {
+namespace {
+
+/**
+ * The privileged restrict service. ABI: r4 = pointer to narrow,
+ * r5 = requested permission (integer), r14 = RETIP.
+ * Returns: r4 = narrowed pointer, r15 = 1 ok / 0 refused.
+ *
+ * The software check mirrors the hardware lattice for the data
+ * subset this service supports: only RW->RO is granted. Everything
+ * else is refused — in particular any *widening* request.
+ */
+constexpr const char *kRestrictService = R"(
+    ; only serve requests on tagged read/write pointers
+    isptr r6, r4
+    movi r7, 0
+    beq r6, r7, refuse
+    ; extract the permission field: bits 63..60 of the payload
+    movi r7, 0
+    add r8, r4, r7      ; untagged copy of the pointer bits
+    shri r9, r8, 60
+    andi r9, r9, 15
+    movi r7, 3          ; Perm::ReadWrite
+    bne r9, r7, refuse
+    ; only grant read-only (2)
+    movi r7, 2
+    bne r5, r7, refuse
+    ; rebuild: clear the perm field, insert read-only, SETPTR
+    movi r10, 15
+    shli r10, r10, 60   ; mask for bits 63..60
+    xori r11, r10, -1   ; ~mask
+    and r8, r8, r11
+    shli r12, r5, 60
+    or r8, r8, r12
+    setptr r4, r8       ; privileged: mint the narrowed pointer
+    movi r15, 1
+    jmp r14
+    refuse:
+    movi r15, 0
+    jmp r14
+)";
+
+class PrivilegedServiceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto svc = kernel_.buildSubsystem(kRestrictService, {},
+                                          /*privileged=*/true);
+        ASSERT_TRUE(svc);
+        service_ = svc.value.enterPtr;
+    }
+
+    /** Call the service from user mode with (ptr, perm). */
+    isa::Thread *
+    call(Word ptr, uint64_t perm)
+    {
+        auto caller = kernel_.loadAssembly(R"(
+            getip r14
+            leai r14, r14, 24
+            jmp r1
+            halt
+        )");
+        EXPECT_TRUE(caller);
+        isa::Thread *t = kernel_.spawn(
+            caller.value.execPtr,
+            {{1, service_}, {4, ptr}, {5, Word::fromInt(perm)}});
+        EXPECT_NE(t, nullptr);
+        kernel_.machine().run();
+        return t;
+    }
+
+    Kernel kernel_;
+    Word service_;
+};
+
+TEST_F(PrivilegedServiceTest, NarrowsRwToRo)
+{
+    auto seg = kernel_.segments().allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(seg);
+    isa::Thread *t = call(seg.value, uint64_t(Perm::ReadOnly));
+    ASSERT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(15).bits(), 1u) << "granted";
+    const Word result = t->reg(4);
+    ASSERT_TRUE(result.isPointer());
+    PointerView v(result);
+    EXPECT_EQ(v.perm(), Perm::ReadOnly);
+    EXPECT_EQ(v.addr(), PointerView(seg.value).addr());
+    EXPECT_EQ(v.lenLog2(), PointerView(seg.value).lenLog2());
+
+    // Observably equivalent to the hardware instruction.
+    auto hw = restrictPerm(seg.value, Perm::ReadOnly);
+    ASSERT_TRUE(hw);
+    EXPECT_EQ(result.bits(), hw.value.bits());
+}
+
+TEST_F(PrivilegedServiceTest, RefusesAmplification)
+{
+    auto seg = kernel_.segments().allocate(4096, Perm::ReadWrite);
+    auto ro = restrictPerm(seg.value, Perm::ReadOnly);
+    ASSERT_TRUE(ro);
+    // RO -> RW: the service's software lattice refuses.
+    isa::Thread *t = call(ro.value, uint64_t(Perm::ReadWrite));
+    ASSERT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(15).bits(), 0u) << "refused";
+    EXPECT_TRUE(t->reg(4) == ro.value) << "pointer unchanged";
+}
+
+TEST_F(PrivilegedServiceTest, RefusesIntegers)
+{
+    isa::Thread *t =
+        call(Word::fromInt(0x1234567890ull), uint64_t(Perm::ReadOnly));
+    ASSERT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(15).bits(), 0u)
+        << "integers are not laundered into pointers";
+    EXPECT_FALSE(t->reg(4).isPointer());
+}
+
+TEST_F(PrivilegedServiceTest, RefusesExoticPermRequests)
+{
+    auto seg = kernel_.segments().allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(seg);
+    for (uint64_t perm : {0ull, 3ull, 4ull, 5ull, 6ull, 7ull, 15ull}) {
+        isa::Thread *t = call(seg.value, perm);
+        ASSERT_EQ(t->state(), isa::ThreadState::Halted) << perm;
+        EXPECT_EQ(t->reg(15).bits(), 0u)
+            << "service only grants read-only, asked for " << perm;
+    }
+}
+
+TEST_F(PrivilegedServiceTest, ServiceCodeUnreachableWithoutGateway)
+{
+    // The same service body loaded as USER code faults at SETPTR —
+    // privilege comes only from entering through the gateway.
+    auto user_copy = kernel_.buildSubsystem(kRestrictService, {},
+                                            /*privileged=*/false);
+    ASSERT_TRUE(user_copy);
+    auto seg = kernel_.segments().allocate(4096, Perm::ReadWrite);
+    auto caller = kernel_.loadAssembly(R"(
+        getip r14
+        leai r14, r14, 24
+        jmp r1
+        halt
+    )");
+    isa::Thread *t = kernel_.spawn(
+        caller.value.execPtr,
+        {{1, user_copy.value.enterPtr},
+         {4, seg.value},
+         {5, Word::fromInt(uint64_t(Perm::ReadOnly))}});
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::PrivilegeViolation);
+}
+
+} // namespace
+} // namespace gp::os

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the segment manager: allocation/minting, freeing with
+ * dangling-pointer safety, revocation and relocation (§4.3), and
+ * fragmentation accounting (§4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.h"
+#include "mem/memory_system.h"
+#include "os/segment_manager.h"
+
+namespace gp::os {
+namespace {
+
+class SegmentManagerTest : public ::testing::Test
+{
+  protected:
+    SegmentManagerTest()
+        : mem_(mem::MemConfig{}),
+          segman_(mem_, uint64_t(1) << 32, 24) // 16MB heap
+    {
+    }
+
+    mem::MemorySystem mem_;
+    SegmentManager segman_;
+};
+
+TEST_F(SegmentManagerTest, AllocateMintsUsablePointer)
+{
+    auto p = segman_.allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(p);
+    PointerView v(p.value);
+    EXPECT_EQ(v.perm(), Perm::ReadWrite);
+    EXPECT_EQ(v.segmentBytes(), 4096u);
+    EXPECT_EQ(v.offset(), 0u) << "pointer at segment base";
+
+    EXPECT_EQ(mem_.store(p.value, Word::fromInt(5), 8).fault,
+              Fault::None);
+    EXPECT_EQ(mem_.load(p.value, 8).data.bits(), 5u);
+}
+
+TEST_F(SegmentManagerTest, NonPowerOfTwoRoundsUp)
+{
+    auto p = segman_.allocate(5000, Perm::ReadOnly);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(PointerView(p.value).segmentBytes(), 8192u);
+    EXPECT_EQ(segman_.requestedBytes(), 5000u);
+    EXPECT_EQ(segman_.allocatedBytes(), 8192u);
+}
+
+TEST_F(SegmentManagerTest, ZeroBytesRejected)
+{
+    EXPECT_FALSE(segman_.allocate(0, Perm::ReadWrite));
+}
+
+TEST_F(SegmentManagerTest, ExhaustionFails)
+{
+    EXPECT_FALSE(segman_.allocate(uint64_t(1) << 25, Perm::ReadWrite))
+        << "larger than the 16MB heap";
+    EXPECT_TRUE(segman_.allocate(uint64_t(1) << 24, Perm::ReadWrite));
+    EXPECT_FALSE(segman_.allocate(8, Perm::ReadWrite))
+        << "heap fully consumed";
+}
+
+TEST_F(SegmentManagerTest, DistinctSegmentsDisjoint)
+{
+    auto a = segman_.allocate(4096, Perm::ReadWrite);
+    auto b = segman_.allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(a);
+    ASSERT_TRUE(b);
+    EXPECT_NE(PointerView(a.value).segmentBase(),
+              PointerView(b.value).segmentBase());
+}
+
+TEST_F(SegmentManagerTest, FreeMakesDanglingPointersFault)
+{
+    auto p = segman_.allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(p);
+    mem_.store(p.value, Word::fromInt(1), 8);
+    ASSERT_TRUE(segman_.free(p.value));
+    EXPECT_EQ(mem_.load(p.value, 8).fault, Fault::UnmappedAddress)
+        << "stale capability faults, not aliases";
+    EXPECT_FALSE(segman_.free(p.value)) << "double free reported";
+}
+
+TEST_F(SegmentManagerTest, FreeViaDerivedPointer)
+{
+    auto p = segman_.allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(p);
+    auto derived = gp::lea(p.value, 0x200);
+    ASSERT_TRUE(derived);
+    EXPECT_TRUE(segman_.free(derived.value))
+        << "any pointer into the segment identifies it";
+}
+
+TEST_F(SegmentManagerTest, RevokeThenReinstate)
+{
+    auto p = segman_.allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(p);
+    const uint64_t base = PointerView(p.value).segmentBase();
+    mem_.store(p.value, Word::fromInt(7), 8);
+
+    ASSERT_TRUE(segman_.revoke(base));
+    EXPECT_EQ(mem_.load(p.value, 8).fault, Fault::UnmappedAddress);
+
+    ASSERT_TRUE(segman_.reinstate(base));
+    auto ld = mem_.load(p.value, 8);
+    EXPECT_EQ(ld.fault, Fault::None);
+    EXPECT_EQ(ld.data.bits(), 7u) << "data preserved across revoke";
+}
+
+TEST_F(SegmentManagerTest, RevokeUnknownBaseFails)
+{
+    EXPECT_FALSE(segman_.revoke(0xdead000));
+    EXPECT_FALSE(segman_.reinstate(0xdead000));
+}
+
+TEST_F(SegmentManagerTest, RelocateMovesDataAndKillsOldPointers)
+{
+    auto p = segman_.allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(p);
+    const uint64_t base = PointerView(p.value).segmentBase();
+    mem_.store(p.value, Word::fromInt(0x1111), 8);
+    auto p8 = gp::lea(p.value, 8);
+    ASSERT_TRUE(p8);
+    mem_.store(p8.value, Word::fromInt(0x2222), 8);
+
+    auto fresh = segman_.relocate(base, Perm::ReadWrite);
+    ASSERT_TRUE(fresh);
+    EXPECT_NE(PointerView(fresh.value).segmentBase(), base);
+
+    // New pointer sees the data.
+    EXPECT_EQ(mem_.load(fresh.value, 8).data.bits(), 0x1111u);
+    auto f8 = gp::lea(fresh.value, 8);
+    ASSERT_TRUE(f8);
+    EXPECT_EQ(mem_.load(f8.value, 8).data.bits(), 0x2222u);
+
+    // Old pointer faults (the §4.3 relocation story).
+    EXPECT_EQ(mem_.load(p.value, 8).fault, Fault::UnmappedAddress);
+}
+
+TEST_F(SegmentManagerTest, SegmentContainingFindsOwner)
+{
+    auto p = segman_.allocate(4096, Perm::ReadWrite);
+    ASSERT_TRUE(p);
+    const uint64_t base = PointerView(p.value).segmentBase();
+    auto seg = segman_.segmentContaining(base + 100);
+    ASSERT_TRUE(seg.has_value());
+    EXPECT_EQ(seg->base, base);
+    EXPECT_FALSE(segman_.segmentContaining(base - 1).has_value());
+    EXPECT_FALSE(segman_.segmentContaining(base + 4096).has_value());
+}
+
+TEST_F(SegmentManagerTest, FragmentationAccounting)
+{
+    segman_.allocate(3000, Perm::ReadWrite); // -> 4096
+    segman_.allocate(1000, Perm::ReadWrite); // -> 1024
+    EXPECT_EQ(segman_.requestedBytes(), 4000u);
+    EXPECT_EQ(segman_.allocatedBytes(), 4096u + 1024u);
+    const double waste = 1.0 - double(segman_.requestedBytes()) /
+                                   double(segman_.allocatedBytes());
+    EXPECT_GT(waste, 0.0);
+    EXPECT_LT(waste, 0.5) << "power-of-two waste bounded by half";
+}
+
+TEST_F(SegmentManagerTest, FreeReturnsSpaceForReuse)
+{
+    auto p = segman_.allocate(uint64_t(1) << 23, Perm::ReadWrite);
+    ASSERT_TRUE(p);
+    auto q = segman_.allocate(uint64_t(1) << 23, Perm::ReadWrite);
+    ASSERT_TRUE(q);
+    EXPECT_FALSE(segman_.allocate(uint64_t(1) << 23, Perm::ReadWrite));
+    segman_.free(p.value);
+    EXPECT_TRUE(segman_.allocate(uint64_t(1) << 23, Perm::ReadWrite));
+}
+
+TEST_F(SegmentManagerTest, MintsAllPermissionTypes)
+{
+    for (Perm perm : {Perm::ReadOnly, Perm::ReadWrite,
+                      Perm::ExecuteUser, Perm::ExecutePrivileged,
+                      Perm::EnterUser, Perm::EnterPrivileged,
+                      Perm::Key}) {
+        auto p = segman_.allocate(256, perm);
+        ASSERT_TRUE(p) << permName(perm);
+        EXPECT_EQ(PointerView(p.value).perm(), perm);
+    }
+}
+
+} // namespace
+} // namespace gp::os

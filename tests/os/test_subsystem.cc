@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Integration tests for protected subsystems: the full Fig. 3 one-way
+ * call and Fig. 4 two-way call sequences running as real instruction
+ * streams on the machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gp/ops.h"
+#include "isa/assembler.h"
+#include "os/kernel.h"
+
+namespace gp::os {
+namespace {
+
+class SubsystemTest : public ::testing::Test
+{
+  protected:
+    Word
+    rwSegment(uint64_t bytes = 4096)
+    {
+        auto p = kernel_.segments().allocate(bytes, Perm::ReadWrite);
+        EXPECT_TRUE(p);
+        return p.value;
+    }
+
+    Kernel kernel_;
+};
+
+TEST_F(SubsystemTest, Figure3OneWayCall)
+{
+    // Subsystem owns a private counter segment; the caller can invoke
+    // the service but never touch the counter directly.
+    Word counter = rwSegment();
+    kernel_.mem().pokeWord(PointerView(counter).segmentBase(),
+                           Word::fromInt(100));
+
+    // Subsystem: increment the private counter, return via RETIP
+    // passed in r14 (Fig. 3's RETIP-as-argument convention).
+    auto sub = kernel_.buildSubsystem(R"(
+        getip r2
+        leabi r2, r2, 0   ; capability table at segment base
+        ld r3, 0(r2)      ; private counter pointer
+        ld r4, 0(r3)
+        addi r4, r4, 1
+        st r4, 0(r3)
+        jmp r14
+    )",
+                                      {counter});
+    ASSERT_TRUE(sub);
+
+    // Caller: compute RETIP, enter, then verify it regained control.
+    auto caller = kernel_.loadAssembly(R"(
+        getip r14
+        leai r14, r14, 24   ; return to after the jmp
+        jmp r1
+        movi r5, 777        ; post-return marker
+        halt
+    )");
+    ASSERT_TRUE(caller);
+
+    isa::Thread *t =
+        kernel_.spawn(caller.value.execPtr, {{1, sub.value.enterPtr}});
+    ASSERT_NE(t, nullptr);
+    kernel_.machine().run();
+
+    EXPECT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(5).bits(), 777u) << "control returned";
+    EXPECT_EQ(kernel_.mem()
+                  .peekWord(PointerView(counter).segmentBase())
+                  .bits(),
+              101u)
+        << "subsystem performed its service";
+}
+
+TEST_F(SubsystemTest, Figure3CallerCannotTouchSubsystemData)
+{
+    Word secret = rwSegment();
+    auto sub = kernel_.buildSubsystem("jmp r14", {secret});
+    ASSERT_TRUE(sub);
+
+    // The caller only ever held the enter pointer. It cannot load the
+    // capability table through it.
+    auto caller = kernel_.loadAssembly("ld r2, 0(r1)\nhalt");
+    ASSERT_TRUE(caller);
+    isa::Thread *t =
+        kernel_.spawn(caller.value.execPtr, {{1, sub.value.enterPtr}});
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::PermissionDenied);
+}
+
+TEST_F(SubsystemTest, Figure3SubsystemSeesCallerArguments)
+{
+    // Arguments pass in registers across the protection boundary.
+    Word shared = rwSegment();
+    auto sub = kernel_.buildSubsystem(R"(
+        st r6, 0(r5)    ; store arg value through arg pointer
+        jmp r14
+    )",
+                                      {});
+    ASSERT_TRUE(sub);
+    auto caller = kernel_.loadAssembly(R"(
+        movi r6, 4242
+        getip r14
+        leai r14, r14, 24
+        jmp r1
+        ld r7, 0(r5)
+        halt
+    )");
+    ASSERT_TRUE(caller);
+    isa::Thread *t = kernel_.spawn(
+        caller.value.execPtr, {{1, sub.value.enterPtr}, {5, shared}});
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(7).bits(), 4242u);
+}
+
+/**
+ * Fixture for the Fig. 4 two-way call: builds a return segment with a
+ * reload stub at a fixed offset.
+ */
+class TwoWayTest : public SubsystemTest
+{
+  protected:
+    static constexpr uint64_t kStubOffset = 64; // word 8
+
+    /** Create the return segment; returns (rw pointer, enter pointer). */
+    std::pair<Word, Word>
+    makeReturnSegment()
+    {
+        Word rw = rwSegment(256);
+        const uint64_t base = PointerView(rw).segmentBase();
+
+        // Reload stub: restore continuation IP and the caller's saved
+        // pointer, then jump back. Loads go through the IP-derived
+        // execute pointer (execute grants read).
+        auto stub = isa::assemble(R"(
+            getip r15
+            leabi r15, r15, 0
+            ld r14, 0(r15)   ; continuation IP
+            ld r4, 8(r15)    ; caller's protected pointer
+            movi r15, 0      ; scrub the scratch register
+            jmp r14
+        )");
+        EXPECT_TRUE(stub.ok) << stub.error;
+        for (size_t i = 0; i < stub.words.size(); ++i) {
+            kernel_.mem().pokeWord(base + kStubOffset + i * 8,
+                                   stub.words[i]);
+        }
+
+        auto enter = makePointer(Perm::EnterUser,
+                                 PointerView(rw).lenLog2(),
+                                 base + kStubOffset);
+        EXPECT_TRUE(enter);
+        return {rw, enter.value};
+    }
+};
+
+TEST_F(TwoWayTest, Figure4TwoWayCall)
+{
+    // The caller protects a private pointer (r4) from the subsystem by
+    // spilling it to the return segment and scrubbing its registers
+    // before the call; the return stub restores it.
+    Word caller_private = rwSegment();
+    kernel_.mem().pokeWord(PointerView(caller_private).segmentBase(),
+                           Word::fromInt(31415));
+
+    auto [ret_rw, ret_enter] = makeReturnSegment();
+
+    // Subsystem: does private work, returns via ENTER3 in r3. It
+    // must not learn r4.
+    auto sub = kernel_.buildSubsystem(R"(
+        movi r7, 1      ; pretend work
+        jmp r3
+    )",
+                                      {});
+    ASSERT_TRUE(sub);
+
+    // Caller (Fig. 4 A->B): spill continuation + r4 into the return
+    // segment, scrub everything but ENTER2 (r1), ENTER3 (r3), args.
+    auto caller = kernel_.loadAssembly(R"(
+        getip r14
+        leai r14, r14, 64    ; continuation: after 'jmp r1'
+        st r14, 0(r2)        ; save continuation IP
+        st r4, 8(r2)         ; save private pointer
+        movi r14, 0          ; scrub
+        movi r4, 0           ; scrub the private pointer
+        movi r2, 0           ; scrub the RW return-segment pointer
+        jmp r1
+        ; --- continuation (restored by the stub) ---
+        ld r8, 0(r4)         ; use the restored private pointer
+        halt
+    )");
+    ASSERT_TRUE(caller);
+
+    isa::Thread *t = kernel_.spawn(caller.value.execPtr,
+                                   {{1, sub.value.enterPtr},
+                                    {2, ret_rw},
+                                    {3, ret_enter},
+                                    {4, caller_private}});
+    ASSERT_NE(t, nullptr);
+    kernel_.machine().run();
+
+    EXPECT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(7).bits(), 1u) << "subsystem ran";
+    EXPECT_EQ(t->reg(8).bits(), 31415u)
+        << "private pointer restored and usable after return";
+}
+
+TEST_F(TwoWayTest, SubsystemCannotReadReturnSegment)
+{
+    // Fig. 4C: the subsystem holds only ENTER3 — an opaque gateway.
+    auto [ret_rw, ret_enter] = makeReturnSegment();
+    (void)ret_rw;
+    auto sub = kernel_.buildSubsystem(R"(
+        ld r9, 0(r3)    ; try to read through the enter pointer
+        jmp r3
+    )",
+                                      {});
+    ASSERT_TRUE(sub);
+    auto caller = kernel_.loadAssembly("jmp r1");
+    ASSERT_TRUE(caller);
+    isa::Thread *t = kernel_.spawn(
+        caller.value.execPtr,
+        {{1, sub.value.enterPtr}, {3, ret_enter}});
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::PermissionDenied);
+}
+
+TEST_F(TwoWayTest, SubsystemCannotForgeReturnSegmentAccess)
+{
+    // Stripping the tag and rebuilding doesn't work either: the ALU
+    // result is an integer and loads through it fault.
+    auto [ret_rw, ret_enter] = makeReturnSegment();
+    (void)ret_rw;
+    auto sub = kernel_.buildSubsystem(R"(
+        movi r9, 0
+        add r10, r3, r9   ; integer copy of the enter pointer bits
+        ld r11, 0(r10)    ; fault: not a pointer
+        jmp r3
+    )",
+                                      {});
+    ASSERT_TRUE(sub);
+    auto caller = kernel_.loadAssembly("jmp r1");
+    ASSERT_TRUE(caller);
+    isa::Thread *t = kernel_.spawn(
+        caller.value.execPtr,
+        {{1, sub.value.enterPtr}, {3, ret_enter}});
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::NotAPointer);
+}
+
+TEST_F(SubsystemTest, NestedSubsystemCalls)
+{
+    // Subsystem A calls subsystem B (each with private data), then
+    // returns to the caller — protection domains nest cleanly.
+    Word data_b = rwSegment();
+    kernel_.mem().pokeWord(PointerView(data_b).segmentBase(),
+                           Word::fromInt(5));
+    auto sub_b = kernel_.buildSubsystem(R"(
+        getip r2
+        leabi r2, r2, 0
+        ld r3, 0(r2)
+        ld r4, 0(r3)
+        addi r4, r4, 10
+        st r4, 0(r3)
+        jmp r13
+    )",
+                                        {data_b});
+    ASSERT_TRUE(sub_b);
+
+    auto sub_a = kernel_.buildSubsystem(R"(
+        getip r2
+        leabi r2, r2, 0
+        ld r12, 0(r2)    ; enter pointer for B from A's table
+        getip r13
+        leai r13, r13, 24
+        jmp r12
+        jmp r14          ; back to the caller
+    )",
+                                        {sub_b.value.enterPtr});
+    ASSERT_TRUE(sub_a);
+
+    auto caller = kernel_.loadAssembly(R"(
+        getip r14
+        leai r14, r14, 24
+        jmp r1
+        movi r5, 1
+        halt
+    )");
+    ASSERT_TRUE(caller);
+
+    isa::Thread *t = kernel_.spawn(caller.value.execPtr,
+                                   {{1, sub_a.value.enterPtr}});
+    kernel_.machine().run();
+    EXPECT_EQ(t->state(), isa::ThreadState::Halted);
+    EXPECT_EQ(t->reg(5).bits(), 1u);
+    EXPECT_EQ(kernel_.mem()
+                  .peekWord(PointerView(data_b).segmentBase())
+                  .bits(),
+              15u)
+        << "inner subsystem's effect visible";
+}
+
+} // namespace
+} // namespace gp::os

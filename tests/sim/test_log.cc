@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tests for the logging helpers: the quiet flag and the fatal/panic
+ * contracts (via death tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/log.h"
+
+namespace gp::sim {
+namespace {
+
+TEST(Log, QuietFlagRoundTrip)
+{
+    EXPECT_FALSE(quiet());
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    // warn/inform are no-ops now (no crash, no output check needed).
+    warn("suppressed %d", 1);
+    inform("suppressed %d", 2);
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+}
+
+TEST(LogDeathTest, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("bad config %d", 42),
+                ::testing::ExitedWithCode(1), "bad config 42");
+}
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("simulator bug %s", "xyz"), "xyz");
+}
+
+TEST(LogDeathTest, FatalIgnoresQuiet)
+{
+    setQuiet(true);
+    EXPECT_EXIT(fatal("still printed"), ::testing::ExitedWithCode(1),
+                "still printed");
+    setQuiet(false);
+}
+
+} // namespace
+} // namespace gp::sim

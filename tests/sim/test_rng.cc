@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility and distribution
+ * sanity (the workload generators depend on both).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace gp::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(7);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.below(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t v = rng.range(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        lo |= v == 5;
+        hi |= v == 8;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GeometricMeanApproximatesRequest)
+{
+    Rng rng(17);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += double(rng.geometric(8.0));
+    EXPECT_NEAR(sum / n, 8.0, 0.5);
+}
+
+TEST(Rng, GeometricDegenerateMean)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(0.5), 1u);
+}
+
+} // namespace
+} // namespace gp::sim

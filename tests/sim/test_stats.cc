@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the stats package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.h"
+
+namespace gp::sim {
+namespace {
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    c++;
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketsAndSummary)
+{
+    Histogram h(4, 8); // buckets of width 2 over [0,8) + overflow
+    h.sample(0);
+    h.sample(1);
+    h.sample(3);
+    h.sample(7);
+    h.sample(100); // overflow
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 111u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 100u);
+    EXPECT_EQ(h.bucket(0), 2u); // 0,1
+    EXPECT_EQ(h.bucket(1), 1u); // 3
+    EXPECT_EQ(h.bucket(3), 1u); // 7
+    EXPECT_EQ(h.bucket(4), 1u); // overflow
+    EXPECT_DOUBLE_EQ(h.mean(), 111.0 / 5);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(4, 8);
+    h.sample(3);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(StatGroup, CounterLookupIsStable)
+{
+    StatGroup g("test");
+    g.counter("a")++;
+    g.counter("a") += 2;
+    EXPECT_EQ(g.get("a"), 3u);
+    EXPECT_EQ(g.get("missing"), 0u);
+}
+
+TEST(StatGroup, HistogramPersists)
+{
+    StatGroup g("test");
+    g.histogram("lat", 4, 16).sample(3);
+    g.histogram("lat").sample(5);
+    EXPECT_EQ(g.histogram("lat").count(), 2u);
+}
+
+TEST(StatGroup, DumpFormat)
+{
+    StatGroup g("grp");
+    g.counter("hits") += 4;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("grp.hits 4"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAll)
+{
+    StatGroup g("grp");
+    g.counter("x") += 9;
+    g.histogram("h").sample(1);
+    g.resetAll();
+    EXPECT_EQ(g.get("x"), 0u);
+    EXPECT_EQ(g.histogram("h").count(), 0u);
+}
+
+} // namespace
+} // namespace gp::sim

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator: determinism, domain
+ * scheduling, sharing fractions, and segment-confinement of generated
+ * addresses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/workload.h"
+
+namespace gp::sim {
+namespace {
+
+WorkloadConfig
+baseConfig()
+{
+    WorkloadConfig c;
+    c.numDomains = 3;
+    c.segmentsPerDomain = 4;
+    c.sharedSegments = 2;
+    c.segmentBytes = 1024;
+    c.switchInterval = 50;
+    c.seed = 123;
+    return c;
+}
+
+TEST(Workload, Deterministic)
+{
+    TraceGenerator a(baseConfig()), b(baseConfig());
+    auto ta = a.generate(500);
+    auto tb = b.generate(500);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (size_t i = 0; i < ta.size(); ++i) {
+        EXPECT_EQ(ta[i].vaddr, tb[i].vaddr);
+        EXPECT_EQ(ta[i].domain, tb[i].domain);
+        EXPECT_EQ(ta[i].isWrite, tb[i].isWrite);
+    }
+}
+
+TEST(Workload, DifferentSeedsDiffer)
+{
+    WorkloadConfig c2 = baseConfig();
+    c2.seed = 999;
+    TraceGenerator a(baseConfig()), b(c2);
+    auto ta = a.generate(200);
+    auto tb = b.generate(200);
+    int same = 0;
+    for (size_t i = 0; i < ta.size(); ++i)
+        same += ta[i].vaddr == tb[i].vaddr;
+    EXPECT_LT(same, 100);
+}
+
+TEST(Workload, RoundRobinQuanta)
+{
+    TraceGenerator gen(baseConfig());
+    auto trace = gen.generate(300);
+    // First 50 refs from domain 0, next 50 from domain 1, etc.
+    for (size_t i = 0; i < 300; ++i)
+        EXPECT_EQ(trace[i].domain, (i / 50) % 3) << i;
+}
+
+TEST(Workload, AddressesStayInOwnedSegments)
+{
+    const WorkloadConfig cfg = baseConfig();
+    TraceGenerator gen(cfg);
+    for (const MemRef &ref : gen.generate(5000)) {
+        // The address must lie inside the segment the ref claims.
+        uint64_t base;
+        if (ref.isShared) {
+            const uint32_t shared_index =
+                ref.segment - cfg.numDomains * cfg.segmentsPerDomain;
+            base = gen.sharedBase(shared_index);
+        } else {
+            EXPECT_EQ(ref.segment / cfg.segmentsPerDomain, ref.domain)
+                << "private segment belongs to the issuing domain";
+            base = gen.segmentBase(ref.domain,
+                                   ref.segment % cfg.segmentsPerDomain);
+        }
+        EXPECT_GE(ref.vaddr, base);
+        EXPECT_LT(ref.vaddr, base + cfg.segmentBytes);
+    }
+}
+
+TEST(Workload, SharedFractionRoughlyHonoured)
+{
+    WorkloadConfig cfg = baseConfig();
+    cfg.sharedFraction = 0.3;
+    cfg.jumpFraction = 0.5; // re-pick segments often
+    TraceGenerator gen(cfg);
+    uint64_t shared = 0;
+    const uint64_t n = 20000;
+    for (const MemRef &ref : gen.generate(n))
+        shared += ref.isShared;
+    EXPECT_NEAR(double(shared) / double(n), 0.3, 0.08);
+}
+
+TEST(Workload, WriteFractionRoughlyHonoured)
+{
+    WorkloadConfig cfg = baseConfig();
+    cfg.writeFraction = 0.4;
+    TraceGenerator gen(cfg);
+    uint64_t writes = 0;
+    const uint64_t n = 20000;
+    for (const MemRef &ref : gen.generate(n))
+        writes += ref.isWrite;
+    EXPECT_NEAR(double(writes) / double(n), 0.4, 0.03);
+}
+
+TEST(Workload, SegmentBasesAreAlignedAndDisjoint)
+{
+    const WorkloadConfig cfg = baseConfig();
+    TraceGenerator gen(cfg);
+    // 1024-byte segments: bases must be 1024-aligned and distinct.
+    std::set<uint64_t> bases;
+    for (uint32_t d = 0; d < cfg.numDomains; ++d) {
+        for (uint32_t s = 0; s < cfg.segmentsPerDomain; ++s) {
+            const uint64_t b = gen.segmentBase(d, s);
+            EXPECT_EQ(b % 1024, 0u);
+            EXPECT_TRUE(bases.insert(b).second);
+        }
+    }
+    for (uint32_t s = 0; s < cfg.sharedSegments; ++s)
+        EXPECT_TRUE(bases.insert(gen.sharedBase(s)).second);
+    EXPECT_FALSE(bases.count(0)) << "address 0 never used";
+}
+
+TEST(Workload, NoPrivateSegmentsMeansAllShared)
+{
+    WorkloadConfig cfg = baseConfig();
+    cfg.segmentsPerDomain = 0;
+    cfg.sharedSegments = 3;
+    TraceGenerator gen(cfg);
+    for (const MemRef &ref : gen.generate(1000))
+        EXPECT_TRUE(ref.isShared);
+}
+
+TEST(Workload, SequentialLocalityExists)
+{
+    WorkloadConfig cfg = baseConfig();
+    cfg.jumpFraction = 0.0;
+    cfg.localityMean = 64;
+    TraceGenerator gen(cfg);
+    auto trace = gen.generate(1000);
+    uint64_t sequential = 0;
+    for (size_t i = 1; i < trace.size(); ++i) {
+        if (trace[i].domain == trace[i - 1].domain &&
+            trace[i].vaddr == trace[i - 1].vaddr + 8) {
+            sequential++;
+        }
+    }
+    EXPECT_GT(sequential, 700u) << "mostly stride-8 runs";
+}
+
+} // namespace
+} // namespace gp::sim

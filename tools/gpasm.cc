@@ -1,0 +1,78 @@
+/**
+ * @file
+ * gpasm — assembler front-end.
+ *
+ * Assembles a source file (or stdin with "-") and prints the encoded
+ * words as a hex listing with disassembly and label annotations.
+ * Exit status 0 on success, 1 on assembly errors (message on
+ * stderr), so it doubles as a syntax checker in build scripts.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "isa/assembler.h"
+
+using namespace gp;
+
+namespace {
+
+std::string
+readSource(const std::string &path)
+{
+    if (path == "-") {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        return ss.str();
+    }
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "gpasm: cannot open %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <prog.s | ->\n", argv[0]);
+        return 2;
+    }
+
+    const isa::Assembly assembly = isa::assemble(readSource(argv[1]));
+    if (!assembly.ok) {
+        std::fprintf(stderr, "gpasm: %s\n", assembly.error.c_str());
+        return 1;
+    }
+
+    // Invert the label map for per-instruction annotations.
+    std::map<size_t, std::string> labels_at;
+    for (const auto &[name, index] : assembly.labels) {
+        auto &slot = labels_at[index];
+        if (!slot.empty())
+            slot += ", ";
+        slot += name;
+    }
+
+    for (size_t i = 0; i < assembly.words.size(); ++i) {
+        if (auto it = labels_at.find(i); it != labels_at.end())
+            std::printf("%s:\n", it->second.c_str());
+        auto inst = isa::decodeInst(assembly.words[i]);
+        std::printf("  %04zx: %016llx  %s\n", i * 8,
+                    (unsigned long long)assembly.words[i].bits(),
+                    inst ? isa::toString(*inst).c_str() : "???");
+    }
+    std::printf("; %zu instruction(s), %zu byte(s)\n",
+                assembly.words.size(), assembly.words.size() * 8);
+    return 0;
+}

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * gpsim — command-line driver for the guarded-pointer machine.
+ *
+ * Assembles a program from a file (or stdin with "-"), loads it on
+ * the simulated MAP, gives each spawned thread a private read/write
+ * data segment in r1, runs to completion, and reports final state
+ * and statistics. The smallest path from "I wrote some assembly" to
+ * "I watched it run under capability protection".
+ *
+ * Usage:
+ *   gpsim prog.s [--threads N] [--data BYTES] [--clusters N]
+ *                [--issue-width N] [--max-cycles N]
+ *                [--dump-regs] [--dump-stats] [--privileged]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "gp/ops.h"
+#include "os/kernel.h"
+#include "sim/log.h"
+
+using namespace gp;
+
+namespace {
+
+struct Options
+{
+    std::string source;
+    unsigned threads = 1;
+    uint64_t dataBytes = 4096;
+    unsigned clusters = 4;
+    unsigned issueWidth = 1;
+    uint64_t maxCycles = 10'000'000;
+    bool dumpRegs = false;
+    bool dumpStats = false;
+    bool privileged = false;
+    bool trace = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s <prog.s | -> [options]\n"
+        "  --threads N      spawn N copies of the program (default 1)\n"
+        "  --data BYTES     size of each thread's r1 data segment "
+        "(default 4096)\n"
+        "  --clusters N     hardware clusters (default 4)\n"
+        "  --issue-width N  instructions/cluster/cycle (default 1)\n"
+        "  --max-cycles N   cycle budget (default 10M)\n"
+        "  --privileged     load as privileged code\n"
+        "  --trace          print every instruction as it executes\n"
+        "  --dump-regs      print final registers of every thread\n"
+        "  --dump-stats     print machine and memory statistics\n",
+        argv0);
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    if (argc < 2)
+        return false;
+    opts.source = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--threads") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.threads = unsigned(std::stoul(v));
+        } else if (arg == "--data") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.dataBytes = std::stoull(v);
+        } else if (arg == "--clusters") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.clusters = unsigned(std::stoul(v));
+        } else if (arg == "--issue-width") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.issueWidth = unsigned(std::stoul(v));
+        } else if (arg == "--max-cycles") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.maxCycles = std::stoull(v);
+        } else if (arg == "--trace") {
+            opts.trace = true;
+        } else if (arg == "--dump-regs") {
+            opts.dumpRegs = true;
+        } else if (arg == "--dump-stats") {
+            opts.dumpStats = true;
+        } else if (arg == "--privileged") {
+            opts.privileged = true;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+readSource(const std::string &path)
+{
+    if (path == "-") {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        return ss.str();
+    }
+    std::ifstream in(path);
+    if (!in) {
+        sim::fatal("cannot open %s", path.c_str());
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts)) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    os::KernelConfig kcfg;
+    kcfg.machine.clusters = opts.clusters;
+    kcfg.machine.issueWidth = opts.issueWidth;
+    os::Kernel kernel(kcfg);
+
+    auto prog = kernel.loadAssembly(readSource(opts.source),
+                                    opts.privileged);
+    if (!prog) {
+        std::fprintf(stderr, "assembly failed (see warning above)\n");
+        return 1;
+    }
+
+    if (opts.trace) {
+        const uint64_t base = prog.value.base;
+        kernel.machine().setTraceHook(
+            [base](const isa::Thread &t, const isa::Inst &inst,
+                   uint64_t cycle) {
+                std::printf("[%6llu] t%-2u +%04llx  %s\n",
+                            (unsigned long long)cycle, t.id(),
+                            (unsigned long long)(t.ip().addr() -
+                                                 base),
+                            isa::toString(inst).c_str());
+            });
+    }
+
+    std::vector<isa::Thread *> threads;
+    for (unsigned i = 0; i < opts.threads; ++i) {
+        auto seg = kernel.segments().allocate(opts.dataBytes,
+                                              Perm::ReadWrite);
+        if (!seg)
+            sim::fatal("data segment allocation failed");
+        isa::Thread *t =
+            kernel.spawn(prog.value.execPtr,
+                         {{1, seg.value},
+                          {2, Word::fromInt(i)}});
+        if (!t)
+            sim::fatal("out of hardware thread slots (16)");
+        threads.push_back(t);
+    }
+
+    const uint64_t cycles = kernel.machine().run(opts.maxCycles);
+
+    int halted = 0, faulted = 0;
+    for (isa::Thread *t : threads) {
+        if (t->state() == isa::ThreadState::Halted)
+            halted++;
+        if (t->state() == isa::ThreadState::Faulted)
+            faulted++;
+    }
+    std::printf("gpsim: %u thread(s): %d halted, %d faulted; %llu "
+                "cycles, %llu instructions\n",
+                opts.threads, halted, faulted,
+                (unsigned long long)cycles,
+                (unsigned long long)kernel.machine().stats().get(
+                    "instructions"));
+
+    for (size_t i = 0; i < threads.size(); ++i) {
+        isa::Thread *t = threads[i];
+        if (t->state() == isa::ThreadState::Faulted) {
+            std::printf("  thread %zu FAULT: %s at %s\n", i,
+                        std::string(
+                            faultName(t->faultRecord().fault))
+                            .c_str(),
+                        toString(t->faultRecord().ip).c_str());
+        }
+        if (opts.dumpRegs) {
+            std::printf("  thread %zu registers:\n", i);
+            for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+                std::printf("    r%-2u = %s\n", r,
+                            toString(t->reg(r)).c_str());
+            }
+        }
+    }
+
+    if (opts.dumpStats) {
+        std::printf("\n");
+        kernel.machine().stats().dump(std::cout);
+        kernel.mem().stats().dump(std::cout);
+        kernel.mem().cache().stats().dump(std::cout);
+        kernel.mem().tlb().stats().dump(std::cout);
+    }
+    return faulted ? 1 : 0;
+}

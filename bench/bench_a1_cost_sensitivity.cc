@@ -44,8 +44,10 @@ cyclesPerRef(SchemeKind kind, const Costs &costs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     gp::bench::Table t(
         "A1: guarded vs paged-flush across cost models (q=32)",
         {"pt walk", "ext fill", "flush fixed", "guarded cyc/ref",

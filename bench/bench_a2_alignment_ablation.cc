@@ -122,8 +122,10 @@ churnFreeList(uint64_t steps, uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     gp::bench::Table t(
         "A2: buddy (power-of-two, 64-bit caps) vs best-fit (exact, "
         "wide caps)",

@@ -58,8 +58,10 @@ machineCyclesPerRef(const std::vector<sim::MemRef> &trace,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     gp::bench::Table t(
         "A3: trace model vs cycle-level memory system (guarded)",
         {"workload", "trace model cyc/ref", "machine cyc/ref",

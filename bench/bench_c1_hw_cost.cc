@@ -115,6 +115,7 @@ BENCHMARK(BM_TaggedWordStore);
 int
 main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
     printStorageTable();
     printNoTableTraffic();
     ::benchmark::Initialize(&argc, argv);

@@ -148,8 +148,10 @@ externalFragmentation()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     internalFragmentation();
     externalFragmentation();
     return 0;

@@ -191,8 +191,10 @@ relocationAndIndirection()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     unmapVsSweep();
     collateralFaults();
     relocationAndIndirection();

@@ -152,6 +152,7 @@ BENCHMARK(BM_GcConservative)->Arg(16)->Arg(64)->Arg(256);
 int
 main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
     precisionTable();
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();

@@ -138,8 +138,10 @@ simulatedGuessingAttack()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     sparsityTable();
     simulatedGuessingAttack();
     return 0;

@@ -167,8 +167,10 @@ invarianceCheck()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     latencyVsDistance();
     allToAllTraffic();
     invarianceCheck();

@@ -62,8 +62,10 @@ runChain(os::Kernel &kernel, Word vfs_enter, int depth_marker)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     os::Kernel kernel;
 
     // Bottom server: the "block driver" — touches its private buffer

@@ -97,6 +97,7 @@ BENCHMARK(BM_AccessCheck);
 int
 main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
     printFormatTable();
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();

@@ -138,6 +138,7 @@ BENCHMARK(BM_RestrictSubseg);
 int
 main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
     printValidationTable();
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();

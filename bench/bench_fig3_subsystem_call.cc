@@ -89,8 +89,10 @@ measureLoopOverhead(os::Kernel &kernel)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     os::Kernel kernel;
 
     // Null subsystem: immediately returns. Measures the pure

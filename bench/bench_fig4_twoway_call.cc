@@ -78,8 +78,10 @@ runCaller(os::Kernel &kernel, const std::string &src,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     os::Kernel kernel;
     const std::string n = std::to_string(kCalls);
 

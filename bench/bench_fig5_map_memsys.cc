@@ -103,8 +103,10 @@ runThreads(unsigned nthreads, unsigned banks, unsigned issue_width = 1)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     gp::bench::Table t(
         "F5: MAP memory system — threads x banks sweep",
         {"threads", "banks", "cycles", "IPC", "data refs/cycle",

@@ -37,8 +37,10 @@ workload(uint32_t domains, uint32_t segments)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     const auto cache = gp::bench::mapCache();
     const Costs costs;
     constexpr uint64_t kRefs = 200000;

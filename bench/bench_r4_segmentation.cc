@@ -39,8 +39,10 @@ workload(uint64_t interval, uint32_t segs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     const auto cache = gp::bench::mapCache();
     const Costs costs;
     constexpr uint64_t kRefs = 200000;

@@ -86,8 +86,10 @@ machineLoop(bool sfi_checks)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     const auto cache = gp::bench::mapCache();
     const Costs costs;
     constexpr uint64_t kRefs = 200000;

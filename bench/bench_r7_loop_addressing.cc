@@ -53,8 +53,10 @@ runLoop(const std::string &src)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    gp::bench::init(argc, argv);
+
     const std::string n = std::to_string(kIters);
 
     // Guarded pointers, strength-reduced: one LEA per element.

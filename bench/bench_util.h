@@ -2,8 +2,10 @@
  * @file
  * Shared helpers for the experiment benches: a fixed-width table
  * printer so every bench emits the paper-style series in a uniform,
- * grep-friendly format, and common hardware configurations so all
- * experiments run over the same simulated machine.
+ * grep-friendly format, common hardware configurations so all
+ * experiments run over the same simulated machine, and an opt-in
+ * machine-readable JSON report (--json[=FILE]) so result series can be
+ * diffed and plotted without scraping the text tables.
  */
 
 #ifndef GP_BENCH_BENCH_UTIL_H
@@ -11,12 +13,142 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mem/cache.h"
+#include "sim/json.h"
 
 namespace gp::bench {
+
+/**
+ * Process-wide JSON report: every Table printed is also recorded here,
+ * and written as one JSON document at exit when --json was requested.
+ */
+class JsonReport
+{
+  public:
+    static JsonReport &
+    instance()
+    {
+        static JsonReport report;
+        return report;
+    }
+
+    void
+    configure(std::string bench_name, std::string path)
+    {
+        name_ = std::move(bench_name);
+        path_ = std::move(path);
+        enabled_ = true;
+    }
+
+    bool enabled() const { return enabled_; }
+
+    void
+    record(const std::string &title,
+           const std::vector<std::string> &header,
+           const std::vector<std::vector<std::string>> &rows)
+    {
+        if (!enabled_)
+            return;
+        tables_.push_back(Recorded{title, header, rows});
+    }
+
+    void
+    write() const
+    {
+        if (!enabled_)
+            return;
+        std::ofstream os(path_, std::ios::trunc);
+        if (!os) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         path_.c_str());
+            return;
+        }
+        os << "{\"bench\":\"" << sim::jsonEscape(name_)
+           << "\",\"tables\":[";
+        for (size_t t = 0; t < tables_.size(); ++t) {
+            const Recorded &tab = tables_[t];
+            if (t)
+                os << ",";
+            os << "{\"title\":\"" << sim::jsonEscape(tab.title)
+               << "\",\"header\":[";
+            for (size_t c = 0; c < tab.header.size(); ++c) {
+                os << (c ? "," : "") << "\""
+                   << sim::jsonEscape(tab.header[c]) << "\"";
+            }
+            os << "],\"rows\":[";
+            for (size_t r = 0; r < tab.rows.size(); ++r) {
+                os << (r ? "," : "") << "[";
+                for (size_t c = 0; c < tab.rows[r].size(); ++c) {
+                    os << (c ? "," : "") << "\""
+                       << sim::jsonEscape(tab.rows[r][c]) << "\"";
+                }
+                os << "]";
+            }
+            os << "]}";
+        }
+        os << "]}\n";
+    }
+
+  private:
+    struct Recorded
+    {
+        std::string title;
+        std::vector<std::string> header;
+        std::vector<std::vector<std::string>> rows;
+    };
+
+    bool enabled_ = false;
+    std::string name_;
+    std::string path_;
+    std::vector<Recorded> tables_;
+};
+
+/**
+ * Parse and strip the shared bench flags (--json[=FILE]) from argv.
+ * Call first thing in main(); the JSON report (named <bench>.json
+ * unless overridden) is written at process exit. Flags are removed
+ * from argv so google-benchmark argument parsing never sees them.
+ */
+inline void
+init(int &argc, char **argv)
+{
+    std::string_view prog = argc > 0 ? argv[0] : "bench";
+    if (const size_t slash = prog.rfind('/');
+        slash != std::string_view::npos) {
+        prog = prog.substr(slash + 1);
+    }
+
+    bool enabled = false;
+    std::string path;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--json") {
+            enabled = true;
+        } else if (arg.rfind("--json=", 0) == 0) {
+            enabled = true;
+            path = std::string(arg.substr(7));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+
+    if (enabled) {
+        if (path.empty())
+            path = std::string(prog) + ".json";
+        JsonReport::instance().configure(std::string(prog),
+                                         std::move(path));
+        std::atexit(+[] { JsonReport::instance().write(); });
+    }
+}
 
 /** Fixed-width text table with a title, header, and rows. */
 class Table
@@ -54,6 +186,8 @@ class Table
         std::printf("%s\n", rule.c_str());
         for (const auto &row : rows_)
             printRow(row, widths);
+
+        JsonReport::instance().record(title_, header_, rows_);
     }
 
   private:

@@ -1,8 +1,65 @@
 #include "gp/ops.h"
 
+#include "sim/stats.h"
+#include "sim/trace.h"
+
 namespace gp {
 
 namespace {
+
+/**
+ * Stats for the checking hardware itself: how often each pointer op
+ * runs and, per Fault kind, how often a check fires. Counters are
+ * cached as pointers so the hot path (LEA runs on every instruction's
+ * IP advance) costs a single indexed increment, not a map lookup.
+ */
+struct OpStats
+{
+    sim::StatGroup group{"gp"};
+    sim::Counter *lea;
+    sim::Counter *leab;
+    sim::Counter *restrictOp;
+    sim::Counter *subsegOp;
+    sim::Counter *setptrOp;
+    sim::Counter *accessChecks;
+    sim::Counter *fault[16] = {};
+
+    OpStats()
+    {
+        lea = &group.counter("op_lea");
+        leab = &group.counter("op_leab");
+        restrictOp = &group.counter("op_restrict");
+        subsegOp = &group.counter("op_subseg");
+        setptrOp = &group.counter("op_setptr");
+        accessChecks = &group.counter("access_checks");
+        for (unsigned i = 1; i <= unsigned(Fault::InvalidInstruction);
+             ++i) {
+            const Fault f = Fault(i);
+            fault[i] = &group.counter(std::string("fault_") +
+                                      std::string(faultName(f)));
+        }
+    }
+};
+
+OpStats &
+opStats()
+{
+    static OpStats stats;
+    return stats;
+}
+
+/** Count a violation by kind; passes the fault through for inline use. */
+inline Fault
+countFault(Fault f)
+{
+    if (f != Fault::None) {
+        const unsigned i = unsigned(f);
+        OpStats &s = opStats();
+        if (i < 16 && s.fault[i])
+            (*s.fault[i])++;
+    }
+    return f;
+}
 
 /**
  * Shared head of every pointer-mutating operation: decode and confirm
@@ -12,10 +69,12 @@ Result<PointerView>
 decodeMutable(Word ptr)
 {
     auto dec = decode(ptr);
-    if (!dec)
+    if (!dec) {
+        countFault(dec.fault);
         return dec;
+    }
     if (!addressMutable(dec.value.perm()))
-        return Result<PointerView>::fail(Fault::Immutable);
+        return Result<PointerView>::fail(countFault(Fault::Immutable));
     return dec;
 }
 
@@ -45,6 +104,7 @@ withAddr(Word ptr, uint64_t new_addr)
 Result<Word>
 lea(Word ptr, int64_t delta)
 {
+    (*opStats().lea)++;
     auto dec = decodeMutable(ptr);
     if (!dec)
         return Result<Word>::fail(dec.fault);
@@ -55,7 +115,15 @@ lea(Word ptr, int64_t delta)
 
     if (Fault f = boundsCheck(old_addr, new_addr, dec.value.lenLog2());
         f != Fault::None) {
-        return Result<Word>::fail(f);
+        GP_TRACE(Fault, sim::TraceManager::instance().cycle(), 0,
+                 "bounds-violation",
+                 "lea seg=[0x%llx,+0x%llx) perm=%s addr=0x%llx "
+                 "delta=%lld",
+                 (unsigned long long)dec.value.segmentBase(),
+                 (unsigned long long)dec.value.segmentBytes(),
+                 std::string(permName(dec.value.perm())).c_str(),
+                 (unsigned long long)old_addr, (long long)delta);
+        return Result<Word>::fail(countFault(f));
     }
     return Result<Word>::ok(withAddr(ptr, new_addr));
 }
@@ -63,6 +131,7 @@ lea(Word ptr, int64_t delta)
 Result<Word>
 leab(Word ptr, int64_t delta)
 {
+    (*opStats().leab)++;
     auto dec = decodeMutable(ptr);
     if (!dec)
         return Result<Word>::fail(dec.fault);
@@ -73,7 +142,14 @@ leab(Word ptr, int64_t delta)
 
     if (Fault f = boundsCheck(base, new_addr, dec.value.lenLog2());
         f != Fault::None) {
-        return Result<Word>::fail(f);
+        GP_TRACE(Fault, sim::TraceManager::instance().cycle(), 0,
+                 "bounds-violation",
+                 "leab seg=[0x%llx,+0x%llx) perm=%s delta=%lld",
+                 (unsigned long long)base,
+                 (unsigned long long)dec.value.segmentBytes(),
+                 std::string(permName(dec.value.perm())).c_str(),
+                 (long long)delta);
+        return Result<Word>::fail(countFault(f));
     }
     return Result<Word>::ok(withAddr(ptr, new_addr));
 }
@@ -81,19 +157,21 @@ leab(Word ptr, int64_t delta)
 Result<Word>
 restrictPerm(Word ptr, Perm target)
 {
+    (*opStats().restrictOp)++;
     auto dec = decode(ptr);
     if (!dec)
-        return Result<Word>::fail(dec.fault);
+        return Result<Word>::fail(countFault(dec.fault));
     // Enter and key pointers may not be modified in any way (§2.1).
     const Perm cur = dec.value.perm();
     if (cur == Perm::Key || cur == Perm::EnterUser ||
         cur == Perm::EnterPrivileged) {
-        return Result<Word>::fail(Fault::Immutable);
+        return Result<Word>::fail(countFault(Fault::Immutable));
     }
     if (!permValid(uint64_t(target)))
-        return Result<Word>::fail(Fault::InvalidPermission);
+        return Result<Word>::fail(
+            countFault(Fault::InvalidPermission));
     if (!strictSubset(cur, target))
-        return Result<Word>::fail(Fault::NotSubset);
+        return Result<Word>::fail(countFault(Fault::NotSubset));
 
     const uint64_t bits =
         (ptr.bits() & ~(kPermFieldMask << kPermShift)) |
@@ -104,16 +182,17 @@ restrictPerm(Word ptr, Perm target)
 Result<Word>
 subseg(Word ptr, uint64_t new_len_log2)
 {
+    (*opStats().subsegOp)++;
     auto dec = decode(ptr);
     if (!dec)
-        return Result<Word>::fail(dec.fault);
+        return Result<Word>::fail(countFault(dec.fault));
     const Perm cur = dec.value.perm();
     if (cur == Perm::Key || cur == Perm::EnterUser ||
         cur == Perm::EnterPrivileged) {
-        return Result<Word>::fail(Fault::Immutable);
+        return Result<Word>::fail(countFault(Fault::Immutable));
     }
     if (new_len_log2 >= dec.value.lenLog2())
-        return Result<Word>::fail(Fault::NotSmaller);
+        return Result<Word>::fail(countFault(Fault::NotSmaller));
 
     const uint64_t bits =
         (ptr.bits() & ~(kLenFieldMask << kLenShift)) |
@@ -124,6 +203,7 @@ subseg(Word ptr, uint64_t new_len_log2)
 Word
 setptr(uint64_t bits)
 {
+    (*opStats().setptrOp)++;
     return Word::fromRawPointerBits(bits);
 }
 
@@ -150,12 +230,51 @@ intToPtr(Word seg_ptr, uint64_t offset)
     return leab(seg_ptr, static_cast<int64_t>(offset));
 }
 
+namespace {
+
+/** Access-kind mnemonic for trace events. */
+const char *
+accessName(Access kind)
+{
+    switch (kind) {
+      case Access::Load:
+        return "load";
+      case Access::Store:
+        return "store";
+      case Access::InstFetch:
+        return "fetch";
+    }
+    return "?";
+}
+
+/**
+ * Count an access-check violation and record it, with the faulting
+ * pointer's full geometry, for the flight recorder (the
+ * capability-violation debugging record).
+ */
+Fault
+accessFault(Fault f, Access kind, const PointerView &v)
+{
+    GP_TRACE(Fault, sim::TraceManager::instance().cycle(), 0,
+             std::string(faultName(f)).c_str(),
+             "%s seg=[0x%llx,+0x%llx) perm=%s addr=0x%llx",
+             accessName(kind),
+             (unsigned long long)v.segmentBase(),
+             (unsigned long long)v.segmentBytes(),
+             std::string(permName(v.perm())).c_str(),
+             (unsigned long long)v.addr());
+    return countFault(f);
+}
+
+} // namespace
+
 Fault
 checkAccess(Word ptr, Access kind, unsigned size_bytes)
 {
+    (*opStats().accessChecks)++;
     auto dec = decode(ptr);
     if (!dec)
-        return dec.fault;
+        return countFault(dec.fault);
     const PointerView &v = dec.value;
 
     const uint32_t rights = rightsOf(v.perm());
@@ -172,20 +291,20 @@ checkAccess(Word ptr, Access kind, unsigned size_bytes)
         break;
     }
     if ((rights & needed) != needed)
-        return Fault::PermissionDenied;
+        return accessFault(Fault::PermissionDenied, kind, v);
 
     if (size_bytes == 0 || (size_bytes & (size_bytes - 1)) != 0 ||
         size_bytes > 8) {
-        return Fault::Misaligned;
+        return accessFault(Fault::Misaligned, kind, v);
     }
     if (v.addr() & (size_bytes - 1))
-        return Fault::Misaligned;
+        return accessFault(Fault::Misaligned, kind, v);
 
     // Natural alignment plus power-of-two segments means an in-segment
     // start address implies the whole range is in-segment, unless the
     // segment itself is smaller than the access.
     if (v.segmentBytes() < size_bytes)
-        return Fault::BoundsViolation;
+        return accessFault(Fault::BoundsViolation, kind, v);
 
     return Fault::None;
 }
@@ -206,7 +325,7 @@ enterToExecute(Word ptr)
         target = Perm::ExecutePrivileged;
         break;
       default:
-        return Result<Word>::fail(Fault::NotEnterPointer);
+        return Result<Word>::fail(countFault(Fault::NotEnterPointer));
     }
 
     const uint64_t bits =
@@ -220,7 +339,7 @@ jumpTarget(Word dest, bool privileged)
 {
     auto dec = decode(dest);
     if (!dec)
-        return Result<Word>::fail(dec.fault);
+        return Result<Word>::fail(countFault(dec.fault));
 
     switch (dec.value.perm()) {
       case Perm::ExecuteUser:
@@ -230,13 +349,14 @@ jumpTarget(Word dest, bool privileged)
         // gateway; a user thread holding a raw execute-privileged
         // pointer may not jump to an arbitrary address inside it.
         if (!privileged)
-            return Result<Word>::fail(Fault::PrivilegeViolation);
+            return Result<Word>::fail(
+                countFault(Fault::PrivilegeViolation));
         return Result<Word>::ok(dest);
       case Perm::EnterUser:
       case Perm::EnterPrivileged:
         return enterToExecute(dest);
       default:
-        return Result<Word>::fail(Fault::PermissionDenied);
+        return Result<Word>::fail(countFault(Fault::PermissionDenied));
     }
 }
 

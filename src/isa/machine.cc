@@ -2,8 +2,90 @@
 
 #include "gp/ops.h"
 #include "sim/log.h"
+#include "sim/trace.h"
 
 namespace gp::isa {
+
+namespace {
+
+/** Retired-instruction mix classes (indices into Machine::mix_). */
+enum InstClass : unsigned
+{
+    ClassAlu = 0,  //!< integer ALU, moves, immediates
+    ClassMem,      //!< loads and stores
+    ClassBranch,   //!< conditional branches
+    ClassControl,  //!< JMP/GETIP/HALT/NOP
+    ClassPointer,  //!< guarded-pointer operations (§2.2)
+    ClassMisc,     //!< anything else
+};
+
+constexpr const char *kClassNames[] = {
+    "alu", "mem", "branch", "control", "pointer", "misc",
+};
+
+/** Classify an opcode for the retired-instruction mix counters. */
+unsigned
+instClass(Op op)
+{
+    switch (op) {
+      case Op::ADD:
+      case Op::SUB:
+      case Op::MUL:
+      case Op::AND:
+      case Op::OR:
+      case Op::XOR:
+      case Op::SHL:
+      case Op::SHR:
+      case Op::SRA:
+      case Op::SLT:
+      case Op::SLTU:
+      case Op::ADDI:
+      case Op::ANDI:
+      case Op::ORI:
+      case Op::XORI:
+      case Op::SHLI:
+      case Op::SHRI:
+      case Op::SRAI:
+      case Op::MOVI:
+      case Op::LUI:
+      case Op::MOV:
+        return ClassAlu;
+      case Op::LD:
+      case Op::LDW:
+      case Op::LDH:
+      case Op::LDB:
+      case Op::ST:
+      case Op::STW:
+      case Op::STH:
+      case Op::STB:
+        return ClassMem;
+      case Op::BEQ:
+      case Op::BNE:
+      case Op::BLT:
+      case Op::BGE:
+        return ClassBranch;
+      case Op::NOP:
+      case Op::HALT:
+      case Op::JMP:
+      case Op::GETIP:
+        return ClassControl;
+      case Op::LEA:
+      case Op::LEAI:
+      case Op::LEAB:
+      case Op::LEABI:
+      case Op::RESTRICT:
+      case Op::SUBSEG:
+      case Op::SETPTR:
+      case Op::ISPTR:
+      case Op::PTOI:
+      case Op::ITOP:
+        return ClassPointer;
+      default:
+        return ClassMisc;
+    }
+}
+
+} // namespace
 
 Machine::Machine(const MachineConfig &config)
     : config_(config),
@@ -14,6 +96,7 @@ Machine::Machine(const MachineConfig &config)
 {
     if (config_.clusters == 0 || config_.threadsPerCluster == 0)
         sim::fatal("machine needs at least one cluster and thread slot");
+    initStats();
 }
 
 Machine::Machine(const MachineConfig &config, mem::MemoryPort &port)
@@ -24,6 +107,28 @@ Machine::Machine(const MachineConfig &config, mem::MemoryPort &port)
 {
     if (config_.clusters == 0 || config_.threadsPerCluster == 0)
         sim::fatal("machine needs at least one cluster and thread slot");
+    initStats();
+}
+
+void
+Machine::initStats()
+{
+    instructions_ = &stats_.counter("instructions");
+    cycles_ = &stats_.counter("cycles");
+    idleClusterCycles_ = &stats_.counter("idle_cluster_cycles");
+    emptyClusterCycles_ = &stats_.counter("empty_cluster_cycles");
+    stalledClusterCycles_ = &stats_.counter("stalled_cluster_cycles");
+    domainSwitches_ = &stats_.counter("domain_switches");
+    gateCrossings_ = &stats_.counter("gate_crossings");
+    faults_ = &stats_.counter("faults");
+    faultsRecovered_ = &stats_.counter("faults_recovered");
+    for (unsigned i = 0; i < kInstClassCount; ++i)
+        mix_[i] = &stats_.counter(std::string("mix_") + kClassNames[i]);
+    for (unsigned i = 1; i <= unsigned(Fault::InvalidInstruction); ++i) {
+        faultKind_[i] = &stats_.counter(
+            std::string("fault_") + std::string(faultName(Fault(i))));
+    }
+    lastIssuedId_.assign(config_.clusters, UINT32_MAX);
 }
 
 mem::MemorySystem &
@@ -96,10 +201,15 @@ Machine::allDone() const
 void
 Machine::step()
 {
+    // Feed the trace hub the current cycle so layers without direct
+    // cycle access (gp pointer ops) can stamp events. One static-load
+    // branch when tracing is fully off.
+    if (sim::TraceManager::anyEnabled())
+        sim::TraceManager::instance().setCycle(cycle_);
     for (unsigned c = 0; c < config_.clusters; ++c)
         stepCluster(c);
     cycle_++;
-    stats_.counter("cycles")++;
+    (*cycles_)++;
 }
 
 uint64_t
@@ -131,14 +241,35 @@ Machine::stepCluster(unsigned cluster)
             (rrNext_[cluster] + i) % config_.threadsPerCluster;
         Thread &t = threads_[base + slot];
         if (t.canIssue(cycle_)) {
+            // Consecutive issues from different threads are the paper's
+            // zero-cost protection-domain switches — count them.
+            if (lastIssuedId_[cluster] != UINT32_MAX &&
+                lastIssuedId_[cluster] != t.id()) {
+                (*domainSwitches_)++;
+            }
+            lastIssuedId_[cluster] = t.id();
             issueThread(t);
             issued++;
         }
     }
     rrNext_[cluster] =
         (rrNext_[cluster] + 1) % config_.threadsPerCluster;
-    if (issued == 0)
-        stats_.counter("idle_cluster_cycles")++;
+    if (issued == 0) {
+        (*idleClusterCycles_)++;
+        // Attribute the idle cycle: live threads all stalled on memory
+        // or trap latency, vs. no runnable thread in the cluster.
+        bool any_ready = false;
+        for (unsigned s = 0; s < config_.threadsPerCluster; ++s) {
+            if (threads_[base + s].state() == ThreadState::Ready) {
+                any_ready = true;
+                break;
+            }
+        }
+        if (any_ready)
+            (*stalledClusterCycles_)++;
+        else
+            (*emptyClusterCycles_)++;
+    }
 }
 
 void
@@ -146,30 +277,40 @@ Machine::faultThread(Thread &thread, Fault f)
 {
     thread.takeFault(f, cycle_);
     faultLog_.push_back(thread.faultRecord());
-    stats_.counter("faults")++;
+    (*faults_)++;
+    if (const unsigned fi = unsigned(f); fi < 16 && faultKind_[fi])
+        (*faultKind_[fi])++;
+    GP_TRACE(Fault, cycle_, thread.id(),
+             std::string(faultName(f)).c_str(), "t%u ip=0x%llx",
+             thread.id(),
+             static_cast<unsigned long long>(thread.ip().addr()));
 
-    if (!faultHandler_)
-        return;
-
-    // Dispatch to the software handler (event code in M-Machine
-    // terms). It may repair the cause and resume the thread; the trap
-    // cost is charged to the thread either way.
-    const FaultAction action =
-        faultHandler_(thread, thread.faultRecord());
-    switch (action) {
-      case FaultAction::Terminate:
-        break;
-      case FaultAction::Retry:
-      case FaultAction::Resume:
-        // Retry re-issues at the (possibly handler-patched) IP;
-        // Resume continues at whatever IP the handler installed. The
-        // machine treats both the same — the distinction is the
-        // handler's contract with itself.
-        thread.resumeFromFault();
-        thread.stallTo(cycle_ + config_.faultTrapCycles);
-        stats_.counter("faults_recovered")++;
-        break;
+    if (faultHandler_) {
+        // Dispatch to the software handler (event code in M-Machine
+        // terms). It may repair the cause and resume the thread; the
+        // trap cost is charged to the thread either way.
+        const FaultAction action =
+            faultHandler_(thread, thread.faultRecord());
+        switch (action) {
+          case FaultAction::Terminate:
+            break;
+          case FaultAction::Retry:
+          case FaultAction::Resume:
+            // Retry re-issues at the (possibly handler-patched) IP;
+            // Resume continues at whatever IP the handler installed.
+            // The machine treats both the same — the distinction is
+            // the handler's contract with itself.
+            thread.resumeFromFault();
+            thread.stallTo(cycle_ + config_.faultTrapCycles);
+            (*faultsRecovered_)++;
+            break;
+        }
     }
+
+    // The thread terminates on this fault: trigger the flight-recorder
+    // dump (a no-op unless a recorder is armed and has events).
+    if (thread.state() == ThreadState::Faulted)
+        sim::TraceManager::instance().unhandledFault();
 }
 
 bool
@@ -204,8 +345,17 @@ Machine::issueThread(Thread &thread)
 
     if (traceHook_)
         traceHook_(thread, *inst, cycle_);
+    // Structured twin of the trace hook: same point in the issue path,
+    // but routed through the TraceManager sinks. Format arguments
+    // (including the toString) are not evaluated when Exec is off.
+    GP_TRACE(Exec, cycle_, thread.id(),
+             std::string(opName(inst->op)).c_str(), "t%u ip=0x%llx %s",
+             thread.id(),
+             static_cast<unsigned long long>(thread.ip().addr()),
+             toString(*inst).c_str());
     execute(thread, *inst, f.completeCycle);
-    stats_.counter("instructions")++;
+    (*instructions_)++;
+    (*mix_[instClass(inst->op)])++;
 }
 
 void
@@ -428,6 +578,17 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
         if (!target) {
             faultThread(thread, target.fault);
             return;
+        }
+        // A jump through an enter pointer is a call-gate crossing into
+        // another protection domain (§2.1) — count and trace it.
+        if (auto gate = gp::decode(ra);
+            gate && (gate.value.perm() == Perm::EnterUser ||
+                     gate.value.perm() == Perm::EnterPrivileged)) {
+            (*gateCrossings_)++;
+            GP_TRACE(Gate, cycle_, thread.id(), "gate-crossing",
+                     "t%u %s entry=0x%llx", thread.id(),
+                     std::string(permName(gate.value.perm())).c_str(),
+                     static_cast<unsigned long long>(gate.value.addr()));
         }
         thread.retire();
         thread.setIp(target.value);

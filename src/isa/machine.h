@@ -147,6 +147,13 @@ class Machine
     sim::StatGroup &stats() { return stats_; }
 
   private:
+    /// Retired-instruction mix classes: alu/mem/branch/control/
+    /// pointer/misc (see instClass() in machine.cc).
+    static constexpr unsigned kInstClassCount = 6;
+
+    /** Create and cache the stat handles (shared by both ctors). */
+    void initStats();
+
     /** Issue for one cluster in the current cycle. */
     void stepCluster(unsigned cluster);
 
@@ -179,6 +186,24 @@ class Machine
     FaultHandler faultHandler_;
     TraceHook traceHook_;
     sim::StatGroup stats_{"machine"};
+
+    /// Per-cluster id of the thread that issued last, for counting
+    /// zero-cost protection-domain switches (UINT32_MAX = none yet).
+    std::vector<uint32_t> lastIssuedId_;
+
+    // Cached stat handles (stable for the life of stats_) so the
+    // per-instruction hot path pays plain increments, not map lookups.
+    sim::Counter *instructions_ = nullptr;
+    sim::Counter *cycles_ = nullptr;
+    sim::Counter *idleClusterCycles_ = nullptr;
+    sim::Counter *emptyClusterCycles_ = nullptr;
+    sim::Counter *stalledClusterCycles_ = nullptr;
+    sim::Counter *domainSwitches_ = nullptr;
+    sim::Counter *gateCrossings_ = nullptr;
+    sim::Counter *faults_ = nullptr;
+    sim::Counter *faultsRecovered_ = nullptr;
+    sim::Counter *mix_[kInstClassCount] = {};
+    sim::Counter *faultKind_[16] = {}; //!< indexed by unsigned(Fault)
 };
 
 } // namespace gp::isa

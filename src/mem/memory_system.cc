@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "sim/trace.h"
 
 namespace gp::mem {
 
@@ -13,6 +14,17 @@ MemorySystem::MemorySystem(const MemConfig &config)
       cache_(config.cache),
       bankBusyUntil_(config.cache.banks, 0)
 {
+    // Miss latency spans hit-time + TLB + walk + external transfer;
+    // 64 cycles of range covers the uncontended path with room for
+    // port queueing before overflow.
+    missLatency_ = &stats_.histogram("miss_latency", 16, 64);
+    conflictWait_ = &stats_.histogram("conflict_wait", 16, 16);
+    writebacks_ = &stats_.counter("writebacks");
+    bankConflictWait_.reserve(config_.cache.banks);
+    for (unsigned b = 0; b < config_.cache.banks; ++b) {
+        bankConflictWait_.push_back(&stats_.histogram(
+            "bank" + std::to_string(b) + "_conflict_wait", 8, 16));
+    }
 }
 
 MemAccess
@@ -37,8 +49,16 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
 
     // The bank port admits one access per cycle.
     const uint64_t start = std::max(now, bankBusyUntil_[bank]);
-    if (start > now)
-        stats_.counter("bank_conflict_stalls") += start - now;
+    if (start > now) {
+        const uint64_t wait = start - now;
+        stats_.counter("bank_conflict_stalls") += wait;
+        conflictWait_->sample(wait);
+        bankConflictWait_[bank]->sample(wait);
+        GP_TRACE(Cache, now, bank, "conflict",
+                 "vaddr=0x%llx wait=%llu",
+                 static_cast<unsigned long long>(vaddr),
+                 static_cast<unsigned long long>(wait));
+    }
     bankBusyUntil_[bank] = start + 1;
     uint64_t t = start + config_.timing.cacheHit;
 
@@ -54,6 +74,8 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
                        static_cast<unsigned long long>(vaddr));
         paddr = *pa;
         stats_.counter("hits")++;
+        GP_TRACE(Cache, now, bank, "hit", "vaddr=0x%llx",
+                 static_cast<unsigned long long>(vaddr));
         return acc;
     }
 
@@ -69,10 +91,20 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
             acc.fault = Fault::UnmappedAddress;
             acc.completeCycle = t;
             stats_.counter("unmapped_faults")++;
+            GP_TRACE(Fault, now, bank, "unmapped-address",
+                     "vaddr=0x%llx vpn=0x%llx",
+                     static_cast<unsigned long long>(vaddr),
+                     static_cast<unsigned long long>(vpn));
             return acc;
         }
         pfn = *pa >> pageTable_.pageShift();
         tlb_.insert(vpn, *pfn);
+        GP_TRACE(TLB, now, bank, "walk", "vpn=0x%llx pfn=0x%llx",
+                 static_cast<unsigned long long>(vpn),
+                 static_cast<unsigned long long>(*pfn));
+    } else {
+        GP_TRACE(TLB, now, bank, "hit", "vpn=0x%llx",
+                 static_cast<unsigned long long>(vpn));
     }
     paddr = (*pfn << pageTable_.pageShift()) |
             (vaddr & (pageTable_.pageBytes() - 1));
@@ -84,14 +116,22 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
     if (ext_start > t)
         stats_.counter("ext_port_stalls") += ext_start - t;
     uint64_t busy = config_.timing.extMemAccess;
-    if (cr.writeback)
+    if (cr.writeback) {
         busy += config_.timing.writeback;
+        (*writebacks_)++;
+        GP_TRACE(Cache, now, bank, "writeback", "victim_line=0x%llx",
+                 static_cast<unsigned long long>(cr.victimLineAddr));
+    }
     t = ext_start + busy;
     extBusyUntil_ = t;
 
     acc.cacheHit = false;
     acc.completeCycle = t;
     stats_.counter("misses")++;
+    missLatency_->sample(t - now);
+    GP_TRACE(Cache, now, bank, "miss", "vaddr=0x%llx latency=%llu",
+             static_cast<unsigned long long>(vaddr),
+             static_cast<unsigned long long>(t - now));
     return acc;
 }
 

@@ -169,6 +169,13 @@ class MemorySystem : public MemoryPort
     std::vector<uint64_t> bankBusyUntil_;
     uint64_t extBusyUntil_ = 0;
     sim::StatGroup stats_{"memsys"};
+
+    // Cached stat handles (stable for the life of stats_), so the
+    // per-access hot path pays an increment, not a map lookup.
+    sim::Histogram *missLatency_ = nullptr;
+    sim::Histogram *conflictWait_ = nullptr;
+    std::vector<sim::Histogram *> bankConflictWait_; //!< per bank
+    sim::Counter *writebacks_ = nullptr;
 };
 
 } // namespace gp::mem

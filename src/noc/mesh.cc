@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "sim/trace.h"
 
 namespace gp::noc {
 
@@ -10,6 +11,14 @@ Mesh::Mesh(const MeshConfig &config) : config_(config)
 {
     if (config_.dimX == 0 || config_.dimY == 0 || config_.dimZ == 0)
         sim::fatal("mesh: dimensions must be nonzero");
+    messages_ = &stats_.counter("messages");
+    flits_ = &stats_.counter("flits");
+    linkStallCycles_ = &stats_.counter("link_stall_cycles");
+    hopsTraversed_ = &stats_.counter("hops_traversed");
+    // Uncontended latency for the default 4x2x2 mesh tops out around
+    // 2*inject + 7 hops * hopLatency; 64 cycles of range leaves room
+    // for queueing before the overflow bucket.
+    deliveryLatency_ = &stats_.histogram("delivery_latency", 16, 64);
 }
 
 Coord
@@ -47,8 +56,8 @@ Mesh::send(unsigned from, unsigned to, uint64_t now, unsigned flits)
     if (from == to)
         return now;
 
-    stats_.counter("messages")++;
-    stats_.counter("flits") += flits;
+    (*messages_)++;
+    (*flits_) += flits;
 
     uint64_t t = now + config_.injectLatency;
 
@@ -74,14 +83,20 @@ Mesh::send(unsigned from, unsigned to, uint64_t now, unsigned flits)
         auto &busy = linkBusy_[link];
         const uint64_t start = std::max(t, busy);
         if (start > t)
-            stats_.counter("link_stall_cycles") += start - t;
+            (*linkStallCycles_) += start - t;
         busy = start + flits; // link occupied for the message length
         t = start + config_.hopLatency;
         cur = next;
-        stats_.counter("hops_traversed")++;
+        (*hopsTraversed_)++;
     }
 
-    return t + config_.injectLatency + flits - 1;
+    const uint64_t done = t + config_.injectLatency + flits - 1;
+    deliveryLatency_->sample(done - now);
+    GP_TRACE(NoC, now, from, "send",
+             "dst=%u flits=%u hops=%u latency=%llu", to, flits,
+             hops(from, to),
+             static_cast<unsigned long long>(done - now));
+    return done;
 }
 
 } // namespace gp::noc

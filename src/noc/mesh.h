@@ -91,6 +91,13 @@ class Mesh
     /// per-link busy-until cycle
     std::unordered_map<uint64_t, uint64_t> linkBusy_;
     sim::StatGroup stats_{"mesh"};
+
+    // Cached stat handles so send() pays increments, not map lookups.
+    sim::Counter *messages_ = nullptr;
+    sim::Counter *flits_ = nullptr;
+    sim::Counter *linkStallCycles_ = nullptr;
+    sim::Counter *hopsTraversed_ = nullptr;
+    sim::Histogram *deliveryLatency_ = nullptr;
 };
 
 } // namespace gp::noc

@@ -4,6 +4,7 @@
 #include "isa/assembler.h"
 #include "os/kernel.h"
 #include "sim/log.h"
+#include "sim/trace.h"
 
 namespace gp::os {
 
@@ -50,6 +51,11 @@ buildReturnSegment(Kernel &kernel)
     if (!enter)
         return Result<ReturnSegment>::fail(enter.fault);
     gate.enterPtr = enter.value;
+    kernel.stats().counter("return_segments_built")++;
+    GP_TRACE(Gate, kernel.machine().cycle(), 0, "return-segment",
+             "base=0x%llx stub=+0x%x",
+             static_cast<unsigned long long>(gate.base),
+             unsigned(ReturnSegment::kStubOffset));
     return Result<ReturnSegment>::ok(gate);
 }
 

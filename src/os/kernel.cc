@@ -50,7 +50,10 @@ Kernel::loadAssembly(std::string_view source, bool privileged)
         sim::warn("loadAssembly: %s", assembly.error.c_str());
         return Result<ProgramImage>::fail(Fault::InvalidInstruction);
     }
-    return loadWords(assembly.words, privileged);
+    auto image = loadWords(assembly.words, privileged);
+    if (image)
+        stats_.counter("programs_loaded")++;
+    return image;
 }
 
 Result<SubsystemImage>
@@ -86,6 +89,7 @@ Kernel::buildSubsystem(std::string_view source,
     if (!enter)
         return Result<SubsystemImage>::fail(enter.fault);
     sub.enterPtr = enter.value;
+    stats_.counter("subsystems_built")++;
     return Result<SubsystemImage>::ok(sub);
 }
 
@@ -98,6 +102,7 @@ Kernel::spawn(Word exec_ptr,
         return nullptr;
     for (const auto &[index, value] : regs)
         thread->setReg(index, value);
+    stats_.counter("threads_spawned")++;
     return thread;
 }
 

@@ -23,6 +23,7 @@
 #include "gp/word.h"
 #include "isa/machine.h"
 #include "os/segment_manager.h"
+#include "sim/stats.h"
 
 namespace gp::os {
 
@@ -68,6 +69,7 @@ class Kernel
     isa::Machine &machine() { return machine_; }
     mem::MemorySystem &mem() { return machine_.mem(); }
     SegmentManager &segments() { return segments_; }
+    sim::StatGroup &stats() { return stats_; }
 
     /**
      * Assemble source and load it into a fresh code segment.
@@ -104,6 +106,7 @@ class Kernel
 
     isa::Machine machine_;
     SegmentManager segments_;
+    sim::StatGroup stats_{"kernel"};
 };
 
 } // namespace gp::os

@@ -2,6 +2,7 @@
 
 #include "os/kernel.h"
 #include "sim/log.h"
+#include "sim/trace.h"
 
 namespace gp::os {
 
@@ -29,6 +30,9 @@ Scheduler::dispatch()
         if (!t)
             return; // no free slot; try again after progress
         running_.emplace_back(t, job.id);
+        GP_TRACE(Sched, kernel_.machine().cycle(),
+                 uint32_t(job.id), "dispatch", "job=%llu thread=%u",
+                 static_cast<unsigned long long>(job.id), t->id());
         queue_.pop_front();
         stats_.counter("jobs_dispatched")++;
     }
@@ -47,6 +51,14 @@ Scheduler::harvest()
             result.fault = t->faultRecord().fault;
             result.instructions = t->instsRetired();
             results_.push_back(result);
+            GP_TRACE(Sched, kernel_.machine().cycle(),
+                     uint32_t(result.id),
+                     result.faulted ? "job-faulted" : "job-completed",
+                     "job=%llu insts=%llu fault=%s",
+                     static_cast<unsigned long long>(result.id),
+                     static_cast<unsigned long long>(
+                         result.instructions),
+                     std::string(faultName(result.fault)).c_str());
             stats_.counter(result.faulted ? "jobs_faulted"
                                           : "jobs_completed")++;
             it = running_.erase(it);

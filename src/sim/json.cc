@@ -1,0 +1,283 @@
+#include "sim/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace gp::sim {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Strict recursive-descent JSON validator over a string_view. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    run()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *why)
+    {
+        if (error_ && error_->empty()) {
+            *error_ = why;
+            *error_ += " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (peek() == ' ' || peek() == '\t' ||
+                            peek() == '\n' || peek() == '\r'))
+            pos_++;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    value()
+    {
+        if (atEnd())
+            return fail("unexpected end of input");
+        if (++depth_ > kMaxDepth)
+            return fail("nesting too deep");
+        bool ok;
+        switch (peek()) {
+          case '{':
+            ok = object();
+            break;
+          case '[':
+            ok = array();
+            break;
+          case '"':
+            ok = string();
+            break;
+          case 't':
+            ok = literal("true");
+            break;
+          case 'f':
+            ok = literal("false");
+            break;
+          case 'n':
+            ok = literal("null");
+            break;
+          default:
+            ok = number();
+            break;
+        }
+        depth_--;
+        return ok;
+    }
+
+    bool
+    object()
+    {
+        pos_++; // '{'
+        skipWs();
+        if (!atEnd() && peek() == '}') {
+            pos_++;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (atEnd() || peek() != '"')
+                return fail("expected object key");
+            if (!string())
+                return false;
+            skipWs();
+            if (atEnd() || peek() != ':')
+                return fail("expected ':'");
+            pos_++;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (atEnd())
+                return fail("unterminated object");
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            if (peek() == '}') {
+                pos_++;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array()
+    {
+        pos_++; // '['
+        skipWs();
+        if (!atEnd() && peek() == ']') {
+            pos_++;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (atEnd())
+                return fail("unterminated array");
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            if (peek() == ']') {
+                pos_++;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    string()
+    {
+        pos_++; // opening quote
+        while (!atEnd()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                pos_++;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                pos_++;
+                if (atEnd())
+                    break;
+                const char esc = text_[pos_];
+                if (esc == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i])))
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 4;
+                } else if (esc != '"' && esc != '\\' && esc != '/' &&
+                           esc != 'b' && esc != 'f' && esc != 'n' &&
+                           esc != 'r' && esc != 't') {
+                    return fail("bad escape character");
+                }
+            }
+            pos_++;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        const size_t start = pos_;
+        if (!atEnd() && peek() == '-')
+            pos_++;
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("expected a value");
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+            pos_++;
+        if (!atEnd() && peek() == '.') {
+            pos_++;
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("digits required after '.'");
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                pos_++;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            pos_++;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                pos_++;
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("digits required in exponent");
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                pos_++;
+        }
+        return pos_ > start;
+    }
+
+    static constexpr int kMaxDepth = 256;
+
+    std::string_view text_;
+    std::string *error_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+bool
+jsonParse(std::string_view text, std::string *error)
+{
+    return Parser(text, error).run();
+}
+
+} // namespace gp::sim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal JSON helpers for the observability layer.
+ *
+ * The simulator emits two machine-readable artifacts — Chrome
+ * trace-event files and stats exports — and the tests must be able to
+ * confirm they are well-formed without dragging in an external JSON
+ * dependency. This header provides the two halves of that contract:
+ *
+ *  - jsonEscape(): escape a string for embedding in a JSON document
+ *    (used by every writer in the repo);
+ *  - jsonParse(): a strict recursive-descent validator for complete
+ *    JSON documents (used by tests and the gpsim smoke checks).
+ *
+ * The validator intentionally builds no DOM: it answers only "would a
+ * real parser accept this?", which is all the tests need.
+ */
+
+#ifndef GP_SIM_JSON_H
+#define GP_SIM_JSON_H
+
+#include <string>
+#include <string_view>
+
+namespace gp::sim {
+
+/** @return s with ", \, control chars escaped for a JSON string body. */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Strictly validate a complete JSON document (one value plus optional
+ * surrounding whitespace).
+ * @param error when non-null, receives a short reason on failure.
+ * @return true iff the document is well-formed JSON.
+ */
+bool jsonParse(std::string_view text, std::string *error = nullptr);
+
+} // namespace gp::sim
+
+#endif // GP_SIM_JSON_H

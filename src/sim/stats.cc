@@ -1,6 +1,10 @@
 #include "sim/stats.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "sim/log.h"
+#include "sim/stats_registry.h"
 
 namespace gp::sim {
 
@@ -45,6 +49,65 @@ Histogram::mean() const
                              static_cast<double>(count_);
 }
 
+uint64_t
+Histogram::bucketLow(size_t i) const
+{
+    const size_t n = buckets_.size() - 1;
+    if (i >= n)
+        return range_; // overflow bucket starts at the range bound
+    return (i * range_) / n;
+}
+
+uint64_t
+Histogram::bucketHigh(size_t i) const
+{
+    const size_t n = buckets_.size() - 1;
+    if (i >= n)
+        return UINT64_MAX; // overflow bucket is unbounded
+    return ((i + 1) * range_) / n;
+}
+
+uint64_t
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    if (p <= 0.0)
+        return minValue();
+    if (p >= 100.0)
+        return max_;
+
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    target = std::max<uint64_t>(target, 1);
+
+    const size_t n = buckets_.size() - 1;
+    uint64_t cum = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        cum += buckets_[i];
+        if (cum >= target) {
+            if (i == n)
+                return max_; // overflow bucket: best bound is max
+            // Inclusive upper edge of the bucket, clamped to the
+            // observed sample range.
+            const uint64_t high = bucketHigh(i);
+            const uint64_t approx = high == 0 ? 0 : high - 1;
+            return std::clamp(approx, minValue(), max_);
+        }
+    }
+    return max_;
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+    StatRegistry::instance().add(this);
+}
+
+StatGroup::~StatGroup()
+{
+    StatRegistry::instance().remove(this);
+}
+
 Counter &
 StatGroup::counter(const std::string &name)
 {
@@ -65,7 +128,14 @@ uint64_t
 StatGroup::get(const std::string &name) const
 {
     auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second.value();
+    if (it != counters_.end())
+        return it->second.value();
+    if (histograms_.count(name)) {
+        panic("StatGroup::get(\"%s.%s\") names a histogram; use "
+              "histogram(name).count()/mean()/percentile() instead",
+              name_.c_str(), name.c_str());
+    }
+    return 0;
 }
 
 void
@@ -86,6 +156,14 @@ StatGroup::dump(std::ostream &os) const
     for (const auto &[name, hist] : histograms_) {
         os << name_ << "." << name << ".count " << hist.count() << "\n";
         os << name_ << "." << name << ".mean " << hist.mean() << "\n";
+        os << name_ << "." << name << ".min " << hist.minValue()
+           << "\n";
+        os << name_ << "." << name << ".max " << hist.maxValue()
+           << "\n";
+        os << name_ << "." << name << ".p50 " << hist.percentile(50.0)
+           << "\n";
+        os << name_ << "." << name << ".p99 " << hist.percentile(99.0)
+           << "\n";
     }
 }
 

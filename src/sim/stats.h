@@ -62,13 +62,31 @@ class Histogram
 
     uint64_t count() const { return count_; }
     uint64_t sum() const { return sum_; }
-    uint64_t minValue() const { return min_; }
+    /** Smallest recorded sample; 0 when no samples were recorded. */
+    uint64_t minValue() const { return count_ == 0 ? 0 : min_; }
     uint64_t maxValue() const { return max_; }
     double mean() const;
+
+    /**
+     * Approximate p-th percentile (p in [0, 100]) from the bucket
+     * boundaries: returns the inclusive upper edge of the bucket
+     * containing the p-th sample, clamped to [min, max]; samples in
+     * the overflow bucket resolve to maxValue(). 0 when empty.
+     */
+    uint64_t percentile(double p) const;
 
     /** @return number of samples in bucket i (the last is overflow). */
     uint64_t bucket(size_t i) const { return buckets_.at(i); }
     size_t bucketCount() const { return buckets_.size(); }
+
+    /** Inclusive lower bound of bucket i (the last is overflow). */
+    uint64_t bucketLow(size_t i) const;
+
+    /** Exclusive upper bound of bucket i (UINT64_MAX for overflow). */
+    uint64_t bucketHigh(size_t i) const;
+
+    /** Upper bound of the bucketed range (overflow threshold). */
+    uint64_t range() const { return range_; }
 
   private:
     std::vector<uint64_t> buckets_;
@@ -83,11 +101,16 @@ class Histogram
  * A named collection of counters and histograms owned by one simulated
  * component. Registration hands out references that stay valid for the
  * life of the group.
+ *
+ * Every StatGroup automatically registers itself with the process-wide
+ * StatRegistry (sim/stats_registry.h) for its lifetime, so drivers can
+ * dump/export every live stat without hand-enumerating components.
  */
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+    explicit StatGroup(std::string name);
+    ~StatGroup();
 
     StatGroup(const StatGroup &) = delete;
     StatGroup &operator=(const StatGroup &) = delete;
@@ -99,16 +122,36 @@ class StatGroup
     Histogram &histogram(const std::string &name, size_t buckets = 16,
                          uint64_t max = 16);
 
-    /** @return the counter's current value, or 0 if never created. */
+    /**
+     * @return the counter's current value, or 0 if never created.
+     * Counter names only: asking for a name registered as a histogram
+     * is a programming error and panics — use histogram(name) and its
+     * count()/mean()/percentile() accessors instead.
+     */
     uint64_t get(const std::string &name) const;
 
     /** Reset every counter and histogram in the group. */
     void resetAll();
 
-    /** Write all stats as "group.name value" lines. */
+    /**
+     * Write all stats as "group.name value" lines. Histograms emit
+     * .count/.mean/.min/.max/.p50/.p99 summary lines.
+     */
     void dump(std::ostream &os) const;
 
     const std::string &name() const { return name_; }
+
+    /** All counters, for the registry/export layers. */
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+    /** All histograms, for the registry/export layers. */
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
 
   private:
     std::string name_;

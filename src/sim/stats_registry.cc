@@ -1,0 +1,127 @@
+#include "sim/stats_registry.h"
+
+#include <algorithm>
+
+#include "sim/json.h"
+
+namespace gp::sim {
+
+StatRegistry &
+StatRegistry::instance()
+{
+    // Function-local static: constructed before the first StatGroup
+    // (its ctor calls in here) and therefore destroyed after the last
+    // static-lifetime group unregisters.
+    static StatRegistry registry;
+    return registry;
+}
+
+void
+StatRegistry::add(StatGroup *group)
+{
+    groups_.push_back(group);
+}
+
+void
+StatRegistry::remove(StatGroup *group)
+{
+    auto it = std::find(groups_.begin(), groups_.end(), group);
+    if (it != groups_.end())
+        groups_.erase(it);
+}
+
+void
+StatRegistry::dumpAll(std::ostream &os) const
+{
+    for (const StatGroup *group : groups_)
+        group->dump(os);
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (StatGroup *group : groups_)
+        group->resetAll();
+}
+
+StatSnapshot
+StatRegistry::snapshot() const
+{
+    StatSnapshot snap;
+    for (const StatGroup *group : groups_) {
+        for (const auto &[name, ctr] : group->counters())
+            snap[group->name() + "." + name] += ctr.value();
+    }
+    return snap;
+}
+
+StatSnapshot
+StatRegistry::delta(const StatSnapshot &newer, const StatSnapshot &older)
+{
+    StatSnapshot out;
+    for (const auto &[key, value] : newer) {
+        auto it = older.find(key);
+        const uint64_t base = it == older.end() ? 0 : it->second;
+        out[key] = value >= base ? value - base : 0;
+    }
+    return out;
+}
+
+void
+StatRegistry::dumpDelta(const StatSnapshot &base, std::ostream &os) const
+{
+    for (const auto &[key, value] : delta(snapshot(), base))
+        os << key << " " << value << "\n";
+}
+
+void
+StatRegistry::exportJson(std::ostream &os) const
+{
+    os << "{\"groups\":[";
+    bool first_group = true;
+    for (const StatGroup *group : groups_) {
+        if (!first_group)
+            os << ",";
+        first_group = false;
+        os << "{\"name\":\"" << jsonEscape(group->name())
+           << "\",\"counters\":{";
+
+        bool first = true;
+        for (const auto &[name, ctr] : group->counters()) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "\"" << jsonEscape(name) << "\":" << ctr.value();
+        }
+
+        os << "},\"histograms\":{";
+        first = true;
+        for (const auto &[name, hist] : group->histograms()) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << "\"" << jsonEscape(name) << "\":{"
+               << "\"count\":" << hist.count()
+               << ",\"sum\":" << hist.sum()
+               << ",\"min\":" << hist.minValue()
+               << ",\"max\":" << hist.maxValue()
+               << ",\"mean\":" << hist.mean()
+               << ",\"p50\":" << hist.percentile(50.0)
+               << ",\"p99\":" << hist.percentile(99.0)
+               << ",\"buckets\":[";
+            const size_t n = hist.bucketCount() - 1;
+            for (size_t i = 0; i < n; ++i) {
+                if (i)
+                    os << ",";
+                os << "{\"lo\":" << hist.bucketLow(i)
+                   << ",\"hi\":" << hist.bucketHigh(i)
+                   << ",\"count\":" << hist.bucket(i) << "}";
+            }
+            os << "],\"overflow\":" << hist.bucket(n) << "}";
+        }
+        os << "}}";
+    }
+    os << "]}\n";
+}
+
+} // namespace gp::sim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Process-wide statistics registry.
+ *
+ * Every StatGroup registers itself here for its lifetime (RAII in the
+ * StatGroup ctor/dtor), giving drivers, benches, and tools a single
+ * place to dump, reset, snapshot, and export the entire simulator's
+ * stats — replacing hand-enumerated `x.stats().dump()` call lists.
+ *
+ * Capabilities:
+ *  - dumpAll(): the uniform "group.name value" text format;
+ *  - resetAll(): zero every live counter and histogram;
+ *  - snapshot()/delta(): per-phase measurement for benches — capture
+ *    counter values, run a phase, and read exact deltas;
+ *  - exportJson(): machine-readable export with full histogram
+ *    buckets, min/max/mean and p50/p99, consumed by
+ *    `gpsim --stats-json` and `tools/statdiff.py`.
+ */
+
+#ifndef GP_SIM_STATS_REGISTRY_H
+#define GP_SIM_STATS_REGISTRY_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace gp::sim {
+
+/**
+ * Counter values at a point in time, keyed "group.counter". Values of
+ * identically-named groups (e.g. two machines in one bench) are
+ * summed.
+ */
+using StatSnapshot = std::map<std::string, uint64_t>;
+
+/** The process-wide registry of live StatGroups. */
+class StatRegistry
+{
+  public:
+    static StatRegistry &instance();
+
+    /** Register a group (called by the StatGroup ctor). */
+    void add(StatGroup *group);
+
+    /** Unregister a group (called by the StatGroup dtor). */
+    void remove(StatGroup *group);
+
+    /** All live groups, in registration order. */
+    const std::vector<StatGroup *> &groups() const { return groups_; }
+
+    /** Dump every live group in the uniform text format. */
+    void dumpAll(std::ostream &os) const;
+
+    /** Reset every live counter and histogram. */
+    void resetAll();
+
+    /** Capture current counter values for later delta(). */
+    StatSnapshot snapshot() const;
+
+    /**
+     * Counter-wise difference newer - older (saturating at 0 for
+     * counters that were reset in between). Keys present only in
+     * `newer` keep their value; keys only in `older` are dropped.
+     */
+    static StatSnapshot delta(const StatSnapshot &newer,
+                              const StatSnapshot &older);
+
+    /** Dump the delta between now and a base snapshot as text. */
+    void dumpDelta(const StatSnapshot &base, std::ostream &os) const;
+
+    /**
+     * Export every live group as one JSON document:
+     *   {"groups":[{"name":...,"counters":{...},
+     *               "histograms":{...}}, ...]}
+     * Histograms carry count/sum/min/max/mean/p50/p99 plus the full
+     * bucket list with bounds and an overflow count.
+     */
+    void exportJson(std::ostream &os) const;
+
+  private:
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    std::vector<StatGroup *> groups_;
+};
+
+} // namespace gp::sim
+
+#endif // GP_SIM_STATS_REGISTRY_H

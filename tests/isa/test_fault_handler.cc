@@ -7,7 +7,10 @@
 
 #include "machine_fixture.h"
 
+#include <sstream>
+
 #include "isa/loader.h"
+#include "sim/trace.h"
 
 namespace gp::isa {
 namespace {
@@ -162,6 +165,58 @@ TEST_F(FaultHandlerTest, LazyRelocationFixup)
     EXPECT_EQ(t->reg(2).bits(), 0xCAFEu)
         << "stale pointer transparently redirected";
     EXPECT_EQ(PointerView(t->reg(1)).segmentBase(), new_base);
+}
+
+TEST_F(FaultHandlerTest, FlightRecorderDumpsOnUnhandledFault)
+{
+    // Arm the flight recorder, run a program that dies on a bounds
+    // violation, and check that the automatic dump carries the
+    // faulting access's pointer geometry and fault kind — the
+    // capability-violation debugging record.
+    std::ostringstream dump;
+    sim::TraceManager &tracer = sim::TraceManager::instance();
+    tracer.reset();
+    tracer.setFlightRecorder(64, sim::kTraceAllMask, &dump);
+
+    Word seg = data(12);
+    Thread *t = run("leai r2, r1, 8192\nhalt", {{1, seg}});
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::BoundsViolation);
+
+    const std::string text = dump.str();
+    EXPECT_NE(text.find("flight recorder"), std::string::npos)
+        << "unhandled fault must dump the ring automatically";
+    EXPECT_NE(text.find("bounds-violation"), std::string::npos)
+        << "fault kind recorded";
+    EXPECT_NE(text.find("seg=["), std::string::npos)
+        << "faulting pointer's segment bounds recorded";
+    EXPECT_NE(text.find("leai"), std::string::npos)
+        << "the faulting instruction's issue event is in the ring";
+
+    tracer.reset();
+}
+
+TEST_F(FaultHandlerTest, RecoveredFaultDoesNotDumpRecorder)
+{
+    std::ostringstream dump;
+    sim::TraceManager &tracer = sim::TraceManager::instance();
+    tracer.reset();
+    tracer.setFlightRecorder(64, sim::kTraceAllMask, &dump);
+
+    Word seg = data(12);
+    machine_->mem().pokeWord(PointerView(seg).segmentBase(),
+                             Word::fromInt(5));
+    machine_->setFaultHandler(
+        [&](Thread &thread, const FaultRecord &) {
+            thread.setReg(1, seg);
+            return FaultAction::Retry;
+        });
+    Thread *t = run("ld r2, 0(r1)\nhalt");
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_EQ(dump.str(), "")
+        << "handled faults must not trip the flight recorder";
+
+    tracer.reset();
 }
 
 TEST_F(FaultHandlerTest, HandlerCannotWidenThreadRights)

@@ -42,6 +42,45 @@ TEST(Histogram, BucketsAndSummary)
     EXPECT_DOUBLE_EQ(h.mean(), 111.0 / 5);
 }
 
+TEST(Histogram, EmptyMinValueIsZero)
+{
+    // Regression: minValue() used to leak the UINT64_MAX sentinel
+    // when no samples had been recorded.
+    Histogram h(4, 8);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+    EXPECT_EQ(h.percentile(50.0), 0u);
+}
+
+TEST(Histogram, PercentileApproximation)
+{
+    Histogram h(4, 8); // buckets [0,2) [2,4) [4,6) [6,8) + overflow
+    h.sample(0);
+    h.sample(1);
+    h.sample(3);
+    h.sample(7);
+    EXPECT_EQ(h.percentile(0.0), 0u) << "p0 is the minimum";
+    EXPECT_EQ(h.percentile(50.0), 1u)
+        << "p50 resolves to the upper edge of the bucket holding "
+           "the 2nd of 4 samples";
+    EXPECT_EQ(h.percentile(100.0), 7u) << "p100 is the maximum";
+
+    h.sample(100); // overflow bucket
+    EXPECT_EQ(h.percentile(99.0), 100u)
+        << "overflow-bucket percentiles resolve to the observed max";
+}
+
+TEST(Histogram, BucketBounds)
+{
+    Histogram h(4, 8);
+    EXPECT_EQ(h.bucketLow(0), 0u);
+    EXPECT_EQ(h.bucketHigh(0), 2u);
+    EXPECT_EQ(h.bucketLow(3), 6u);
+    EXPECT_EQ(h.bucketHigh(3), 8u);
+    EXPECT_EQ(h.bucketLow(4), 8u) << "overflow starts at the range";
+    EXPECT_EQ(h.bucketHigh(4), UINT64_MAX);
+}
+
 TEST(Histogram, ResetClears)
 {
     Histogram h(4, 8);
@@ -75,6 +114,31 @@ TEST(StatGroup, DumpFormat)
     std::ostringstream os;
     g.dump(os);
     EXPECT_NE(os.str().find("grp.hits 4"), std::string::npos);
+}
+
+TEST(StatGroup, DumpEmitsHistogramSummary)
+{
+    StatGroup g("grp");
+    Histogram &h = g.histogram("lat", 4, 8);
+    h.sample(1);
+    h.sample(7);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("grp.lat.count 2"), std::string::npos);
+    EXPECT_NE(text.find("grp.lat.min 1"), std::string::npos);
+    EXPECT_NE(text.find("grp.lat.max 7"), std::string::npos);
+    EXPECT_NE(text.find("grp.lat.p50 "), std::string::npos);
+    EXPECT_NE(text.find("grp.lat.p99 "), std::string::npos);
+}
+
+TEST(StatGroup, GetOnHistogramNamePanics)
+{
+    // get() silently returning 0 for a histogram name hid real data;
+    // it now dies loudly, pointing at the histogram accessors.
+    StatGroup g("grp");
+    g.histogram("lat", 4, 8).sample(1);
+    EXPECT_DEATH(g.get("lat"), "names a histogram");
 }
 
 TEST(StatGroup, ResetAll)

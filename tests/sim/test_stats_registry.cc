@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the process-wide stat registry: RAII registration, uniform
+ * dumping, delta snapshots, and the JSON export used by gpsim
+ * --stats-json.
+ *
+ * Static-lifetime groups from other translation units (the machine, gp
+ * pointer-op counters, ...) may be registered while these tests run, so
+ * every assertion uses uniquely named groups and substring checks
+ * rather than exact-output comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/json.h"
+#include "sim/stats.h"
+#include "sim/stats_registry.h"
+
+namespace gp::sim {
+namespace {
+
+TEST(StatRegistry, GroupsRegisterForTheirLifetime)
+{
+    {
+        StatGroup g("zz_lifetime");
+        g.counter("events") += 3;
+
+        const StatSnapshot snap = StatRegistry::instance().snapshot();
+        ASSERT_EQ(snap.count("zz_lifetime.events"), 1u);
+        EXPECT_EQ(snap.at("zz_lifetime.events"), 3u);
+
+        std::ostringstream os;
+        StatRegistry::instance().dumpAll(os);
+        EXPECT_NE(os.str().find("zz_lifetime.events 3"),
+                  std::string::npos);
+    }
+    // Destruction unregisters: the group must vanish from snapshots.
+    const StatSnapshot snap = StatRegistry::instance().snapshot();
+    EXPECT_EQ(snap.count("zz_lifetime.events"), 0u);
+}
+
+TEST(StatRegistry, DuplicateGroupNamesSumInSnapshots)
+{
+    // Benches construct several Machines; each has a "machine" group.
+    StatGroup a("zz_dup");
+    StatGroup b("zz_dup");
+    a.counter("c") += 1;
+    b.counter("c") += 2;
+    const StatSnapshot snap = StatRegistry::instance().snapshot();
+    EXPECT_EQ(snap.at("zz_dup.c"), 3u);
+}
+
+TEST(StatRegistry, DeltaSubtractsBaseline)
+{
+    StatGroup g("zz_delta");
+    g.counter("n") += 5;
+    const StatSnapshot base = StatRegistry::instance().snapshot();
+
+    g.counter("n") += 7;
+    g.counter("m") += 2;
+    const StatSnapshot now = StatRegistry::instance().snapshot();
+
+    const StatSnapshot d = StatRegistry::delta(now, base);
+    EXPECT_EQ(d.at("zz_delta.n"), 7u);
+    EXPECT_EQ(d.at("zz_delta.m"), 2u) << "keys absent from the base "
+                                         "count from zero";
+}
+
+TEST(StatRegistry, DeltaSaturatesAtZero)
+{
+    StatSnapshot older{{"g.c", 10}};
+    StatSnapshot newer{{"g.c", 4}}; // e.g. a reset between snapshots
+    const StatSnapshot d = StatRegistry::delta(newer, older);
+    EXPECT_EQ(d.at("g.c"), 0u);
+}
+
+TEST(StatRegistry, DumpDeltaWritesOnlyDifferences)
+{
+    StatGroup g("zz_dumpdelta");
+    g.counter("x") += 1;
+    const StatSnapshot base = StatRegistry::instance().snapshot();
+    g.counter("x") += 41;
+
+    std::ostringstream os;
+    StatRegistry::instance().dumpDelta(base, os);
+    EXPECT_NE(os.str().find("zz_dumpdelta.x 41"), std::string::npos);
+}
+
+TEST(StatRegistry, ExportJsonIsWellFormed)
+{
+    StatGroup g("zz_json");
+    g.counter("hits") += 4;
+    Histogram &h = g.histogram("lat", 4, 16);
+    for (uint64_t v : {1u, 2u, 3u, 9u, 100u})
+        h.sample(v);
+
+    std::ostringstream os;
+    StatRegistry::instance().exportJson(os);
+    const std::string json = os.str();
+
+    std::string error;
+    ASSERT_TRUE(jsonParse(json, &error)) << error;
+    EXPECT_NE(json.find("\"zz_json\""), std::string::npos);
+    EXPECT_NE(json.find("\"hits\":4"), std::string::npos);
+    // Histograms export their full shape, not just a mean.
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+    EXPECT_NE(json.find("\"overflow\""), std::string::npos);
+}
+
+TEST(StatRegistry, ResetAllClearsEveryGroup)
+{
+    StatGroup g("zz_reset");
+    g.counter("c") += 9;
+    g.histogram("h", 4, 8).sample(3);
+
+    StatRegistry::instance().resetAll();
+    EXPECT_EQ(g.get("c"), 0u);
+    EXPECT_EQ(g.histogram("h").count(), 0u);
+}
+
+} // namespace
+} // namespace gp::sim

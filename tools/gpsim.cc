@@ -11,6 +11,8 @@
  * Usage:
  *   gpsim prog.s [--threads N] [--data BYTES] [--clusters N]
  *                [--issue-width N] [--max-cycles N]
+ *                [--trace[=CATS]] [--trace-out=FILE]
+ *                [--flight-recorder=N] [--stats-json=FILE]
  *                [--dump-regs] [--dump-stats] [--privileged]
  */
 
@@ -24,6 +26,8 @@
 #include "gp/ops.h"
 #include "os/kernel.h"
 #include "sim/log.h"
+#include "sim/stats_registry.h"
+#include "sim/trace.h"
 
 using namespace gp;
 
@@ -40,7 +44,10 @@ struct Options
     bool dumpRegs = false;
     bool dumpStats = false;
     bool privileged = false;
-    bool trace = false;
+    uint32_t traceMask = 0;       //!< text-sink categories (0 = off)
+    std::string traceOut;         //!< Chrome trace-event JSON path
+    size_t flightRecorder = 0;    //!< ring depth (0 = disarmed)
+    std::string statsJson;        //!< stats JSON export path
 };
 
 void
@@ -56,9 +63,16 @@ usage(const char *argv0)
         "  --issue-width N  instructions/cluster/cycle (default 1)\n"
         "  --max-cycles N   cycle budget (default 10M)\n"
         "  --privileged     load as privileged code\n"
-        "  --trace          print every instruction as it executes\n"
+        "  --trace[=CATS]   structured event trace to stdout; CATS is\n"
+        "                   'all' or a comma list of exec,mem,cache,\n"
+        "                   tlb,fault,gate,noc,sched (default exec)\n"
+        "  --trace-out=FILE write a Chrome trace-event JSON (all\n"
+        "                   categories; open in Perfetto)\n"
+        "  --flight-recorder=N  keep the last N events and dump them\n"
+        "                   when a thread dies on an unhandled fault\n"
+        "  --stats-json=FILE    export every stat group as JSON\n"
         "  --dump-regs      print final registers of every thread\n"
-        "  --dump-stats     print machine and memory statistics\n",
+        "  --dump-stats     print statistics from every component\n",
         argv0);
 }
 
@@ -73,6 +87,47 @@ parseArgs(int argc, char **argv, Options &opts)
         auto next = [&]() -> const char * {
             return i + 1 < argc ? argv[++i] : nullptr;
         };
+        // "--name=value" handling for the observability flags.
+        auto valueOf = [&](const char *name,
+                           std::string &out) -> bool {
+            const std::string prefix = std::string(name) + "=";
+            if (arg.rfind(prefix, 0) == 0) {
+                out = arg.substr(prefix.size());
+                return true;
+            }
+            if (arg == name) {
+                const char *v = next();
+                if (v)
+                    out = v;
+                return !out.empty();
+            }
+            return false;
+        };
+        std::string value;
+        if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+            const std::string spec =
+                arg == "--trace" ? "exec" : arg.substr(8);
+            auto mask = sim::parseTraceMask(spec);
+            if (!mask) {
+                std::fprintf(stderr, "bad trace categories: %s\n",
+                             spec.c_str());
+                return false;
+            }
+            opts.traceMask = *mask;
+            continue;
+        }
+        if (valueOf("--trace-out", value)) {
+            opts.traceOut = value;
+            continue;
+        }
+        if (valueOf("--flight-recorder", value)) {
+            opts.flightRecorder = std::stoull(value);
+            continue;
+        }
+        if (valueOf("--stats-json", value)) {
+            opts.statsJson = value;
+            continue;
+        }
         if (arg == "--threads") {
             const char *v = next();
             if (!v)
@@ -98,8 +153,6 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.maxCycles = std::stoull(v);
-        } else if (arg == "--trace") {
-            opts.trace = true;
         } else if (arg == "--dump-regs") {
             opts.dumpRegs = true;
         } else if (arg == "--dump-stats") {
@@ -154,18 +207,14 @@ main(int argc, char **argv)
         return 1;
     }
 
-    if (opts.trace) {
-        const uint64_t base = prog.value.base;
-        kernel.machine().setTraceHook(
-            [base](const isa::Thread &t, const isa::Inst &inst,
-                   uint64_t cycle) {
-                std::printf("[%6llu] t%-2u +%04llx  %s\n",
-                            (unsigned long long)cycle, t.id(),
-                            (unsigned long long)(t.ip().addr() -
-                                                 base),
-                            isa::toString(inst).c_str());
-            });
-    }
+    // Attach the requested trace sinks before any thread runs.
+    sim::TraceManager &tracer = sim::TraceManager::instance();
+    if (opts.traceMask != 0)
+        tracer.setTextSink(&std::cout, opts.traceMask);
+    if (!opts.traceOut.empty() && !tracer.openJson(opts.traceOut))
+        sim::fatal("cannot open trace file %s", opts.traceOut.c_str());
+    if (opts.flightRecorder > 0)
+        tracer.setFlightRecorder(opts.flightRecorder);
 
     std::vector<isa::Thread *> threads;
     for (unsigned i = 0; i < opts.threads; ++i) {
@@ -217,11 +266,21 @@ main(int argc, char **argv)
     }
 
     if (opts.dumpStats) {
+        // Every component registers its StatGroup with the process-wide
+        // registry, so one call covers machine, memory, cache, TLB,
+        // pointer ops, kernel, and anything added later.
         std::printf("\n");
-        kernel.machine().stats().dump(std::cout);
-        kernel.mem().stats().dump(std::cout);
-        kernel.mem().cache().stats().dump(std::cout);
-        kernel.mem().tlb().stats().dump(std::cout);
+        sim::StatRegistry::instance().dumpAll(std::cout);
     }
+
+    if (!opts.statsJson.empty()) {
+        std::ofstream out(opts.statsJson, std::ios::trunc);
+        if (!out)
+            sim::fatal("cannot open stats file %s",
+                       opts.statsJson.c_str());
+        sim::StatRegistry::instance().exportJson(out);
+    }
+
+    tracer.closeJson();
     return faulted ? 1 : 0;
 }

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Diff two gpsim --stats-json exports.
+
+Usage:
+    statdiff.py BASE.json NEW.json [--all] [--threshold PCT]
+
+Prints one line per counter that changed between the two runs, with
+absolute and relative deltas, and summarises histogram changes by
+count/mean/p99. Groups appearing in only one file are reported as
+added/removed. Exit status is 1 when any counter differs (useful as a
+regression tripwire in CI), 0 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    counters = {}
+    hists = {}
+    for group in doc.get("groups", []):
+        gname = group.get("name", "?")
+        for cname, value in group.get("counters", {}).items():
+            key = f"{gname}.{cname}"
+            counters[key] = counters.get(key, 0) + value
+        for hname, summary in group.get("histograms", {}).items():
+            key = f"{gname}.{hname}"
+            hists[key] = summary
+    return counters, hists
+
+
+def fmt_delta(base, new):
+    delta = new - base
+    if base == 0:
+        rel = "new" if new else "0%"
+    else:
+        rel = f"{100.0 * delta / base:+.1f}%"
+    return f"{base} -> {new} ({delta:+d}, {rel})"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff two gpsim --stats-json exports")
+    ap.add_argument("base")
+    ap.add_argument("new")
+    ap.add_argument("--all", action="store_true",
+                    help="also print unchanged counters")
+    ap.add_argument("--threshold", type=float, default=0.0,
+                    help="only report counters whose relative change "
+                         "exceeds PCT (absolute changes from zero "
+                         "always report)")
+    args = ap.parse_args()
+
+    base_ctr, base_hist = load(args.base)
+    new_ctr, new_hist = load(args.new)
+
+    changed = 0
+    for key in sorted(set(base_ctr) | set(new_ctr)):
+        b = base_ctr.get(key, 0)
+        n = new_ctr.get(key, 0)
+        if b == n:
+            if args.all:
+                print(f"  {key} {b} (unchanged)")
+            continue
+        if b and args.threshold:
+            rel = abs(100.0 * (n - b) / b)
+            if rel < args.threshold:
+                continue
+        tag = ""
+        if key not in base_ctr:
+            tag = " [added]"
+        elif key not in new_ctr:
+            tag = " [removed]"
+        print(f"~ {key} {fmt_delta(b, n)}{tag}")
+        changed += 1
+
+    for key in sorted(set(base_hist) | set(new_hist)):
+        b = base_hist.get(key)
+        n = new_hist.get(key)
+        if b is None:
+            print(f"~ {key} histogram [added] count={n['count']}")
+            changed += 1
+            continue
+        if n is None:
+            print(f"~ {key} histogram [removed] count={b['count']}")
+            changed += 1
+            continue
+        if (b["count"], b["mean"], b["p99"]) == \
+           (n["count"], n["mean"], n["p99"]):
+            continue
+        print(f"~ {key} count {b['count']} -> {n['count']}, "
+              f"mean {b['mean']:.2f} -> {n['mean']:.2f}, "
+              f"p99 {b['p99']} -> {n['p99']}")
+        changed += 1
+
+    if changed == 0:
+        print("no differences")
+    return 1 if changed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+; Integer AXPY kernel: y[i] = a * x[i] + y[i] over 16 elements.
+; x lives in the first 128 bytes of the data segment, y at offset
+; 2048. Exercises the per-iteration LEA/LD/ST guarded-pointer path
+; the paper's figure 2 prices out.
+        movi r3, 0          ; i
+        movi r4, 16         ; n
+        mov  r5, r1         ; x cursor
+        leai r6, r1, 2048   ; y cursor
+        movi r7, 3          ; a
+loop:   ld   r2, 0(r5)
+        mul  r2, r2, r7
+        ld   r0, 0(r6)
+        add  r2, r2, r0
+        st   r2, 0(r6)
+        leai r5, r5, 8
+        leai r6, r6, 8
+        addi r3, r3, 1
+        bne  r3, r4, loop
+        halt

@@ -1,0 +1,14 @@
+; XOR checksum of the first 256 slots (2 KiB) of the data segment,
+; folded into slot 0. A pure load-heavy kernel: one guarded LD plus
+; pointer bump per element.
+        movi r3, 0          ; i
+        movi r4, 256        ; slots
+        mov  r5, r1         ; cursor
+        movi r6, 0          ; checksum
+loop:   ld   r7, 0(r5)
+        xor  r6, r6, r7
+        leai r5, r5, 8
+        addi r3, r3, 1
+        bne  r3, r4, loop
+        st   r6, 0(r1)
+        halt

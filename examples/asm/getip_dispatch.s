@@ -1,0 +1,12 @@
+; Position-independent dispatch: derive a jump target from the current
+; instruction pointer with GETIP + LEAI and hop over a poison store.
+; gpverify resolves the jump statically (the pointer provably targets
+; this code segment at a known offset), proves the poison store dead,
+; and certifies the program clean.
+        getip r3            ; r3 = execute pointer at this instruction
+        leai r3, r3, 32     ; + 4 instructions -> "landing"
+        jmp  r3
+        st   r0, 0(r0)      ; skipped: would fault (r0 is an integer)
+        movi r4, 1          ; landing point
+        st   r4, 0(r1)
+        halt

@@ -1,0 +1,11 @@
+; RESTRICT in action: shrink the read/write data capability to a
+; read-only view, read back through the view, and prove the original
+; capability still writes. gpverify certifies this program strictly
+; clean — every offset and permission is statically known.
+        movi r3, 42
+        st   r3, 0(r1)      ; data[0] = 42 via the RW capability
+        movi r4, 2          ; Perm::ReadOnly
+        restrict r5, r1, r4 ; r5 = read-only view of the segment
+        ld   r6, 0(r5)      ; read through the narrowed view
+        st   r6, 8(r1)      ; copy via the original RW capability
+        halt

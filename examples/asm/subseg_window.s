@@ -1,0 +1,12 @@
+; SUBSEG in action: carve a 64-byte window out of the 4 KiB data
+; segment and touch its first and last slots. A store at offset 64
+; would be a statically-provable bounds escape; gpverify certifies
+; this program strictly clean as written.
+        movi r3, 6          ; log2(64)
+        subseg r4, r1, r3   ; r4 = 64-byte sub-segment at offset 0
+        movi r5, 7
+        st   r5, 0(r4)      ; first slot of the window
+        st   r5, 56(r4)     ; last slot of the window
+        ld   r6, 0(r4)
+        st   r6, 128(r1)    ; parent capability still spans 4 KiB
+        halt

@@ -1,0 +1,24 @@
+; Fill the first eight slots of the thread's data segment with 0..7,
+; then sum them back with a second loop and store the total in slot 0.
+;
+; Entry convention (gpsim): r1 = read/write data segment (4 KiB),
+; r2 = integer thread index. Verified clean by gpverify (the loop
+; cursors keep 8-byte alignment, so only may-fault bounds warnings
+; remain, no errors).
+        movi r3, 0          ; i
+        movi r4, 8          ; n
+        mov  r5, r1         ; write cursor
+fill:   st   r3, 0(r5)      ; data[i] = i
+        leai r5, r5, 8
+        addi r3, r3, 1
+        bne  r3, r4, fill
+        movi r3, 0
+        mov  r5, r1         ; read cursor
+        movi r6, 0          ; sum
+acc:    ld   r7, 0(r5)
+        add  r6, r6, r7
+        leai r5, r5, 8
+        addi r3, r3, 1
+        bne  r3, r4, acc
+        st   r6, 0(r1)      ; data[0] = 0+1+...+7 = 28
+        halt

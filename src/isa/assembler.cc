@@ -169,13 +169,25 @@ struct PendingInst
     std::string branchLabel; //!< nonempty if imm must be resolved
     size_t index;            //!< instruction index
     int lineNo;
+    std::string text;        //!< instruction text for the source map
 };
 
+/**
+ * Format an assembly error carrying the line number and, when
+ * available, the offending source text — both are load-bearing:
+ * gpverify's source maps and the assembler tests rely on them.
+ */
 std::string
-err(int line, const std::string &msg)
+err(int line, const std::string &msg, std::string_view text = {})
 {
-    char buf[256];
-    std::snprintf(buf, sizeof(buf), "line %d: %s", line, msg.c_str());
+    char buf[320];
+    if (text.empty()) {
+        std::snprintf(buf, sizeof(buf), "line %d: %s", line,
+                      msg.c_str());
+    } else {
+        std::snprintf(buf, sizeof(buf), "line %d: %s: '%.*s'", line,
+                      msg.c_str(), int(text.size()), text.data());
+    }
     return buf;
 }
 
@@ -209,12 +221,14 @@ assemble(std::string_view source)
             if (head.find_first_of(" \t") != std::string_view::npos)
                 break;
             if (head.empty()) {
-                out.error = err(line_no, "empty label");
+                out.error = err(line_no, "empty label", line);
                 return out;
             }
             if (out.labels.count(std::string(head))) {
-                out.error = err(line_no, "duplicate label '" +
-                                             std::string(head) + "'");
+                out.error = err(line_no,
+                                "duplicate label '" +
+                                    std::string(head) + "'",
+                                line);
                 return out;
             }
             out.labels[std::string(head)] = index;
@@ -233,18 +247,21 @@ assemble(std::string_view source)
 
         auto op = opFromName(mnemonic);
         if (!op) {
-            out.error = err(line_no, "unknown mnemonic '" +
-                                         std::string(mnemonic) + "'");
+            out.error = err(line_no,
+                            "unknown mnemonic '" +
+                                std::string(mnemonic) + "'",
+                            line);
             return out;
         }
 
         const Signature sig = signatureFor(*op);
         const auto toks = splitOperands(rest);
         if (toks.size() != sig.operands.size()) {
-            out.error = err(line_no, "expected " +
-                                         std::to_string(
-                                             sig.operands.size()) +
-                                         " operands");
+            out.error = err(line_no,
+                            "expected " +
+                                std::to_string(sig.operands.size()) +
+                                " operands",
+                            line);
             return out;
         }
 
@@ -252,6 +269,7 @@ assemble(std::string_view source)
         pi.inst.op = *op;
         pi.index = index;
         pi.lineNo = line_no;
+        pi.text = std::string(line);
 
         // Registers fill rd, ra, rb in order; JMP's single register is
         // its source and goes in ra.
@@ -262,9 +280,10 @@ assemble(std::string_view source)
               case Operand::Reg: {
                 auto r = parseReg(toks[i]);
                 if (!r) {
-                    out.error = err(line_no, "bad register '" +
-                                                 std::string(toks[i]) +
-                                                 "'");
+                    out.error = err(line_no,
+                                    "bad register '" +
+                                        std::string(toks[i]) + "'",
+                                    line);
                     bad = true;
                     break;
                 }
@@ -280,8 +299,9 @@ assemble(std::string_view source)
               case Operand::Imm: {
                 if (auto v = parseInt(toks[i])) {
                     if (*v < INT32_MIN || *v > INT32_MAX) {
-                        out.error =
-                            err(line_no, "immediate out of range");
+                        out.error = err(line_no,
+                                        "immediate out of range",
+                                        line);
                         bad = true;
                         break;
                     }
@@ -289,9 +309,10 @@ assemble(std::string_view source)
                 } else if (sig.immIsBranchTarget) {
                     pi.branchLabel = std::string(toks[i]);
                 } else {
-                    out.error = err(line_no, "bad immediate '" +
-                                                 std::string(toks[i]) +
-                                                 "'");
+                    out.error = err(line_no,
+                                    "bad immediate '" +
+                                        std::string(toks[i]) + "'",
+                                    line);
                     bad = true;
                 }
                 break;
@@ -303,8 +324,10 @@ assemble(std::string_view source)
                 auto close = tok.rfind(')');
                 if (open == std::string_view::npos ||
                     close == std::string_view::npos || close < open) {
-                    out.error = err(line_no, "bad memory operand '" +
-                                                 std::string(tok) + "'");
+                    out.error = err(line_no,
+                                    "bad memory operand '" +
+                                        std::string(tok) + "'",
+                                    line);
                     bad = true;
                     break;
                 }
@@ -315,8 +338,8 @@ assemble(std::string_view source)
                 if (!imm_part.empty()) {
                     auto v = parseInt(imm_part);
                     if (!v || *v < INT32_MIN || *v > INT32_MAX) {
-                        out.error =
-                            err(line_no, "bad displacement");
+                        out.error = err(line_no,
+                                        "bad displacement", line);
                         bad = true;
                         break;
                     }
@@ -324,7 +347,8 @@ assemble(std::string_view source)
                 }
                 auto r = parseReg(reg_part);
                 if (!r) {
-                    out.error = err(line_no, "bad base register");
+                    out.error =
+                        err(line_no, "bad base register", line);
                     bad = true;
                     break;
                 }
@@ -345,12 +369,15 @@ assemble(std::string_view source)
     // Second pass: resolve branch labels to next-instruction-relative
     // offsets.
     out.words.reserve(pending.size());
+    out.srcMap.reserve(pending.size());
     for (auto &pi : pending) {
         if (!pi.branchLabel.empty()) {
             auto it = out.labels.find(pi.branchLabel);
             if (it == out.labels.end()) {
-                out.error = err(pi.lineNo, "undefined label '" +
-                                               pi.branchLabel + "'");
+                out.error = err(pi.lineNo,
+                                "undefined label '" +
+                                    pi.branchLabel + "'",
+                                pi.text);
                 return out;
             }
             const int64_t rel =
@@ -358,6 +385,7 @@ assemble(std::string_view source)
             pi.inst.imm = int32_t(rel);
         }
         out.words.push_back(encode(pi.inst));
+        out.srcMap.push_back(SourceLoc{pi.lineNo, std::move(pi.text)});
     }
 
     out.ok = true;

@@ -32,13 +32,27 @@
 
 namespace gp::isa {
 
+/**
+ * Source location of one assembled instruction — the assembler's
+ * source map. Consumed by diagnostics (gpverify reports file:line
+ * through it) and by error messages, which quote the offending text.
+ */
+struct SourceLoc
+{
+    int line = 0;     //!< 1-based source line number
+    std::string text; //!< the instruction text (comments stripped)
+};
+
 /** Result of assembling a source string. */
 struct Assembly
 {
     bool ok = false;
-    std::string error;            //!< message with line number on failure
+    std::string error;            //!< message with line number and the
+                                  //!< offending source text on failure
     std::vector<Word> words;      //!< encoded instructions
     std::map<std::string, size_t> labels; //!< label -> instruction index
+    std::vector<SourceLoc> srcMap; //!< per-instruction source location,
+                                   //!< parallel to words
 };
 
 /** Assemble a full program source. */

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Abstract-domain plumbing for gpverify: the AbsVal join, diagnostic
+ * naming, entry-state convention, and the human-readable report
+ * renderer. The dataflow engine itself lives in verifier.cc.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "isa/loader.h"
+#include "verify/verifier.h"
+
+namespace gp::verify {
+
+namespace {
+
+/**
+ * Effective alignment (log2) of a pointer's offset: exact when the
+ * offset is known, otherwise the congruence fact carried by the value.
+ */
+uint8_t
+alignEff(const AbsVal &v)
+{
+    if (v.offKnown)
+        return v.offset == 0 ? 63 : uint8_t(std::countr_zero(v.offset));
+    return v.alignLog2;
+}
+
+} // namespace
+
+AbsVal
+joinVal(const AbsVal &a, const AbsVal &b)
+{
+    using Kind = AbsVal::Kind;
+    if (a.kind == Kind::Bottom)
+        return b;
+    if (b.kind == Kind::Bottom)
+        return a;
+    if (a == b)
+        return a;
+    if (a.kind == Kind::Any || b.kind == Kind::Any)
+        return AbsVal::top();
+
+    if (a.kind == Kind::Int && b.kind == Kind::Int) {
+        AbsVal v = AbsVal::intUnknown();
+        if (a.intKnown && b.intKnown && a.intVal == b.intVal) {
+            v.intKnown = true;
+            v.intVal = a.intVal;
+        }
+        v.neverWritten = a.neverWritten && b.neverWritten;
+        return v;
+    }
+
+    if (a.kind == Kind::Ptr && b.kind == Kind::Ptr) {
+        AbsVal v;
+        v.kind = Kind::Ptr;
+        v.perms = uint16_t(a.perms | b.perms);
+        if (a.lenKnown && b.lenKnown && a.lenLog2 == b.lenLog2) {
+            v.lenKnown = true;
+            v.lenLog2 = a.lenLog2;
+        }
+        if (a.offKnown && b.offKnown && a.offset == b.offset) {
+            v.offKnown = true;
+            v.offset = a.offset;
+        } else {
+            v.alignLog2 = std::min(alignEff(a), alignEff(b));
+        }
+        v.isCode = a.isCode && b.isCode;
+        return v;
+    }
+
+    // Int vs Ptr: the tag itself is unknown.
+    return AbsVal::top();
+}
+
+std::string_view
+diagKindName(DiagKind kind)
+{
+    switch (kind) {
+      case DiagKind::UseBeforeDefPointer:
+        return "use-before-def-pointer";
+      case DiagKind::DerefNotPointer:
+        return "deref-not-pointer";
+      case DiagKind::DerefNoAccess:
+        return "deref-no-access";
+      case DiagKind::DerefInvalidPerm:
+        return "deref-invalid-perm";
+      case DiagKind::PointerImmutable:
+        return "pointer-immutable";
+      case DiagKind::RestrictNotSubset:
+        return "restrict-not-subset";
+      case DiagKind::RestrictInvalidPerm:
+        return "restrict-invalid-perm";
+      case DiagKind::SubsegNotSmaller:
+        return "subseg-not-smaller";
+      case DiagKind::JumpNotExecutable:
+        return "jump-not-executable";
+      case DiagKind::PrivilegeRequired:
+        return "privilege-required";
+      case DiagKind::TaggedInstruction:
+        return "tagged-instruction";
+      case DiagKind::UndecodableInstruction:
+        return "undecodable-instruction";
+      case DiagKind::BoundsEscape:
+        return "bounds-escape";
+      case DiagKind::RunOffEnd:
+        return "run-off-end";
+      case DiagKind::MisalignedAccess:
+        return "misaligned-access";
+      case DiagKind::UnknownValue:
+        return "unknown-value";
+      default:
+        return "unknown";
+    }
+}
+
+std::string
+faultMaskNames(uint16_t mask)
+{
+    std::string out;
+    for (unsigned i = 1; i < 16; ++i) {
+        if (!(mask & (1u << i)))
+            continue;
+        if (!out.empty())
+            out += '|';
+        out += std::string(faultName(Fault(i)));
+    }
+    return out;
+}
+
+std::map<unsigned, AbsVal>
+defaultEntryRegs(uint64_t data_bytes)
+{
+    std::map<unsigned, AbsVal> regs;
+    regs[1] = AbsVal::pointer(Perm::ReadWrite,
+                              isa::segLenFor(data_bytes));
+    regs[2] = AbsVal::intUnknown(); // thread index
+    return regs;
+}
+
+const Diag *
+VerifyResult::at(uint32_t index) const
+{
+    for (const Diag &d : diags) {
+        if (d.index == index)
+            return &d;
+    }
+    return nullptr;
+}
+
+std::string
+VerifyResult::report(std::string_view file,
+                     const isa::Assembly *source) const
+{
+    std::string out;
+    char buf[512];
+    for (const Diag &d : diags) {
+        const char *sev =
+            d.sev == Severity::Error ? "error" : "warning";
+        if (d.line > 0) {
+            std::snprintf(buf, sizeof(buf), "%.*s:%d: %s: %s",
+                          int(file.size()), file.data(), d.line, sev,
+                          d.message.c_str());
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.*s:[inst %u]: %s: %s",
+                          int(file.size()), file.data(), d.index, sev,
+                          d.message.c_str());
+        }
+        out += buf;
+        out += " [";
+        out += diagKindName(d.kind);
+        if (d.faults) {
+            out += "; may fault: ";
+            out += faultMaskNames(d.faults);
+        }
+        out += ']';
+        out += '\n';
+        if (source && d.index < source->srcMap.size() &&
+            !source->srcMap[d.index].text.empty()) {
+            std::snprintf(buf, sizeof(buf), "  %5d | %s\n",
+                          source->srcMap[d.index].line,
+                          source->srcMap[d.index].text.c_str());
+            out += buf;
+        }
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%zu error(s), %zu warning(s); %u/%u instructions "
+                  "reachable, %u fixpoint iterations\n",
+                  errorCount(), warningCount(), reachable,
+                  instructions, iterations);
+    out += buf;
+    return out;
+}
+
+VerifyResult
+verifyProgram(const isa::Assembly &assembly, const VerifyOptions &opts)
+{
+    VerifyOptions o = opts;
+    for (const auto &[name, index] : assembly.labels) {
+        if (index < assembly.words.size())
+            o.leaderHints.push_back(uint32_t(index));
+    }
+    return verifyWords(assembly.words, o, &assembly.srcMap);
+}
+
+} // namespace gp::verify

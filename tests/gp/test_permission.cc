@@ -97,6 +97,60 @@ INSTANTIATE_TEST_SUITE_P(
         SubsetCase{Perm::ReadWrite, Perm::ReadWrite, false},
         SubsetCase{Perm::Key, Perm::Key, false}));
 
+/**
+ * Independent re-derivation of the rights sets from the paper's §2.1
+ * prose, written as data rather than reusing rightsOf(). Undefined
+ * encodings (8..15, and None) carry no rights at all.
+ */
+constexpr uint32_t
+modelRights(uint64_t raw)
+{
+    switch (raw) {
+      case 2: // read-only: loads
+        return RightRead;
+      case 3: // read/write: loads and stores
+        return RightRead | RightWrite;
+      case 4: // execute-user: jump targets are also readable
+        return RightRead | RightExecute;
+      case 5: // execute-privileged
+        return RightRead | RightExecute | RightPriv;
+      case 6: // enter-user: opaque entry point only
+        return RightEnter;
+      case 7: // enter-privileged
+        return RightEnter | RightPriv;
+      default: // none (0), key (1), undefined (8..15)
+        return 0;
+    }
+}
+
+TEST(Permission, StrictSubsetFullTruthTable)
+{
+    // Exhaustive 16x16 sweep of every raw 4-bit encoding pair, checked
+    // against the independent model: b is a strict subset of a exactly
+    // when b's rights differ from a's and add nothing new.
+    for (uint64_t a = 0; a < 16; ++a) {
+        for (uint64_t b = 0; b < 16; ++b) {
+            const uint32_t ra = modelRights(a);
+            const uint32_t rb = modelRights(b);
+            const bool expected = rb != ra && (rb & ~ra) == 0;
+            EXPECT_EQ(strictSubset(Perm(a), Perm(b)), expected)
+                << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+TEST(Permission, StrictSubsetKeyIsUniversalSink)
+{
+    // Key has no rights, so every rights-bearing permission may decay
+    // to it — but nothing with zero rights may (that would be a lateral
+    // move, not a strict shrink).
+    for (uint64_t p = 2; p <= 7; ++p)
+        EXPECT_TRUE(strictSubset(Perm(p), Perm::Key)) << p;
+    EXPECT_FALSE(strictSubset(Perm::None, Perm::Key));
+    for (uint64_t p = 8; p <= 15; ++p)
+        EXPECT_FALSE(strictSubset(Perm(p), Perm::Key)) << p;
+}
+
 TEST(Permission, StrictSubsetIsIrreflexive)
 {
     for (uint64_t p = 1; p <= 7; ++p)

@@ -187,6 +187,36 @@ TEST(Assembler, ErrorReportsLineNumber)
     EXPECT_NE(a.error.find("line 3"), std::string::npos);
 }
 
+TEST(Assembler, ErrorCarriesLineNumberAndOffendingText)
+{
+    // Diagnostics name both the 1-based source line and the exact
+    // offending text, so tool output is directly actionable.
+    auto a = assemble("movi r1, 1\nfrobnicate r2, r3\nhalt\n");
+    EXPECT_FALSE(a.ok);
+    EXPECT_NE(a.error.find("line 2"), std::string::npos) << a.error;
+    EXPECT_NE(a.error.find("frobnicate r2, r3"), std::string::npos)
+        << a.error;
+}
+
+TEST(Assembler, SourceMapParallelsWords)
+{
+    // Every encoded word maps back to its source line and text;
+    // comments, blank lines, and label-only lines are skipped.
+    auto a = assemble("; header comment\n"
+                      "movi r1, 1\n"
+                      "\n"
+                      "top: addi r1, r1, 1\n"
+                      "halt\n");
+    ASSERT_TRUE(a.ok) << a.error;
+    ASSERT_EQ(a.srcMap.size(), a.words.size());
+    ASSERT_EQ(a.words.size(), 3u);
+    EXPECT_EQ(a.srcMap[0].line, 2);
+    EXPECT_EQ(a.srcMap[1].line, 4);
+    EXPECT_EQ(a.srcMap[2].line, 5);
+    EXPECT_NE(a.srcMap[1].text.find("addi r1, r1, 1"),
+              std::string::npos);
+}
+
 TEST(Assembler, ErrorImmediateOutOfRange)
 {
     EXPECT_FALSE(assemble("movi r1, 0x100000000").ok);

@@ -82,6 +82,26 @@ TEST(Inst, OutOfRangeRegisterRejected)
     EXPECT_FALSE(decodeInst(encode(in)).has_value());
 }
 
+TEST(Inst, OutOfRangeRegisterRejectedInEveryField)
+{
+    // Each of rd/ra/rb independently rejects every encoding >= 16;
+    // the boundary value kNumRegs - 1 stays decodable.
+    for (unsigned bad = kNumRegs; bad < 32; ++bad) {
+        Inst rd, ra, rb;
+        rd.op = ra.op = rb.op = Op::ADD;
+        rd.rd = uint8_t(bad);
+        ra.ra = uint8_t(bad);
+        rb.rb = uint8_t(bad);
+        EXPECT_FALSE(decodeInst(encode(rd)).has_value()) << bad;
+        EXPECT_FALSE(decodeInst(encode(ra)).has_value()) << bad;
+        EXPECT_FALSE(decodeInst(encode(rb)).has_value()) << bad;
+    }
+    Inst ok;
+    ok.op = Op::ADD;
+    ok.rd = ok.ra = ok.rb = kNumRegs - 1;
+    EXPECT_TRUE(decodeInst(encode(ok)).has_value());
+}
+
 TEST(Inst, OpNamesRoundTrip)
 {
     for (unsigned op = 0; op < unsigned(Op::OpCount); ++op) {

@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Unit tests for the gpverify static analyzer: one seeded violation
+ * per diagnostic kind (with file:line checked through the assembler
+ * source map), clean programs across control flow, join-precision
+ * cases, and the abstract-value lattice itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "isa/assembler.h"
+#include "isa/inst.h"
+#include "verify/verifier.h"
+
+namespace gp::verify {
+namespace {
+
+VerifyResult
+check(const std::string &src, VerifyOptions opts = {})
+{
+    isa::Assembly assembly = isa::assemble(src);
+    EXPECT_TRUE(assembly.ok) << assembly.error;
+    return verifyProgram(assembly, opts);
+}
+
+/** The first diagnostic of the given kind, or nullptr. */
+const Diag *
+find(const VerifyResult &res, DiagKind kind)
+{
+    for (const Diag &d : res.diags) {
+        if (d.kind == kind)
+            return &d;
+    }
+    return nullptr;
+}
+
+::testing::AssertionResult
+hasError(const VerifyResult &res, DiagKind kind, int line)
+{
+    const Diag *d = find(res, kind);
+    if (!d) {
+        return ::testing::AssertionFailure()
+               << "no diagnostic of kind " << diagKindName(kind)
+               << " in:\n"
+               << res.report("test");
+    }
+    if (d->sev != Severity::Error) {
+        return ::testing::AssertionFailure()
+               << diagKindName(kind) << " is not an error:\n"
+               << res.report("test");
+    }
+    if (d->line != line) {
+        return ::testing::AssertionFailure()
+               << diagKindName(kind) << " at line " << d->line
+               << ", expected " << line;
+    }
+    return ::testing::AssertionSuccess();
+}
+
+TEST(Verifier, CleanStraightLineProgram)
+{
+    const auto res = check("movi r2, 21\n"
+                           "add r3, r2, r2\n"
+                           "st r3, 0(r1)\n"
+                           "ld r4, 0(r1)\n"
+                           "halt\n");
+    EXPECT_TRUE(res.clean()) << res.report("test");
+    EXPECT_EQ(res.reachable, 5u);
+}
+
+TEST(Verifier, CleanBranchingProgram)
+{
+    const auto res = check("movi r2, 0\n"
+                           "movi r3, 4\n"
+                           "beq r2, r3, done\n"
+                           "st r2, 8(r1)\n"
+                           "done: halt\n");
+    EXPECT_TRUE(res.ok()) << res.report("test");
+}
+
+TEST(Verifier, LoopKeepsPointerWarningsOnly)
+{
+    // The loop joins offsets away, so bounds become a may-fault — but
+    // never an error: the program is in fact safe.
+    const auto res = check("movi r2, 0\n"
+                           "movi r3, 8\n"
+                           "loop: st r2, 0(r1)\n"
+                           "leai r1, r1, 8\n"
+                           "addi r2, r2, 1\n"
+                           "bne r2, r3, loop\n"
+                           "halt\n");
+    EXPECT_TRUE(res.ok()) << res.report("test");
+    EXPECT_GT(res.iterations, res.instructions); // fixpoint re-visits
+}
+
+TEST(Verifier, UseBeforeDefPointer)
+{
+    const auto res = check("st r2, 0(r3)\nhalt\n");
+    EXPECT_TRUE(hasError(res, DiagKind::UseBeforeDefPointer, 1));
+    EXPECT_TRUE(res.at(0) != nullptr);
+    EXPECT_TRUE(res.at(0)->mustFault());
+    EXPECT_TRUE(res.at(0)->faults & faultBit(Fault::NotAPointer));
+}
+
+TEST(Verifier, DerefNotPointer)
+{
+    const auto res = check("movi r3, 64\n"
+                           "ld r2, 0(r3)\n"
+                           "halt\n");
+    EXPECT_TRUE(hasError(res, DiagKind::DerefNotPointer, 2));
+}
+
+TEST(Verifier, DerefNoAccessStoreThroughReadOnly)
+{
+    const auto res = check("movi r2, 2\n"
+                           "restrict r3, r1, r2\n"
+                           "st r2, 0(r3)\n"
+                           "halt\n");
+    EXPECT_TRUE(hasError(res, DiagKind::DerefNoAccess, 3));
+    EXPECT_TRUE(
+        find(res, DiagKind::DerefNoAccess)->faults &
+        faultBit(Fault::PermissionDenied));
+}
+
+TEST(Verifier, DerefInvalidPermThroughSetptr)
+{
+    // Privileged code can mint a pointer with an undefined permission
+    // encoding (9); any dereference of it must fault.
+    VerifyOptions opts;
+    opts.privileged = true;
+    const auto res = check("movi r2, 9\n"
+                           "shli r2, r2, 60\n"
+                           "setptr r3, r2\n"
+                           "ld r4, 0(r3)\n"
+                           "halt\n",
+                           opts);
+    EXPECT_TRUE(hasError(res, DiagKind::DerefInvalidPerm, 4));
+}
+
+TEST(Verifier, PointerImmutableLeaOnKey)
+{
+    const auto res = check("movi r2, 1\n"
+                           "restrict r3, r1, r2\n"
+                           "leai r4, r3, 8\n"
+                           "halt\n");
+    EXPECT_TRUE(hasError(res, DiagKind::PointerImmutable, 3));
+}
+
+TEST(Verifier, RestrictNotSubset)
+{
+    // read/write -> read/write is reflexive, not strict.
+    const auto res = check("movi r2, 3\n"
+                           "restrict r3, r1, r2\n"
+                           "halt\n");
+    EXPECT_TRUE(hasError(res, DiagKind::RestrictNotSubset, 2));
+}
+
+TEST(Verifier, RestrictInvalidPerm)
+{
+    const auto res = check("movi r2, 9\n"
+                           "restrict r3, r1, r2\n"
+                           "halt\n");
+    EXPECT_TRUE(hasError(res, DiagKind::RestrictInvalidPerm, 2));
+}
+
+TEST(Verifier, SubsegNotSmaller)
+{
+    // r1's segment is 4096 bytes = 2^12; subseg to 12 does not shrink.
+    const auto res = check("movi r2, 12\n"
+                           "subseg r3, r1, r2\n"
+                           "halt\n");
+    EXPECT_TRUE(hasError(res, DiagKind::SubsegNotSmaller, 2));
+}
+
+TEST(Verifier, SubsegShrinkIsClean)
+{
+    const auto res = check("movi r2, 4\n"
+                           "subseg r3, r1, r2\n"
+                           "st r2, 8(r3)\n"
+                           "halt\n");
+    EXPECT_TRUE(res.clean()) << res.report("test");
+}
+
+TEST(Verifier, JumpNotExecutable)
+{
+    const auto res = check("jmp r1\n");
+    EXPECT_TRUE(hasError(res, DiagKind::JumpNotExecutable, 1));
+}
+
+TEST(Verifier, PrivilegeRequiredSetptrInUserMode)
+{
+    const auto res = check("movi r2, 1\n"
+                           "setptr r3, r2\n"
+                           "halt\n");
+    EXPECT_TRUE(hasError(res, DiagKind::PrivilegeRequired, 2));
+
+    VerifyOptions opts;
+    opts.privileged = true;
+    const auto priv = check("movi r2, 1\n"
+                            "setptr r3, r2\n"
+                            "halt\n",
+                            opts);
+    EXPECT_EQ(find(priv, DiagKind::PrivilegeRequired), nullptr);
+}
+
+TEST(Verifier, TaggedInstructionInStream)
+{
+    std::vector<Word> words;
+    words.push_back(isa::encode({isa::Op::NOP, 0, 0, 0, 0}));
+    words.push_back(Word::fromRawPointerBits(0x1234));
+    const auto res = verifyWords(words);
+    const Diag *d = find(res, DiagKind::TaggedInstruction);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->index, 1u);
+    EXPECT_TRUE(d->mustFault());
+    EXPECT_TRUE(d->faults & faultBit(Fault::InvalidInstruction));
+}
+
+TEST(Verifier, UndecodableInstruction)
+{
+    std::vector<Word> words;
+    words.push_back(Word::fromInt(uint64_t(0xff) << 56)); // bad opcode
+    const auto res = verifyWords(words);
+    EXPECT_NE(find(res, DiagKind::UndecodableInstruction), nullptr);
+    EXPECT_FALSE(res.ok());
+}
+
+TEST(Verifier, BoundsEscapeLeaPastSegment)
+{
+    const auto res = check("leai r3, r1, 4096\n"
+                           "halt\n");
+    EXPECT_TRUE(hasError(res, DiagKind::BoundsEscape, 1));
+    EXPECT_TRUE(
+        find(res, DiagKind::BoundsEscape)->faults &
+        faultBit(Fault::BoundsViolation));
+}
+
+TEST(Verifier, BoundsEscapeNegativeOffset)
+{
+    const auto res = check("leai r3, r1, -8\n"
+                           "halt\n");
+    EXPECT_TRUE(hasError(res, DiagKind::BoundsEscape, 1));
+}
+
+TEST(Verifier, RunOffEndOfProgram)
+{
+    // Three instructions pad to a four-word segment: falling off the
+    // program lands in the zero-fill and ends in a bounds fault.
+    const auto res = check("movi r2, 1\n"
+                           "movi r3, 2\n"
+                           "movi r4, 3\n");
+    const Diag *d = find(res, DiagKind::RunOffEnd);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->line, 3);
+    EXPECT_TRUE(d->mustFault());
+}
+
+TEST(Verifier, MisalignedAccess)
+{
+    const auto res = check("leai r3, r1, 1\n"
+                           "ldw r2, 0(r3)\n"
+                           "halt\n");
+    EXPECT_TRUE(hasError(res, DiagKind::MisalignedAccess, 2));
+}
+
+TEST(Verifier, UnknownValueIsWarningNotError)
+{
+    const auto res = check("ld r2, 0(r1)\n"
+                           "ld r3, 0(r2)\n"
+                           "halt\n");
+    const Diag *d = find(res, DiagKind::UnknownValue);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->sev, Severity::Warning);
+    EXPECT_TRUE(res.ok());
+    EXPECT_FALSE(res.clean());
+}
+
+TEST(Verifier, InternalJumpThroughGetipResolves)
+{
+    const auto res = check("getip r3\n"
+                           "leai r3, r3, 32\n"
+                           "jmp r3\n"
+                           "movi r2, 1\n" // skipped
+                           "halt\n");
+    EXPECT_TRUE(res.clean()) << res.report("test");
+    EXPECT_EQ(res.reachable, 4u); // index 3 is dead
+}
+
+TEST(Verifier, DeadCodeAfterMustFaultNotAnalyzed)
+{
+    const auto res = check("jmp r1\n"
+                           "st r2, 0(r3)\n" // unreachable violation
+                           "halt\n");
+    EXPECT_EQ(res.errorCount(), 1u);
+    EXPECT_EQ(res.reachable, 1u);
+}
+
+TEST(Verifier, BranchFoldingPrunesInfeasiblePath)
+{
+    // r2 == r2 always takes the branch, so the store through the
+    // never-written r3 is unreachable.
+    const auto res = check("beq r2, r2, done\n"
+                           "st r2, 0(r3)\n"
+                           "done: halt\n");
+    EXPECT_TRUE(res.clean()) << res.report("test");
+}
+
+TEST(Verifier, JoinOfDifferentPermsWarns)
+{
+    // One path restricts to read-only; the join may no longer store.
+    const auto res = check("movi r4, 1\n"
+                           "beq r2, r4, skip\n"
+                           "movi r5, 2\n"
+                           "restrict r1, r1, r5\n"
+                           "skip: st r4, 0(r1)\n"
+                           "halt\n");
+    const Diag *d = find(res, DiagKind::DerefNoAccess);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->sev, Severity::Warning);
+    EXPECT_EQ(d->line, 5);
+}
+
+TEST(Verifier, ReportCarriesFileLineAndSource)
+{
+    isa::Assembly assembly =
+        isa::assemble("movi r3, 4\nld r2, 0(r3)\nhalt\n");
+    ASSERT_TRUE(assembly.ok);
+    const auto res = verifyProgram(assembly);
+    const std::string report = res.report("prog.s", &assembly);
+    EXPECT_NE(report.find("prog.s:2: error:"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("ld r2, 0(r3)"), std::string::npos);
+}
+
+TEST(Verifier, CfgBlocksCoverProgram)
+{
+    const auto res = check("movi r2, 0\n"
+                           "beq r2, r3, out\n"
+                           "addi r2, r2, 1\n"
+                           "out: halt\n");
+    ASSERT_GE(res.cfg.blocks.size(), 3u);
+    EXPECT_EQ(res.cfg.blocks.front().first, 0u);
+    uint32_t covered = 0;
+    for (const BasicBlock &bb : res.cfg.blocks)
+        covered += bb.last - bb.first + 1;
+    EXPECT_EQ(covered, res.instructions);
+}
+
+// --- AbsVal lattice ---
+
+TEST(AbsValJoin, BottomIsIdentity)
+{
+    const AbsVal p = AbsVal::pointer(Perm::ReadWrite, 12);
+    EXPECT_EQ(joinVal(AbsVal::bottom(), p), p);
+    EXPECT_EQ(joinVal(p, AbsVal::bottom()), p);
+}
+
+TEST(AbsValJoin, IntConstsMergeToUnknown)
+{
+    const AbsVal a = AbsVal::intConst(1);
+    const AbsVal b = AbsVal::intConst(2);
+    const AbsVal j = joinVal(a, b);
+    EXPECT_EQ(j.kind, AbsVal::Kind::Int);
+    EXPECT_FALSE(j.intKnown);
+    EXPECT_EQ(joinVal(a, a), a);
+}
+
+TEST(AbsValJoin, PtrJoinUnionsPermsKeepsAlignment)
+{
+    const AbsVal a = AbsVal::pointer(Perm::ReadWrite, 12, 8);
+    const AbsVal b = AbsVal::pointer(Perm::ReadOnly, 12, 24);
+    const AbsVal j = joinVal(a, b);
+    EXPECT_EQ(j.kind, AbsVal::Kind::Ptr);
+    EXPECT_EQ(j.perms,
+              uint16_t((1u << unsigned(Perm::ReadWrite)) |
+                       (1u << unsigned(Perm::ReadOnly))));
+    EXPECT_TRUE(j.lenKnown);
+    EXPECT_FALSE(j.offKnown);
+    EXPECT_EQ(j.alignLog2, 3); // both offsets are 8-aligned
+}
+
+TEST(AbsValJoin, IntVsPtrIsTop)
+{
+    const AbsVal j = joinVal(AbsVal::intConst(0),
+                             AbsVal::pointer(Perm::ReadWrite, 12));
+    EXPECT_EQ(j.kind, AbsVal::Kind::Any);
+}
+
+} // namespace
+} // namespace gp::verify

@@ -24,10 +24,12 @@
 #include <string>
 
 #include "gp/ops.h"
+#include "isa/assembler.h"
 #include "os/kernel.h"
 #include "sim/log.h"
 #include "sim/stats_registry.h"
 #include "sim/trace.h"
+#include "verify/verifier.h"
 
 using namespace gp;
 
@@ -48,6 +50,8 @@ struct Options
     std::string traceOut;         //!< Chrome trace-event JSON path
     size_t flightRecorder = 0;    //!< ring depth (0 = disarmed)
     std::string statsJson;        //!< stats JSON export path
+    bool verify = false;          //!< run gpverify before executing
+    bool verifyStrict = false;    //!< ... and make warnings fatal
 };
 
 void
@@ -63,6 +67,9 @@ usage(const char *argv0)
         "  --issue-width N  instructions/cluster/cycle (default 1)\n"
         "  --max-cycles N   cycle budget (default 10M)\n"
         "  --privileged     load as privileged code\n"
+        "  --verify[=strict] statically verify capability safety\n"
+        "                   before running; abort on errors (strict:\n"
+        "                   abort on warnings too)\n"
         "  --trace[=CATS]   structured event trace to stdout; CATS is\n"
         "                   'all' or a comma list of exec,mem,cache,\n"
         "                   tlb,fault,gate,noc,sched (default exec)\n"
@@ -104,6 +111,11 @@ parseArgs(int argc, char **argv, Options &opts)
             return false;
         };
         std::string value;
+        if (arg == "--verify" || arg == "--verify=strict") {
+            opts.verify = true;
+            opts.verifyStrict = arg == "--verify=strict";
+            continue;
+        }
         if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
             const std::string spec =
                 arg == "--trace" ? "exec" : arg.substr(8);
@@ -200,8 +212,34 @@ main(int argc, char **argv)
     kcfg.machine.issueWidth = opts.issueWidth;
     os::Kernel kernel(kcfg);
 
-    auto prog = kernel.loadAssembly(readSource(opts.source),
-                                    opts.privileged);
+    const std::string source = readSource(opts.source);
+
+    if (opts.verify) {
+        // Opt-in pre-run pass: prove the program respects the rights
+        // lattice before a single instruction executes.
+        const isa::Assembly assembly = isa::assemble(source);
+        if (!assembly.ok) {
+            std::fprintf(stderr, "gpsim: %s: %s\n",
+                         opts.source.c_str(), assembly.error.c_str());
+            return 1;
+        }
+        verify::VerifyOptions vopts;
+        vopts.privileged = opts.privileged;
+        vopts.entryRegs = verify::defaultEntryRegs(opts.dataBytes);
+        const verify::VerifyResult vres =
+            verify::verifyProgram(assembly, vopts);
+        if (!vres.clean()) {
+            std::fputs(vres.report(opts.source, &assembly).c_str(),
+                       stderr);
+        }
+        if (opts.verifyStrict ? !vres.clean() : !vres.ok()) {
+            std::fprintf(stderr,
+                         "gpsim: --verify: refusing to run\n");
+            return 1;
+        }
+    }
+
+    auto prog = kernel.loadAssembly(source, opts.privileged);
     if (!prog) {
         std::fprintf(stderr, "assembly failed (see warning above)\n");
         return 1;

@@ -8,7 +8,8 @@ Prints one line per counter that changed between the two runs, with
 absolute and relative deltas, and summarises histogram changes by
 count/mean/p99. Groups appearing in only one file are reported as
 added/removed. Exit status is 1 when any counter differs (useful as a
-regression tripwire in CI), 0 otherwise.
+regression tripwire in CI), 0 otherwise; 2 when an input file is
+missing or not valid stats JSON.
 """
 
 import argparse
@@ -16,9 +17,22 @@ import json
 import sys
 
 
+def die(message):
+    print(f"statdiff: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        die(f"cannot read {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        die(f"{path} is not valid JSON (line {e.lineno}: {e.msg})")
+    if not isinstance(doc, dict):
+        die(f"{path} is not a gpsim --stats-json export "
+            "(expected a JSON object with 'groups')")
     counters = {}
     hists = {}
     for group in doc.get("groups", []):

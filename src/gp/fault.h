@@ -32,7 +32,12 @@ enum class Fault : uint8_t
     NotEnterPointer,    //!< protected entry requires an enter pointer
     UnmappedAddress,    //!< translation failed (page not mapped)
     InvalidInstruction, //!< undecodable or illegal instruction
+    MemoryIntegrity,    //!< detected-uncorrectable hardware corruption
+    WatchdogTimeout,    //!< machine watchdog converted a hang
 };
+
+/// Highest-valued fault kind (for loops that enumerate the taxonomy).
+inline constexpr Fault kLastFault = Fault::WatchdogTimeout;
 
 /** @return a stable human-readable fault name. */
 constexpr std::string_view
@@ -65,6 +70,10 @@ faultName(Fault f)
         return "unmapped-address";
       case Fault::InvalidInstruction:
         return "invalid-instruction";
+      case Fault::MemoryIntegrity:
+        return "memory-integrity";
+      case Fault::WatchdogTimeout:
+        return "watchdog-timeout";
       default:
         return "unknown";
     }

@@ -32,8 +32,7 @@ struct OpStats
         subsegOp = &group.counter("op_subseg");
         setptrOp = &group.counter("op_setptr");
         accessChecks = &group.counter("access_checks");
-        for (unsigned i = 1; i <= unsigned(Fault::InvalidInstruction);
-             ++i) {
+        for (unsigned i = 1; i <= unsigned(kLastFault); ++i) {
             const Fault f = Fault(i);
             fault[i] = &group.counter(std::string("fault_") +
                                       std::string(faultName(f)));

@@ -1,6 +1,7 @@
 #include "isa/machine.h"
 
 #include "gp/ops.h"
+#include "sim/faultinject.h"
 #include "sim/log.h"
 #include "sim/trace.h"
 
@@ -124,7 +125,7 @@ Machine::initStats()
     faultsRecovered_ = &stats_.counter("faults_recovered");
     for (unsigned i = 0; i < kInstClassCount; ++i)
         mix_[i] = &stats_.counter(std::string("mix_") + kClassNames[i]);
-    for (unsigned i = 1; i <= unsigned(Fault::InvalidInstruction); ++i) {
+    for (unsigned i = 1; i <= unsigned(kLastFault); ++i) {
         faultKind_[i] = &stats_.counter(
             std::string("fault_") + std::string(faultName(Fault(i))));
     }
@@ -210,6 +211,54 @@ Machine::step()
         stepCluster(c);
     cycle_++;
     (*cycles_)++;
+    // Tick-scheduled fault sites (resident-memory flips etc.): one
+    // static-bool test when no campaign is armed.
+    if (sim::FaultInjector::armed())
+        sim::FaultInjector::instance().tick(cycle_);
+    if ((config_.watchdogCycles != 0 ||
+         config_.watchdogQuiescence != 0) &&
+        !watchdogTripped_)
+        checkWatchdog();
+}
+
+void
+Machine::checkWatchdog()
+{
+    if (config_.watchdogCycles != 0 &&
+        cycle_ >= config_.watchdogCycles) {
+        tripWatchdog("cycle-budget");
+        return;
+    }
+    if (config_.watchdogQuiescence != 0 && !allDone() &&
+        cycle_ - lastIssueCycle_ >= config_.watchdogQuiescence)
+        tripWatchdog("quiescence");
+}
+
+void
+Machine::tripWatchdog(const char *why)
+{
+    watchdogTripped_ = true;
+    stats_.counter("watchdog_trips")++;
+    GP_TRACE(Fault, cycle_, 0, "watchdog", "%s cycle=%llu", why,
+             static_cast<unsigned long long>(cycle_));
+    sim::warn("machine: watchdog trip (%s) at cycle %llu", why,
+              static_cast<unsigned long long>(cycle_));
+    for (Thread &t : threads_) {
+        if (t.state() != ThreadState::Ready)
+            continue;
+        // Structured conversion of the hang: fault the thread
+        // directly, bypassing the software handler — a wedged
+        // machine cannot be trusted to run recovery code.
+        t.stallTo(0);
+        t.takeFault(Fault::WatchdogTimeout, cycle_);
+        faultLog_.push_back(t.faultRecord());
+        (*faults_)++;
+        if (const unsigned fi = unsigned(Fault::WatchdogTimeout);
+            fi < 16 && faultKind_[fi])
+            (*faultKind_[fi])++;
+    }
+    // Dump the flight recorder (no-op unless one is armed).
+    sim::TraceManager::instance().unhandledFault();
 }
 
 uint64_t
@@ -331,7 +380,16 @@ Machine::advanceIp(Thread &thread, int64_t inst_delta)
 void
 Machine::issueThread(Thread &thread)
 {
+    lastIssueCycle_ = cycle_; // progress signal for the watchdog
     const mem::MemAccess f = port_->portFetch(thread.ip(), cycle_);
+    if (f.hang) {
+        // The fetch will never complete (lost NoC request with
+        // retransmission off): the thread stalls forever. Only a
+        // watchdog can reclaim it.
+        thread.stallTo(UINT64_MAX);
+        stats_.counter("hung_accesses")++;
+        return;
+    }
     if (f.fault != Fault::None) {
         faultThread(thread, f.fault);
         return;
@@ -401,6 +459,12 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
             return;
         }
         const mem::MemAccess acc = port_->portLoad(ptr.value, size, ready_at);
+        if (acc.hang) {
+            thread.stallTo(UINT64_MAX);
+            stats_.counter("hung_accesses")++;
+            fault_taken = true;
+            return;
+        }
         if (acc.fault != Fault::None) {
             faultThread(thread, acc.fault);
             fault_taken = true;
@@ -420,6 +484,12 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
         const Word value = thread.reg(inst.rd);
         const mem::MemAccess acc =
             port_->portStore(ptr.value, value, size, ready_at);
+        if (acc.hang) {
+            thread.stallTo(UINT64_MAX);
+            stats_.counter("hung_accesses")++;
+            fault_taken = true;
+            return;
+        }
         if (acc.fault != Fault::None) {
             faultThread(thread, acc.fault);
             fault_taken = true;

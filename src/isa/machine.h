@@ -50,6 +50,22 @@ struct MachineConfig
     mem::MemConfig mem;             //!< shared memory system
     uint64_t mulLatency = 3;        //!< integer multiply latency
     uint64_t faultTrapCycles = 50;  //!< software fault-handler cost
+
+    /**
+     * Watchdog cycle budget: when nonzero, the machine trips after
+     * this many total cycles, converting a runaway/livelocked run
+     * into structured WatchdogTimeout faults on every live thread
+     * (plus a flight-recorder dump). 0 = no budget watchdog.
+     */
+    uint64_t watchdogCycles = 0;
+    /**
+     * Quiescence watchdog: when nonzero, trip if threads remain
+     * live but no instruction has issued for this many consecutive
+     * cycles — the signature of a hang (e.g. a thread stalled
+     * forever on a NoC request that was dropped). Must exceed the
+     * longest legitimate memory stall. 0 = no quiescence watchdog.
+     */
+    uint64_t watchdogQuiescence = 0;
 };
 
 /** What a software fault handler tells the machine to do next. */
@@ -116,6 +132,9 @@ class Machine
     /** @return true when no thread is Ready. */
     bool allDone() const;
 
+    /** @return true once either watchdog has fired. */
+    bool watchdogTripped() const { return watchdogTripped_; }
+
     uint64_t cycle() const { return cycle_; }
 
     /** The owned memory system; only valid for the owning ctor. */
@@ -169,6 +188,16 @@ class Machine
     /** Record a fault on the thread and the machine fault log. */
     void faultThread(Thread &thread, Fault f);
 
+    /** Budget/quiescence check, called once per cycle when armed. */
+    void checkWatchdog();
+
+    /**
+     * Convert the hang into structured errors: fault every live
+     * thread with WatchdogTimeout (bypassing the software handler —
+     * the machine is presumed wedged) and dump the flight recorder.
+     */
+    void tripWatchdog(const char *why);
+
     /**
      * Advance IP sequentially / by a branch displacement.
      * @return false if the IP left its code segment (fault taken).
@@ -182,6 +211,8 @@ class Machine
     std::vector<unsigned> rrNext_; //!< per-cluster round-robin cursor
     uint64_t cycle_ = 0;
     uint32_t nextThreadId_ = 0;
+    bool watchdogTripped_ = false;
+    uint64_t lastIssueCycle_ = 0; //!< for the quiescence watchdog
     std::vector<FaultRecord> faultLog_;
     FaultHandler faultHandler_;
     TraceHook traceHook_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/faultinject.h"
 #include "sim/log.h"
 #include "sim/trace.h"
 
@@ -14,6 +15,7 @@ MemorySystem::MemorySystem(const MemConfig &config)
       cache_(config.cache),
       bankBusyUntil_(config.cache.banks, 0)
 {
+    phys_.setEccMode(config_.ecc);
     // Miss latency spans hit-time + TLB + walk + external transfer;
     // 64 cycles of range covers the uncontended path with room for
     // port queueing before overflow.
@@ -85,7 +87,37 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
     auto pfn = tlb_.lookup(vpn);
     t += config_.timing.tlbLookup;
     if (!pfn) {
-        t += config_.timing.ptWalk;
+        // Page walk, with bounded retry of transient walk failures
+        // (injected by the fault campaign). Each attempt costs a
+        // full ptWalk; exhausting the retry budget is a detected
+        // hardware error, not silent corruption.
+        bool walked = false;
+        for (unsigned attempt = 0;
+             attempt <= config_.walkRetries; ++attempt) {
+            t += config_.timing.ptWalk;
+            if (sim::FaultInjector::armed() &&
+                sim::FaultInjector::instance().fire(
+                    sim::FaultSite::PtWalkTransient)) {
+                stats_.counter("walk_transients")++;
+                GP_TRACE(TLB, now, bank, "walk-transient",
+                         "vpn=0x%llx attempt=%u",
+                         static_cast<unsigned long long>(vpn),
+                         attempt);
+                continue;
+            }
+            walked = true;
+            break;
+        }
+        if (!walked) {
+            acc.fault = Fault::MemoryIntegrity;
+            acc.completeCycle = t;
+            stats_.counter("walk_retry_exhausted")++;
+            GP_TRACE(Fault, now, bank, "walk-retry-exhausted",
+                     "vaddr=0x%llx vpn=0x%llx",
+                     static_cast<unsigned long long>(vaddr),
+                     static_cast<unsigned long long>(vpn));
+            return acc;
+        }
         auto pa = pageTable_.translateAddr(vaddr);
         if (!pa) {
             acc.fault = Fault::UnmappedAddress;
@@ -116,6 +148,11 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
     if (ext_start > t)
         stats_.counter("ext_port_stalls") += ext_start - t;
     uint64_t busy = config_.timing.extMemAccess;
+    if (config_.ecc != EccMode::None) {
+        // Check/correct logic sits on the external interface: one
+        // codec pass per filled line.
+        busy += config_.eccCycles;
+    }
     if (cr.writeback) {
         busy += config_.timing.writeback;
         (*writebacks_)++;
@@ -135,6 +172,30 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
     return acc;
 }
 
+Word
+MemorySystem::checkedRead(uint64_t paddr, MemAccess &acc)
+{
+    if (config_.ecc == EccMode::None)
+        return phys_.readWord(paddr);
+
+    const CheckedWord cw = phys_.readWordChecked(paddr);
+    if (cw.status == EccStatus::Corrected) {
+        stats_.counter("ecc_corrected")++;
+        GP_TRACE(Fault, acc.startCycle, 0, "ecc-corrected",
+                 "paddr=0x%llx",
+                 static_cast<unsigned long long>(paddr));
+    } else if (cw.status == EccStatus::Detected) {
+        // Uncorrectable: the word must not be consumed. Surface as a
+        // memory-integrity machine fault.
+        acc.fault = Fault::MemoryIntegrity;
+        stats_.counter("ecc_detected")++;
+        GP_TRACE(Fault, acc.startCycle, 0, "ecc-detected",
+                 "paddr=0x%llx",
+                 static_cast<unsigned long long>(paddr));
+    }
+    return cw.word;
+}
+
 MemAccess
 MemorySystem::load(Word ptr, unsigned size, uint64_t now)
 {
@@ -143,10 +204,19 @@ MemorySystem::load(Word ptr, unsigned size, uint64_t now)
     if (acc.fault != Fault::None)
         return acc;
 
-    if (size == 8)
-        acc.data = phys_.readWord(paddr);
-    else
-        acc.data = Word::fromInt(phys_.readBytes(paddr, size));
+    if (size == 8) {
+        acc.data = checkedRead(paddr, acc);
+    } else {
+        // Sub-word loads still check the whole stored word; the tag
+        // is never exposed but corruption must not slip past the
+        // code just because the consumer wanted one byte.
+        const Word w = checkedRead(paddr & ~uint64_t(7), acc);
+        const unsigned shift = (paddr & 7) * 8;
+        const uint64_t mask = (uint64_t(1) << (size * 8)) - 1;
+        acc.data = Word::fromInt((w.bits() >> shift) & mask);
+    }
+    if (acc.fault != Fault::None)
+        return acc;
     stats_.counter("loads")++;
     return acc;
 }
@@ -174,7 +244,9 @@ MemorySystem::fetch(Word ip, uint64_t now)
     MemAccess acc = timedAccess(ip, Access::InstFetch, 8, now, paddr);
     if (acc.fault != Fault::None)
         return acc;
-    acc.data = phys_.readWord(paddr);
+    acc.data = checkedRead(paddr, acc);
+    if (acc.fault != Fault::None)
+        return acc;
     stats_.counter("fetches")++;
     return acc;
 }

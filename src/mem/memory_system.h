@@ -24,6 +24,7 @@
 #include "gp/ops.h"
 #include "gp/word.h"
 #include "mem/cache.h"
+#include "mem/ecc.h"
 #include "mem/memory_port.h"
 #include "mem/page_table.h"
 #include "mem/tagged_memory.h"
@@ -49,6 +50,16 @@ struct MemConfig
     size_t tlbEntries = 64;
     uint64_t pageBytes = 4096;
     MemTiming timing;
+
+    /** Hardening code over every stored 65-bit word (off by default
+     * so baseline timing/storage is unchanged). */
+    EccMode ecc = EccMode::None;
+    /** Check/correct latency charged on the external-interface path
+     * per filled line when ecc != None. */
+    uint64_t eccCycles = 1;
+    /** Extra page-walk attempts after a transient walk failure; 0
+     * means a transient failure is immediately uncorrectable. */
+    unsigned walkRetries = 0;
 };
 
 /** Outcome of a timed memory access. */
@@ -56,6 +67,10 @@ struct MemAccess
 {
     Fault fault = Fault::None;
     bool cacheHit = false;
+    /** The access will never complete (e.g. a NoC request vanished
+     * with retransmission disabled); the issuing thread must stall
+     * forever and only a watchdog can reclaim it. */
+    bool hang = false;
     uint64_t startCycle = 0;    //!< when the access began service
     uint64_t completeCycle = 0; //!< when the result is available
     Word data;                  //!< loaded value (loads only)
@@ -160,6 +175,13 @@ class MemorySystem : public MemoryPort
      */
     MemAccess timedAccess(Word ptr, Access kind, unsigned size,
                           uint64_t now, uint64_t &paddr);
+
+    /**
+     * Read one stored word through the active ECC path: counts
+     * corrections, and converts a detected-uncorrectable error into
+     * Fault::MemoryIntegrity on @p acc.
+     */
+    Word checkedRead(uint64_t paddr, MemAccess &acc);
 
     MemConfig config_;
     TaggedMemory phys_;

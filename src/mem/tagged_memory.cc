@@ -1,8 +1,55 @@
 #include "mem/tagged_memory.h"
 
+#include <algorithm>
+
 #include "sim/log.h"
 
 namespace gp::mem {
+
+namespace {
+
+Word
+makeWord(uint64_t bits, bool tag)
+{
+    return tag ? Word::fromRawPointerBits(bits) : Word::fromInt(bits);
+}
+
+} // namespace
+
+void
+TaggedMemory::setEccMode(EccMode mode)
+{
+    ecc_ = mode;
+    for (auto &[idx, cell] : store_)
+        cell.check = eccEncode(ecc_, cell.w.bits(), cell.w.isPointer());
+}
+
+CheckedWord
+TaggedMemory::readWordChecked(uint64_t addr)
+{
+    auto it = store_.find(addr >> 3);
+    if (it == store_.end())
+        return CheckedWord{Word{}, EccStatus::Ok};
+    if (ecc_ == EccMode::None)
+        return CheckedWord{it->second.w, EccStatus::Ok};
+
+    Cell &cell = it->second;
+    uint64_t bits = cell.w.bits();
+    bool tag = cell.w.isPointer();
+    uint8_t check = cell.check;
+    const EccStatus status = eccDecode(ecc_, bits, tag, check);
+    if (status == EccStatus::Corrected) {
+        // Persistent scrub: repair the stored copy so the same upset
+        // is not re-corrected (and cannot combine with a later one
+        // into an uncorrectable pair).
+        cell.w = makeWord(bits, tag);
+        cell.check = check;
+        eccCorrected_++;
+    } else if (status == EccStatus::Detected) {
+        eccDetected_++;
+    }
+    return CheckedWord{makeWord(bits, tag), status};
+}
 
 uint64_t
 TaggedMemory::readBytes(uint64_t addr, unsigned size) const
@@ -33,6 +80,48 @@ TaggedMemory::writeBytes(uint64_t addr, unsigned size, uint64_t value)
     // Sub-word writes always clear the tag: a partially overwritten
     // pointer must not remain a valid capability.
     writeWord(addr, Word::fromInt(bits));
+}
+
+bool
+TaggedMemory::flipStoredBit(uint64_t addr, unsigned bit)
+{
+    auto it = store_.find(addr >> 3);
+    if (it == store_.end())
+        return false;
+    Cell &cell = it->second;
+    if (bit < 64) {
+        cell.w = makeWord(cell.w.bits() ^ (uint64_t(1) << bit),
+                          cell.w.isPointer());
+    } else if (bit == 64) {
+        cell.w = makeWord(cell.w.bits(), !cell.w.isPointer());
+    } else if (bit < 64 + 1 + kEccCheckBits) {
+        cell.check ^= uint8_t(1u << (bit - 65));
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::vector<uint64_t>
+TaggedMemory::wordAddrs() const
+{
+    std::vector<uint64_t> addrs;
+    addrs.reserve(store_.size());
+    for (const auto &[idx, cell] : store_)
+        addrs.push_back(idx << 3);
+    std::sort(addrs.begin(), addrs.end());
+    return addrs;
+}
+
+std::vector<uint64_t>
+TaggedMemory::taggedWordAddrs() const
+{
+    std::vector<uint64_t> addrs;
+    for (const auto &[idx, cell] : store_)
+        if (cell.w.isPointer())
+            addrs.push_back(idx << 3);
+    std::sort(addrs.begin(), addrs.end());
+    return addrs;
 }
 
 } // namespace gp::mem

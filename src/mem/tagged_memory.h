@@ -11,6 +11,13 @@
  * can read or write a tagged word intact. Writing any smaller quantity
  * into a word clears its tag — partially overwriting a pointer must
  * destroy the capability, never yield a forged one.
+ *
+ * Hardening (ISSUE 4): each stored word optionally carries a check
+ * byte computed by mem/ecc.h — one parity bit or a full SECDED code
+ * over all 65 bits. The raw-bit corruption API below models radiation
+ * or disturbance faults by flipping *stored* state (payload, tag, or
+ * check bits) without updating the code, exactly what a real upset
+ * does; readWordChecked() then detects/corrects on the way out.
  */
 
 #ifndef GP_MEM_TAGGED_MEMORY_H
@@ -19,10 +26,19 @@
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "gp/word.h"
+#include "mem/ecc.h"
 
 namespace gp::mem {
+
+/** A word read through the ECC check path. */
+struct CheckedWord
+{
+    Word word{};
+    EccStatus status = EccStatus::Ok;
+};
 
 /** Sparse tagged word-addressable physical memory. */
 class TaggedMemory
@@ -30,20 +46,42 @@ class TaggedMemory
   public:
     TaggedMemory() = default;
 
+    /**
+     * Select the hardening code. Re-encodes every resident word so
+     * the switch is always consistent; call before loading a program
+     * to model a machine built with that code.
+     */
+    void setEccMode(EccMode mode);
+
+    EccMode eccMode() const { return ecc_; }
+
     /** Read the full tagged word containing byte address addr. */
     Word
     readWord(uint64_t addr) const
     {
         auto it = store_.find(addr >> 3);
-        return it == store_.end() ? Word{} : it->second;
+        return it == store_.end() ? Word{} : it->second.w;
     }
 
     /** Write a full tagged word at 8-byte-aligned byte address addr. */
     void
     writeWord(uint64_t addr, Word w)
     {
-        store_[addr >> 3] = w;
+        Cell &c = store_[addr >> 3];
+        c.w = w;
+        if (ecc_ != EccMode::None)
+            c.check = eccEncode(ecc_, w.bits(), w.isPointer());
     }
+
+    /**
+     * Read one word through the ECC decode path. With SECDED a
+     * single-bit error (payload, tag, or check) is repaired *in
+     * storage* (persistent scrub) and reported as Corrected; an
+     * uncorrectable error returns Detected and the word must not be
+     * consumed architecturally. With EccMode::None this is exactly
+     * readWord().
+     */
+    CheckedWord readWordChecked(uint64_t addr);
 
     /**
      * Read size bytes (1/2/4/8, naturally aligned) zero-extended.
@@ -63,8 +101,40 @@ class TaggedMemory
     /** Drop all contents. */
     void clear() { store_.clear(); }
 
+    // ---- fault-injection / corruption API ------------------------
+
+    /**
+     * Flip one stored bit of the word containing @p addr without
+     * updating the check byte (a genuine storage upset). Bit index:
+     * 0..63 = payload bit, 64 = tag bit, 65..72 = check bit 0..7.
+     * @return false when no word is resident at addr (nothing flips).
+     */
+    bool flipStoredBit(uint64_t addr, unsigned bit);
+
+    /** Sorted byte addresses of every resident word. */
+    std::vector<uint64_t> wordAddrs() const;
+
+    /** Sorted byte addresses of resident words with the tag set. */
+    std::vector<uint64_t> taggedWordAddrs() const;
+
+    /** Words repaired by SECDED since construction/clear. */
+    uint64_t eccCorrected() const { return eccCorrected_; }
+
+    /** Uncorrectable errors detected since construction/clear. */
+    uint64_t eccDetected() const { return eccDetected_; }
+
   private:
-    std::unordered_map<uint64_t, Word> store_;
+    /** One resident word: payload+tag plus its stored check byte. */
+    struct Cell
+    {
+        Word w{};
+        uint8_t check = 0;
+    };
+
+    EccMode ecc_ = EccMode::None;
+    std::unordered_map<uint64_t, Cell> store_;
+    uint64_t eccCorrected_ = 0;
+    uint64_t eccDetected_ = 0;
 };
 
 } // namespace gp::mem

@@ -1,5 +1,7 @@
 #include "mem/tlb.h"
 
+#include <iterator>
+
 #include "sim/log.h"
 
 namespace gp::mem {
@@ -53,6 +55,34 @@ Tlb::invalidate(uint64_t vpn, uint16_t asid)
     lru_.erase(it->second);
     map_.erase(it);
     stats_.counter("invalidations")++;
+}
+
+bool
+Tlb::corruptRandom(sim::Rng &rng)
+{
+    if (lru_.empty())
+        return false;
+    auto it = lru_.begin();
+    std::advance(it, rng.below(lru_.size()));
+    // Frame numbers are small in practice; flip among the low 20
+    // bits so the corrupted translation stays inside the modelled
+    // physical space yet names the wrong frame.
+    it->pfn ^= uint64_t(1) << rng.below(20);
+    stats_.counter("injected_corruptions")++;
+    return true;
+}
+
+bool
+Tlb::invalidateRandom(sim::Rng &rng)
+{
+    if (lru_.empty())
+        return false;
+    auto it = lru_.begin();
+    std::advance(it, rng.below(lru_.size()));
+    map_.erase(it->key);
+    lru_.erase(it);
+    stats_.counter("injected_invalidations")++;
+    return true;
 }
 
 void

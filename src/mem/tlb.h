@@ -18,6 +18,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "sim/rng.h"
 #include "sim/stats.h"
 
 namespace gp::mem {
@@ -48,6 +49,24 @@ class Tlb
 
     /** Flush entries belonging to one address space. */
     void flushAsid(uint16_t asid);
+
+    // ---- fault-injection hooks (ISSUE 4) -------------------------
+
+    /**
+     * Corrupt one uniformly chosen live entry: XOR a random bit
+     * (drawn from @p rng) into its cached frame number, modelling a
+     * soft error in the LTLB array. Subsequent hits on that entry
+     * translate to the wrong frame until it is evicted/invalidated.
+     * @return false when the TLB is empty (nothing to corrupt).
+     */
+    bool corruptRandom(sim::Rng &rng);
+
+    /**
+     * Spuriously drop one uniformly chosen live entry (a lost
+     * translation, forcing an extra walk — a timing fault only).
+     * @return false when the TLB is empty.
+     */
+    bool invalidateRandom(sim::Rng &rng);
 
     size_t size() const { return map_.size(); }
     size_t capacity() const { return capacity_; }

@@ -1,17 +1,21 @@
 #include "noc/node_memory.h"
 
+#include "sim/faultinject.h"
 #include "sim/log.h"
 
 namespace gp::noc {
 
 NodeMemory::NodeMemory(unsigned node, Mesh &mesh, GlobalMemory &global,
-                       const mem::MemConfig &config)
+                       const mem::MemConfig &config,
+                       const RetransConfig &retrans)
     : node_(node),
       mesh_(mesh),
       global_(global),
       config_(config),
       cache_(config.cache),
       tlb_(config.tlbEntries),
+      retrans_(mesh, retrans,
+               "node" + std::to_string(node) + "_retrans"),
       stats_("node" + std::to_string(node))
 {
     if (node >= mesh.nodeCount())
@@ -37,6 +41,7 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
 
     const uint64_t vaddr = ptr.addr();
     const bool is_write = kind == Access::Store;
+    bool corrupt_reply = false;
     uint64_t t = now + config_.timing.cacheHit;
 
     if (cache_.probe(vaddr)) {
@@ -66,12 +71,51 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
             stats_.counter("local_misses")++;
         } else {
             // Request flit to the home node, memory access there,
-            // line-sized reply back.
+            // line-sized reply back — each leg through the link
+            // protocol engine (exactly Mesh::send when the protocol
+            // is off and no campaign is armed).
             const unsigned line_flits = config_.cache.lineBytes / 8;
-            const uint64_t arrive = mesh_.send(node_, home, t, 1);
+            const bool reliable = retrans_.config().enabled;
+
+            const Delivery rq = retrans_.transfer(node_, home, t, 1);
+            if (!rq.delivered || (!reliable && rq.corrupted)) {
+                // The request never reaches (or never parses at)
+                // the home node. With the protocol on this is a
+                // *detected* failure; without it, nothing will ever
+                // answer — the access hangs.
+                acc.completeCycle = rq.cycle;
+                if (reliable) {
+                    acc.fault = Fault::MemoryIntegrity;
+                    stats_.counter("noc_delivery_failures")++;
+                } else {
+                    acc.hang = true;
+                    stats_.counter("noc_hangs")++;
+                }
+                return acc;
+            }
+
             const uint64_t served =
-                arrive + config_.timing.extMemAccess;
-            t = mesh_.send(home, node_, served, line_flits);
+                rq.cycle + config_.timing.extMemAccess;
+            const Delivery rp =
+                retrans_.transfer(home, node_, served, line_flits);
+            if (!rp.delivered) {
+                acc.completeCycle = rp.cycle;
+                if (reliable) {
+                    acc.fault = Fault::MemoryIntegrity;
+                    stats_.counter("noc_delivery_failures")++;
+                } else {
+                    acc.hang = true;
+                    stats_.counter("noc_hangs")++;
+                }
+                return acc;
+            }
+            if (!reliable && rp.corrupted && kind != Access::Store) {
+                // Mangled reply payload on an unprotected link:
+                // silent corruption of the loaded word, applied
+                // after the functional read below.
+                corrupt_reply = true;
+            }
+            t = rp.cycle;
             stats_.counter("remote_misses")++;
             stats_.counter("remote_latency") += t - now;
         }
@@ -79,18 +123,58 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
 
     // Functional data access against the global backing store.
     auto pa = global_.pageTable.translateAddr(vaddr);
-    if (!pa)
-        sim::panic("node memory: cached but unmapped address");
+    if (!pa) {
+        // A line can legitimately stay resident in this node's cache
+        // after the home node unmapped/revoked the page — there is
+        // no cross-node invalidation in this model. That is a stale
+        // mapping, not a simulator bug: surface it as a detected
+        // integrity fault on the access.
+        acc.fault = Fault::MemoryIntegrity;
+        acc.completeCycle = t;
+        stats_.counter("stale_unmapped_faults")++;
+        return acc;
+    }
     if (kind == Access::Store) {
         if (size == 8)
             global_.phys.writeWord(*pa, store_value);
         else
             global_.phys.writeBytes(*pa, size, store_value.bits());
     } else {
-        acc.data = size == 8
-                       ? global_.phys.readWord(*pa)
-                       : Word::fromInt(global_.phys.readBytes(*pa,
-                                                              size));
+        if (global_.phys.eccMode() != mem::EccMode::None &&
+            size == 8) {
+            const mem::CheckedWord cw =
+                global_.phys.readWordChecked(*pa);
+            if (cw.status == mem::EccStatus::Detected) {
+                acc.fault = Fault::MemoryIntegrity;
+                acc.completeCycle = t;
+                stats_.counter("ecc_detected")++;
+                return acc;
+            }
+            if (cw.status == mem::EccStatus::Corrected)
+                stats_.counter("ecc_corrected")++;
+            acc.data = cw.word;
+        } else {
+            acc.data =
+                size == 8
+                    ? global_.phys.readWord(*pa)
+                    : Word::fromInt(global_.phys.readBytes(*pa,
+                                                           size));
+        }
+        if (corrupt_reply) {
+            // One bit of the delivered word flips in flight; bit 64
+            // is the tag — the NoC capability-forgery channel.
+            auto &inj = sim::FaultInjector::instance();
+            const unsigned bit = unsigned(
+                inj.drawBelow(sim::FaultSite::NocCorrupt, 65));
+            const uint64_t bits =
+                bit < 64 ? acc.data.bits() ^ (uint64_t(1) << bit)
+                         : acc.data.bits();
+            const bool tag = bit == 64 ? !acc.data.isPointer()
+                                       : acc.data.isPointer();
+            acc.data = tag ? Word::fromRawPointerBits(bits)
+                           : Word::fromInt(bits);
+            stats_.counter("noc_reply_corruptions")++;
+        }
     }
 
     acc.completeCycle = t;

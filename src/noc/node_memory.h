@@ -30,6 +30,7 @@
 #include "gp/ops.h"
 #include "mem/memory_system.h"
 #include "noc/mesh.h"
+#include "noc/retransmit.h"
 
 namespace gp::noc {
 
@@ -63,7 +64,8 @@ class NodeMemory : public mem::MemoryPort
 {
   public:
     NodeMemory(unsigned node, Mesh &mesh, GlobalMemory &global,
-               const mem::MemConfig &config = mem::MemConfig{});
+               const mem::MemConfig &config = mem::MemConfig{},
+               const RetransConfig &retrans = RetransConfig{});
 
     /** Timed load through a guarded pointer (local or remote). */
     mem::MemAccess load(Word ptr, unsigned size, uint64_t now = 0);
@@ -111,6 +113,8 @@ class NodeMemory : public mem::MemoryPort
 
     unsigned node() const { return node_; }
     mem::Cache &cache() { return cache_; }
+    mem::Tlb &tlb() { return tlb_; }
+    Retransmitter &retransmitter() { return retrans_; }
     sim::StatGroup &stats() { return stats_; }
 
   private:
@@ -123,6 +127,7 @@ class NodeMemory : public mem::MemoryPort
     mem::MemConfig config_;
     mem::Cache cache_;
     mem::Tlb tlb_;
+    Retransmitter retrans_;
     sim::StatGroup stats_;
 };
 

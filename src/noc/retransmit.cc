@@ -1,0 +1,162 @@
+#include "noc/retransmit.h"
+
+#include <algorithm>
+
+#include "sim/faultinject.h"
+#include "sim/trace.h"
+
+namespace gp::noc {
+
+using sim::FaultInjector;
+using sim::FaultSite;
+
+Retransmitter::Retransmitter(Mesh &mesh, const RetransConfig &config,
+                             const std::string &statName)
+    : mesh_(mesh), cfg_(config), stats_(statName)
+{
+}
+
+uint64_t
+Retransmitter::timeoutFor(unsigned attempt) const
+{
+    // Exponential backoff, capped so a long campaign cannot overflow.
+    const unsigned shift = std::min(attempt, 8u);
+    return cfg_.timeout << shift;
+}
+
+Delivery
+Retransmitter::transfer(unsigned from, unsigned to, uint64_t now,
+                        unsigned flits)
+{
+    // Fast path: bit-identical to the unprotected baseline.
+    if (!cfg_.enabled && !FaultInjector::armed())
+        return Delivery{true, false, mesh_.send(from, to, now, flits),
+                        1};
+    return cfg_.enabled ? reliableTransfer(from, to, now, flits)
+                        : rawTransfer(from, to, now, flits);
+}
+
+Delivery
+Retransmitter::rawTransfer(unsigned from, unsigned to, uint64_t now,
+                           unsigned flits)
+{
+    auto &inj = FaultInjector::instance();
+
+    uint64_t extra = 0;
+    if (inj.fire(FaultSite::NocDelay))
+        extra = inj.drawBelow(FaultSite::NocDelay,
+                              inj.config().nocDelayMax) +
+                1;
+
+    if (inj.fire(FaultSite::NocDrop)) {
+        // The message vanishes; no protocol exists to notice.
+        stats_.counter("raw_drops")++;
+        GP_TRACE(NoC, now, from, "drop", "dst=%u flits=%u", to,
+                 flits);
+        return Delivery{false, false, now, 1};
+    }
+
+    Delivery d;
+    d.delivered = true;
+    d.corrupted = inj.fire(FaultSite::NocCorrupt);
+    if (d.corrupted) {
+        stats_.counter("raw_corruptions")++;
+        GP_TRACE(NoC, now, from, "corrupt", "dst=%u", to);
+    }
+
+    if (inj.fire(FaultSite::NocDuplicate)) {
+        // A second copy traverses (and occupies) the same route.
+        stats_.counter("raw_duplicates")++;
+        mesh_.send(from, to, now, flits);
+    }
+
+    d.cycle = mesh_.send(from, to, now, flits) + extra;
+    return d;
+}
+
+Delivery
+Retransmitter::reliableTransfer(unsigned from, unsigned to,
+                                uint64_t now, unsigned flits)
+{
+    auto &inj = FaultInjector::instance();
+    const uint32_t chan = (uint32_t(from) << 8) | uint32_t(to);
+    nextSeq_[chan]++; // sequence-number side of the protocol state
+
+    uint64_t t = now;
+    for (unsigned attempt = 1; attempt <= cfg_.maxAttempts;
+         ++attempt) {
+        const uint64_t attemptStart = t;
+
+        uint64_t extra = 0;
+        if (FaultInjector::armed() &&
+            inj.fire(FaultSite::NocDelay))
+            extra = inj.drawBelow(FaultSite::NocDelay,
+                                  inj.config().nocDelayMax) +
+                    1;
+
+        // Data message loss: either a genuine drop or a CRC-detected
+        // corruption (the receiver discards the mangled copy).
+        if (FaultInjector::armed() && inj.fire(FaultSite::NocDrop)) {
+            retransmissions_++;
+            stats_.counter("retransmissions")++;
+            GP_TRACE(NoC, attemptStart, from, "retry-drop",
+                     "dst=%u attempt=%u", to, attempt);
+            t = attemptStart + timeoutFor(attempt - 1);
+            continue;
+        }
+        if (FaultInjector::armed() &&
+            inj.fire(FaultSite::NocCorrupt)) {
+            crcDiscards_++;
+            retransmissions_++;
+            stats_.counter("crc_discards")++;
+            stats_.counter("retransmissions")++;
+            GP_TRACE(NoC, attemptStart, from, "retry-crc",
+                     "dst=%u attempt=%u", to, attempt);
+            t = attemptStart + timeoutFor(attempt - 1);
+            continue;
+        }
+
+        const uint64_t dataArrive =
+            mesh_.send(from, to, attemptStart, flits) + extra;
+
+        // Duplicate in flight: receiver's sequence check drops it.
+        if (FaultInjector::armed() &&
+            inj.fire(FaultSite::NocDuplicate)) {
+            dupSuppressed_++;
+            stats_.counter("duplicates_suppressed")++;
+            mesh_.send(from, to, attemptStart, flits);
+        }
+
+        // Positive ack back to the sender, on the same mesh.
+        stats_.counter("acks")++;
+        mesh_.send(to, from, dataArrive, cfg_.ackFlits);
+
+        // A lost/mangled ack forces one more data round; the
+        // receiver suppresses the duplicate data and re-acks.
+        if (FaultInjector::armed() &&
+            (inj.fire(FaultSite::NocDrop) ||
+             inj.fire(FaultSite::NocCorrupt))) {
+            retransmissions_++;
+            dupSuppressed_++;
+            stats_.counter("ack_losses")++;
+            stats_.counter("retransmissions")++;
+            stats_.counter("duplicates_suppressed")++;
+            GP_TRACE(NoC, attemptStart, from, "retry-ack",
+                     "dst=%u attempt=%u", to, attempt);
+            t = attemptStart + timeoutFor(attempt - 1);
+            continue;
+        }
+
+        return Delivery{true, false, dataArrive, attempt};
+    }
+
+    // Retry budget exhausted: a *detected* delivery failure — the
+    // caller surfaces it as a memory-integrity fault, never silent.
+    abandoned_++;
+    stats_.counter("abandoned")++;
+    GP_TRACE(NoC, now, from, "abandoned", "dst=%u attempts=%u", to,
+             cfg_.maxAttempts);
+    return Delivery{false, false, t, cfg_.maxAttempts};
+}
+
+} // namespace gp::noc

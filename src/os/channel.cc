@@ -2,7 +2,6 @@
 
 #include "gp/ops.h"
 #include "os/kernel.h"
-#include "sim/log.h"
 
 namespace gp::os {
 
@@ -39,10 +38,17 @@ Channel::create(Kernel &kernel, uint64_t slots)
     ch.headBase_ = PointerView(head.value).segmentBase();
     ch.tailBase_ = PointerView(tail.value).segmentBase();
 
-    auto ro = [](Word w) {
+    // Narrowing a fresh RW capability to RO can only fail if the
+    // allocator handed back a non-pointer or an already-narrowed
+    // word; that is an error to report to the caller, not a reason
+    // to kill the simulator.
+    Fault narrow_fault = Fault::None;
+    auto ro = [&narrow_fault](Word w) {
         auto r = restrictPerm(w, Perm::ReadOnly);
-        if (!r)
-            sim::panic("channel: restrict failed");
+        if (!r) {
+            narrow_fault = r.fault;
+            return Word{};
+        }
         return r.value;
     };
 
@@ -50,6 +56,8 @@ Channel::create(Kernel &kernel, uint64_t slots)
                                  ro(tail.value)};
     ch.receiver_ = ChannelEndpoint{ro(ring.value), ro(head.value),
                                    tail.value};
+    if (narrow_fault != Fault::None)
+        return Result<Channel>::fail(narrow_fault);
 
     // Counters start at zero (memory is zero-filled on first touch,
     // but make it explicit).

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the machine watchdog (ISSUE 4).
+ *
+ * The watchdog converts the two classic failure-to-terminate shapes
+ * into structured, attributable errors: a *budget* trip for runaway
+ * loops (the machine is issuing, just never finishing) and a
+ * *quiescence* trip for wedged machines (no thread has issued for a
+ * window, yet not everything is done — the signature of a lost NoC
+ * request). Both shapes fault the stuck threads with
+ * WatchdogTimeout; neither perturbs a machine that terminates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/loader.h"
+#include "isa/machine.h"
+
+namespace gp::isa {
+namespace {
+
+constexpr uint64_t kBase = uint64_t(1) << 24;
+
+LoadedProgram
+loadSrc(Machine &m, const std::string &src)
+{
+    Assembly a = assemble(src);
+    EXPECT_TRUE(a.ok) << a.error;
+    return loadProgram(m.mem(), kBase, a.words);
+}
+
+TEST(Watchdog, DisabledByDefaultNeverTrips)
+{
+    Machine m{MachineConfig{}};
+    LoadedProgram prog =
+        loadSrc(m, "movi r2, 5\nloop: addi r2, r2, -1\n"
+                   "bne r2, r0, loop\nhalt\n");
+    Thread *t = m.spawn(prog.execPtr);
+    ASSERT_NE(t, nullptr);
+    m.run(100000);
+    EXPECT_EQ(t->state(), ThreadState::Halted);
+    EXPECT_FALSE(m.watchdogTripped());
+}
+
+TEST(Watchdog, BudgetTripConvertsSpinToFault)
+{
+    MachineConfig cfg;
+    cfg.watchdogCycles = 2000;
+    Machine m(cfg);
+    LoadedProgram prog = loadSrc(m, "loop: beq r2, r2, loop\n");
+    Thread *t = m.spawn(prog.execPtr);
+    ASSERT_NE(t, nullptr);
+    m.run(100000); // plenty of budget beyond the watchdog
+
+    EXPECT_TRUE(m.watchdogTripped());
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::WatchdogTimeout);
+    // The trip is logged like any other fault.
+    ASSERT_FALSE(m.faultLog().empty());
+    bool sawWatchdog = false;
+    for (const auto &rec : m.faultLog())
+        sawWatchdog |= rec.fault == Fault::WatchdogTimeout;
+    EXPECT_TRUE(sawWatchdog);
+    // And counted.
+    EXPECT_GE(m.stats().get("watchdog_trips"), 1u);
+}
+
+TEST(Watchdog, QuiescenceTripCatchesWedgedThread)
+{
+    MachineConfig cfg;
+    cfg.watchdogQuiescence = 500;
+    Machine m(cfg);
+    LoadedProgram prog = loadSrc(m, "halt\n");
+    Thread *t = m.spawn(prog.execPtr);
+    ASSERT_NE(t, nullptr);
+    // Wedge the thread as a lost memory reply would: stalled
+    // forever, never issuing, never done.
+    t->stallTo(UINT64_MAX);
+    m.run(100000);
+
+    EXPECT_TRUE(m.watchdogTripped());
+    EXPECT_EQ(t->state(), ThreadState::Faulted);
+    EXPECT_EQ(t->faultRecord().fault, Fault::WatchdogTimeout);
+}
+
+TEST(Watchdog, CompletingRunIsUntouchedByArmedWatchdog)
+{
+    // Timing must be bit-identical with and without the watchdog
+    // when the program terminates inside the budget.
+    auto cyclesWith = [](uint64_t wd) {
+        MachineConfig cfg;
+        cfg.watchdogCycles = wd;
+        Machine m(cfg);
+        LoadedProgram prog = loadSrc(
+            m, "movi r2, 200\nloop: addi r2, r2, -1\n"
+               "bne r2, r0, loop\nhalt\n");
+        Thread *t = m.spawn(prog.execPtr);
+        EXPECT_NE(t, nullptr);
+        m.run(100000);
+        EXPECT_EQ(t->state(), ThreadState::Halted);
+        EXPECT_FALSE(m.watchdogTripped());
+        return m.cycle();
+    };
+    EXPECT_EQ(cyclesWith(0), cyclesWith(50000));
+}
+
+} // namespace
+} // namespace gp::isa

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * gpfault — deterministic fault-injection campaign driver.
+ *
+ * Runs the standard campaign workload (see src/fault/campaign.cc)
+ * many times under per-run derived seeds, injecting hardware faults
+ * at the configured sites/rates, and prints the five-way coverage
+ * table {masked, corrected, detected-fault, silent-data-corruption,
+ * crash-hang}. The whole campaign is a pure function of the
+ * configuration and master seed: same flags, same table, bit for bit.
+ *
+ * Usage:
+ *   gpfault [--runs N] [--seed N] [--iterations N]
+ *           [--ecc=off|parity|secded] [--walk-retries N]
+ *           [--rate SITE=R]... [--burst-max-bits N]
+ *           [--watchdog-cycles N] [--stats-json=FILE]
+ *           [--verbose] [--list-sites]
+ *           [--expect-zero-sdc] [--expect-detected]
+ *
+ * The --expect-* flags turn the driver into a CI tripwire: the
+ * headline result of the paper's tag-bit design is that a flipped
+ * tag *faults* instead of forging a capability, so
+ *   gpfault --rate mem-tag-bit=2e-4 --expect-detected
+ * must find detections, and with SECDED armed
+ *   gpfault --ecc=secded --rate mem-data-bit=2e-4 --expect-zero-sdc
+ * must classify zero runs as silent data corruption.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "fault/campaign.h"
+#include "mem/ecc.h"
+#include "sim/faultinject.h"
+#include "sim/log.h"
+#include "sim/stats_registry.h"
+
+using namespace gp;
+
+namespace {
+
+struct Options
+{
+    fault::CampaignConfig campaign;
+    std::string statsJson;
+    bool verbose = false;
+    bool expectZeroSdc = false;
+    bool expectDetected = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --runs N           injected runs (default 100)\n"
+        "  --seed N           master seed (default 1)\n"
+        "  --iterations N     workload loop iterations (default 150)\n"
+        "  --ecc=MODE         off | parity | secded (default off)\n"
+        "  --walk-retries N   transient page-walk retries (default 0)\n"
+        "  --rate SITE=R      per-opportunity fault rate at SITE\n"
+        "                     (repeatable; see --list-sites)\n"
+        "  --burst-max-bits N max bits per cache-line burst (default 4)\n"
+        "  --watchdog-cycles N  per-run hang budget (default 300000)\n"
+        "  --stats-json=FILE  export the campaign stat group as JSON\n"
+        "  --verbose          one line per run\n"
+        "  --list-sites       print the fault-site names and exit\n"
+        "  --expect-zero-sdc  exit 1 if any run is classified SDC\n"
+        "  --expect-detected  exit 1 if no run is detected-fault\n",
+        argv0);
+}
+
+void
+listSites()
+{
+    for (unsigned i = 0; i < sim::kFaultSiteCount; ++i) {
+        std::printf("%s\n",
+                    std::string(sim::faultSiteName(
+                                    static_cast<sim::FaultSite>(i)))
+                        .c_str());
+    }
+}
+
+bool
+parseRate(const std::string &spec, sim::FaultConfig &fc)
+{
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos)
+        return false;
+    const std::string name = spec.substr(0, eq);
+    const sim::FaultSite site = sim::faultSiteFromName(name);
+    if (site == sim::FaultSite::Count) {
+        std::fprintf(stderr, "gpfault: unknown fault site '%s' "
+                             "(try --list-sites)\n",
+                     name.c_str());
+        return false;
+    }
+    fc.rate[static_cast<unsigned>(site)] =
+        std::stod(spec.substr(eq + 1));
+    return true;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts, bool &exitEarly)
+{
+    exitEarly = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        auto valueOf = [&](const char *name,
+                           std::string &out) -> bool {
+            const std::string prefix = std::string(name) + "=";
+            if (arg.rfind(prefix, 0) == 0) {
+                out = arg.substr(prefix.size());
+                return true;
+            }
+            if (arg == name) {
+                const char *v = next();
+                if (v)
+                    out = v;
+                return !out.empty();
+            }
+            return false;
+        };
+        std::string value;
+        if (arg == "--list-sites") {
+            listSites();
+            exitEarly = true;
+            return true;
+        }
+        if (arg == "--verbose") {
+            opts.verbose = true;
+            continue;
+        }
+        if (arg == "--expect-zero-sdc") {
+            opts.expectZeroSdc = true;
+            continue;
+        }
+        if (arg == "--expect-detected") {
+            opts.expectDetected = true;
+            continue;
+        }
+        if (valueOf("--runs", value)) {
+            opts.campaign.runs = unsigned(std::stoul(value));
+            continue;
+        }
+        if (valueOf("--seed", value)) {
+            opts.campaign.seed = std::stoull(value);
+            continue;
+        }
+        if (valueOf("--iterations", value)) {
+            opts.campaign.iterations = std::stoull(value);
+            continue;
+        }
+        if (valueOf("--walk-retries", value)) {
+            opts.campaign.walkRetries = unsigned(std::stoul(value));
+            continue;
+        }
+        if (valueOf("--burst-max-bits", value)) {
+            opts.campaign.faults.burstMaxBits = std::stoull(value);
+            continue;
+        }
+        if (valueOf("--watchdog-cycles", value)) {
+            opts.campaign.watchdogCycles = std::stoull(value);
+            continue;
+        }
+        if (valueOf("--stats-json", value)) {
+            opts.statsJson = value;
+            continue;
+        }
+        if (valueOf("--rate", value)) {
+            if (!parseRate(value, opts.campaign.faults))
+                return false;
+            continue;
+        }
+        if (valueOf("--ecc", value)) {
+            if (value == "off" || value == "none") {
+                opts.campaign.ecc = mem::EccMode::None;
+            } else if (value == "parity") {
+                opts.campaign.ecc = mem::EccMode::Parity;
+            } else if (value == "secded") {
+                opts.campaign.ecc = mem::EccMode::Secded;
+            } else {
+                std::fprintf(stderr, "gpfault: bad --ecc mode: %s\n",
+                             value.c_str());
+                return false;
+            }
+            continue;
+        }
+        std::fprintf(stderr, "gpfault: unknown option: %s\n",
+                     arg.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    bool exitEarly = false;
+    if (!parseArgs(argc, argv, opts, exitEarly)) {
+        usage(argv[0]);
+        return 2;
+    }
+    if (exitEarly)
+        return 0;
+
+    fault::CampaignRunner runner(opts.campaign);
+    const fault::CampaignTotals totals = runner.runAll();
+
+    if (opts.verbose) {
+        const auto &results = runner.results();
+        for (size_t i = 0; i < results.size(); ++i) {
+            const fault::RunResult &r = results[i];
+            std::printf(
+                "run %4zu: %-23s cycles=%-7llu inj=%-3llu "
+                "eccC=%llu eccD=%llu walkT=%llu fault=%s\n",
+                i, std::string(outcomeName(r.outcome)).c_str(),
+                (unsigned long long)r.cycles,
+                (unsigned long long)r.injections,
+                (unsigned long long)r.eccCorrected,
+                (unsigned long long)r.eccDetected,
+                (unsigned long long)r.walkTransients,
+                std::string(faultName(r.firstFault)).c_str());
+        }
+    }
+
+    std::printf("gpfault: %llu runs, %llu injections, ecc=%s, "
+                "walk-retries=%u, golden=%llu cycles\n",
+                (unsigned long long)totals.runs,
+                (unsigned long long)totals.totalInjections,
+                std::string(mem::eccModeName(opts.campaign.ecc))
+                    .c_str(),
+                opts.campaign.walkRetries,
+                (unsigned long long)totals.goldenCycles);
+    for (unsigned o = 0; o < fault::kOutcomeCount; ++o) {
+        const uint64_t n = totals.perOutcome[o];
+        std::printf("  %-23s %6llu  (%5.1f%%)\n",
+                    std::string(outcomeName(fault::Outcome(o)))
+                        .c_str(),
+                    (unsigned long long)n,
+                    totals.runs ? 100.0 * double(n) /
+                                      double(totals.runs)
+                                : 0.0);
+    }
+
+    if (!opts.statsJson.empty()) {
+        std::ofstream out(opts.statsJson, std::ios::trunc);
+        if (!out)
+            sim::fatal("cannot open stats file %s",
+                       opts.statsJson.c_str());
+        sim::StatRegistry::instance().exportJson(out);
+    }
+
+    const uint64_t sdc = totals.outcome(fault::Outcome::Sdc);
+    const uint64_t detected =
+        totals.outcome(fault::Outcome::DetectedFault);
+    if (opts.expectZeroSdc && sdc != 0) {
+        std::fprintf(stderr,
+                     "gpfault: FAIL: expected zero silent data "
+                     "corruption, saw %llu run(s)\n",
+                     (unsigned long long)sdc);
+        return 1;
+    }
+    if (opts.expectDetected && detected == 0) {
+        std::fprintf(stderr,
+                     "gpfault: FAIL: expected detected-fault runs, "
+                     "saw none\n");
+        return 1;
+    }
+    return 0;
+}

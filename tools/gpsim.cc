@@ -11,9 +11,15 @@
  * Usage:
  *   gpsim prog.s [--threads N] [--data BYTES] [--clusters N]
  *                [--issue-width N] [--max-cycles N]
+ *                [--ecc=off|parity|secded] [--walk-retries N]
  *                [--trace[=CATS]] [--trace-out=FILE]
  *                [--flight-recorder=N] [--stats-json=FILE]
  *                [--dump-regs] [--dump-stats] [--privileged]
+ *
+ * Robustness: --max-cycles arms the machine watchdog, so a hung or
+ * livelocked program dies with a structured WatchdogTimeout fault
+ * (and a flight-recorder dump when one is armed) instead of just
+ * running out the budget silently; gpsim exits 3 in that case.
  */
 
 #include <cstdio>
@@ -25,6 +31,7 @@
 
 #include "gp/ops.h"
 #include "isa/assembler.h"
+#include "mem/ecc.h"
 #include "os/kernel.h"
 #include "sim/log.h"
 #include "sim/stats_registry.h"
@@ -43,6 +50,8 @@ struct Options
     unsigned clusters = 4;
     unsigned issueWidth = 1;
     uint64_t maxCycles = 10'000'000;
+    mem::EccMode ecc = mem::EccMode::None;
+    unsigned walkRetries = 0;
     bool dumpRegs = false;
     bool dumpStats = false;
     bool privileged = false;
@@ -65,7 +74,13 @@ usage(const char *argv0)
         "(default 4096)\n"
         "  --clusters N     hardware clusters (default 4)\n"
         "  --issue-width N  instructions/cluster/cycle (default 1)\n"
-        "  --max-cycles N   cycle budget (default 10M)\n"
+        "  --max-cycles N   cycle budget; arms the machine watchdog,\n"
+        "                   so hangs die with WatchdogTimeout and\n"
+        "                   exit status 3 (default 10M)\n"
+        "  --ecc=MODE       memory protection over stored words:\n"
+        "                   off | parity | secded (default off)\n"
+        "  --walk-retries N retry transient page-walk failures up to\n"
+        "                   N times (default 0)\n"
         "  --privileged     load as privileged code\n"
         "  --verify[=strict] statically verify capability safety\n"
         "                   before running; abort on errors (strict:\n"
@@ -111,6 +126,24 @@ parseArgs(int argc, char **argv, Options &opts)
             return false;
         };
         std::string value;
+        if (valueOf("--ecc", value)) {
+            if (value == "off" || value == "none") {
+                opts.ecc = mem::EccMode::None;
+            } else if (value == "parity") {
+                opts.ecc = mem::EccMode::Parity;
+            } else if (value == "secded") {
+                opts.ecc = mem::EccMode::Secded;
+            } else {
+                std::fprintf(stderr, "bad --ecc mode: %s\n",
+                             value.c_str());
+                return false;
+            }
+            continue;
+        }
+        if (valueOf("--walk-retries", value)) {
+            opts.walkRetries = unsigned(std::stoul(value));
+            continue;
+        }
         if (arg == "--verify" || arg == "--verify=strict") {
             opts.verify = true;
             opts.verifyStrict = arg == "--verify=strict";
@@ -210,6 +243,13 @@ main(int argc, char **argv)
     os::KernelConfig kcfg;
     kcfg.machine.clusters = opts.clusters;
     kcfg.machine.issueWidth = opts.issueWidth;
+    kcfg.machine.mem.ecc = opts.ecc;
+    kcfg.machine.mem.walkRetries = opts.walkRetries;
+    // The cycle budget doubles as the watchdog: if the program is
+    // still running at --max-cycles the machine converts the hang
+    // into structured WatchdogTimeout faults (dumping the flight
+    // recorder when one is armed) rather than timing out silently.
+    kcfg.machine.watchdogCycles = opts.maxCycles;
     os::Kernel kernel(kcfg);
 
     const std::string source = readSource(opts.source);
@@ -269,7 +309,10 @@ main(int argc, char **argv)
         threads.push_back(t);
     }
 
-    const uint64_t cycles = kernel.machine().run(opts.maxCycles);
+    // Run slightly past the watchdog budget so the trip (and its
+    // flight-recorder dump) happens inside the machine, not here.
+    const uint64_t cycles =
+        kernel.machine().run(opts.maxCycles + 1000);
 
     int halted = 0, faulted = 0;
     for (isa::Thread *t : threads) {
@@ -320,5 +363,13 @@ main(int argc, char **argv)
     }
 
     tracer.closeJson();
+    if (kernel.machine().watchdogTripped()) {
+        std::fprintf(stderr,
+                     "gpsim: watchdog tripped after %llu cycles "
+                     "(hang or livelock); see WatchdogTimeout "
+                     "faults above\n",
+                     (unsigned long long)cycles);
+        return 3;
+    }
     return faulted ? 1 : 0;
 }

@@ -1,15 +1,24 @@
 #!/usr/bin/env python3
-"""Diff two gpsim --stats-json exports.
+"""Diff two gpsim --stats-json exports or two bench --json reports.
 
 Usage:
     statdiff.py BASE.json NEW.json [--all] [--threshold PCT]
 
-Prints one line per counter that changed between the two runs, with
-absolute and relative deltas, and summarises histogram changes by
-count/mean/p99. Groups appearing in only one file are reported as
-added/removed. Exit status is 1 when any counter differs (useful as a
-regression tripwire in CI), 0 otherwise; 2 when an input file is
-missing or not valid stats JSON.
+Stats exports ({"groups": [...]}): prints one line per counter that
+changed between the two runs, with absolute and relative deltas, and
+summarises histogram changes by count/mean/p99. Groups appearing in
+only one file are reported as added/removed.
+
+Bench reports ({"bench": ..., "tables": [...]}, as written by the
+experiment binaries with --json, e.g. bench_x1_fault_coverage):
+diffs tables by title and rows by their key columns, printing one
+line per changed cell — numeric cells with absolute/relative deltas,
+text cells as before -> after. This is how CI compares fault-coverage
+campaigns across commits.
+
+Exit status is 1 when anything differs (useful as a regression
+tripwire in CI), 0 otherwise; 2 when an input file is missing, not
+valid JSON, or the two files are different kinds of export.
 """
 
 import argparse
@@ -31,8 +40,10 @@ def load(path):
     except json.JSONDecodeError as e:
         die(f"{path} is not valid JSON (line {e.lineno}: {e.msg})")
     if not isinstance(doc, dict):
-        die(f"{path} is not a gpsim --stats-json export "
-            "(expected a JSON object with 'groups')")
+        die(f"{path} is not a stats or bench JSON export "
+            "(expected a JSON object)")
+    if "tables" in doc:
+        return doc, None, None
     counters = {}
     hists = {}
     for group in doc.get("groups", []):
@@ -43,7 +54,7 @@ def load(path):
         for hname, summary in group.get("histograms", {}).items():
             key = f"{gname}.{hname}"
             hists[key] = summary
-    return counters, hists
+    return doc, counters, hists
 
 
 def fmt_delta(base, new):
@@ -55,9 +66,88 @@ def fmt_delta(base, new):
     return f"{base} -> {new} ({delta:+d}, {rel})"
 
 
+def is_number(text):
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def table_rows(table):
+    """Index a bench table's rows by their non-numeric key columns."""
+    header = table.get("header", [])
+    rows = table.get("rows", [])
+    # Key = every non-numeric cell (site names, config labels, ecc
+    # modes, ...); numeric cells are the measurements being diffed.
+    # Duplicate keys get a #n suffix so rows never shadow each other.
+    indexed = {}
+    for row in rows:
+        cells = [c for c in row if not is_number(c)] or row[:1] or ["?"]
+        key = " / ".join(cells)
+        if key in indexed:
+            n = 2
+            while f"{key} #{n}" in indexed:
+                n += 1
+            key = f"{key} #{n}"
+        indexed[key] = row
+    return header, indexed
+
+
+def diff_tables(base_doc, new_doc, show_all):
+    """Diff two bench --json reports table by table. Returns the
+    number of differing cells/rows/tables."""
+    base_tables = {t.get("title", "?"): t
+                   for t in base_doc.get("tables", [])}
+    new_tables = {t.get("title", "?"): t
+                  for t in new_doc.get("tables", [])}
+    changed = 0
+    for title in sorted(set(base_tables) | set(new_tables)):
+        if title not in base_tables:
+            print(f"~ table [added]: {title}")
+            changed += 1
+            continue
+        if title not in new_tables:
+            print(f"~ table [removed]: {title}")
+            changed += 1
+            continue
+        header, base_rows = table_rows(base_tables[title])
+        _, new_rows = table_rows(new_tables[title])
+        for key in sorted(set(base_rows) | set(new_rows)):
+            if key not in base_rows:
+                print(f"~ {title} :: {key} [row added]")
+                changed += 1
+                continue
+            if key not in new_rows:
+                print(f"~ {title} :: {key} [row removed]")
+                changed += 1
+                continue
+            b_row, n_row = base_rows[key], new_rows[key]
+            for c in range(max(len(b_row), len(n_row))):
+                b = b_row[c] if c < len(b_row) else ""
+                n = n_row[c] if c < len(n_row) else ""
+                if b == n:
+                    continue
+                col = header[c] if c < len(header) else f"col{c}"
+                if is_number(b) and is_number(n):
+                    fb, fn = float(b), float(n)
+                    rel = ("new" if fb == 0 else
+                           f"{100.0 * (fn - fb) / fb:+.1f}%")
+                    print(f"~ {title} :: {key} :: {col} "
+                          f"{b} -> {n} ({rel})")
+                else:
+                    print(f"~ {title} :: {key} :: {col} "
+                          f"{b} -> {n}")
+                changed += 1
+        if show_all and changed == 0:
+            print(f"  {title} (unchanged)")
+    return changed
+
+
 def main():
     ap = argparse.ArgumentParser(
-        description="diff two gpsim --stats-json exports")
+        description="diff two gpsim --stats-json exports or two "
+                    "bench --json table reports")
     ap.add_argument("base")
     ap.add_argument("new")
     ap.add_argument("--all", action="store_true",
@@ -68,8 +158,18 @@ def main():
                          "always report)")
     args = ap.parse_args()
 
-    base_ctr, base_hist = load(args.base)
-    new_ctr, new_hist = load(args.new)
+    base_doc, base_ctr, base_hist = load(args.base)
+    new_doc, new_ctr, new_hist = load(args.new)
+
+    base_is_bench = base_ctr is None
+    new_is_bench = new_ctr is None
+    if base_is_bench != new_is_bench:
+        die("cannot diff a bench table report against a stats export")
+    if base_is_bench:
+        changed = diff_tables(base_doc, new_doc, args.all)
+        if changed == 0:
+            print("no differences")
+        return 1 if changed else 0
 
     changed = 0
     for key in sorted(set(base_ctr) | set(new_ctr)):

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Experiment P1: host simulation speed (the perf-CI anchor).
+ *
+ * Unlike every other bench, P1's primary metric is *host* work per
+ * simulated instruction: it runs three representative workloads —
+ * the Fig. 5 multithreaded memory sweep, the F7 microkernel server
+ * chain, and a fault-injection campaign — and reports simulated
+ * instructions (or runs) per host second, timed tightly around the
+ * simulation loop so loader/assembler setup is excluded.
+ *
+ * The output is split into two tables on purpose:
+ *
+ *  - "P1 signature (deterministic)": simulated cycles, instruction
+ *    counts, and campaign outcome classes. These are pure functions
+ *    of the simulator and must be *bit-identical* on every host and
+ *    every commit that claims to be observationally invisible.
+ *    tools/perfgate.py hard-fails CI when they drift from the
+ *    checked-in bench/BENCH_PERF.json baseline.
+ *
+ *  - "P1 host speed (host-dependent)": wall time and derived rates.
+ *    Informational / warn-only in CI — machines differ; the
+ *    committed baseline documents the reference machine's numbers.
+ *
+ * See docs/ARCHITECTURE.md ("Performance & perf-CI") for the
+ * conventions this bench enforces.
+ */
+
+#include <chrono>
+#include <string>
+
+#include "bench_util.h"
+#include "fault/campaign.h"
+#include "isa/assembler.h"
+#include "isa/loader.h"
+#include "isa/machine.h"
+#include "os/kernel.h"
+#include "sim/log.h"
+
+namespace {
+
+using namespace gp;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct ArmResult
+{
+    uint64_t cycles = 0;       //!< simulated cycles (deterministic)
+    uint64_t instructions = 0; //!< simulated instructions (det.)
+    double wallSeconds = 0;    //!< host time around the sim loop only
+};
+
+/**
+ * Arm 1: the Fig. 5 memory-system workload at its heaviest point
+ * (16 threads, 4 banks) plus the most serialized one (16 threads,
+ * 1 bank), so both the hit-dominated and conflict-dominated paths
+ * are exercised. Workload mirrors bench_fig5_map_memsys.
+ */
+ArmResult
+runFig5Arm()
+{
+    ArmResult r;
+    const std::string src = R"(
+        movi r12, 0
+        movi r13, 8
+        outer:
+        leabi r2, r1, 0
+        movi r10, 0
+        movi r11, 127
+        inner:
+        ld r3, 0(r2)
+        ld r4, 8(r2)
+        ld r5, 16(r2)
+        ld r6, 24(r2)
+        leai r2, r2, 32
+        addi r10, r10, 1
+        bne r10, r11, inner
+        addi r12, r12, 1
+        bne r12, r13, outer
+        halt
+    )";
+    auto assembly = isa::assemble(src);
+    if (!assembly.ok)
+        sim::fatal("P1: %s", assembly.error.c_str());
+
+    for (unsigned banks : {4u, 1u}) {
+        isa::MachineConfig cfg;
+        cfg.mem.cache = gp::bench::mapCache();
+        cfg.mem.cache.banks = banks;
+        isa::Machine machine(cfg);
+        for (unsigned i = 0; i < 16; ++i) {
+            const uint64_t code_base =
+                ((uint64_t(i) + 1) << 20) + uint64_t(i) * 128;
+            auto prog = isa::loadProgram(machine.mem(), code_base,
+                                         assembly.words);
+            isa::Thread *t = machine.spawn(prog.execPtr);
+            if (!t)
+                sim::fatal("P1: out of thread slots");
+            t->setReg(1,
+                      isa::dataSegment(((uint64_t(i) + 1) << 30) +
+                                           uint64_t(i) * 4096,
+                                       12));
+        }
+        const auto t0 = Clock::now();
+        machine.run(50'000'000);
+        r.wallSeconds += secondsSince(t0);
+        r.cycles += machine.cycle();
+        r.instructions += machine.stats().get("instructions");
+    }
+    return r;
+}
+
+/**
+ * Arm 2: the F7 microkernel chain — a caller crossing two protected
+ * subsystems per request via enter pointers, exercising the OS
+ * layer, gate crossings, and the fault-free control-flow paths.
+ */
+ArmResult
+runMicrokernelArm()
+{
+    constexpr int kRequests = 512;
+
+    os::Kernel kernel;
+    auto state = kernel.segments().allocate(4096, Perm::ReadWrite);
+    auto server = kernel.buildSubsystem(R"(
+        getip r2
+        leabi r2, r2, 0
+        ld r3, 0(r2)
+        ld r4, 0(r3)
+        addi r4, r4, 1
+        st r4, 0(r3)
+        jmp r12
+    )",
+                                        {state.value});
+    auto front_table =
+        kernel.segments().allocate(4096, Perm::ReadWrite);
+    auto front = kernel.buildSubsystem(R"(
+        getip r2
+        leabi r2, r2, 0
+        ld r3, 0(r2)
+        ld r4, 8(r2)
+        ld r5, 0(r3)
+        getip r12
+        leai r12, r12, 24
+        jmp r4
+        jmp r14
+    )",
+                                       {front_table.value,
+                                        server ? server.value.enterPtr
+                                               : Word{}});
+    if (!state || !server || !front_table || !front)
+        sim::fatal("P1: microkernel setup failed");
+
+    auto caller = kernel.loadAssembly(R"(
+        movi r10, 0
+        movi r11, )" + std::to_string(kRequests) +
+                                      R"(
+        loop:
+        getip r14
+        leai r14, r14, 24
+        jmp r1
+        addi r10, r10, 1
+        bne r10, r11, loop
+        halt
+    )");
+    if (!caller)
+        sim::fatal("P1: caller failed");
+    isa::Thread *t =
+        kernel.spawn(caller.value.execPtr,
+                     {{1, front.value.enterPtr}});
+    if (!t)
+        sim::fatal("P1: no slot");
+
+    ArmResult r;
+    const auto t0 = Clock::now();
+    kernel.machine().run(50'000'000);
+    r.wallSeconds = secondsSince(t0);
+    if (t->state() != isa::ThreadState::Halted)
+        sim::fatal("P1: chain faulted: %s",
+                   std::string(faultName(t->faultRecord().fault))
+                       .c_str());
+    r.cycles = kernel.machine().cycle();
+    r.instructions = kernel.machine().stats().get("instructions");
+    return r;
+}
+
+/** Arm 3: a small deterministic fault campaign (hardened config). */
+struct CampaignArm
+{
+    fault::CampaignTotals totals;
+    uint64_t goldenCycles = 0;
+    double wallSeconds = 0;
+};
+
+CampaignArm
+runCampaignArm()
+{
+    fault::CampaignConfig cfg;
+    cfg.seed = 12345;
+    cfg.runs = 24;
+    cfg.ecc = mem::EccMode::Secded;
+    cfg.walkRetries = 2;
+    cfg.faults.rate[unsigned(sim::FaultSite::MemDataBit)] = 3e-4;
+    cfg.faults.rate[unsigned(sim::FaultSite::MemTagBit)] = 1e-4;
+    cfg.faults.rate[unsigned(sim::FaultSite::TlbCorrupt)] = 1e-3;
+    cfg.faults.rate[unsigned(sim::FaultSite::PtWalkTransient)] = 2e-2;
+
+    fault::CampaignRunner runner(cfg);
+    CampaignArm arm;
+    const auto t0 = Clock::now();
+    arm.totals = runner.runAll();
+    arm.wallSeconds = secondsSince(t0);
+    arm.goldenCycles = runner.goldenCycles();
+    return arm;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    gp::bench::init(argc, argv);
+
+    const ArmResult fig5 = runFig5Arm();
+    const ArmResult mk = runMicrokernelArm();
+    const CampaignArm camp = runCampaignArm();
+
+    // ---- Table 1: deterministic signature (hard CI gate). --------
+    // Every cell here is a pure function of the simulator: any drift
+    // means a change was NOT observationally invisible.
+    gp::bench::Table det(
+        "P1 signature (deterministic)",
+        {"arm", "cycles", "instructions", "extra"});
+    det.addRow({"fig5-memsys",
+                gp::bench::fmt("%llu",
+                               (unsigned long long)fig5.cycles),
+                gp::bench::fmt("%llu",
+                               (unsigned long long)fig5.instructions),
+                "-"});
+    det.addRow({"f7-microkernel",
+                gp::bench::fmt("%llu", (unsigned long long)mk.cycles),
+                gp::bench::fmt("%llu",
+                               (unsigned long long)mk.instructions),
+                "-"});
+    det.addRow(
+        {"fault-campaign",
+         gp::bench::fmt("%llu",
+                        (unsigned long long)camp.goldenCycles),
+         gp::bench::fmt("%llu",
+                        (unsigned long long)camp.totals.runs),
+         gp::bench::fmt(
+             "masked=%llu corrected=%llu detected=%llu sdc=%llu "
+             "hang=%llu",
+             (unsigned long long)camp.totals.outcome(
+                 fault::Outcome::Masked),
+             (unsigned long long)camp.totals.outcome(
+                 fault::Outcome::Corrected),
+             (unsigned long long)camp.totals.outcome(
+                 fault::Outcome::DetectedFault),
+             (unsigned long long)camp.totals.outcome(
+                 fault::Outcome::Sdc),
+             (unsigned long long)camp.totals.outcome(
+                 fault::Outcome::CrashHang))});
+    det.print();
+
+    // ---- Table 2: host speed (warn-only in CI). ------------------
+    gp::bench::Table host(
+        "P1 host speed (host-dependent)",
+        {"arm", "wall ms", "sim Minst/s", "sim Mcycles/s"});
+    auto hostRow = [&](const char *name, const ArmResult &r) {
+        host.addRow(
+            {name, gp::bench::fmt("%.1f", r.wallSeconds * 1e3),
+             gp::bench::fmt("%.2f", double(r.instructions) /
+                                        r.wallSeconds / 1e6),
+             gp::bench::fmt("%.2f",
+                            double(r.cycles) / r.wallSeconds / 1e6)});
+    };
+    hostRow("fig5-memsys", fig5);
+    hostRow("f7-microkernel", mk);
+    host.addRow({"fault-campaign",
+                 gp::bench::fmt("%.1f", camp.wallSeconds * 1e3),
+                 gp::bench::fmt("%.1f runs/s",
+                                double(camp.totals.runs) /
+                                    camp.wallSeconds),
+                 "-"});
+    host.print();
+
+    std::printf(
+        "\nPerf-CI contract: the deterministic table must match "
+        "bench/BENCH_PERF.json bit-for-bit (tools/perfgate.py\n"
+        "hard-fails on drift — a perf change must not change "
+        "simulated behaviour). The host-speed table is warn-only;\n"
+        "the committed baseline records the reference machine.\n");
+    return 0;
+}

@@ -20,16 +20,6 @@ makePointer(Perm perm, uint64_t len_log2, uint64_t addr)
     return Result<Word>::ok(Word::fromRawPointerBits(bits));
 }
 
-Result<PointerView>
-decode(Word w)
-{
-    if (!w.isPointer())
-        return Result<PointerView>::fail(Fault::NotAPointer);
-    if (!permValid(w.permBits()))
-        return Result<PointerView>::fail(Fault::InvalidPermission);
-    return Result<PointerView>::ok(PointerView(w));
-}
-
 std::string
 toString(Word w)
 {

@@ -116,8 +116,22 @@ Result<Word> makePointer(Perm perm, uint64_t len_log2, uint64_t addr);
  * Interpret a word as a guarded pointer, checking the tag bit and the
  * permission encoding. Returns a fault for untagged words or invalid
  * permission encodings.
+ *
+ * Inline on purpose: this is the decode stage of every pointer
+ * operation (LEA on each IP advance, the access check on each load,
+ * store and fetch), so it runs several times per simulated
+ * instruction and must compile down to a couple of bit tests at each
+ * call site.
  */
-Result<PointerView> decode(Word w);
+inline Result<PointerView>
+decode(Word w)
+{
+    if (!w.isPointer())
+        return Result<PointerView>::fail(Fault::NotAPointer);
+    if (!permValid(w.permBits()))
+        return Result<PointerView>::fail(Fault::InvalidPermission);
+    return Result<PointerView>::ok(PointerView(w));
+}
 
 /** @return a human-readable rendering, e.g. for example programs. */
 std::string toString(Word w);

@@ -123,6 +123,12 @@ Machine::initStats()
     gateCrossings_ = &stats_.counter("gate_crossings");
     faults_ = &stats_.counter("faults");
     faultsRecovered_ = &stats_.counter("faults_recovered");
+    threadsSpawned_ = &stats_.counter("threads_spawned");
+    watchdogTrips_ = &stats_.counter("watchdog_trips");
+    hungAccesses_ = &stats_.counter("hung_accesses");
+    predecodeHits_ = &stats_.counter("predecode_hits");
+    predecodeMisses_ = &stats_.counter("predecode_misses");
+    predecode_.assign(kPredecodeEntries, PredecodedInst{});
     for (unsigned i = 0; i < kInstClassCount; ++i)
         mix_[i] = &stats_.counter(std::string("mix_") + kClassNames[i]);
     for (unsigned i = 1; i <= unsigned(kLastFault); ++i) {
@@ -130,6 +136,12 @@ Machine::initStats()
             std::string("fault_") + std::string(faultName(Fault(i))));
     }
     lastIssuedId_.assign(config_.clusters, UINT32_MAX);
+}
+
+void
+Machine::flushPredecode()
+{
+    predecode_.assign(kPredecodeEntries, PredecodedInst{});
 }
 
 mem::MemorySystem &
@@ -182,7 +194,7 @@ Machine::spawnOnCluster(unsigned cluster, Word entry_ip)
             t.state() == ThreadState::Halted ||
             t.state() == ThreadState::Faulted) {
             t.start(entry_ip, nextThreadId_++);
-            stats_.counter("threads_spawned")++;
+            (*threadsSpawned_)++;
             return &t;
         }
     }
@@ -238,7 +250,8 @@ void
 Machine::tripWatchdog(const char *why)
 {
     watchdogTripped_ = true;
-    stats_.counter("watchdog_trips")++;
+    readyMayHaveShrunk_ = true;
+    (*watchdogTrips_)++;
     GP_TRACE(Fault, cycle_, 0, "watchdog", "%s cycle=%llu", why,
              static_cast<unsigned long long>(cycle_));
     sim::warn("machine: watchdog trip (%s) at cycle %llu", why,
@@ -265,8 +278,20 @@ uint64_t
 Machine::run(uint64_t max_cycles)
 {
     const uint64_t start = cycle_;
-    while (!allDone() && cycle_ - start < max_cycles)
+    // allDone() scans every thread slot, which is wasteful once per
+    // cycle: a running machine only *becomes* done in a cycle where
+    // some thread leaves the Ready state (halt, fault, watchdog — or
+    // anything a software fault handler did while it had control).
+    // Those paths set readyMayHaveShrunk_, so the scan re-runs only
+    // after such a cycle. not-Ready -> Ready transitions can only
+    // keep the machine running and never need a re-check.
+    bool done = allDone();
+    while (!done && cycle_ - start < max_cycles) {
+        readyMayHaveShrunk_ = false;
         step();
+        if (readyMayHaveShrunk_)
+            done = allDone();
+    }
     if (!allDone())
         sim::warn("machine: run() hit the %llu-cycle limit",
                   static_cast<unsigned long long>(max_cycles));
@@ -280,16 +305,24 @@ Machine::stepCluster(unsigned cluster)
     // issueWidth instructions, each from a distinct ready thread.
     // This is the zero-cost context switch — no protection state is
     // touched between threads.
-    const unsigned base = cluster * config_.threadsPerCluster;
+    const unsigned nslots = config_.threadsPerCluster;
+    const unsigned base = cluster * nslots;
     unsigned issued = 0;
+    bool any_ready = false; // for idle attribution, tracked in-scan
     for (unsigned i = 0;
-         i < config_.threadsPerCluster &&
-         issued < config_.issueWidth;
+         i < nslots && issued < config_.issueWidth;
          ++i) {
-        const unsigned slot =
-            (rrNext_[cluster] + i) % config_.threadsPerCluster;
+        // rrNext_ and i are both < nslots, so the wrap is a single
+        // compare/subtract — no integer division on the per-cycle
+        // scheduling path.
+        unsigned slot = rrNext_[cluster] + i;
+        if (slot >= nslots)
+            slot -= nslots;
         Thread &t = threads_[base + slot];
-        if (t.canIssue(cycle_)) {
+        if (t.state() != ThreadState::Ready)
+            continue;
+        any_ready = true;
+        if (t.stallUntil() <= cycle_) {
             // Consecutive issues from different threads are the paper's
             // zero-cost protection-domain switches — count them.
             if (lastIssuedId_[cluster] != UINT32_MAX &&
@@ -301,19 +334,15 @@ Machine::stepCluster(unsigned cluster)
             issued++;
         }
     }
-    rrNext_[cluster] =
-        (rrNext_[cluster] + 1) % config_.threadsPerCluster;
+    rrNext_[cluster] = rrNext_[cluster] + 1 == nslots
+                           ? 0
+                           : rrNext_[cluster] + 1;
     if (issued == 0) {
         (*idleClusterCycles_)++;
         // Attribute the idle cycle: live threads all stalled on memory
         // or trap latency, vs. no runnable thread in the cluster.
-        bool any_ready = false;
-        for (unsigned s = 0; s < config_.threadsPerCluster; ++s) {
-            if (threads_[base + s].state() == ThreadState::Ready) {
-                any_ready = true;
-                break;
-            }
-        }
+        // any_ready was collected by the (complete, since nothing
+        // issued) scan above — no second pass over the slots.
         if (any_ready)
             (*stalledClusterCycles_)++;
         else
@@ -324,6 +353,9 @@ Machine::stepCluster(unsigned cluster)
 void
 Machine::faultThread(Thread &thread, Fault f)
 {
+    // The thread leaves Ready here, and the software handler below
+    // may halt/fault arbitrary threads while it has control.
+    readyMayHaveShrunk_ = true;
     thread.takeFault(f, cycle_);
     faultLog_.push_back(thread.faultRecord());
     (*faults_)++;
@@ -387,7 +419,7 @@ Machine::issueThread(Thread &thread)
         // retransmission off): the thread stalls forever. Only a
         // watchdog can reclaim it.
         thread.stallTo(UINT64_MAX);
-        stats_.counter("hung_accesses")++;
+        (*hungAccesses_)++;
         return;
     }
     if (f.fault != Fault::None) {
@@ -395,10 +427,33 @@ Machine::issueThread(Thread &thread)
         return;
     }
 
-    const auto inst = gp::isa::decodeInst(f.data);
-    if (!inst) {
-        faultThread(thread, Fault::InvalidInstruction);
-        return;
+    // Predecoded-instruction cache: decode is a pure function of the
+    // fetched 65-bit word, so memoise it per static instruction. The
+    // timed fetch above always happens (simulated timing and faults
+    // are identical either way); a hit only skips host decode work.
+    // Each hit re-validates the stored raw bits against the word the
+    // fetch actually returned, so self-modifying code and loader
+    // changes invalidate entries implicitly. Tagged words never
+    // decode, hence the isPointer() guard on the hit path.
+    const uint64_t ip_addr = thread.ip().addr();
+    PredecodedInst &slot =
+        predecode_[(ip_addr >> 3) & (kPredecodeEntries - 1)];
+    const Inst *inst = nullptr;
+    if (slot.addr == ip_addr && slot.bits == f.data.bits() &&
+        !f.data.isPointer()) {
+        inst = &slot.inst;
+        (*predecodeHits_)++;
+    } else {
+        const auto decoded = gp::isa::decodeInst(f.data);
+        if (!decoded) {
+            faultThread(thread, Fault::InvalidInstruction);
+            return;
+        }
+        slot.addr = ip_addr;
+        slot.bits = f.data.bits();
+        slot.inst = *decoded;
+        inst = &slot.inst;
+        (*predecodeMisses_)++;
     }
 
     if (traceHook_)
@@ -461,7 +516,7 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
         const mem::MemAccess acc = port_->portLoad(ptr.value, size, ready_at);
         if (acc.hang) {
             thread.stallTo(UINT64_MAX);
-            stats_.counter("hung_accesses")++;
+            (*hungAccesses_)++;
             fault_taken = true;
             return;
         }
@@ -486,7 +541,7 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
             port_->portStore(ptr.value, value, size, ready_at);
         if (acc.hang) {
             thread.stallTo(UINT64_MAX);
-            stats_.counter("hung_accesses")++;
+            (*hungAccesses_)++;
             fault_taken = true;
             return;
         }
@@ -504,6 +559,7 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
       case Op::HALT:
         thread.retire();
         thread.halt();
+        readyMayHaveShrunk_ = true;
         return;
 
       case Op::ADD:

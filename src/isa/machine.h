@@ -165,6 +165,15 @@ class Machine
     const MachineConfig &config() const { return config_; }
     sim::StatGroup &stats() { return stats_; }
 
+    /**
+     * Drop every predecoded instruction. Rarely needed: entries are
+     * validated against the fetched word's bits on every use, so
+     * stores to code pages and loader changes invalidate stale
+     * entries automatically. Provided for debuggers and tests that
+     * want a cold decode path.
+     */
+    void flushPredecode();
+
   private:
     /// Retired-instruction mix classes: alu/mem/branch/control/
     /// pointer/misc (see instClass() in machine.cc).
@@ -204,6 +213,27 @@ class Machine
      */
     bool advanceIp(Thread &thread, int64_t inst_delta);
 
+    /**
+     * One slot of the predecoded-instruction cache. The simulator
+     * decodes each static instruction once and memoises the result,
+     * keyed by the fetch address. Correctness does not depend on
+     * explicit invalidation: decode is a pure function of the fetched
+     * 65-bit word, and each hit re-validates the stored raw bits
+     * against the word the (always-performed, timed) fetch returned —
+     * self-modifying code or a reloaded program simply misses and is
+     * re-decoded. Simulated timing is untouched; only host decode
+     * work is saved.
+     */
+    struct PredecodedInst
+    {
+        uint64_t addr = UINT64_MAX; //!< fetch vaddr (UINT64_MAX: empty)
+        uint64_t bits = 0;          //!< raw word the decode came from
+        Inst inst;
+    };
+
+    /// Direct-mapped predecode-cache size; must be a power of two.
+    static constexpr size_t kPredecodeEntries = 4096;
+
     MachineConfig config_;
     std::unique_ptr<mem::MemorySystem> ownedMem_;
     mem::MemoryPort *port_;
@@ -212,6 +242,10 @@ class Machine
     uint64_t cycle_ = 0;
     uint32_t nextThreadId_ = 0;
     bool watchdogTripped_ = false;
+    /// Set by any path in which a thread may leave the Ready state
+    /// (halt, fault, watchdog, software fault handler); run() only
+    /// re-scans allDone() after a cycle that set it.
+    bool readyMayHaveShrunk_ = true;
     uint64_t lastIssueCycle_ = 0; //!< for the quiescence watchdog
     std::vector<FaultRecord> faultLog_;
     FaultHandler faultHandler_;
@@ -233,8 +267,17 @@ class Machine
     sim::Counter *gateCrossings_ = nullptr;
     sim::Counter *faults_ = nullptr;
     sim::Counter *faultsRecovered_ = nullptr;
+    sim::Counter *threadsSpawned_ = nullptr;
+    sim::Counter *watchdogTrips_ = nullptr;
+    sim::Counter *hungAccesses_ = nullptr;
+    sim::Counter *predecodeHits_ = nullptr;
+    sim::Counter *predecodeMisses_ = nullptr;
     sim::Counter *mix_[kInstClassCount] = {};
     sim::Counter *faultKind_[16] = {}; //!< indexed by unsigned(Fault)
+
+    /// Direct-mapped predecoded-instruction cache, indexed by
+    /// (vaddr >> 3) & (kPredecodeEntries - 1).
+    std::vector<PredecodedInst> predecode_;
 };
 
 } // namespace gp::isa

@@ -25,12 +25,18 @@ Cache::Cache(const CacheConfig &config) : config_(config)
         sim::fatal("cache associativity must be nonzero");
     lines_.resize(uint64_t(config_.banks) * config_.setsPerBank *
                   config_.ways);
-}
 
-unsigned
-Cache::bankOf(uint64_t vaddr) const
-{
-    return (vaddr >> lineShift_) & (config_.banks - 1);
+    // Register every stat once; the access path only increments
+    // through these handles (see docs/OBSERVABILITY.md).
+    hits_ = &stats_.counter("hits");
+    misses_ = &stats_.counter("misses");
+    writebacks_ = &stats_.counter("writebacks");
+    pageInvalidations_ = &stats_.counter("page_invalidations");
+    linesInvalidated_ = &stats_.counter("lines_invalidated");
+    invalidationWritebacks_ =
+        &stats_.counter("invalidation_writebacks");
+    fullFlushes_ = &stats_.counter("full_flushes");
+    flushWritebacks_ = &stats_.counter("flush_writebacks");
 }
 
 uint64_t
@@ -82,11 +88,11 @@ Cache::access(uint64_t vaddr, bool is_write, uint16_t asid)
     if (Line *line = findLine(bank, set, line_addr, asid)) {
         line->lruStamp = stamp_;
         line->dirty = line->dirty || is_write;
-        stats_.counter("hits")++;
-        return CacheResult{true, false, 0};
+        (*hits_)++;
+        return CacheResult{true, false, 0, 0};
     }
 
-    stats_.counter("misses")++;
+    (*misses_)++;
 
     // Choose the LRU way (preferring invalid lines) as victim.
     const uint64_t base =
@@ -102,11 +108,15 @@ Cache::access(uint64_t vaddr, bool is_write, uint16_t asid)
             victim = &line;
     }
 
-    CacheResult result{false, false, 0};
+    CacheResult result{false, false, 0, 0};
     if (victim->valid && victim->dirty) {
         result.writeback = true;
         result.victimLineAddr = victim->lineAddr;
-        stats_.counter("writebacks")++;
+        // The writeback belongs to the *victim's* address space: a
+        // cross-domain eviction must not be attributed (or, in
+        // ASID-tagged schemes, translated) against the accessor.
+        result.victimAsid = victim->asid;
+        (*writebacks_)++;
     }
 
     victim->valid = true;
@@ -118,6 +128,22 @@ Cache::access(uint64_t vaddr, bool is_write, uint16_t asid)
 }
 
 bool
+Cache::accessHit(uint64_t vaddr, bool is_write, uint16_t asid)
+{
+    unsigned bank, set;
+    uint64_t line_addr;
+    locate(vaddr, bank, set, line_addr);
+    Line *line = findLine(bank, set, line_addr, asid);
+    if (!line)
+        return false;
+    stamp_++;
+    line->lruStamp = stamp_;
+    line->dirty = line->dirty || is_write;
+    (*hits_)++;
+    return true;
+}
+
+bool
 Cache::probe(uint64_t vaddr, uint16_t asid) const
 {
     unsigned bank, set;
@@ -126,28 +152,43 @@ Cache::probe(uint64_t vaddr, uint16_t asid) const
     return findLine(bank, set, line_addr, asid) != nullptr;
 }
 
-unsigned
+PageInvalidation
 Cache::invalidatePage(uint64_t vaddr, unsigned page_shift, uint16_t asid)
 {
+    // A page smaller than a cache line would make the shifts below
+    // undefined behaviour; reject it loudly rather than corrupting
+    // the line-address arithmetic.
+    if (page_shift < lineShift_) {
+        sim::fatal("cache invalidatePage: page shift %u is smaller "
+                   "than the line shift %u (page must cover at least "
+                   "one %u-byte line)",
+                   page_shift, lineShift_, config_.lineBytes);
+    }
     const uint64_t first_line = (vaddr >> page_shift) <<
                                 (page_shift - lineShift_);
     const uint64_t lines_per_page = uint64_t(1) << (page_shift -
                                                     lineShift_);
-    unsigned invalidated = 0;
+    PageInvalidation result;
     for (uint64_t la = first_line; la < first_line + lines_per_page;
          ++la) {
         const unsigned bank = la & (config_.banks - 1);
         const unsigned set =
             (la >> bankShift_) & (config_.setsPerBank - 1);
         if (Line *line = findLine(bank, set, la, asid)) {
+            // Dirty lines are surfaced as writebacks; the caller
+            // charges the writeback cost and accounts the data as
+            // written back, never silently lost.
+            if (line->dirty)
+                result.writebacks++;
             line->valid = false;
             line->dirty = false;
-            invalidated++;
+            result.invalidated++;
         }
     }
-    stats_.counter("page_invalidations")++;
-    stats_.counter("lines_invalidated") += invalidated;
-    return invalidated;
+    (*pageInvalidations_)++;
+    (*linesInvalidated_) += result.invalidated;
+    (*invalidationWritebacks_) += result.writebacks;
+    return result;
 }
 
 unsigned
@@ -160,8 +201,8 @@ Cache::flushAll()
         line.valid = false;
         line.dirty = false;
     }
-    stats_.counter("full_flushes")++;
-    stats_.counter("flush_writebacks") += dirty;
+    (*fullFlushes_)++;
+    (*flushWritebacks_) += dirty;
     return dirty;
 }
 

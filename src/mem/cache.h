@@ -38,6 +38,26 @@ struct CacheResult
     bool hit = false;
     bool writeback = false;    //!< a dirty victim was evicted
     uint64_t victimLineAddr = 0; //!< line address of the victim
+    /**
+     * Address space the victim line belonged to. A victim writeback
+     * must be attributed (and, in ASID-tagged baselines, translated)
+     * against the *victim's* address space, not the accessing
+     * thread's — the two differ whenever a miss in one domain evicts
+     * another domain's line.
+     */
+    uint16_t victimAsid = 0;
+};
+
+/** Outcome of invalidating one page's worth of lines. */
+struct PageInvalidation
+{
+    unsigned invalidated = 0; //!< lines removed from the array
+    /**
+     * Of those, dirty lines whose contents must be written back
+     * before the page translation disappears. Dropping these on the
+     * floor would be silent data loss on revocation/relocation.
+     */
+    unsigned writebacks = 0;
 };
 
 /** Set-associative banked cache with per-set LRU and write-back. */
@@ -46,8 +66,13 @@ class Cache
   public:
     explicit Cache(const CacheConfig &config);
 
-    /** @return which bank services the given byte address. */
-    unsigned bankOf(uint64_t vaddr) const;
+    /** @return which bank services the given byte address. Inline:
+     * the timed hit path computes this once per access. */
+    unsigned
+    bankOf(uint64_t vaddr) const
+    {
+        return (vaddr >> lineShift_) & (config_.banks - 1);
+    }
 
     /**
      * Perform one access: on hit, update LRU (and dirty on writes); on
@@ -56,16 +81,29 @@ class Cache
      */
     CacheResult access(uint64_t vaddr, bool is_write, uint16_t asid = 0);
 
+    /**
+     * Hot-path hit probe+update in one tag search: if the line is
+     * resident, perform exactly the hit half of access() (LRU stamp,
+     * dirty bit, hit counter) and return true; otherwise change
+     * nothing — no install, no stamp advance, no miss counted — and
+     * return false. Equivalent to `probe() && access().hit` at half
+     * the tag-search cost; the caller runs access() afterwards for
+     * the fill if (and only if) the miss path succeeds.
+     */
+    bool accessHit(uint64_t vaddr, bool is_write, uint16_t asid = 0);
+
     /** @return true if the line holding vaddr is resident (no LRU touch). */
     bool probe(uint64_t vaddr, uint16_t asid = 0) const;
 
     /**
      * Invalidate every line within a virtual page (used when the page
-     * is unmapped for revocation/relocation, §4.3).
-     * @return number of lines invalidated.
+     * is unmapped for revocation/relocation, §4.3). Dirty lines are
+     * reported as writebacks for the caller to charge/propagate —
+     * they are never silently discarded.
+     * @param page_shift log2(page size); must be >= log2(line size).
      */
-    unsigned invalidatePage(uint64_t vaddr, unsigned page_shift,
-                            uint16_t asid = 0);
+    PageInvalidation invalidatePage(uint64_t vaddr, unsigned page_shift,
+                                    uint16_t asid = 0);
 
     /**
      * Invalidate the whole cache (the paged-baseline context switch).
@@ -104,6 +142,19 @@ class Cache
     std::vector<Line> lines_; //!< [bank][set][way] flattened
     uint64_t stamp_ = 0;
     sim::StatGroup stats_{"cache"};
+
+    // Cached stat handles (stable for the life of stats_), so the
+    // per-access hot path pays a plain increment, never a
+    // string-keyed map lookup. See docs/OBSERVABILITY.md ("stat
+    // handles"): never call counter("...") in a per-event path.
+    sim::Counter *hits_ = nullptr;
+    sim::Counter *misses_ = nullptr;
+    sim::Counter *writebacks_ = nullptr;
+    sim::Counter *pageInvalidations_ = nullptr;
+    sim::Counter *linesInvalidated_ = nullptr;
+    sim::Counter *invalidationWritebacks_ = nullptr;
+    sim::Counter *fullFlushes_ = nullptr;
+    sim::Counter *flushWritebacks_ = nullptr;
 };
 
 } // namespace gp::mem

@@ -16,6 +16,13 @@ MemorySystem::MemorySystem(const MemConfig &config)
       bankBusyUntil_(config.cache.banks, 0)
 {
     phys_.setEccMode(config_.ecc);
+    if (config_.pageBytes < config_.cache.lineBytes) {
+        sim::fatal("memory system: page size %llu is smaller than "
+                   "the cache line size %u; page invalidation would "
+                   "be ill-defined",
+                   static_cast<unsigned long long>(config_.pageBytes),
+                   config_.cache.lineBytes);
+    }
     // Miss latency spans hit-time + TLB + walk + external transfer;
     // 64 cycles of range covers the uncontended path with room for
     // port queueing before overflow.
@@ -27,6 +34,21 @@ MemorySystem::MemorySystem(const MemConfig &config)
         bankConflictWait_.push_back(&stats_.histogram(
             "bank" + std::to_string(b) + "_conflict_wait", 8, 16));
     }
+    hits_ = &stats_.counter("hits");
+    misses_ = &stats_.counter("misses");
+    loads_ = &stats_.counter("loads");
+    stores_ = &stats_.counter("stores");
+    fetches_ = &stats_.counter("fetches");
+    accessFaults_ = &stats_.counter("access_faults");
+    bankConflictStalls_ = &stats_.counter("bank_conflict_stalls");
+    extPortStalls_ = &stats_.counter("ext_port_stalls");
+    unmappedFaults_ = &stats_.counter("unmapped_faults");
+    walkTransients_ = &stats_.counter("walk_transients");
+    walkRetryExhausted_ = &stats_.counter("walk_retry_exhausted");
+    eccCorrected_ = &stats_.counter("ecc_corrected");
+    eccDetected_ = &stats_.counter("ecc_detected");
+    invalidationWritebacks_ =
+        &stats_.counter("invalidation_writebacks");
 }
 
 MemAccess
@@ -41,7 +63,7 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
     acc.fault = checkAccess(ptr, kind, size);
     if (acc.fault != Fault::None) {
         acc.completeCycle = now;
-        stats_.counter("access_faults")++;
+        (*accessFaults_)++;
         return acc;
     }
 
@@ -53,7 +75,7 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
     const uint64_t start = std::max(now, bankBusyUntil_[bank]);
     if (start > now) {
         const uint64_t wait = start - now;
-        stats_.counter("bank_conflict_stalls") += wait;
+        (*bankConflictStalls_) += wait;
         conflictWait_->sample(wait);
         bankConflictWait_[bank]->sample(wait);
         GP_TRACE(Cache, now, bank, "conflict",
@@ -64,8 +86,10 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
     bankBusyUntil_[bank] = start + 1;
     uint64_t t = start + config_.timing.cacheHit;
 
-    if (cache_.probe(vaddr)) {
-        cache_.access(vaddr, is_write);
+    // One tag search resolves the hit case (probe+update combined);
+    // the fill install below runs only when the miss path succeeds,
+    // so fault paths leave the array untouched, exactly as before.
+    if (cache_.accessHit(vaddr, is_write)) {
         acc.cacheHit = true;
         acc.completeCycle = t;
         // Functional translation (simulator-internal; a real virtual
@@ -75,7 +99,7 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
             sim::panic("cached line for unmapped page at 0x%llx",
                        static_cast<unsigned long long>(vaddr));
         paddr = *pa;
-        stats_.counter("hits")++;
+        (*hits_)++;
         GP_TRACE(Cache, now, bank, "hit", "vaddr=0x%llx",
                  static_cast<unsigned long long>(vaddr));
         return acc;
@@ -98,7 +122,7 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
             if (sim::FaultInjector::armed() &&
                 sim::FaultInjector::instance().fire(
                     sim::FaultSite::PtWalkTransient)) {
-                stats_.counter("walk_transients")++;
+                (*walkTransients_)++;
                 GP_TRACE(TLB, now, bank, "walk-transient",
                          "vpn=0x%llx attempt=%u",
                          static_cast<unsigned long long>(vpn),
@@ -111,7 +135,7 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
         if (!walked) {
             acc.fault = Fault::MemoryIntegrity;
             acc.completeCycle = t;
-            stats_.counter("walk_retry_exhausted")++;
+            (*walkRetryExhausted_)++;
             GP_TRACE(Fault, now, bank, "walk-retry-exhausted",
                      "vaddr=0x%llx vpn=0x%llx",
                      static_cast<unsigned long long>(vaddr),
@@ -122,7 +146,7 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
         if (!pa) {
             acc.fault = Fault::UnmappedAddress;
             acc.completeCycle = t;
-            stats_.counter("unmapped_faults")++;
+            (*unmappedFaults_)++;
             GP_TRACE(Fault, now, bank, "unmapped-address",
                      "vaddr=0x%llx vpn=0x%llx",
                      static_cast<unsigned long long>(vaddr),
@@ -146,7 +170,7 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
     const CacheResult cr = cache_.access(vaddr, is_write);
     const uint64_t ext_start = std::max(t, extBusyUntil_);
     if (ext_start > t)
-        stats_.counter("ext_port_stalls") += ext_start - t;
+        (*extPortStalls_) += ext_start - t;
     uint64_t busy = config_.timing.extMemAccess;
     if (config_.ecc != EccMode::None) {
         // Check/correct logic sits on the external interface: one
@@ -156,15 +180,20 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
     if (cr.writeback) {
         busy += config_.timing.writeback;
         (*writebacks_)++;
-        GP_TRACE(Cache, now, bank, "writeback", "victim_line=0x%llx",
-                 static_cast<unsigned long long>(cr.victimLineAddr));
+        // Attribute the writeback to the victim's address space (the
+        // guarded configuration always runs ASID 0, but the shared
+        // datapath must not pin the victim to the accessor's space).
+        GP_TRACE(Cache, now, bank, "writeback",
+                 "victim_line=0x%llx victim_asid=%u",
+                 static_cast<unsigned long long>(cr.victimLineAddr),
+                 unsigned(cr.victimAsid));
     }
     t = ext_start + busy;
     extBusyUntil_ = t;
 
     acc.cacheHit = false;
     acc.completeCycle = t;
-    stats_.counter("misses")++;
+    (*misses_)++;
     missLatency_->sample(t - now);
     GP_TRACE(Cache, now, bank, "miss", "vaddr=0x%llx latency=%llu",
              static_cast<unsigned long long>(vaddr),
@@ -180,7 +209,7 @@ MemorySystem::checkedRead(uint64_t paddr, MemAccess &acc)
 
     const CheckedWord cw = phys_.readWordChecked(paddr);
     if (cw.status == EccStatus::Corrected) {
-        stats_.counter("ecc_corrected")++;
+        (*eccCorrected_)++;
         GP_TRACE(Fault, acc.startCycle, 0, "ecc-corrected",
                  "paddr=0x%llx",
                  static_cast<unsigned long long>(paddr));
@@ -188,7 +217,7 @@ MemorySystem::checkedRead(uint64_t paddr, MemAccess &acc)
         // Uncorrectable: the word must not be consumed. Surface as a
         // memory-integrity machine fault.
         acc.fault = Fault::MemoryIntegrity;
-        stats_.counter("ecc_detected")++;
+        (*eccDetected_)++;
         GP_TRACE(Fault, acc.startCycle, 0, "ecc-detected",
                  "paddr=0x%llx",
                  static_cast<unsigned long long>(paddr));
@@ -217,7 +246,7 @@ MemorySystem::load(Word ptr, unsigned size, uint64_t now)
     }
     if (acc.fault != Fault::None)
         return acc;
-    stats_.counter("loads")++;
+    (*loads_)++;
     return acc;
 }
 
@@ -233,7 +262,7 @@ MemorySystem::store(Word ptr, Word value, unsigned size, uint64_t now)
         phys_.writeWord(paddr, value);
     else
         phys_.writeBytes(paddr, size, value.bits());
-    stats_.counter("stores")++;
+    (*stores_)++;
     return acc;
 }
 
@@ -247,20 +276,37 @@ MemorySystem::fetch(Word ip, uint64_t now)
     acc.data = checkedRead(paddr, acc);
     if (acc.fault != Fault::None)
         return acc;
-    stats_.counter("fetches")++;
+    (*fetches_)++;
     return acc;
 }
 
 void
-MemorySystem::unmapRange(uint64_t base, uint64_t bytes)
+MemorySystem::unmapRange(uint64_t base, uint64_t bytes, uint64_t now)
 {
     const uint64_t page = pageTable_.pageBytes();
     const uint64_t first = base & ~(page - 1);
+    unsigned dirty_total = 0;
     for (uint64_t va = first; va < base + bytes; va += page) {
         const uint64_t vpn = pageTable_.vpn(va);
         pageTable_.unmap(vpn);
         tlb_.invalidate(vpn);
-        cache_.invalidatePage(va, pageTable_.pageShift());
+        const PageInvalidation inv =
+            cache_.invalidatePage(va, pageTable_.pageShift());
+        dirty_total += inv.writebacks;
+    }
+    if (dirty_total > 0) {
+        // The revoked pages' dirty victims go out over the single
+        // external interface, exactly like miss-path writebacks: they
+        // occupy the port back-to-back from the issue cycle. Dropping
+        // them instead would lose the revoked segment's latest stores,
+        // which a reinstated (relocated) segment must observe.
+        (*invalidationWritebacks_) += dirty_total;
+        (*writebacks_) += dirty_total;
+        const uint64_t start = std::max(now, extBusyUntil_);
+        extBusyUntil_ =
+            start + uint64_t(dirty_total) * config_.timing.writeback;
+        GP_TRACE(Cache, now, 0, "unmap_writeback", "dirty_lines=%u",
+                 dirty_total);
     }
 }
 

@@ -109,10 +109,14 @@ class MemorySystem : public MemoryPort
     /**
      * Revoke or relocate a segment by unmapping its pages: removes
      * translations, blocks demand re-allocation, invalidates TLB
-     * entries and flushes resident cache lines (§4.3). Cached dirty
-     * data in the revoked range is discarded.
+     * entries and flushes resident cache lines (§4.3). Dirty lines in
+     * the revoked range are written back over the external interface
+     * (charged timing.writeback each, occupying the port from @p now)
+     * before their translation disappears — never silently discarded,
+     * so a reinstated segment observes its latest stores.
+     * @param now cycle the revocation is issued (port occupancy).
      */
-    void unmapRange(uint64_t base, uint64_t bytes);
+    void unmapRange(uint64_t base, uint64_t bytes, uint64_t now = 0);
 
     /** Re-enable a previously unmapped range (relocation complete). */
     void mapRange(uint64_t base, uint64_t bytes);
@@ -193,11 +197,26 @@ class MemorySystem : public MemoryPort
     sim::StatGroup stats_{"memsys"};
 
     // Cached stat handles (stable for the life of stats_), so the
-    // per-access hot path pays an increment, not a map lookup.
+    // per-access hot path pays an increment, not a map lookup
+    // (docs/OBSERVABILITY.md: never counter("...") per event).
     sim::Histogram *missLatency_ = nullptr;
     sim::Histogram *conflictWait_ = nullptr;
     std::vector<sim::Histogram *> bankConflictWait_; //!< per bank
     sim::Counter *writebacks_ = nullptr;
+    sim::Counter *hits_ = nullptr;
+    sim::Counter *misses_ = nullptr;
+    sim::Counter *loads_ = nullptr;
+    sim::Counter *stores_ = nullptr;
+    sim::Counter *fetches_ = nullptr;
+    sim::Counter *accessFaults_ = nullptr;
+    sim::Counter *bankConflictStalls_ = nullptr;
+    sim::Counter *extPortStalls_ = nullptr;
+    sim::Counter *unmappedFaults_ = nullptr;
+    sim::Counter *walkTransients_ = nullptr;
+    sim::Counter *walkRetryExhausted_ = nullptr;
+    sim::Counter *eccCorrected_ = nullptr;
+    sim::Counter *eccDetected_ = nullptr;
+    sim::Counter *invalidationWritebacks_ = nullptr;
 };
 
 } // namespace gp::mem

@@ -9,6 +9,8 @@ PageTable::PageTable(uint64_t page_bytes)
     if (page_bytes == 0 || (page_bytes & (page_bytes - 1)) != 0)
         sim::fatal("page size must be a power of two");
     pageShift_ = static_cast<unsigned>(__builtin_ctzll(page_bytes));
+    pagesMapped_ = &stats_.counter("pages_mapped");
+    pagesUnmapped_ = &stats_.counter("pages_unmapped");
 }
 
 uint64_t
@@ -28,7 +30,7 @@ PageTable::map(uint64_t vpn)
         pfn = nextFrame_++;
     }
     table_.emplace(vpn, pfn);
-    stats_.counter("pages_mapped")++;
+    (*pagesMapped_)++;
     return pfn;
 }
 
@@ -37,14 +39,18 @@ PageTable::mapTo(uint64_t vpn, uint64_t pfn)
 {
     blocked_.erase(vpn);
     table_[vpn] = pfn;
-    stats_.counter("pages_mapped")++;
+    // The alias may shadow the memoised frame; evict the slot.
+    memo_[vpn & (kMemoEntries - 1)].vpn = kNoMru;
+    (*pagesMapped_)++;
 }
 
 bool
 PageTable::unmap(uint64_t vpn)
 {
-    stats_.counter("pages_unmapped")++;
+    (*pagesUnmapped_)++;
     blocked_.insert(vpn);
+    // Drop the memo slot before the translation goes.
+    memo_[vpn & (kMemoEntries - 1)].vpn = kNoMru;
     auto it = table_.find(vpn);
     if (it == table_.end())
         return false;
@@ -66,12 +72,20 @@ std::optional<uint64_t>
 PageTable::translateAddr(uint64_t vaddr)
 {
     const uint64_t page = vpn(vaddr);
+    // Direct-mapped memo: a positive translation can only change via
+    // unmap()/mapTo(), both of which evict the affected slot, so a
+    // match is always the same answer the map lookup would give.
+    MemoEntry &slot = memo_[page & (kMemoEntries - 1)];
+    if (slot.vpn == page)
+        return (slot.pfn << pageShift_) | (vaddr & (pageBytes() - 1));
     auto pfn = translate(page);
     if (!pfn) {
         if (!allocateOnTouch_ || blocked_.count(page))
             return std::nullopt;
         pfn = map(page);
     }
+    slot.vpn = page;
+    slot.pfn = *pfn;
     return (*pfn << pageShift_) | (vaddr & (pageBytes() - 1));
 }
 

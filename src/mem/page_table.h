@@ -70,14 +70,41 @@ class PageTable
     sim::StatGroup &stats() { return stats_; }
 
   private:
+    /// Sentinel VPN that can never match (addresses are 54-bit).
+    static constexpr uint64_t kNoMru = ~uint64_t(0);
+
+    /// Direct-mapped translation-memo size; must be a power of two.
+    /// Sized so that one hot page per hardware thread slot (16) plus
+    /// code pages fits without conflict in the common case.
+    static constexpr size_t kMemoEntries = 64;
+
+    /// One slot of the translateAddr() memo. Purely a host-speed
+    /// cache: the timed hit path performs a functional translation
+    /// per access, and the working set of pages is tiny. A positive
+    /// translation can only change via unmap()/mapTo(), which evict
+    /// the affected slot, so a memo hit is always identical to the
+    /// map lookup.
+    struct MemoEntry
+    {
+        uint64_t vpn = kNoMru;
+        uint64_t pfn = 0;
+    };
+
     unsigned pageShift_;
     bool allocateOnTouch_ = true;
     uint64_t nextFrame_ = 0;
+    MemoEntry memo_[kMemoEntries];
     std::unordered_map<uint64_t, uint64_t> table_;
     /// Frames of unmapped pages, restored on re-map (reinstatement).
     std::unordered_map<uint64_t, uint64_t> suspended_;
     std::unordered_set<uint64_t> blocked_;
     sim::StatGroup stats_{"page_table"};
+
+    // Cached stat handles: map() runs on the demand-allocation path
+    // under translateAddr(), so it must not pay a string-keyed
+    // lookup per event (docs/OBSERVABILITY.md).
+    sim::Counter *pagesMapped_ = nullptr;
+    sim::Counter *pagesUnmapped_ = nullptr;
 };
 
 } // namespace gp::mem

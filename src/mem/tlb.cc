@@ -10,6 +10,15 @@ Tlb::Tlb(size_t entries) : capacity_(entries)
 {
     if (entries == 0)
         sim::fatal("TLB capacity must be nonzero");
+    hits_ = &stats_.counter("hits");
+    misses_ = &stats_.counter("misses");
+    evictions_ = &stats_.counter("evictions");
+    invalidations_ = &stats_.counter("invalidations");
+    injectedCorruptions_ = &stats_.counter("injected_corruptions");
+    injectedInvalidations_ = &stats_.counter("injected_invalidations");
+    fullFlushes_ = &stats_.counter("full_flushes");
+    asidFlushes_ = &stats_.counter("asid_flushes");
+    entriesFlushed_ = &stats_.counter("entries_flushed");
 }
 
 std::optional<uint64_t>
@@ -17,10 +26,10 @@ Tlb::lookup(uint64_t vpn, uint16_t asid)
 {
     auto it = map_.find(Key{vpn, asid});
     if (it == map_.end()) {
-        stats_.counter("misses")++;
+        (*misses_)++;
         return std::nullopt;
     }
-    stats_.counter("hits")++;
+    (*hits_)++;
     // Move to MRU position.
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->pfn;
@@ -40,7 +49,7 @@ Tlb::insert(uint64_t vpn, uint64_t pfn, uint16_t asid)
         const Entry &victim = lru_.back();
         map_.erase(victim.key);
         lru_.pop_back();
-        stats_.counter("evictions")++;
+        (*evictions_)++;
     }
     lru_.push_front(Entry{key, pfn});
     map_[key] = lru_.begin();
@@ -54,7 +63,7 @@ Tlb::invalidate(uint64_t vpn, uint16_t asid)
         return;
     lru_.erase(it->second);
     map_.erase(it);
-    stats_.counter("invalidations")++;
+    (*invalidations_)++;
 }
 
 bool
@@ -68,7 +77,7 @@ Tlb::corruptRandom(sim::Rng &rng)
     // bits so the corrupted translation stays inside the modelled
     // physical space yet names the wrong frame.
     it->pfn ^= uint64_t(1) << rng.below(20);
-    stats_.counter("injected_corruptions")++;
+    (*injectedCorruptions_)++;
     return true;
 }
 
@@ -81,15 +90,15 @@ Tlb::invalidateRandom(sim::Rng &rng)
     std::advance(it, rng.below(lru_.size()));
     map_.erase(it->key);
     lru_.erase(it);
-    stats_.counter("injected_invalidations")++;
+    (*injectedInvalidations_)++;
     return true;
 }
 
 void
 Tlb::flushAll()
 {
-    stats_.counter("full_flushes")++;
-    stats_.counter("entries_flushed") += map_.size();
+    (*fullFlushes_)++;
+    (*entriesFlushed_) += map_.size();
     lru_.clear();
     map_.clear();
 }
@@ -97,10 +106,10 @@ Tlb::flushAll()
 void
 Tlb::flushAsid(uint16_t asid)
 {
-    stats_.counter("asid_flushes")++;
+    (*asidFlushes_)++;
     for (auto it = lru_.begin(); it != lru_.end();) {
         if (it->key.asid == asid) {
-            stats_.counter("entries_flushed")++;
+            (*entriesFlushed_)++;
             map_.erase(it->key);
             it = lru_.erase(it);
         } else {

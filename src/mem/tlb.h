@@ -107,6 +107,19 @@ class Tlb
     LruList lru_; // front = most recent
     std::unordered_map<Key, LruList::iterator, KeyHash> map_;
     sim::StatGroup stats_{"tlb"};
+
+    // Cached stat handles: lookup/insert/invalidate run on the
+    // memory-system miss path, so they must never pay a string-keyed
+    // map lookup per event (docs/OBSERVABILITY.md).
+    sim::Counter *hits_ = nullptr;
+    sim::Counter *misses_ = nullptr;
+    sim::Counter *evictions_ = nullptr;
+    sim::Counter *invalidations_ = nullptr;
+    sim::Counter *injectedCorruptions_ = nullptr;
+    sim::Counter *injectedInvalidations_ = nullptr;
+    sim::Counter *fullFlushes_ = nullptr;
+    sim::Counter *asidFlushes_ = nullptr;
+    sim::Counter *entriesFlushed_ = nullptr;
 };
 
 } // namespace gp::mem

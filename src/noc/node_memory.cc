@@ -20,6 +20,24 @@ NodeMemory::NodeMemory(unsigned node, Mesh &mesh, GlobalMemory &global,
 {
     if (node >= mesh.nodeCount())
         sim::fatal("node id %u outside the mesh", node);
+    // Cache the stat handles once; access() below runs per memory
+    // reference and must never pay a string-keyed map lookup
+    // (docs/OBSERVABILITY.md).
+    hits_ = &stats_.counter("hits");
+    localMisses_ = &stats_.counter("local_misses");
+    remoteMisses_ = &stats_.counter("remote_misses");
+    remoteLatency_ = &stats_.counter("remote_latency");
+    loads_ = &stats_.counter("loads");
+    stores_ = &stats_.counter("stores");
+    fetches_ = &stats_.counter("fetches");
+    accessFaults_ = &stats_.counter("access_faults");
+    unmappedFaults_ = &stats_.counter("unmapped_faults");
+    staleUnmappedFaults_ = &stats_.counter("stale_unmapped_faults");
+    nocDeliveryFailures_ = &stats_.counter("noc_delivery_failures");
+    nocHangs_ = &stats_.counter("noc_hangs");
+    nocReplyCorruptions_ = &stats_.counter("noc_reply_corruptions");
+    eccCorrected_ = &stats_.counter("ecc_corrected");
+    eccDetected_ = &stats_.counter("ecc_detected");
 }
 
 mem::MemAccess
@@ -35,7 +53,7 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
     acc.fault = checkAccess(ptr, kind, size);
     if (acc.fault != Fault::None) {
         acc.completeCycle = now;
-        stats_.counter("access_faults")++;
+        (*accessFaults_)++;
         return acc;
     }
 
@@ -44,10 +62,12 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
     bool corrupt_reply = false;
     uint64_t t = now + config_.timing.cacheHit;
 
-    if (cache_.probe(vaddr)) {
-        cache_.access(vaddr, is_write);
+    // Combined probe + hit-update: one tag search instead of two,
+    // with zero state change on a miss so fault paths below leave the
+    // cache exactly as a probe would have.
+    if (cache_.accessHit(vaddr, is_write)) {
         acc.cacheHit = true;
-        stats_.counter("hits")++;
+        (*hits_)++;
     } else {
         // Translate (local LTLB; the page table is global).
         const uint64_t vpn = global_.pageTable.vpn(vaddr);
@@ -58,7 +78,7 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
             if (!pa) {
                 acc.fault = Fault::UnmappedAddress;
                 acc.completeCycle = t;
-                stats_.counter("unmapped_faults")++;
+                (*unmappedFaults_)++;
                 return acc;
             }
             tlb_.insert(vpn, *pa >> global_.pageTable.pageShift());
@@ -68,7 +88,7 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
         const unsigned home = homeNode(vaddr);
         if (home == node_) {
             t += config_.timing.extMemAccess;
-            stats_.counter("local_misses")++;
+            (*localMisses_)++;
         } else {
             // Request flit to the home node, memory access there,
             // line-sized reply back — each leg through the link
@@ -86,10 +106,10 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
                 acc.completeCycle = rq.cycle;
                 if (reliable) {
                     acc.fault = Fault::MemoryIntegrity;
-                    stats_.counter("noc_delivery_failures")++;
+                    (*nocDeliveryFailures_)++;
                 } else {
                     acc.hang = true;
-                    stats_.counter("noc_hangs")++;
+                    (*nocHangs_)++;
                 }
                 return acc;
             }
@@ -102,10 +122,10 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
                 acc.completeCycle = rp.cycle;
                 if (reliable) {
                     acc.fault = Fault::MemoryIntegrity;
-                    stats_.counter("noc_delivery_failures")++;
+                    (*nocDeliveryFailures_)++;
                 } else {
                     acc.hang = true;
-                    stats_.counter("noc_hangs")++;
+                    (*nocHangs_)++;
                 }
                 return acc;
             }
@@ -116,8 +136,8 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
                 corrupt_reply = true;
             }
             t = rp.cycle;
-            stats_.counter("remote_misses")++;
-            stats_.counter("remote_latency") += t - now;
+            (*remoteMisses_)++;
+            (*remoteLatency_) += t - now;
         }
     }
 
@@ -131,7 +151,7 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
         // integrity fault on the access.
         acc.fault = Fault::MemoryIntegrity;
         acc.completeCycle = t;
-        stats_.counter("stale_unmapped_faults")++;
+        (*staleUnmappedFaults_)++;
         return acc;
     }
     if (kind == Access::Store) {
@@ -147,11 +167,11 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
             if (cw.status == mem::EccStatus::Detected) {
                 acc.fault = Fault::MemoryIntegrity;
                 acc.completeCycle = t;
-                stats_.counter("ecc_detected")++;
+                (*eccDetected_)++;
                 return acc;
             }
             if (cw.status == mem::EccStatus::Corrected)
-                stats_.counter("ecc_corrected")++;
+                (*eccCorrected_)++;
             acc.data = cw.word;
         } else {
             acc.data =
@@ -173,7 +193,7 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
                                        : acc.data.isPointer();
             acc.data = tag ? Word::fromRawPointerBits(bits)
                            : Word::fromInt(bits);
-            stats_.counter("noc_reply_corruptions")++;
+            (*nocReplyCorruptions_)++;
         }
     }
 
@@ -186,7 +206,7 @@ NodeMemory::load(Word ptr, unsigned size, uint64_t now)
 {
     mem::MemAccess acc = access(ptr, Access::Load, size, now, Word{});
     if (acc.fault == Fault::None)
-        stats_.counter("loads")++;
+        (*loads_)++;
     return acc;
 }
 
@@ -195,7 +215,7 @@ NodeMemory::store(Word ptr, Word value, unsigned size, uint64_t now)
 {
     mem::MemAccess acc = access(ptr, Access::Store, size, now, value);
     if (acc.fault == Fault::None)
-        stats_.counter("stores")++;
+        (*stores_)++;
     return acc;
 }
 
@@ -205,7 +225,7 @@ NodeMemory::fetch(Word ip, uint64_t now)
     mem::MemAccess acc =
         access(ip, Access::InstFetch, 8, now, Word{});
     if (acc.fault == Fault::None)
-        stats_.counter("fetches")++;
+        (*fetches_)++;
     return acc;
 }
 

@@ -129,6 +129,26 @@ class NodeMemory : public mem::MemoryPort
     mem::Tlb tlb_;
     Retransmitter retrans_;
     sim::StatGroup stats_;
+
+    // Cached stat handles (stable for the life of stats_): access()
+    // is the per-reference hot path of every multicomputer run, so it
+    // pays plain increments, never string-keyed map lookups
+    // (docs/OBSERVABILITY.md).
+    sim::Counter *hits_ = nullptr;
+    sim::Counter *localMisses_ = nullptr;
+    sim::Counter *remoteMisses_ = nullptr;
+    sim::Counter *remoteLatency_ = nullptr;
+    sim::Counter *loads_ = nullptr;
+    sim::Counter *stores_ = nullptr;
+    sim::Counter *fetches_ = nullptr;
+    sim::Counter *accessFaults_ = nullptr;
+    sim::Counter *unmappedFaults_ = nullptr;
+    sim::Counter *staleUnmappedFaults_ = nullptr;
+    sim::Counter *nocDeliveryFailures_ = nullptr;
+    sim::Counter *nocHangs_ = nullptr;
+    sim::Counter *nocReplyCorruptions_ = nullptr;
+    sim::Counter *eccCorrected_ = nullptr;
+    sim::Counter *eccDetected_ = nullptr;
 };
 
 } // namespace gp::noc

@@ -14,6 +14,17 @@ Retransmitter::Retransmitter(Mesh &mesh, const RetransConfig &config,
                              const std::string &statName)
     : mesh_(mesh), cfg_(config), stats_(statName)
 {
+    // Cache the stat handles once; transfer() runs under every NoC
+    // memory reference (docs/OBSERVABILITY.md).
+    statRawDrops_ = &stats_.counter("raw_drops");
+    statRawCorruptions_ = &stats_.counter("raw_corruptions");
+    statRawDuplicates_ = &stats_.counter("raw_duplicates");
+    statRetransmissions_ = &stats_.counter("retransmissions");
+    statCrcDiscards_ = &stats_.counter("crc_discards");
+    statDupSuppressed_ = &stats_.counter("duplicates_suppressed");
+    statAcks_ = &stats_.counter("acks");
+    statAckLosses_ = &stats_.counter("ack_losses");
+    statAbandoned_ = &stats_.counter("abandoned");
 }
 
 uint64_t
@@ -50,7 +61,7 @@ Retransmitter::rawTransfer(unsigned from, unsigned to, uint64_t now,
 
     if (inj.fire(FaultSite::NocDrop)) {
         // The message vanishes; no protocol exists to notice.
-        stats_.counter("raw_drops")++;
+        (*statRawDrops_)++;
         GP_TRACE(NoC, now, from, "drop", "dst=%u flits=%u", to,
                  flits);
         return Delivery{false, false, now, 1};
@@ -60,13 +71,13 @@ Retransmitter::rawTransfer(unsigned from, unsigned to, uint64_t now,
     d.delivered = true;
     d.corrupted = inj.fire(FaultSite::NocCorrupt);
     if (d.corrupted) {
-        stats_.counter("raw_corruptions")++;
+        (*statRawCorruptions_)++;
         GP_TRACE(NoC, now, from, "corrupt", "dst=%u", to);
     }
 
     if (inj.fire(FaultSite::NocDuplicate)) {
         // A second copy traverses (and occupies) the same route.
-        stats_.counter("raw_duplicates")++;
+        (*statRawDuplicates_)++;
         mesh_.send(from, to, now, flits);
     }
 
@@ -98,7 +109,7 @@ Retransmitter::reliableTransfer(unsigned from, unsigned to,
         // corruption (the receiver discards the mangled copy).
         if (FaultInjector::armed() && inj.fire(FaultSite::NocDrop)) {
             retransmissions_++;
-            stats_.counter("retransmissions")++;
+            (*statRetransmissions_)++;
             GP_TRACE(NoC, attemptStart, from, "retry-drop",
                      "dst=%u attempt=%u", to, attempt);
             t = attemptStart + timeoutFor(attempt - 1);
@@ -108,8 +119,8 @@ Retransmitter::reliableTransfer(unsigned from, unsigned to,
             inj.fire(FaultSite::NocCorrupt)) {
             crcDiscards_++;
             retransmissions_++;
-            stats_.counter("crc_discards")++;
-            stats_.counter("retransmissions")++;
+            (*statCrcDiscards_)++;
+            (*statRetransmissions_)++;
             GP_TRACE(NoC, attemptStart, from, "retry-crc",
                      "dst=%u attempt=%u", to, attempt);
             t = attemptStart + timeoutFor(attempt - 1);
@@ -123,12 +134,12 @@ Retransmitter::reliableTransfer(unsigned from, unsigned to,
         if (FaultInjector::armed() &&
             inj.fire(FaultSite::NocDuplicate)) {
             dupSuppressed_++;
-            stats_.counter("duplicates_suppressed")++;
+            (*statDupSuppressed_)++;
             mesh_.send(from, to, attemptStart, flits);
         }
 
         // Positive ack back to the sender, on the same mesh.
-        stats_.counter("acks")++;
+        (*statAcks_)++;
         mesh_.send(to, from, dataArrive, cfg_.ackFlits);
 
         // A lost/mangled ack forces one more data round; the
@@ -138,9 +149,9 @@ Retransmitter::reliableTransfer(unsigned from, unsigned to,
              inj.fire(FaultSite::NocCorrupt))) {
             retransmissions_++;
             dupSuppressed_++;
-            stats_.counter("ack_losses")++;
-            stats_.counter("retransmissions")++;
-            stats_.counter("duplicates_suppressed")++;
+            (*statAckLosses_)++;
+            (*statRetransmissions_)++;
+            (*statDupSuppressed_)++;
             GP_TRACE(NoC, attemptStart, from, "retry-ack",
                      "dst=%u attempt=%u", to, attempt);
             t = attemptStart + timeoutFor(attempt - 1);
@@ -153,7 +164,7 @@ Retransmitter::reliableTransfer(unsigned from, unsigned to,
     // Retry budget exhausted: a *detected* delivery failure — the
     // caller surfaces it as a memory-integrity fault, never silent.
     abandoned_++;
-    stats_.counter("abandoned")++;
+    (*statAbandoned_)++;
     GP_TRACE(NoC, now, from, "abandoned", "dst=%u attempts=%u", to,
              cfg_.maxAttempts);
     return Delivery{false, false, t, cfg_.maxAttempts};

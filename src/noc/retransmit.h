@@ -118,6 +118,19 @@ class Retransmitter
     uint64_t crcDiscards_ = 0;
     uint64_t abandoned_ = 0;
     sim::StatGroup stats_;
+
+    // Cached stat handles: transfer() sits under every NoC memory
+    // reference, so the protocol paths pay plain increments, never
+    // string-keyed map lookups (docs/OBSERVABILITY.md).
+    sim::Counter *statRawDrops_ = nullptr;
+    sim::Counter *statRawCorruptions_ = nullptr;
+    sim::Counter *statRawDuplicates_ = nullptr;
+    sim::Counter *statRetransmissions_ = nullptr;
+    sim::Counter *statCrcDiscards_ = nullptr;
+    sim::Counter *statDupSuppressed_ = nullptr;
+    sim::Counter *statAcks_ = nullptr;
+    sim::Counter *statAckLosses_ = nullptr;
+    sim::Counter *statAbandoned_ = nullptr;
 };
 
 } // namespace gp::noc

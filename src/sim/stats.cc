@@ -15,23 +15,6 @@ Histogram::Histogram(size_t bucket_count, uint64_t max)
 }
 
 void
-Histogram::sample(uint64_t value)
-{
-    const size_t n = buckets_.size() - 1;
-    size_t idx;
-    if (value >= range_) {
-        idx = n; // overflow bucket
-    } else {
-        idx = static_cast<size_t>((value * n) / range_);
-    }
-    buckets_[idx]++;
-    count_++;
-    sum_ += value;
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-}
-
-void
 Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);

@@ -54,8 +54,23 @@ class Histogram
      */
     Histogram(size_t bucket_count = 16, uint64_t max = 16);
 
-    /** Record one sample. */
-    void sample(uint64_t value);
+    /** Record one sample. Inline: histogram sampling sits on
+     * per-event hot paths (bank-conflict waits, miss latencies), so
+     * it must not cost a function call per event. */
+    void
+    sample(uint64_t value)
+    {
+        const size_t n = buckets_.size() - 1;
+        const size_t idx =
+            value >= range_
+                ? n // overflow bucket
+                : static_cast<size_t>((value * n) / range_);
+        buckets_[idx]++;
+        count_++;
+        sum_ += value;
+        min_ = value < min_ ? value : min_;
+        max_ = value > max_ ? value : max_;
+    }
 
     /** Discard all samples. */
     void reset();

@@ -186,6 +186,54 @@ TEST(MemorySystem, UnmapInvalidatesCachedLines)
         << "revocation reaches cached data";
 }
 
+TEST(MemorySystem, UnmapRangeWritesBackDirtyLines)
+{
+    // Regression: invalidatePage used to drop dirty lines on the
+    // floor — the unmap path discarded the writeback count, so
+    // revocation of a written page silently lost the data-movement
+    // accounting. The writebacks must surface in the stats.
+    MemorySystem m(smallConfig());
+    Word p = rw(12, 0x10000);
+    m.store(p, Word::fromInt(42), 8); // line now dirty in-cache
+    EXPECT_EQ(m.stats().get("invalidation_writebacks"), 0u);
+    m.unmapRange(0x10000, 0x1000);
+    EXPECT_EQ(m.stats().get("invalidation_writebacks"), 1u)
+        << "dirty lines must be written back, not dropped";
+    EXPECT_EQ(m.stats().get("writebacks"), 1u)
+        << "counted in the global writeback total too";
+}
+
+TEST(MemorySystem, UnmapRangeChargesWritebackTime)
+{
+    // The writeback is not free: it occupies the external port, so a
+    // miss issued right after the unmap queues behind it. Use a
+    // TLB-warm miss — a cold miss's 20-cycle page walk would hide
+    // the 4-cycle writeback window entirely.
+    MemorySystem m(smallConfig());
+    Word q1 = rw(12, 0x40000);
+    uint64_t t = m.load(q1, 8, 0).completeCycle; // warm q's page
+    Word p = rw(12, 0x10000);
+    t = m.store(p, Word::fromInt(1), 8, t).completeCycle; // dirty
+    m.unmapRange(0x10000, 0x1000, t);
+    Word q2 = rw(12, 0x40040); // same page as q1: TLB hit, cache miss
+    auto acc = m.load(q2, 8, t);
+    // Unblocked: bank(1) + tlb(1) + ext(8) = 10. The unmap writeback
+    // holds the external port for writeback(4) cycles from t, and the
+    // access only reaches the port at t+2, so it waits 2 more.
+    EXPECT_EQ(acc.latency(), 1u + 1 + 8 + 2)
+        << "the unmap writeback must delay the next external access";
+}
+
+TEST(MemorySystem, UnmapRangeCleanPagesChargeNothing)
+{
+    MemorySystem m(smallConfig());
+    Word p = rw(12, 0x10000);
+    m.load(p, 8); // resident but clean
+    m.unmapRange(0x10000, 0x1000);
+    EXPECT_EQ(m.stats().get("invalidation_writebacks"), 0u);
+    EXPECT_EQ(m.stats().get("writebacks"), 0u);
+}
+
 TEST(MemorySystem, PeekPokeBypassTiming)
 {
     MemorySystem m(smallConfig());

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# lint_hot_counters.sh — flag string-keyed stat lookups on hot paths.
+#
+# Convention (docs/OBSERVABILITY.md, "Stat handles"): per-event code
+# must increment cached Counter*/Histogram* handles registered once at
+# construction. Calling StatGroup::counter("name") or
+# histogram("name") inside a per-event path performs a string-keyed
+# std::map lookup per simulated event, which dominated the simulator
+# profile before the handles existed.
+#
+# This lint greps the hot-path source trees (src/mem, src/isa,
+# src/noc) for direct counter()/histogram() calls. The one blessed
+# pattern — taking the address of the returned reference to register a
+# handle, e.g. `hits_ = &stats_.counter("hits");` — is excluded, as
+# are comments. Anything else fails the lint: either hoist the call
+# into the constructor as a handle, or (for genuinely cold paths)
+# move the code out of the hot-path trees.
+
+set -u
+cd "$(dirname "$0")/.."
+
+dirs="src/mem src/isa src/noc"
+
+viol=$(grep -rnE '\.(counter|histogram)\(' $dirs \
+           --include='*.cc' --include='*.h' \
+       | grep -vE '&[A-Za-z_][A-Za-z0-9_]*\.(counter|histogram)\(' \
+       | grep -vE ':[0-9]+: *(//|\*|/\*)' || true)
+
+if [ -n "$viol" ]; then
+    echo "lint_hot_counters: string-keyed stat lookup(s) in hot-path sources:" >&2
+    echo "$viol" >&2
+    echo >&2
+    echo "Register a cached handle in the constructor instead:" >&2
+    echo "    hits_ = &stats_.counter(\"hits\");   // once" >&2
+    echo "    (*hits_)++;                          // per event" >&2
+    exit 1
+fi
+echo "lint_hot_counters: OK (no string-keyed stat lookups in $dirs)"

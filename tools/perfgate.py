@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Gate a bench_p1_simspeed --json report against the committed baseline.
+
+Usage:
+    perfgate.py BASELINE.json NEW.json [--warn-band PCT]
+
+The P1 report contains two kinds of tables (see bench_p1_simspeed.cc):
+
+  - Tables whose title contains "deterministic": every cell is a pure
+    function of the simulator (simulated cycles, instruction counts,
+    campaign outcome classes). Any drift from the baseline means a
+    change was NOT observationally invisible — perfgate HARD-FAILS
+    (exit 1) and prints each differing cell. An intentional behaviour
+    change must re-bless the baseline in the same commit
+    (bench/BENCH_PERF.json), which makes the change reviewable.
+
+  - Tables whose title contains "host-dependent": wall times and
+    derived rates. Machines differ, so these are WARN-ONLY: cells that
+    regress by more than --warn-band percent (default 25) are printed
+    as warnings, but never fail the gate. The committed baseline
+    documents the reference machine's numbers.
+
+Exit status: 0 = gate passed (warnings allowed), 1 = deterministic
+drift, 2 = bad input (missing file, invalid JSON, missing table).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def die(message):
+    print(f"perfgate: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        die(f"cannot read {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        die(f"{path} is not valid JSON (line {e.lineno}: {e.msg})")
+    if not isinstance(doc, dict) or "tables" not in doc:
+        die(f"{path} is not a bench --json report")
+    return doc
+
+
+def tables_by_title(doc):
+    return {t.get("title", "?"): t for t in doc.get("tables", [])}
+
+
+def rows_by_key(table):
+    """Index rows by their first column (the arm name)."""
+    out = {}
+    for row in table.get("rows", []):
+        out[row[0] if row else "?"] = row
+    return out
+
+
+def parse_number(cell):
+    """First numeric token in a cell, or None ("3.27", "12.5 runs/s")."""
+    m = re.match(r"\s*([-+]?\d+(?:\.\d+)?)", cell)
+    return float(m.group(1)) if m else None
+
+
+def gate_deterministic(title, base, new):
+    """Hard gate: every cell must match exactly. Returns #violations."""
+    header = base.get("header", [])
+    base_rows, new_rows = rows_by_key(base), rows_by_key(new)
+    bad = 0
+    for key in sorted(set(base_rows) | set(new_rows)):
+        if key not in base_rows or key not in new_rows:
+            print(f"FAIL {title} :: {key} "
+                  f"[row {'added' if key not in base_rows else 'removed'}]")
+            bad += 1
+            continue
+        b_row, n_row = base_rows[key], new_rows[key]
+        for c in range(max(len(b_row), len(n_row))):
+            b = b_row[c] if c < len(b_row) else ""
+            n = n_row[c] if c < len(n_row) else ""
+            if b != n:
+                col = header[c] if c < len(header) else f"col{c}"
+                print(f"FAIL {title} :: {key} :: {col} {b} -> {n}")
+                bad += 1
+    return bad
+
+
+def gate_host(title, base, new, warn_band):
+    """Warn-only: flag rate cells that regressed beyond the band."""
+    header = base.get("header", [])
+    base_rows, new_rows = rows_by_key(base), rows_by_key(new)
+    warned = 0
+    for key in sorted(set(base_rows) & set(new_rows)):
+        b_row, n_row = base_rows[key], new_rows[key]
+        for c in range(1, min(len(b_row), len(n_row))):
+            b, n = parse_number(b_row[c]), parse_number(n_row[c])
+            if b is None or n is None or b == 0:
+                continue
+            col = header[c] if c < len(header) else f"col{c}"
+            # "wall ms" regresses upward; rates regress downward.
+            going_up_is_bad = "ms" in col or "wall" in col
+            rel = 100.0 * (n - b) / b
+            regressed = rel > warn_band if going_up_is_bad \
+                else rel < -warn_band
+            if regressed:
+                print(f"WARN {title} :: {key} :: {col} "
+                      f"{b_row[c].strip()} -> {n_row[c].strip()} "
+                      f"({rel:+.1f}%)")
+                warned += 1
+    return warned
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="gate bench_p1_simspeed --json output against the "
+                    "committed bench/BENCH_PERF.json baseline")
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--warn-band", type=float, default=25.0,
+                    help="host-speed warn threshold in percent "
+                         "(default 25; never fails the gate)")
+    args = ap.parse_args()
+
+    base_tables = tables_by_title(load(args.baseline))
+    new_tables = tables_by_title(load(args.new))
+
+    failures = warnings = 0
+    saw_deterministic = False
+    for title in sorted(set(base_tables) | set(new_tables)):
+        if title not in base_tables or title not in new_tables:
+            print(f"FAIL table {'added' if title not in base_tables else 'removed'}: {title}")
+            failures += 1
+            continue
+        if "deterministic" in title:
+            saw_deterministic = True
+            failures += gate_deterministic(
+                title, base_tables[title], new_tables[title])
+        elif "host-dependent" in title:
+            warnings += gate_host(title, base_tables[title],
+                                  new_tables[title], args.warn_band)
+    if not saw_deterministic:
+        die("no deterministic table found; is this a P1 report?")
+
+    if failures:
+        print(f"perfgate: FAILED — {failures} deterministic cell(s) "
+              "drifted. A perf change must not change simulated "
+              "behaviour; if the change is intentional, re-bless "
+              "bench/BENCH_PERF.json in the same commit.")
+        return 1
+    print(f"perfgate: OK (deterministic signature matches; "
+          f"{warnings} host-speed warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,13 @@
  * a plain call; trap-based domain crossings cost tens to hundreds.
  */
 
+#include <fstream>
 #include <string>
 
 #include "baselines/runner.h"
 #include "bench_util.h"
 #include "sim/log.h"
+#include "sim/profile.h"
 #include "os/kernel.h"
 
 namespace {
@@ -166,5 +168,77 @@ main(int argc, char **argv)
     std::printf("\nloop overhead: %.1f cycles/iteration\n", loop);
     std::printf("Claim under test: protected entry ~= plain call; "
                 "kernel-mediated crossing is 1-2 orders costlier.\n");
+
+    // Profiled mirror: rerun the working-subsystem crossing under
+    // the cycle-attribution profiler with call-gate stacks on, so
+    // the caller->subsystem crossings show up as per-domain cost and
+    // as collapsed stacks (gpprof.py --flamegraph renders them).
+    // A fresh kernel is built AFTER arm() because arm() clears
+    // registered domain/symbol names.
+    sim::ProfileConfig pcfg;
+    pcfg.pc = pcfg.domain = pcfg.stacks = true;
+    os::KernelConfig kcfg;
+    sim::Profiler::instance().arm(
+        kcfg.machine.clusters,
+        kcfg.machine.clusters * kcfg.machine.threadsPerCluster, pcfg);
+    {
+        os::Kernel pk(kcfg);
+        auto pdata = pk.segments().allocate(4096, Perm::ReadWrite);
+        auto psub = pk.buildSubsystem(R"(
+            getip r2
+            leabi r2, r2, 0
+            ld r3, 0(r2)
+            ld r4, 0(r3)
+            addi r4, r4, 1
+            st r4, 0(r3)
+            jmp r14
+        )",
+                                      {pdata.value});
+        if (!pdata || !psub)
+            sim::fatal("F3: profiled setup failed");
+        measureCallLoop(pk, psub.value.enterPtr, "profiled");
+    }
+    auto &profiler = sim::Profiler::instance();
+    profiler.disarm();
+
+    gp::bench::Table d("F3p: per-domain cost, profiled "
+                       "caller->subsystem crossing",
+                       {"domain", "cluster-cycles", "instructions",
+                        "enters"});
+    for (const auto &dom : profiler.domains()) {
+        d.addRow({dom.name.empty()
+                      ? gp::bench::fmt("0x%llx",
+                                       (unsigned long long)dom.base)
+                      : dom.name,
+                  gp::bench::fmt("%llu",
+                                 (unsigned long long)dom.cycles),
+                  gp::bench::fmt("%llu", (unsigned long long)dom.insts),
+                  gp::bench::fmt("%llu",
+                                 (unsigned long long)dom.enters)});
+    }
+    d.print();
+
+    size_t crossing_stacks = 0;
+    for (const auto &s : profiler.stacks())
+        if (s.frames.size() > 1 && s.cycles)
+            crossing_stacks++;
+    if (!crossing_stacks)
+        sim::fatal("F3: no multi-frame call-gate stacks recorded — "
+                   "gate-crossing attribution is broken");
+    std::printf("\n%zu multi-frame call-gate stack(s) recorded "
+                "(flamegraph input: --profile-out=FILE + "
+                "tools/gpprof.py --flamegraph).\n",
+                crossing_stacks);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--profile-out=", 0) == 0) {
+            std::ofstream os(arg.substr(14));
+            if (!os)
+                sim::fatal("F3: cannot write %s",
+                           arg.substr(14).c_str());
+            profiler.exportJson(os);
+        }
+    }
     return 0;
 }

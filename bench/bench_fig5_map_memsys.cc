@@ -13,10 +13,12 @@
  * protection-table traffic because none exists.
  */
 
+#include <fstream>
 #include <string>
 
 #include "bench_util.h"
 #include "sim/log.h"
+#include "sim/profile.h"
 #include "isa/assembler.h"
 #include "isa/loader.h"
 #include "isa/machine.h"
@@ -36,13 +38,21 @@ struct RunStats
 };
 
 RunStats
-runThreads(unsigned nthreads, unsigned banks, unsigned issue_width = 1)
+runThreads(unsigned nthreads, unsigned banks, unsigned issue_width = 1,
+           bool profiled = false)
 {
     isa::MachineConfig cfg;
     cfg.mem.cache = gp::bench::mapCache();
     cfg.mem.cache.banks = banks;
     cfg.issueWidth = issue_width;
     isa::Machine machine(cfg);
+
+    if (profiled) {
+        sim::ProfileConfig pcfg;
+        pcfg.pc = pcfg.domain = pcfg.interval = true;
+        sim::Profiler::instance().arm(
+            cfg.clusters, cfg.clusters * cfg.threadsPerCluster, pcfg);
+    }
 
     // Each thread sweeps a ~4KB window of its segment several times,
     // so the 16-thread working set (64KB) fits the 128KB cache and
@@ -86,6 +96,14 @@ runThreads(unsigned nthreads, unsigned banks, unsigned issue_width = 1)
         t->setReg(1, isa::dataSegment(((uint64_t(i) + 1) << 30) +
                                           uint64_t(i) * 4096,
                                       12));
+        if (profiled) {
+            sim::Profiler::instance().registerDomain(
+                prog.base, gp::bench::fmt("t%u", i));
+            for (const auto &[label, index] : assembly.labels)
+                sim::Profiler::instance().registerSymbol(
+                    gp::bench::fmt("t%u:%s", i, label.c_str()),
+                    prog.base + index * 8);
+        }
     }
 
     machine.run(50'000'000);
@@ -155,6 +173,60 @@ main(int argc, char **argv)
         "is the cache port, not the issue logic, is itself\nthe "
         "Fig. 5 design point: banking, not width, feeds a "
         "multithreaded memory-bound machine.)\n");
+
+    // Profiled mirror: the heaviest sweep point (16 threads, 4
+    // banks) rerun under the cycle-attribution profiler. The CPI
+    // stack decomposes the same cycles the table above reports —
+    // and proves the profiler is observationally invisible by
+    // asserting the profiled rerun's signature is bit-identical.
+    const RunStats ref = runThreads(16, 4);
+    const RunStats prof = runThreads(16, 4, 1, /*profiled=*/true);
+    auto &profiler = sim::Profiler::instance();
+    profiler.disarm();
+    if (prof.cycles != ref.cycles ||
+        prof.instructions != ref.instructions)
+        sim::fatal("F5: profiling changed simulated behaviour: "
+                   "%llu/%llu cycles, %llu/%llu instructions",
+                   (unsigned long long)ref.cycles,
+                   (unsigned long long)prof.cycles,
+                   (unsigned long long)ref.instructions,
+                   (unsigned long long)prof.instructions);
+
+    gp::bench::Table c(
+        "F5p: CPI stack, 16 threads x 4 banks (profiled rerun; "
+        "cycles bit-identical to the unprofiled row above)",
+        {"component", "cluster-cycles", "share", "CPI"});
+    uint64_t attributed = 0;
+    for (unsigned i = 0; i < sim::kProfCompCount; ++i) {
+        const uint64_t cc = profiler.comp(sim::ProfComp(i));
+        attributed += cc;
+        if (!cc)
+            continue;
+        c.addRow({std::string(sim::profCompName(sim::ProfComp(i))),
+                  gp::bench::fmt("%llu", (unsigned long long)cc),
+                  gp::bench::fmt("%.1f%%",
+                                 100.0 * double(cc) /
+                                     double(profiler.clusterCycles())),
+                  gp::bench::fmt("%.4f",
+                                 double(cc) /
+                                     double(prof.instructions))});
+    }
+    c.print();
+    if (attributed != profiler.clusterCycles())
+        sim::fatal("F5: CPI components sum to %llu, expected %llu",
+                   (unsigned long long)attributed,
+                   (unsigned long long)profiler.clusterCycles());
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--profile-out=", 0) == 0) {
+            std::ofstream os(arg.substr(14));
+            if (!os)
+                sim::fatal("F5: cannot write %s",
+                           arg.substr(14).c_str());
+            profiler.exportJson(os);
+        }
+    }
 
     std::printf(
         "\nClaims under test (Fig. 5 / SS3): instruction fetch and "

@@ -36,6 +36,7 @@
 #include "isa/machine.h"
 #include "os/kernel.h"
 #include "sim/log.h"
+#include "sim/profile.h"
 
 namespace {
 
@@ -189,6 +190,113 @@ runMicrokernelArm()
     return r;
 }
 
+/**
+ * Arm 4: the profiler contract. Runs the heaviest Fig. 5 point
+ * (16 threads, 4 banks) twice — profiling off, then fully on — and
+ * fatals unless the simulated signature is bit-identical and the
+ * profiled run's CPI components sum exactly to clusters x cycles.
+ * The off run's wall time lands in the host table next to the on
+ * run's, making any host-speed cost of the disarmed hooks (which
+ * must be one static-bool branch per site) visible to perfgate.
+ */
+struct ProfiledArm
+{
+    ArmResult off;
+    ArmResult on;
+};
+
+ProfiledArm
+runFig5ProfiledArm()
+{
+    const std::string src = R"(
+        movi r12, 0
+        movi r13, 8
+        outer:
+        leabi r2, r1, 0
+        movi r10, 0
+        movi r11, 127
+        inner:
+        ld r3, 0(r2)
+        ld r4, 8(r2)
+        ld r5, 16(r2)
+        ld r6, 24(r2)
+        leai r2, r2, 32
+        addi r10, r10, 1
+        bne r10, r11, inner
+        addi r12, r12, 1
+        bne r12, r13, outer
+        halt
+    )";
+    auto assembly = isa::assemble(src);
+    if (!assembly.ok)
+        sim::fatal("P1: %s", assembly.error.c_str());
+
+    auto run_once = [&](bool profiled) {
+        ArmResult r;
+        isa::MachineConfig cfg;
+        cfg.mem.cache = gp::bench::mapCache();
+        cfg.mem.cache.banks = 4;
+        isa::Machine machine(cfg);
+        if (profiled) {
+            sim::ProfileConfig pcfg;
+            pcfg.pc = pcfg.domain = pcfg.interval = pcfg.stacks = true;
+            sim::Profiler::instance().arm(
+                cfg.clusters, cfg.clusters * cfg.threadsPerCluster,
+                pcfg);
+        }
+        for (unsigned i = 0; i < 16; ++i) {
+            const uint64_t code_base =
+                ((uint64_t(i) + 1) << 20) + uint64_t(i) * 128;
+            auto prog = isa::loadProgram(machine.mem(), code_base,
+                                         assembly.words);
+            isa::Thread *t = machine.spawn(prog.execPtr);
+            if (!t)
+                sim::fatal("P1: out of thread slots");
+            t->setReg(1,
+                      isa::dataSegment(((uint64_t(i) + 1) << 30) +
+                                           uint64_t(i) * 4096,
+                                       12));
+        }
+        const auto t0 = Clock::now();
+        machine.run(50'000'000);
+        r.wallSeconds = secondsSince(t0);
+        r.cycles = machine.cycle();
+        r.instructions = machine.stats().get("instructions");
+        if (profiled)
+            sim::Profiler::instance().disarm();
+        return r;
+    };
+
+    ProfiledArm arm;
+    arm.off = run_once(false);
+    arm.on = run_once(true);
+
+    if (arm.off.cycles != arm.on.cycles ||
+        arm.off.instructions != arm.on.instructions)
+        sim::fatal("P1: profiling changed simulated behaviour: "
+                   "%llu/%llu cycles, %llu/%llu instructions",
+                   (unsigned long long)arm.off.cycles,
+                   (unsigned long long)arm.on.cycles,
+                   (unsigned long long)arm.off.instructions,
+                   (unsigned long long)arm.on.instructions);
+
+    const auto &prof = sim::Profiler::instance();
+    uint64_t sum = 0;
+    for (unsigned i = 0; i < sim::kProfCompCount; ++i)
+        sum += prof.comp(sim::ProfComp(i));
+    if (sum != prof.clusterCycles() ||
+        sum != uint64_t(prof.clusters()) * prof.cycles())
+        sim::fatal("P1: CPI components sum to %llu, expected %llu",
+                   (unsigned long long)sum,
+                   (unsigned long long)prof.clusterCycles());
+    if (prof.instructions() != arm.on.instructions)
+        sim::fatal("P1: profiler counted %llu instructions, "
+                   "machine %llu",
+                   (unsigned long long)prof.instructions(),
+                   (unsigned long long)arm.on.instructions);
+    return arm;
+}
+
 /** Arm 3: a small deterministic fault campaign (hardened config). */
 struct CampaignArm
 {
@@ -229,6 +337,7 @@ main(int argc, char **argv)
     const ArmResult fig5 = runFig5Arm();
     const ArmResult mk = runMicrokernelArm();
     const CampaignArm camp = runCampaignArm();
+    const ProfiledArm prof = runFig5ProfiledArm();
 
     // ---- Table 1: deterministic signature (hard CI gate). --------
     // Every cell here is a pure function of the simulator: any drift
@@ -266,6 +375,13 @@ main(int argc, char **argv)
                  fault::Outcome::Sdc),
              (unsigned long long)camp.totals.outcome(
                  fault::Outcome::CrashHang))});
+    det.addRow({"fig5-profiled",
+                gp::bench::fmt("%llu",
+                               (unsigned long long)prof.on.cycles),
+                gp::bench::fmt(
+                    "%llu",
+                    (unsigned long long)prof.on.instructions),
+                "profiled==off; cpi-sum exact"});
     det.print();
 
     // ---- Table 2: host speed (warn-only in CI). ------------------
@@ -282,6 +398,8 @@ main(int argc, char **argv)
     };
     hostRow("fig5-memsys", fig5);
     hostRow("f7-microkernel", mk);
+    hostRow("fig5-prof-off", prof.off);
+    hostRow("fig5-prof-on", prof.on);
     host.addRow({"fault-campaign",
                  gp::bench::fmt("%.1f", camp.wallSeconds * 1e3),
                  gp::bench::fmt("%.1f runs/s",

@@ -1,8 +1,10 @@
 #include "isa/machine.h"
 
 #include "gp/ops.h"
+#include "gp/pointer.h"
 #include "sim/faultinject.h"
 #include "sim/log.h"
+#include "sim/profile.h"
 #include "sim/trace.h"
 
 namespace gp::isa {
@@ -227,6 +229,8 @@ Machine::step()
     // static-bool test when no campaign is armed.
     if (sim::FaultInjector::armed())
         sim::FaultInjector::instance().tick(cycle_);
+    if (sim::Profiler::armed())
+        sim::Profiler::instance().tick(cycle_);
     if ((config_.watchdogCycles != 0 ||
          config_.watchdogQuiescence != 0) &&
         !watchdogTripped_)
@@ -262,6 +266,9 @@ Machine::tripWatchdog(const char *why)
         // Structured conversion of the hang: fault the thread
         // directly, bypassing the software handler — a wedged
         // machine cannot be trusted to run recovery code.
+        GP_TRACE(Fault, cycle_, t.id(), "watchdog-kill",
+                 "t%u ip=0x%llx", t.id(),
+                 static_cast<unsigned long long>(t.ip().addr()));
         t.stallTo(0);
         t.takeFault(Fault::WatchdogTimeout, cycle_);
         faultLog_.push_back(t.faultRecord());
@@ -331,6 +338,13 @@ Machine::stepCluster(unsigned cluster)
             }
             lastIssuedId_[cluster] = t.id();
             issueThread(t);
+            // CPI-stack attribution: the cluster-cycle belongs to its
+            // first issuer (deterministic with issueWidth > 1). After
+            // issueThread so the new instruction's record (and its
+            // protection domain) is already open.
+            if (sim::Profiler::armed() && issued == 0)
+                sim::Profiler::instance().attrIssue(
+                    unsigned(&t - threads_.data()));
             issued++;
         }
     }
@@ -347,6 +361,26 @@ Machine::stepCluster(unsigned cluster)
             (*stalledClusterCycles_)++;
         else
             (*emptyClusterCycles_)++;
+        if (sim::Profiler::armed()) {
+            if (!any_ready) {
+                sim::Profiler::instance().attrEmpty();
+            } else {
+                // Charge the stall to whatever the *blocking* thread
+                // (the Ready thread that will unstall first) is
+                // waiting on. Armed-only second pass over the slots.
+                unsigned blocking = base;
+                uint64_t soonest = UINT64_MAX;
+                for (unsigned s = 0; s < nslots; ++s) {
+                    const Thread &bt = threads_[base + s];
+                    if (bt.state() == ThreadState::Ready &&
+                        bt.stallUntil() < soonest) {
+                        soonest = bt.stallUntil();
+                        blocking = base + s;
+                    }
+                }
+                sim::Profiler::instance().attrStall(blocking, cycle_);
+            }
+        }
     }
 }
 
@@ -384,6 +418,11 @@ Machine::faultThread(Thread &thread, Fault f)
             thread.resumeFromFault();
             thread.stallTo(cycle_ + config_.faultTrapCycles);
             (*faultsRecovered_)++;
+            // The thread's next stall window is handler latency.
+            if (sim::Profiler::armed())
+                sim::Profiler::instance().noteTrap(
+                    unsigned(&thread - threads_.data()), cycle_,
+                    config_.faultTrapCycles);
             break;
         }
     }
@@ -413,6 +452,8 @@ void
 Machine::issueThread(Thread &thread)
 {
     lastIssueCycle_ = cycle_; // progress signal for the watchdog
+    if (sim::Profiler::armed())
+        sim::Profiler::instance().accBegin(sim::ProfComp::IFetch);
     const mem::MemAccess f = port_->portFetch(thread.ip(), cycle_);
     if (f.hang) {
         // The fetch will never complete (lost NoC request with
@@ -420,6 +461,9 @@ Machine::issueThread(Thread &thread)
         // watchdog can reclaim it.
         thread.stallTo(UINT64_MAX);
         (*hungAccesses_)++;
+        if (sim::Profiler::armed())
+            sim::Profiler::instance().noteHang(
+                unsigned(&thread - threads_.data()), cycle_);
         return;
     }
     if (f.fault != Fault::None) {
@@ -456,6 +500,17 @@ Machine::issueThread(Thread &thread)
         (*predecodeMisses_)++;
     }
 
+    if (sim::Profiler::armed()) {
+        // Open the instruction's occupancy record at the issue cycle;
+        // the IP's segment is the thread's protection-domain identity.
+        // The fetch's scratch timeline covers [issue, fetch-complete).
+        const unsigned slot = unsigned(&thread - threads_.data());
+        const gp::PointerView ipv(thread.ip());
+        auto &prof = sim::Profiler::instance();
+        prof.beginInst(slot, cycle_, ip_addr, ipv.segmentBase(),
+                       ipv.segmentLimit());
+        prof.flushAccess(slot, f.completeCycle - cycle_);
+    }
     if (traceHook_)
         traceHook_(thread, *inst, cycle_);
     // Structured twin of the trace hook: same point in the issue path,
@@ -513,10 +568,15 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
             fault_taken = true;
             return;
         }
+        if (sim::Profiler::armed())
+            sim::Profiler::instance().accBegin(sim::ProfComp::DCache);
         const mem::MemAccess acc = port_->portLoad(ptr.value, size, ready_at);
         if (acc.hang) {
             thread.stallTo(UINT64_MAX);
             (*hungAccesses_)++;
+            if (sim::Profiler::armed())
+                sim::Profiler::instance().noteHang(
+                    unsigned(&thread - threads_.data()), cycle_);
             fault_taken = true;
             return;
         }
@@ -527,6 +587,9 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
         }
         thread.setReg(inst.rd, acc.data);
         done = acc.completeCycle;
+        if (sim::Profiler::armed())
+            sim::Profiler::instance().flushAccess(
+                unsigned(&thread - threads_.data()), done - ready_at);
     };
 
     auto do_store = [&](unsigned size) {
@@ -537,11 +600,16 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
             return;
         }
         const Word value = thread.reg(inst.rd);
+        if (sim::Profiler::armed())
+            sim::Profiler::instance().accBegin(sim::ProfComp::DCache);
         const mem::MemAccess acc =
             port_->portStore(ptr.value, value, size, ready_at);
         if (acc.hang) {
             thread.stallTo(UINT64_MAX);
             (*hungAccesses_)++;
+            if (sim::Profiler::armed())
+                sim::Profiler::instance().noteHang(
+                    unsigned(&thread - threads_.data()), cycle_);
             fault_taken = true;
             return;
         }
@@ -551,6 +619,9 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
             return;
         }
         done = acc.completeCycle;
+        if (sim::Profiler::armed())
+            sim::Profiler::instance().flushAccess(
+                unsigned(&thread - threads_.data()), done - ready_at);
     };
 
     switch (inst.op) {
@@ -560,6 +631,10 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
         thread.retire();
         thread.halt();
         readyMayHaveShrunk_ = true;
+        if (sim::Profiler::armed())
+            sim::Profiler::instance().endInst(
+                unsigned(&thread - threads_.data()), ready_at + 1,
+                sim::ProfComp::Compute);
         return;
 
       case Op::ADD:
@@ -707,9 +782,11 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
         }
         // A jump through an enter pointer is a call-gate crossing into
         // another protection domain (§2.1) — count and trace it.
+        bool gate_crossing = false;
         if (auto gate = gp::decode(ra);
             gate && (gate.value.perm() == Perm::EnterUser ||
                      gate.value.perm() == Perm::EnterPrivileged)) {
+            gate_crossing = true;
             (*gateCrossings_)++;
             GP_TRACE(Gate, cycle_, thread.id(), "gate-crossing",
                      "t%u %s entry=0x%llx", thread.id(),
@@ -719,6 +796,11 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
         thread.retire();
         thread.setIp(target.value);
         thread.stallTo(ready_at + 1);
+        if (sim::Profiler::armed())
+            sim::Profiler::instance().endInst(
+                unsigned(&thread - threads_.data()), ready_at + 1,
+                gate_crossing ? sim::ProfComp::Gate
+                              : sim::ProfComp::Compute);
         return;
       }
       case Op::GETIP:
@@ -756,6 +838,15 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
     if (!advanceIp(thread, branch_delta))
         return;
     thread.stallTo(done);
+    if (sim::Profiler::armed()) {
+        // Execute-tail component: pointer-manipulation ops are the
+        // capability check/decode work that actually costs cycles —
+        // the explicit "check" CPI slice. Everything else is compute.
+        sim::Profiler::instance().endInst(
+            unsigned(&thread - threads_.data()), done,
+            instClass(inst.op) == ClassPointer ? sim::ProfComp::Check
+                                               : sim::ProfComp::Compute);
+    }
 }
 
 } // namespace gp::isa

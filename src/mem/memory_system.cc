@@ -4,6 +4,7 @@
 
 #include "sim/faultinject.h"
 #include "sim/log.h"
+#include "sim/profile.h"
 #include "sim/trace.h"
 
 namespace gp::mem {
@@ -85,6 +86,14 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
     }
     bankBusyUntil_[bank] = start + 1;
     uint64_t t = start + config_.timing.cacheHit;
+    // Cycle attribution (gpprof): itemise this access's latency into
+    // the profiler's scratch timeline, in timeline order. Bank-port
+    // queueing and the array access itself keep the access's base
+    // component (I-fetch vs D-cache).
+    if (sim::Profiler::armed()) {
+        sim::Profiler::instance().accBase(start - now);
+        sim::Profiler::instance().accBase(config_.timing.cacheHit);
+    }
 
     // One tag search resolves the hit case (probe+update combined);
     // the fill install below runs only when the miss path succeeds,
@@ -110,6 +119,9 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
     const uint64_t vpn = pageTable_.vpn(vaddr);
     auto pfn = tlb_.lookup(vpn);
     t += config_.timing.tlbLookup;
+    if (sim::Profiler::armed())
+        sim::Profiler::instance().accSeg(sim::ProfComp::TlbWalk,
+                                         config_.timing.tlbLookup);
     if (!pfn) {
         // Page walk, with bounded retry of transient walk failures
         // (injected by the fault campaign). Each attempt costs a
@@ -119,6 +131,9 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
         for (unsigned attempt = 0;
              attempt <= config_.walkRetries; ++attempt) {
             t += config_.timing.ptWalk;
+            if (sim::Profiler::armed())
+                sim::Profiler::instance().accSeg(
+                    sim::ProfComp::TlbWalk, config_.timing.ptWalk);
             if (sim::FaultInjector::armed() &&
                 sim::FaultInjector::instance().fire(
                     sim::FaultSite::PtWalkTransient)) {
@@ -171,14 +186,24 @@ MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
     const uint64_t ext_start = std::max(t, extBusyUntil_);
     if (ext_start > t)
         (*extPortStalls_) += ext_start - t;
+    if (sim::Profiler::armed())
+        sim::Profiler::instance().accBase(ext_start - t);
     uint64_t busy = config_.timing.extMemAccess;
+    if (sim::Profiler::armed())
+        sim::Profiler::instance().accBase(config_.timing.extMemAccess);
     if (config_.ecc != EccMode::None) {
         // Check/correct logic sits on the external interface: one
         // codec pass per filled line.
         busy += config_.eccCycles;
+        if (sim::Profiler::armed())
+            sim::Profiler::instance().accSeg(sim::ProfComp::Ecc,
+                                             config_.eccCycles);
     }
     if (cr.writeback) {
         busy += config_.timing.writeback;
+        if (sim::Profiler::armed())
+            sim::Profiler::instance().accBase(
+                config_.timing.writeback);
         (*writebacks_)++;
         // Attribute the writeback to the victim's address space (the
         // guarded configuration always runs ASID 0, but the shared

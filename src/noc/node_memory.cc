@@ -2,6 +2,7 @@
 
 #include "sim/faultinject.h"
 #include "sim/log.h"
+#include "sim/profile.h"
 
 namespace gp::noc {
 
@@ -61,6 +62,8 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
     const bool is_write = kind == Access::Store;
     bool corrupt_reply = false;
     uint64_t t = now + config_.timing.cacheHit;
+    if (sim::Profiler::armed())
+        sim::Profiler::instance().accBase(config_.timing.cacheHit);
 
     // Combined probe + hit-update: one tag search instead of two,
     // with zero state change on a miss so fault paths below leave the
@@ -72,8 +75,14 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
         // Translate (local LTLB; the page table is global).
         const uint64_t vpn = global_.pageTable.vpn(vaddr);
         t += config_.timing.tlbLookup;
+        if (sim::Profiler::armed())
+            sim::Profiler::instance().accSeg(
+                sim::ProfComp::TlbWalk, config_.timing.tlbLookup);
         if (!tlb_.lookup(vpn)) {
             t += config_.timing.ptWalk;
+            if (sim::Profiler::armed())
+                sim::Profiler::instance().accSeg(
+                    sim::ProfComp::TlbWalk, config_.timing.ptWalk);
             auto pa = global_.pageTable.translateAddr(vaddr);
             if (!pa) {
                 acc.fault = Fault::UnmappedAddress;
@@ -88,6 +97,9 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
         const unsigned home = homeNode(vaddr);
         if (home == node_) {
             t += config_.timing.extMemAccess;
+            if (sim::Profiler::armed())
+                sim::Profiler::instance().accBase(
+                    config_.timing.extMemAccess);
             (*localMisses_)++;
         } else {
             // Request flit to the home node, memory access there,
@@ -97,7 +109,20 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
             const unsigned line_flits = config_.cache.lineBytes / 8;
             const bool reliable = retrans_.config().enabled;
 
+            // Retry timeouts are itemised as Retransmit inside
+            // transfer(); the rest of each leg is mesh flight time
+            // (Noc), recovered as leg-minus-retransmit here.
+            uint64_t mark = 0;
+            if (sim::Profiler::armed())
+                mark = sim::Profiler::instance().accTotal();
             const Delivery rq = retrans_.transfer(node_, home, t, 1);
+            if (sim::Profiler::armed()) {
+                auto &prof = sim::Profiler::instance();
+                const uint64_t retr = prof.accTotal() - mark;
+                const uint64_t leg = rq.cycle - t;
+                prof.accSeg(sim::ProfComp::Noc,
+                            leg > retr ? leg - retr : 0);
+            }
             if (!rq.delivered || (!reliable && rq.corrupted)) {
                 // The request never reaches (or never parses at)
                 // the home node. With the protocol on this is a
@@ -116,8 +141,20 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
 
             const uint64_t served =
                 rq.cycle + config_.timing.extMemAccess;
+            if (sim::Profiler::armed()) {
+                sim::Profiler::instance().accBase(
+                    config_.timing.extMemAccess);
+                mark = sim::Profiler::instance().accTotal();
+            }
             const Delivery rp =
                 retrans_.transfer(home, node_, served, line_flits);
+            if (sim::Profiler::armed()) {
+                auto &prof = sim::Profiler::instance();
+                const uint64_t retr = prof.accTotal() - mark;
+                const uint64_t leg = rp.cycle - served;
+                prof.accSeg(sim::ProfComp::Noc,
+                            leg > retr ? leg - retr : 0);
+            }
             if (!rp.delivered) {
                 acc.completeCycle = rp.cycle;
                 if (reliable) {

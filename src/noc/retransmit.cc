@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/faultinject.h"
+#include "sim/profile.h"
 #include "sim/trace.h"
 
 namespace gp::noc {
@@ -113,6 +114,9 @@ Retransmitter::reliableTransfer(unsigned from, unsigned to,
             GP_TRACE(NoC, attemptStart, from, "retry-drop",
                      "dst=%u attempt=%u", to, attempt);
             t = attemptStart + timeoutFor(attempt - 1);
+            if (sim::Profiler::armed())
+                sim::Profiler::instance().accSeg(
+                    sim::ProfComp::Retransmit, t - attemptStart);
             continue;
         }
         if (FaultInjector::armed() &&
@@ -124,6 +128,9 @@ Retransmitter::reliableTransfer(unsigned from, unsigned to,
             GP_TRACE(NoC, attemptStart, from, "retry-crc",
                      "dst=%u attempt=%u", to, attempt);
             t = attemptStart + timeoutFor(attempt - 1);
+            if (sim::Profiler::armed())
+                sim::Profiler::instance().accSeg(
+                    sim::ProfComp::Retransmit, t - attemptStart);
             continue;
         }
 
@@ -155,6 +162,9 @@ Retransmitter::reliableTransfer(unsigned from, unsigned to,
             GP_TRACE(NoC, attemptStart, from, "retry-ack",
                      "dst=%u attempt=%u", to, attempt);
             t = attemptStart + timeoutFor(attempt - 1);
+            if (sim::Profiler::armed())
+                sim::Profiler::instance().accSeg(
+                    sim::ProfComp::Retransmit, t - attemptStart);
             continue;
         }
 

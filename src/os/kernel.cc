@@ -4,6 +4,7 @@
 #include "gp/pointer.h"
 #include "isa/assembler.h"
 #include "sim/log.h"
+#include "sim/profile.h"
 
 namespace gp::os {
 
@@ -51,8 +52,27 @@ Kernel::loadAssembly(std::string_view source, bool privileged)
         return Result<ProgramImage>::fail(Fault::InvalidInstruction);
     }
     auto image = loadWords(assembly.words, privileged);
-    if (image)
+    if (image) {
         stats_.counter("programs_loaded")++;
+        // Name the new protection domain for the profiler (cold
+        // path: one registration per program load). Assembler labels
+        // at instruction index 0 name the domain after the program's
+        // entry label when one exists.
+        std::string name =
+            "prog" +
+            std::to_string(stats_.counter("programs_loaded").value());
+        for (const auto &[label, index] : assembly.labels) {
+            if (index == 0) {
+                name = label;
+                break;
+            }
+        }
+        sim::Profiler::instance().registerDomain(image.value.base,
+                                                 std::move(name));
+        for (const auto &[label, index] : assembly.labels)
+            sim::Profiler::instance().registerSymbol(
+                label, image.value.base + index * 8);
+    }
     return image;
 }
 
@@ -90,6 +110,13 @@ Kernel::buildSubsystem(std::string_view source,
         return Result<SubsystemImage>::fail(enter.fault);
     sub.enterPtr = enter.value;
     stats_.counter("subsystems_built")++;
+    sim::Profiler::instance().registerDomain(
+        sub.base,
+        "sub" +
+            std::to_string(stats_.counter("subsystems_built").value()));
+    for (const auto &[label, index] : assembly.labels)
+        sim::Profiler::instance().registerSymbol(
+            label, sub.base + (table.size() + index) * 8);
     return Result<SubsystemImage>::ok(sub);
 }
 

@@ -71,10 +71,22 @@ Histogram::percentile(double p) const
         if (cum >= target) {
             if (i == n)
                 return max_; // overflow bucket: best bound is max
-            // Inclusive upper edge of the bucket, clamped to the
-            // observed sample range.
+            // Rank-interpolate within the bucket: the target sample
+            // is the (target - below)-th of buckets_[i] samples
+            // assumed uniform over [low, high). Returning the upper
+            // edge regardless of rank (the old behaviour) inflated
+            // every percentile that landed early in a bucket — p50
+            // of two equal samples came back at the bucket top.
+            const uint64_t below = cum - buckets_[i];
+            const double frac = static_cast<double>(target - 1 - below) /
+                                static_cast<double>(buckets_[i]);
+            const uint64_t low = bucketLow(i);
             const uint64_t high = bucketHigh(i);
-            const uint64_t approx = high == 0 ? 0 : high - 1;
+            const uint64_t approx =
+                low + static_cast<uint64_t>(
+                          frac * static_cast<double>(high - low));
+            // Clamp to the observed sample range so degenerate
+            // distributions (all samples equal) report exactly.
             return std::clamp(approx, minValue(), max_);
         }
     }
@@ -145,8 +157,8 @@ StatGroup::dump(std::ostream &os) const
            << "\n";
         os << name_ << "." << name << ".p50 " << hist.percentile(50.0)
            << "\n";
-        os << name_ << "." << name << ".p99 " << hist.percentile(99.0)
-           << "\n";
+        os << name_ << "." << name << ".p99 " << hist.p99() << "\n";
+        os << name_ << "." << name << ".p999 " << hist.p999() << "\n";
     }
 }
 

@@ -90,6 +90,10 @@ class Histogram
      */
     uint64_t percentile(double p) const;
 
+    /** Tail-latency accessors (ROADMAP item 4 groundwork). */
+    uint64_t p99() const { return percentile(99.0); }
+    uint64_t p999() const { return percentile(99.9); }
+
     /** @return number of samples in bucket i (the last is overflow). */
     uint64_t bucket(size_t i) const { return buckets_.at(i); }
     size_t bucketCount() const { return buckets_.size(); }

@@ -107,7 +107,8 @@ StatRegistry::exportJson(std::ostream &os) const
                << ",\"max\":" << hist.maxValue()
                << ",\"mean\":" << hist.mean()
                << ",\"p50\":" << hist.percentile(50.0)
-               << ",\"p99\":" << hist.percentile(99.0)
+               << ",\"p99\":" << hist.p99()
+               << ",\"p999\":" << hist.p999()
                << ",\"buckets\":[";
             const size_t n = hist.bucketCount() - 1;
             for (size_t i = 0; i < n; ++i) {

@@ -195,13 +195,24 @@ TraceManager::writeJson(const TraceEvent &ev)
         if (!jsonFirst_)
             jsonFile_ << ",";
         jsonFirst_ = false;
+        // A registered custom name (e.g. the protection domain the
+        // thread slot runs) wins over the generic "thread 5"; both
+        // go through jsonEscape so quotes/backslashes in names can
+        // never break the trace file.
+        std::string tname;
+        if (auto it = trackNames_.find(key); it != trackNames_.end()) {
+            tname = it->second;
+        } else {
+            tname = std::string(info.trackKind) + " " +
+                    std::to_string(ev.track);
+        }
         jsonFile_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":"
                   << pid << ",\"tid\":0,\"args\":{\"name\":\""
-                  << info.name << "\"}},"
+                  << jsonEscape(info.name) << "\"}},"
                   << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
                   << pid << ",\"tid\":" << ev.track
-                  << ",\"args\":{\"name\":\"" << info.trackKind << " "
-                  << ev.track << "\"}}";
+                  << ",\"args\":{\"name\":\"" << jsonEscape(tname)
+                  << "\"}}";
     }
 
     if (!jsonFirst_)
@@ -292,9 +303,18 @@ TraceManager::reset()
     ringHead_ = 0;
     ringMask_ = 0;
     ringDumpTo_ = nullptr;
+    trackNames_.clear();
     cycle_ = 0;
     emitted_ = 0;
     recomputeMask();
+}
+
+void
+TraceManager::setTrackName(TraceCat cat, uint32_t track,
+                           std::string name)
+{
+    trackNames_[{static_cast<uint32_t>(cat), track}] =
+        std::move(name);
 }
 
 } // namespace gp::sim

@@ -110,6 +110,15 @@ class TraceManager
     void closeJson();
 
     /**
+     * Give a (category, track) pair a descriptive Perfetto thread
+     * name — e.g. the protection domain a thread slot runs — instead
+     * of the default "thread 3"/"bank 1". Call any time before the
+     * track's first event; names are emitted as thread_name metadata
+     * events and JSON-escaped, so arbitrary strings are safe.
+     */
+    void setTrackName(TraceCat cat, uint32_t track, std::string name);
+
+    /**
      * Arm the flight recorder: keep the last `depth` events matching
      * `mask`, and dump them to `dump_to` (default stderr) when
      * unhandledFault() fires. depth 0 disarms.
@@ -169,6 +178,8 @@ class TraceManager
     bool jsonFirst_ = true;
     /// (cat,track) pairs already given Chrome metadata name events
     std::map<std::pair<uint32_t, uint32_t>, bool> jsonTracksSeen_;
+    /// Custom Perfetto thread names, keyed like jsonTracksSeen_
+    std::map<std::pair<uint32_t, uint32_t>, std::string> trackNames_;
 
     std::vector<TraceEvent> ring_;
     size_t ringDepth_ = 0;

@@ -13,9 +13,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <sstream>
+
 #include "isa/assembler.h"
 #include "isa/loader.h"
 #include "isa/machine.h"
+#include "sim/trace.h"
 
 namespace gp::isa {
 namespace {
@@ -82,6 +86,41 @@ TEST(Watchdog, QuiescenceTripCatchesWedgedThread)
     EXPECT_TRUE(m.watchdogTripped());
     EXPECT_EQ(t->state(), ThreadState::Faulted);
     EXPECT_EQ(t->faultRecord().fault, Fault::WatchdogTimeout);
+}
+
+TEST(Watchdog, TripDumpsFlightRecorderWithTrippingPc)
+{
+    // The trip is where post-mortem context matters most: with a
+    // flight recorder armed, tripWatchdog must dump the last N
+    // events — ending in a watchdog-kill record that names the
+    // stuck thread and the PC it was spinning at.
+    sim::TraceManager::instance().reset();
+    std::ostringstream dump;
+    sim::TraceManager::instance().setFlightRecorder(
+        32, sim::kTraceAllMask, &dump);
+
+    MachineConfig cfg;
+    cfg.watchdogCycles = 2000;
+    Machine m(cfg);
+    LoadedProgram prog = loadSrc(m, "loop: beq r2, r2, loop\n");
+    Thread *t = m.spawn(prog.execPtr);
+    ASSERT_NE(t, nullptr);
+    m.run(100000);
+    ASSERT_TRUE(m.watchdogTripped());
+    sim::TraceManager::instance().reset();
+
+    const std::string text = dump.str();
+    EXPECT_NE(text.find("flight recorder"), std::string::npos);
+    EXPECT_NE(text.find("watchdog"), std::string::npos)
+        << "the trip itself must be the recorder's closing event";
+    EXPECT_NE(text.find("watchdog-kill"), std::string::npos);
+    char pc[32];
+    std::snprintf(pc, sizeof pc, "ip=0x%llx",
+                  (unsigned long long)t->ip().addr());
+    EXPECT_NE(text.find(pc), std::string::npos)
+        << "the kill record names the PC the thread was stuck at";
+    EXPECT_NE(text.find("exec"), std::string::npos)
+        << "the dump keeps the last instructions before the trip";
 }
 
 TEST(Watchdog, CompletingRunIsUntouchedByArmedWatchdog)

@@ -70,6 +70,45 @@ TEST(Histogram, PercentileApproximation)
         << "overflow-bucket percentiles resolve to the observed max";
 }
 
+TEST(Histogram, PercentileInterpolatesWithinBucket)
+{
+    // Regression: percentile() used to return the bucket's upper edge
+    // regardless of where the target rank fell inside it, so p50 of
+    // {4, 5} (both in bucket [4,6)) came back as 6 — above every
+    // sample. Rank interpolation keeps it inside the observed range.
+    Histogram h(4, 8);
+    h.sample(4);
+    h.sample(5);
+    EXPECT_EQ(h.percentile(50.0), 4u);
+    EXPECT_EQ(h.percentile(100.0), 5u);
+    EXPECT_LE(h.percentile(99.0), 5u)
+        << "no percentile may exceed the observed maximum";
+}
+
+TEST(Histogram, PercentileExactForDegenerateDistribution)
+{
+    Histogram h(4, 8);
+    for (int i = 0; i < 10; ++i)
+        h.sample(5);
+    for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9})
+        EXPECT_EQ(h.percentile(p), 5u)
+            << "all-equal samples must report exactly, p" << p;
+}
+
+TEST(Histogram, TailPercentileAccessors)
+{
+    Histogram h(1024, 1024); // bucket width 1: exact ranks
+    for (uint64_t v = 0; v < 1000; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.p99(), 989u) << "ceil(0.99 * 1000) = rank 990";
+    // 0.999 * 1000 rounds up to 999.0000...1, so ceil lands on rank
+    // 1000 — the maximum. Either neighbour is a faithful p999; what
+    // matters is staying inside the observed range.
+    EXPECT_GE(h.p999(), 998u);
+    EXPECT_LE(h.p999(), 999u);
+    EXPECT_EQ(h.percentile(50.0), 499u);
+}
+
 TEST(Histogram, BucketBounds)
 {
     Histogram h(4, 8);
@@ -130,6 +169,7 @@ TEST(StatGroup, DumpEmitsHistogramSummary)
     EXPECT_NE(text.find("grp.lat.max 7"), std::string::npos);
     EXPECT_NE(text.find("grp.lat.p50 "), std::string::npos);
     EXPECT_NE(text.find("grp.lat.p99 "), std::string::npos);
+    EXPECT_NE(text.find("grp.lat.p999 "), std::string::npos);
 }
 
 TEST(StatGroup, GetOnHistogramNamePanics)

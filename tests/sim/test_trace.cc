@@ -143,6 +143,72 @@ TEST_F(TraceTest, ChromeJsonIsWellFormed)
     std::remove(path.c_str());
 }
 
+TEST_F(TraceTest, SetTrackNameOverridesMetadataThreadName)
+{
+    const std::string path =
+        ::testing::TempDir() + "gp_trace_names.json";
+    ASSERT_TRUE(tm().openJson(path));
+    tm().setTrackName(TraceCat::Exec, 5, "server copy 2");
+    tm().emitf(TraceCat::Exec, 10, 5, "inst", "op=%s", "add");
+    tm().emitf(TraceCat::Exec, 11, 6, "inst", "op=%s", "sub");
+    tm().closeJson();
+
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    std::string error;
+    EXPECT_TRUE(jsonParse(json, &error)) << error;
+    EXPECT_NE(json.find("server copy 2"), std::string::npos)
+        << "named track uses the registered name";
+    EXPECT_NE(json.find("thread 6"), std::string::npos)
+        << "unnamed tracks keep the default kind+id name";
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, TrackNamesWithQuotesAndBackslashesAreEscaped)
+{
+    // Regression: metadata names went into the JSON sink unescaped,
+    // so a track name (or category name) containing a quote or a
+    // backslash produced an unparseable trace file.
+    const std::string path =
+        ::testing::TempDir() + "gp_trace_name_escape.json";
+    ASSERT_TRUE(tm().openJson(path));
+    tm().setTrackName(TraceCat::Exec, 0, "copy \"0\" of a\\b");
+    tm().emitf(TraceCat::Exec, 1, 0, "inst", "x");
+    tm().closeJson();
+
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    std::string error;
+    EXPECT_TRUE(jsonParse(json, &error)) << error;
+    EXPECT_NE(json.find("copy \\\"0\\\" of a\\\\b"),
+              std::string::npos)
+        << "quotes and backslashes in track names must be escaped";
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, ResetClearsTrackNames)
+{
+    tm().setTrackName(TraceCat::Exec, 0, "stale");
+    tm().reset();
+
+    const std::string path =
+        ::testing::TempDir() + "gp_trace_reset_names.json";
+    ASSERT_TRUE(tm().openJson(path));
+    tm().emitf(TraceCat::Exec, 1, 0, "inst", "x");
+    tm().closeJson();
+
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str().find("stale"), std::string::npos)
+        << "reset() must drop registered track names";
+    std::remove(path.c_str());
+}
+
 TEST_F(TraceTest, JsonEscapesEventPayloads)
 {
     const std::string path =

@@ -14,6 +14,8 @@
  *                [--ecc=off|parity|secded] [--walk-retries N]
  *                [--trace[=CATS]] [--trace-out=FILE]
  *                [--flight-recorder=N] [--stats-json=FILE]
+ *                [--profile[=MODES]] [--profile-out=FILE]
+ *                [--profile-interval=N]
  *                [--dump-regs] [--dump-stats] [--privileged]
  *
  * Robustness: --max-cycles arms the machine watchdog, so a hung or
@@ -34,6 +36,7 @@
 #include "mem/ecc.h"
 #include "os/kernel.h"
 #include "sim/log.h"
+#include "sim/profile.h"
 #include "sim/stats_registry.h"
 #include "sim/trace.h"
 #include "verify/verifier.h"
@@ -61,6 +64,9 @@ struct Options
     std::string statsJson;        //!< stats JSON export path
     bool verify = false;          //!< run gpverify before executing
     bool verifyStrict = false;    //!< ... and make warnings fatal
+    bool profile = false;         //!< arm the cycle profiler
+    sim::ProfileConfig profileConfig; //!< aggregation modes
+    std::string profileOut;       //!< gpprof JSON export path
 };
 
 void
@@ -93,6 +99,14 @@ usage(const char *argv0)
         "  --flight-recorder=N  keep the last N events and dump them\n"
         "                   when a thread dies on an unhandled fault\n"
         "  --stats-json=FILE    export every stat group as JSON\n"
+        "  --profile[=MODES]    attribute every cycle to a CPI-stack\n"
+        "                   component; MODES is a comma list of\n"
+        "                   pc,domain,interval,stacks (default all).\n"
+        "                   Prints a CPI-stack summary after the run\n"
+        "  --profile-out=FILE   write the profile as gpprof JSON\n"
+        "                   (analyse with tools/gpprof.py)\n"
+        "  --profile-interval=N time-series snapshot period in\n"
+        "                   cycles (default 4096)\n"
         "  --dump-regs      print final registers of every thread\n"
         "  --dump-stats     print statistics from every component\n",
         argv0);
@@ -171,6 +185,45 @@ parseArgs(int argc, char **argv, Options &opts)
         }
         if (valueOf("--stats-json", value)) {
             opts.statsJson = value;
+            continue;
+        }
+        if (arg == "--profile" || arg.rfind("--profile=", 0) == 0) {
+            opts.profile = true;
+            const std::string spec =
+                arg == "--profile" ? "pc,domain,interval,stacks"
+                                   : arg.substr(10);
+            size_t pos = 0;
+            while (pos <= spec.size()) {
+                const size_t comma = spec.find(',', pos);
+                const std::string mode = spec.substr(
+                    pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+                if (mode == "pc") {
+                    opts.profileConfig.pc = true;
+                } else if (mode == "domain") {
+                    opts.profileConfig.domain = true;
+                } else if (mode == "interval") {
+                    opts.profileConfig.interval = true;
+                } else if (mode == "stacks") {
+                    opts.profileConfig.stacks = true;
+                } else {
+                    std::fprintf(stderr, "bad profile mode: %s\n",
+                                 mode.c_str());
+                    return false;
+                }
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+            continue;
+        }
+        if (valueOf("--profile-out", value)) {
+            opts.profile = true;
+            opts.profileOut = value;
+            continue;
+        }
+        if (valueOf("--profile-interval", value)) {
+            opts.profileConfig.intervalCycles = std::stoull(value);
             continue;
         }
         if (arg == "--threads") {
@@ -252,6 +305,15 @@ main(int argc, char **argv)
     kcfg.machine.watchdogCycles = opts.maxCycles;
     os::Kernel kernel(kcfg);
 
+    // Arm the profiler before loading: the kernel registers domain
+    // and symbol names as each program image lands.
+    if (opts.profile) {
+        sim::Profiler::instance().arm(
+            kcfg.machine.clusters,
+            kcfg.machine.clusters * kcfg.machine.threadsPerCluster,
+            opts.profileConfig);
+    }
+
     const std::string source = readSource(opts.source);
 
     if (opts.verify) {
@@ -306,6 +368,12 @@ main(int argc, char **argv)
                           {2, Word::fromInt(i)}});
         if (!t)
             sim::fatal("out of hardware thread slots (16)");
+        // Label the thread's Perfetto track with what it runs, so
+        // exported traces read "prog copy 3" instead of "thread 3".
+        if (!opts.traceOut.empty())
+            tracer.setTrackName(sim::TraceCat::Exec, t->id(),
+                                opts.source + " copy " +
+                                    std::to_string(i));
         threads.push_back(t);
     }
 
@@ -352,6 +420,18 @@ main(int argc, char **argv)
         // pointer ops, kernel, and anything added later.
         std::printf("\n");
         sim::StatRegistry::instance().dumpAll(std::cout);
+    }
+
+    if (opts.profile) {
+        sim::Profiler::instance().disarm();
+        sim::Profiler::instance().summary(std::cout);
+        if (!opts.profileOut.empty()) {
+            std::ofstream out(opts.profileOut, std::ios::trunc);
+            if (!out)
+                sim::fatal("cannot open profile file %s",
+                           opts.profileOut.c_str());
+            sim::Profiler::instance().exportJson(out);
+        }
     }
 
     if (!opts.statsJson.empty()) {

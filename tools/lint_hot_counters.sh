@@ -35,4 +35,24 @@ if [ -n "$viol" ]; then
     echo "    (*hits_)++;                          // per event" >&2
     exit 1
 fi
-echo "lint_hot_counters: OK (no string-keyed stat lookups in $dirs)"
+
+# The same discipline for the profiler: hot-path attribution calls
+# (accSeg/accBase/attr*/beginInst/...) take enum components and
+# integer lengths only. Passing a string literal to any Profiler call
+# from the hot-path trees means a per-event string construction or a
+# name-keyed lookup — registration (registerDomain/registerSymbol)
+# belongs in cold loader code (src/os, tools), not here.
+profviol=$(grep -rnE 'Profiler::instance\(\)\.[A-Za-z_]+\([^)]*"' $dirs \
+               --include='*.cc' --include='*.h' \
+           | grep -vE ':[0-9]+: *(//|\*|/\*)' || true)
+
+if [ -n "$profviol" ]; then
+    echo "lint_hot_counters: string argument(s) to Profiler calls in hot-path sources:" >&2
+    echo "$profviol" >&2
+    echo >&2
+    echo "Hot-path profiler hooks must pass enum components and" >&2
+    echo "integer lengths only; move name registration to the" >&2
+    echo "loader (src/os) or the tool driver." >&2
+    exit 1
+fi
+echo "lint_hot_counters: OK (no string-keyed stat or profile lookups in $dirs)"

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Diff two gpsim --stats-json exports or two bench --json reports.
+"""Diff two gpsim --stats-json exports, two bench --json reports, or
+two gpsim --profile-out exports (gpprof profiles).
 
 Usage:
     statdiff.py BASE.json NEW.json [--all] [--threshold PCT]
@@ -15,6 +16,14 @@ diffs tables by title and rows by their key columns, printing one
 line per changed cell — numeric cells with absolute/relative deltas,
 text cells as before -> after. This is how CI compares fault-coverage
 campaigns across commits.
+
+Profile exports ({"kind": "gpprof-profile", ...}, as written by gpsim
+--profile-out): diffs the CPI stack per component — absolute
+cluster-cycle deltas plus the per-instruction (CPI) change, which is
+the number that matters when instruction counts differ between the
+runs — and the per-domain cycle/instruction attribution by domain
+name. This is how profiling regressions (e.g. a change that moves
+cycles from compute into gate crossings) are caught in CI.
 
 Exit status is 1 when anything differs (useful as a regression
 tripwire in CI), 0 otherwise; 2 when an input file is missing, not
@@ -42,6 +51,8 @@ def load(path):
     if not isinstance(doc, dict):
         die(f"{path} is not a stats or bench JSON export "
             "(expected a JSON object)")
+    if doc.get("kind") == "gpprof-profile":
+        return doc, "profile", None
     if "tables" in doc:
         return doc, None, None
     counters = {}
@@ -144,6 +155,54 @@ def diff_tables(base_doc, new_doc, show_all):
     return changed
 
 
+def diff_profiles(base, new, show_all):
+    """Diff two gpprof profiles. Returns the number of differences."""
+    changed = 0
+    for field in ("clusters", "cycles", "instructions"):
+        b, n = base.get(field, 0), new.get(field, 0)
+        if b != n:
+            print(f"~ {field} {fmt_delta(b, n)}")
+            changed += 1
+        elif show_all:
+            print(f"  {field} {b} (unchanged)")
+
+    b_insts = base.get("instructions", 0) or 1
+    n_insts = new.get("instructions", 0) or 1
+    b_comp = base.get("components", {})
+    n_comp = new.get("components", {})
+    for name in sorted(set(b_comp) | set(n_comp)):
+        b, n = b_comp.get(name, 0), n_comp.get(name, 0)
+        b_cpi, n_cpi = b / b_insts, n / n_insts
+        if b == n:
+            if show_all:
+                print(f"  cpi.{name} {b} (unchanged)")
+            continue
+        print(f"~ cpi.{name} {fmt_delta(b, n)} "
+              f"CPI {b_cpi:.4f} -> {n_cpi:.4f}")
+        changed += 1
+
+    b_dom = {d.get("name", "?"): d for d in base.get("domains", [])}
+    n_dom = {d.get("name", "?"): d for d in new.get("domains", [])}
+    for name in sorted(set(b_dom) | set(n_dom)):
+        if name not in b_dom:
+            print(f"~ domain {name} [added] "
+                  f"cycles={n_dom[name].get('cycles', 0)}")
+            changed += 1
+            continue
+        if name not in n_dom:
+            print(f"~ domain {name} [removed] "
+                  f"cycles={b_dom[name].get('cycles', 0)}")
+            changed += 1
+            continue
+        for field in ("cycles", "instructions", "enters"):
+            b = b_dom[name].get(field, 0)
+            n = n_dom[name].get(field, 0)
+            if b != n:
+                print(f"~ domain {name}.{field} {fmt_delta(b, n)}")
+                changed += 1
+    return changed
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="diff two gpsim --stats-json exports or two "
@@ -161,11 +220,19 @@ def main():
     base_doc, base_ctr, base_hist = load(args.base)
     new_doc, new_ctr, new_hist = load(args.new)
 
-    base_is_bench = base_ctr is None
-    new_is_bench = new_ctr is None
-    if base_is_bench != new_is_bench:
-        die("cannot diff a bench table report against a stats export")
-    if base_is_bench:
+    base_kind = ("profile" if base_ctr == "profile"
+                 else "bench" if base_ctr is None else "stats")
+    new_kind = ("profile" if new_ctr == "profile"
+                else "bench" if new_ctr is None else "stats")
+    if base_kind != new_kind:
+        die(f"cannot diff a {base_kind} export against a "
+            f"{new_kind} export")
+    if base_kind == "profile":
+        changed = diff_profiles(base_doc, new_doc, args.all)
+        if changed == 0:
+            print("no differences")
+        return 1 if changed else 0
+    if base_kind == "bench":
         changed = diff_tables(base_doc, new_doc, args.all)
         if changed == 0:
             print("no differences")
@@ -202,12 +269,14 @@ def main():
             print(f"~ {key} histogram [removed] count={b['count']}")
             changed += 1
             continue
-        if (b["count"], b["mean"], b["p99"]) == \
-           (n["count"], n["mean"], n["p99"]):
+        if (b["count"], b["mean"], b["p99"],
+            b.get("p999")) == (n["count"], n["mean"], n["p99"],
+                               n.get("p999")):
             continue
         print(f"~ {key} count {b['count']} -> {n['count']}, "
               f"mean {b['mean']:.2f} -> {n['mean']:.2f}, "
-              f"p99 {b['p99']} -> {n['p99']}")
+              f"p99 {b['p99']} -> {n['p99']}, "
+              f"p999 {b.get('p999')} -> {n.get('p999')}")
         changed += 1
 
     if changed == 0:

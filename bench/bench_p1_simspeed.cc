@@ -37,6 +37,7 @@
 #include "os/kernel.h"
 #include "sim/log.h"
 #include "sim/profile.h"
+#include "verify/verifier.h"
 
 namespace {
 
@@ -297,6 +298,112 @@ runFig5ProfiledArm()
     return arm;
 }
 
+/**
+ * Arm 5: verifier-driven check elision (ISSUE 7). An elide-friendly
+ * variant of the Fig. 5 sweep — constant-offset loads plus fresh
+ * (non-loop-carried) pointer arithmetic the verifier can discharge —
+ * runs once with full checks and once with the proof registered.
+ * Deterministic contract: instruction counts are identical, elide-on
+ * cycles never exceed elide-off cycles, and the elided/executed/saved
+ * counters are pure functions of the simulator. The two host rows
+ * make the host-speed gain of skipping proven check work visible.
+ */
+struct ElideArm
+{
+    ArmResult off;
+    ArmResult on;
+    uint64_t elided = 0;
+    uint64_t executed = 0;
+    uint64_t cyclesSaved = 0;
+};
+
+ElideArm
+runFig5ElideArm()
+{
+    const std::string src = R"(
+        movi r10, 0
+        movi r11, 1024
+        loop:
+        leabi r2, r1, 0
+        ld r3, 0(r2)
+        ld r4, 8(r2)
+        ld r5, 16(r2)
+        ld r6, 24(r2)
+        leai r7, r2, 32
+        addi r10, r10, 1
+        bne r10, r11, loop
+        halt
+    )";
+    auto assembly = isa::assemble(src);
+    if (!assembly.ok)
+        sim::fatal("P1: %s", assembly.error.c_str());
+
+    verify::VerifyOptions vopts;
+    vopts.entryRegs = verify::defaultEntryRegs(4096);
+    const verify::VerifyResult vres =
+        verify::verifyProgram(assembly, vopts);
+
+    ElideArm arm;
+    auto run_once = [&](bool elide) {
+        ArmResult r;
+        isa::MachineConfig cfg;
+        cfg.mem.cache = gp::bench::mapCache();
+        cfg.mem.cache.banks = 4;
+        cfg.elideChecks = elide;
+        isa::Machine machine(cfg);
+        for (unsigned i = 0; i < 16; ++i) {
+            const uint64_t code_base =
+                ((uint64_t(i) + 1) << 20) + uint64_t(i) * 128;
+            if (elide)
+                machine.registerElideProof(verify::makeElideProof(
+                    vres, assembly.words, false, code_base));
+            auto prog = isa::loadProgram(machine.mem(), code_base,
+                                         assembly.words);
+            isa::Thread *t = machine.spawn(prog.execPtr);
+            if (!t)
+                sim::fatal("P1: out of thread slots");
+            t->setReg(1,
+                      isa::dataSegment(((uint64_t(i) + 1) << 30) +
+                                           uint64_t(i) * 4096,
+                                       12));
+        }
+        const auto t0 = Clock::now();
+        machine.run(50'000'000);
+        r.wallSeconds = secondsSince(t0);
+        r.cycles = machine.cycle();
+        r.instructions = machine.stats().get("instructions");
+        if (elide) {
+            arm.elided =
+                machine.stats().get("elide_checks_elided");
+            arm.executed =
+                machine.stats().get("elide_checks_executed");
+            arm.cyclesSaved =
+                machine.stats().get("elide_cycles_saved");
+        }
+        return r;
+    };
+
+    arm.off = run_once(false);
+    arm.on = run_once(true);
+
+    if (arm.off.instructions != arm.on.instructions)
+        sim::fatal("P1: elision changed the instruction count: "
+                   "%llu -> %llu",
+                   (unsigned long long)arm.off.instructions,
+                   (unsigned long long)arm.on.instructions);
+    if (arm.on.cycles > arm.off.cycles)
+        sim::fatal("P1: elision made the run slower: %llu -> %llu "
+                   "cycles",
+                   (unsigned long long)arm.off.cycles,
+                   (unsigned long long)arm.on.cycles);
+    if (arm.elided == 0 || arm.cyclesSaved == 0)
+        sim::fatal("P1: elide arm proved nothing (elided=%llu, "
+                   "saved=%llu)",
+                   (unsigned long long)arm.elided,
+                   (unsigned long long)arm.cyclesSaved);
+    return arm;
+}
+
 /** Arm 3: a small deterministic fault campaign (hardened config). */
 struct CampaignArm
 {
@@ -338,6 +445,7 @@ main(int argc, char **argv)
     const ArmResult mk = runMicrokernelArm();
     const CampaignArm camp = runCampaignArm();
     const ProfiledArm prof = runFig5ProfiledArm();
+    const ElideArm elide = runFig5ElideArm();
 
     // ---- Table 1: deterministic signature (hard CI gate). --------
     // Every cell here is a pure function of the simulator: any drift
@@ -382,6 +490,17 @@ main(int argc, char **argv)
                     "%llu",
                     (unsigned long long)prof.on.instructions),
                 "profiled==off; cpi-sum exact"});
+    det.addRow(
+        {"fig5-elide",
+         gp::bench::fmt("%llu", (unsigned long long)elide.on.cycles),
+         gp::bench::fmt("%llu",
+                        (unsigned long long)elide.on.instructions),
+         gp::bench::fmt("off=%llu saved=%llu elided=%llu "
+                        "executed=%llu",
+                        (unsigned long long)elide.off.cycles,
+                        (unsigned long long)elide.cyclesSaved,
+                        (unsigned long long)elide.elided,
+                        (unsigned long long)elide.executed)});
     det.print();
 
     // ---- Table 2: host speed (warn-only in CI). ------------------
@@ -400,6 +519,8 @@ main(int argc, char **argv)
     hostRow("f7-microkernel", mk);
     hostRow("fig5-prof-off", prof.off);
     hostRow("fig5-prof-on", prof.on);
+    hostRow("fig5-elide-off", elide.off);
+    hostRow("fig5-elide-on", elide.on);
     host.addRow({"fault-campaign",
                  gp::bench::fmt("%.1f", camp.wallSeconds * 1e3),
                  gp::bench::fmt("%.1f runs/s",

@@ -5,6 +5,7 @@
 #include "isa/assembler.h"
 #include "isa/loader.h"
 #include "sim/log.h"
+#include "verify/verifier.h"
 
 namespace gp::fault {
 
@@ -123,6 +124,7 @@ struct CampaignRunner::Harness
         mcfg.mem.walkRetries = cc.walkRetries;
         mcfg.watchdogCycles = cc.watchdogCycles;
         mcfg.watchdogQuiescence = cc.watchdogQuiescence;
+        mcfg.elideChecks = cc.elideChecks;
         return mcfg;
     }
 
@@ -140,6 +142,20 @@ struct CampaignRunner::Harness
             sim::fatal("campaign: no thread slot");
         thread->setReg(1, isa::dataSegment(kDataBase, kDataLenLog2));
         thread->setReg(2, Word::fromInt(cc.iterations));
+        if (cc.elideChecks) {
+            // Prove the workload under the exact entry state set up
+            // above (r1 = RW data segment, r2 = integer) and register
+            // the proof at the load base. Injected runs still execute
+            // full checks — an armed FaultInjector disables elision at
+            // the instruction level — so only the golden run's timing
+            // changes, never any run's architectural outcome.
+            verify::VerifyOptions vopts;
+            vopts.entryRegs = verify::defaultEntryRegs(kDataBytes);
+            const verify::VerifyResult vres =
+                verify::verifyProgram(assembly, vopts);
+            machine.registerElideProof(verify::makeElideProof(
+                vres, assembly.words, false, kCodeBase));
+        }
     }
 };
 

@@ -229,6 +229,55 @@ intToPtr(Word seg_ptr, uint64_t offset)
     return leab(seg_ptr, static_cast<int64_t>(offset));
 }
 
+Word
+leaUnchecked(Word ptr, int64_t delta)
+{
+    const uint64_t new_addr =
+        (PointerView(ptr).addr() + static_cast<uint64_t>(delta)) &
+        kAddrMask;
+    return withAddr(ptr, new_addr);
+}
+
+Word
+leabUnchecked(Word ptr, int64_t delta)
+{
+    const uint64_t new_addr =
+        (PointerView(ptr).segmentBase() +
+         static_cast<uint64_t>(delta)) &
+        kAddrMask;
+    return withAddr(ptr, new_addr);
+}
+
+Word
+restrictUnchecked(Word ptr, Perm target)
+{
+    const uint64_t bits =
+        (ptr.bits() & ~(kPermFieldMask << kPermShift)) |
+        (uint64_t(target) << kPermShift);
+    return Word::fromRawPointerBits(bits);
+}
+
+Word
+subsegUnchecked(Word ptr, uint64_t new_len_log2)
+{
+    const uint64_t bits =
+        (ptr.bits() & ~(kLenFieldMask << kLenShift)) |
+        (new_len_log2 << kLenShift);
+    return Word::fromRawPointerBits(bits);
+}
+
+Word
+ptrToIntUnchecked(Word ptr)
+{
+    return Word::fromInt(PointerView(ptr).offset());
+}
+
+Word
+intToPtrUnchecked(Word seg_ptr, uint64_t offset)
+{
+    return leabUnchecked(seg_ptr, static_cast<int64_t>(offset));
+}
+
 namespace {
 
 /** Access-kind mnemonic for trace events. */

@@ -94,6 +94,24 @@ Result<Word> intToPtr(Word seg_ptr, uint64_t offset);
 Fault checkAccess(Word ptr, Access kind, unsigned size_bytes);
 
 /**
+ * Unchecked fast paths for statically-proven pointer operations
+ * (gpsim --elide-checks=verified; see docs/VERIFIER.md "Proof export
+ * & check elision"). Each produces a result bit-identical to the
+ * corresponding checked operation on its non-faulting path; calling
+ * one where the checked operation would fault is a soundness bug —
+ * the verifier's kElideNeverFaults verdict is the proof obligation
+ * that makes the call legal. The checking-hardware OpStats counters
+ * are deliberately not bumped (the check never ran); the machine's
+ * elide counters account for the skipped work instead.
+ */
+Word leaUnchecked(Word ptr, int64_t delta);
+Word leabUnchecked(Word ptr, int64_t delta);
+Word restrictUnchecked(Word ptr, Perm target);
+Word subsegUnchecked(Word ptr, uint64_t new_len_log2);
+Word ptrToIntUnchecked(Word ptr);
+Word intToPtrUnchecked(Word seg_ptr, uint64_t offset);
+
+/**
  * Convert an enter pointer to the corresponding execute pointer, as
  * performed by the jump datapath on protected entry (§2.1).
  */

@@ -130,6 +130,9 @@ Machine::initStats()
     hungAccesses_ = &stats_.counter("hung_accesses");
     predecodeHits_ = &stats_.counter("predecode_hits");
     predecodeMisses_ = &stats_.counter("predecode_misses");
+    elideChecksElided_ = &stats_.counter("elide_checks_elided");
+    elideChecksExecuted_ = &stats_.counter("elide_checks_executed");
+    elideCyclesSaved_ = &stats_.counter("elide_cycles_saved");
     predecode_.assign(kPredecodeEntries, PredecodedInst{});
     for (unsigned i = 0; i < kInstClassCount; ++i)
         mix_[i] = &stats_.counter(std::string("mix_") + kClassNames[i]);
@@ -144,6 +147,49 @@ void
 Machine::flushPredecode()
 {
     predecode_.assign(kPredecodeEntries, PredecodedInst{});
+}
+
+void
+Machine::registerElideProof(const ElideProof &proof)
+{
+    elideProofs_.push_back(proof);
+    const uint64_t lo = proof.base;
+    const uint64_t hi = proof.base + 8 * proof.verdicts.size();
+    proofCoverLo_ = lo < proofCoverLo_ ? lo : proofCoverLo_;
+    proofCoverHi_ = hi > proofCoverHi_ ? hi : proofCoverHi_;
+    flushPredecode();
+}
+
+void
+Machine::clearElideProofs()
+{
+    elideProofs_.clear();
+    proofCoverLo_ = UINT64_MAX;
+    proofCoverHi_ = 0;
+    proofsDirty_ = false;
+    flushPredecode();
+}
+
+uint8_t
+Machine::proofVerdict(uint64_t vaddr, uint64_t bits) const
+{
+    for (const ElideProof &p : elideProofs_) {
+        if (vaddr < p.base || (vaddr - p.base) % 8 != 0)
+            continue;
+        const uint64_t idx = (vaddr - p.base) / 8;
+        if (idx >= p.verdicts.size() || idx >= p.bits.size())
+            continue;
+        // The verdict is bound to the exact bits it was proven for: a
+        // mismatch means the image changed after verification, so
+        // decode the word afresh but trust nothing about it.
+        if (p.bits[idx] != bits)
+            return 0;
+        uint8_t v = p.verdicts[idx];
+        if (p.privileged)
+            v |= kElidePrivileged;
+        return v;
+    }
+    return 0;
 }
 
 mem::MemorySystem &
@@ -434,8 +480,15 @@ Machine::faultThread(Thread &thread, Fault f)
 }
 
 bool
-Machine::advanceIp(Thread &thread, int64_t inst_delta)
+Machine::advanceIp(Thread &thread, int64_t inst_delta, bool elide)
 {
+    if (elide) {
+        // A never-faults verdict covers every control-flow edge out of
+        // the instruction (escaping edges record a BoundsViolation at
+        // its index), so the IP update is provably in-segment.
+        thread.setIp(gp::leaUnchecked(thread.ip(), inst_delta * 8));
+        return true;
+    }
     auto next = gp::lea(thread.ip(), inst_delta * 8);
     if (!next) {
         // Running or branching off the end of the code segment is a
@@ -496,6 +549,12 @@ Machine::issueThread(Thread &thread)
         slot.addr = ip_addr;
         slot.bits = f.data.bits();
         slot.inst = *decoded;
+        // Bake the elision verdict on the miss only: the hot hit path
+        // never consults the proof sidecar (the hit's raw-bits check
+        // also guarantees the baked verdict still matches the code).
+        slot.verdict = config_.elideChecks && !elideProofs_.empty()
+                           ? proofVerdict(ip_addr, f.data.bits())
+                           : 0;
         inst = &slot.inst;
         (*predecodeMisses_)++;
     }
@@ -521,17 +580,39 @@ Machine::issueThread(Thread &thread)
              thread.id(),
              static_cast<unsigned long long>(thread.ip().addr()),
              toString(*inst).c_str());
-    execute(thread, *inst, f.completeCycle);
+    execute(thread, *inst, f.completeCycle, slot.verdict);
     (*instructions_)++;
     (*mix_[instClass(inst->op)])++;
+    if (proofsDirty_) {
+        // A store into a verified image dropped the proofs mid-execute;
+        // now that nothing aliases the predecode array, purge the
+        // baked verdicts before the next instruction can issue.
+        proofsDirty_ = false;
+        flushPredecode();
+    }
 }
 
 void
-Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
+Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at,
+                 uint8_t verdict)
 {
     const Word ra = thread.reg(inst.ra);
     const Word rb = thread.reg(inst.rb);
     const bool priv = gp::ipPrivileged(thread.ip());
+
+    // Verifier-driven check elision (docs/VERIFIER.md "Proof export &
+    // check elision"): take the unchecked datapath only when the baked
+    // proof says this instruction can never fault, the thread runs at
+    // the privilege the proof was derived under, and no runtime
+    // mechanism can push execution outside the verified envelope — an
+    // armed fault campaign corrupts state behind the analysis's back,
+    // and a software fault handler may patch registers on *another*
+    // instruction's fault. With the feature off verdict is always 0,
+    // so this costs one always-false bit test.
+    const bool elide =
+        (verdict & kElideNeverFaults) != 0 &&
+        bool(verdict & kElidePrivileged) == priv && !faultHandler_ &&
+        !sim::FaultInjector::armed();
 
     // Default: single-cycle execution after fetch, sequential IP.
     uint64_t done = ready_at + 1;
@@ -541,10 +622,26 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
     // arranged a retry at the same IP).
     bool fault_taken = false;
 
+    // Elided/executed accounting per elidable check event (pointer-op
+    // check, displacement LEA, access check, IP-advance LEA). Only
+    // meaningful — and only paid — under elideChecks mode, so both
+    // counters read 0 in a baseline run.
+    auto note_check = [&](bool elided) {
+        if (!config_.elideChecks)
+            return;
+        if (elided)
+            (*elideChecksElided_)++;
+        else
+            (*elideChecksExecuted_)++;
+        if (sim::Profiler::armed())
+            sim::Profiler::instance().noteCheck(elided);
+    };
+
     auto alu = [&](uint64_t value) {
         thread.setReg(inst.rd, Word::fromInt(value));
     };
     auto ptr_result = [&](const Result<Word> &r) {
+        note_check(false);
         if (!r) {
             faultThread(thread, r.fault);
             return false;
@@ -552,12 +649,27 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
         thread.setReg(inst.rd, r.value);
         return true;
     };
+    // Elided pointer op: the result comes straight off the address
+    // datapath in the fetch shadow — the one-cycle checking tail
+    // disappears from the timing model (the measurable simulated
+    // saving of elision; memory-op check skips are host-speed only).
+    auto elide_ptr = [&](Word value) {
+        thread.setReg(inst.rd, value);
+        done = ready_at;
+        (*elideCyclesSaved_)++;
+        note_check(true);
+    };
 
     // Displacement-addressed memory operand: derive the effective
     // pointer with a bounds-checked LEA (paper §2.2, Load/Store).
     auto eff_ptr = [&](Word base, int32_t disp) -> Result<Word> {
         if (disp == 0)
             return Result<Word>::ok(base);
+        if (elide) {
+            note_check(true);
+            return Result<Word>::ok(gp::leaUnchecked(base, disp));
+        }
+        note_check(false);
         return gp::lea(base, disp);
     };
 
@@ -570,7 +682,9 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
         }
         if (sim::Profiler::armed())
             sim::Profiler::instance().accBegin(sim::ProfComp::DCache);
-        const mem::MemAccess acc = port_->portLoad(ptr.value, size, ready_at);
+        note_check(elide);
+        const mem::MemAccess acc =
+            port_->portLoad(ptr.value, size, ready_at, elide);
         if (acc.hang) {
             thread.stallTo(UINT64_MAX);
             (*hungAccesses_)++;
@@ -602,8 +716,9 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
         const Word value = thread.reg(inst.rd);
         if (sim::Profiler::armed())
             sim::Profiler::instance().accBegin(sim::ProfComp::DCache);
+        note_check(elide);
         const mem::MemAccess acc =
-            port_->portStore(ptr.value, value, size, ready_at);
+            port_->portStore(ptr.value, value, size, ready_at, elide);
         if (acc.hang) {
             thread.stallTo(UINT64_MAX);
             (*hungAccesses_)++;
@@ -617,6 +732,17 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
             faultThread(thread, acc.fault);
             fault_taken = true;
             return;
+        }
+        // A store landing inside a verified image voids every proof:
+        // rewriting one instruction can invalidate verdicts at other
+        // instructions whose own bits are unchanged (safety facts flow
+        // through dataflow). Two compares per store; fires ~never.
+        const uint64_t sa = ptr.value.addr();
+        if (sa + size > proofCoverLo_ && sa < proofCoverHi_) {
+            elideProofs_.clear();
+            proofCoverLo_ = UINT64_MAX;
+            proofCoverHi_ = 0;
+            proofsDirty_ = true; // flush deferred: inst aliases a slot
         }
         done = acc.completeCycle;
         if (sim::Profiler::armed())
@@ -731,27 +857,40 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
         break;
 
       case Op::LEA:
-        if (!ptr_result(gp::lea(ra, int64_t(rb.bits()))))
+        if (elide)
+            elide_ptr(gp::leaUnchecked(ra, int64_t(rb.bits())));
+        else if (!ptr_result(gp::lea(ra, int64_t(rb.bits()))))
             return;
         break;
       case Op::LEAI:
-        if (!ptr_result(gp::lea(ra, int64_t(inst.imm))))
+        if (elide)
+            elide_ptr(gp::leaUnchecked(ra, int64_t(inst.imm)));
+        else if (!ptr_result(gp::lea(ra, int64_t(inst.imm))))
             return;
         break;
       case Op::LEAB:
-        if (!ptr_result(gp::leab(ra, int64_t(rb.bits()))))
+        if (elide)
+            elide_ptr(gp::leabUnchecked(ra, int64_t(rb.bits())));
+        else if (!ptr_result(gp::leab(ra, int64_t(rb.bits()))))
             return;
         break;
       case Op::LEABI:
-        if (!ptr_result(gp::leab(ra, int64_t(inst.imm))))
+        if (elide)
+            elide_ptr(gp::leabUnchecked(ra, int64_t(inst.imm)));
+        else if (!ptr_result(gp::leab(ra, int64_t(inst.imm))))
             return;
         break;
       case Op::RESTRICT:
-        if (!ptr_result(gp::restrictPerm(ra, Perm(rb.bits() & 0xf))))
+        if (elide)
+            elide_ptr(gp::restrictUnchecked(ra, Perm(rb.bits() & 0xf)));
+        else if (!ptr_result(
+                     gp::restrictPerm(ra, Perm(rb.bits() & 0xf))))
             return;
         break;
       case Op::SUBSEG:
-        if (!ptr_result(gp::subseg(ra, rb.bits() & 0x3f)))
+        if (elide)
+            elide_ptr(gp::subsegUnchecked(ra, rb.bits() & 0x3f));
+        else if (!ptr_result(gp::subseg(ra, rb.bits() & 0x3f)))
             return;
         break;
       case Op::SETPTR:
@@ -766,11 +905,15 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
         alu(gp::ispointer(ra));
         break;
       case Op::PTOI:
-        if (!ptr_result(gp::ptrToInt(ra)))
+        if (elide)
+            elide_ptr(gp::ptrToIntUnchecked(ra));
+        else if (!ptr_result(gp::ptrToInt(ra)))
             return;
         break;
       case Op::ITOP:
-        if (!ptr_result(gp::intToPtr(ra, rb.bits())))
+        if (elide)
+            elide_ptr(gp::intToPtrUnchecked(ra, rb.bits()));
+        else if (!ptr_result(gp::intToPtr(ra, rb.bits())))
             return;
         break;
 
@@ -835,7 +978,8 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at)
         return;
 
     thread.retire();
-    if (!advanceIp(thread, branch_delta))
+    note_check(elide);
+    if (!advanceIp(thread, branch_delta, elide))
         return;
     thread.stallTo(done);
     if (sim::Profiler::armed()) {

@@ -26,6 +26,7 @@
 
 #include "gp/fault.h"
 #include "gp/word.h"
+#include "isa/elide.h"
 #include "isa/inst.h"
 #include "isa/thread.h"
 #include "mem/memory_system.h"
@@ -66,6 +67,17 @@ struct MachineConfig
      * longest legitimate memory stall. 0 = no quiescence watchdog.
      */
     uint64_t watchdogQuiescence = 0;
+
+    /**
+     * Verifier-driven check elision (gpsim --elide-checks=verified):
+     * consult registered ElideProofs at predecode time and run the
+     * unchecked datapath for instructions proven never to fault
+     * (docs/VERIFIER.md "Proof export & check elision"). Off by
+     * default; with no registered proof the machine behaves exactly
+     * as before even when enabled. Fault injection and an installed
+     * software fault handler re-arm full checks unconditionally.
+     */
+    bool elideChecks = false;
 };
 
 /** What a software fault handler tells the machine to do next. */
@@ -174,6 +186,20 @@ class Machine
      */
     void flushPredecode();
 
+    /**
+     * Register a verifier-produced safety proof for a loaded image.
+     * Consulted only at predecode-miss time (never per executed
+     * instruction): the matching verdict byte is baked into the
+     * predecoded entry, bound to the exact raw bits it was proven
+     * for. Takes effect only with config().elideChecks set. Flushes
+     * the predecode cache so already-decoded instructions pick up
+     * their verdicts.
+     */
+    void registerElideProof(const ElideProof &proof);
+
+    /** Drop all registered proofs (and their baked verdicts). */
+    void clearElideProofs();
+
   private:
     /// Retired-instruction mix classes: alu/mem/branch/control/
     /// pointer/misc (see instClass() in machine.cc).
@@ -190,9 +216,12 @@ class Machine
 
     /**
      * Execute a decoded instruction whose fetch completed at ready_at.
-     * Updates registers, IP, and the thread's stall time.
+     * Updates registers, IP, and the thread's stall time. @param
+     * verdict is the instruction's baked elision verdict (0 = full
+     * checks).
      */
-    void execute(Thread &thread, const Inst &inst, uint64_t ready_at);
+    void execute(Thread &thread, const Inst &inst, uint64_t ready_at,
+                 uint8_t verdict);
 
     /** Record a fault on the thread and the machine fault log. */
     void faultThread(Thread &thread, Fault f);
@@ -210,8 +239,19 @@ class Machine
     /**
      * Advance IP sequentially / by a branch displacement.
      * @return false if the IP left its code segment (fault taken).
+     * elide skips the IP bounds check (the instruction's never-faults
+     * verdict covers every control-flow edge out of it).
      */
-    bool advanceIp(Thread &thread, int64_t inst_delta);
+    bool advanceIp(Thread &thread, int64_t inst_delta,
+                   bool elide = false);
+
+    /**
+     * Look up the elision verdict for the instruction at vaddr with
+     * the given raw bits. Cold path: called only on a predecode miss,
+     * so the per-executed-instruction hot loop never touches the
+     * proof sidecar (tools/lint_hot_counters.sh enforces this).
+     */
+    uint8_t proofVerdict(uint64_t vaddr, uint64_t bits) const;
 
     /**
      * One slot of the predecoded-instruction cache. The simulator
@@ -229,6 +269,12 @@ class Machine
         uint64_t addr = UINT64_MAX; //!< fetch vaddr (UINT64_MAX: empty)
         uint64_t bits = 0;          //!< raw word the decode came from
         Inst inst;
+        /// Elision verdict baked at decode time (kElide* bits, with
+        /// kElidePrivileged reflecting the proof's privilege mode);
+        /// 0 = no proof, full checks. Bound to `bits`: a raw-bits
+        /// mismatch re-decodes and re-derives the verdict, so
+        /// self-modifying code re-arms checks automatically.
+        uint8_t verdict = 0;
     };
 
     /// Direct-mapped predecode-cache size; must be a power of two.
@@ -272,8 +318,33 @@ class Machine
     sim::Counter *hungAccesses_ = nullptr;
     sim::Counter *predecodeHits_ = nullptr;
     sim::Counter *predecodeMisses_ = nullptr;
+    /// Elidable-check events skipped / run under elideChecks mode
+    /// (both stay 0 when the mode is off). One event per pointer-op
+    /// check, displacement LEA, access check, and IP-advance LEA.
+    sim::Counter *elideChecksElided_ = nullptr;
+    sim::Counter *elideChecksExecuted_ = nullptr;
+    /// Simulated cycles the elided checking datapath gave back (one
+    /// per elided pointer op: its execute tail folds into the fetch
+    /// shadow).
+    sim::Counter *elideCyclesSaved_ = nullptr;
     sim::Counter *mix_[kInstClassCount] = {};
     sim::Counter *faultKind_[16] = {}; //!< indexed by unsigned(Fault)
+
+    /// Registered safety proofs; consulted only on predecode misses.
+    std::vector<ElideProof> elideProofs_;
+
+    /// Union [lo, hi) byte cover of every registered proof's code
+    /// range. An architectural store landing inside it drops ALL
+    /// proofs: rewriting one instruction can invalidate verdicts at
+    /// instructions whose own bits are unchanged, because safety
+    /// facts flow through dataflow.
+    uint64_t proofCoverLo_ = UINT64_MAX;
+    uint64_t proofCoverHi_ = 0;
+
+    /// Proofs were dropped while execute() had a decoded instruction
+    /// aliasing the predecode array; issueThread flushes the baked
+    /// verdicts as soon as the instruction retires.
+    bool proofsDirty_ = false;
 
     /// Direct-mapped predecoded-instruction cache, indexed by
     /// (vaddr >> 3) & (kPredecodeEntries - 1).

@@ -27,13 +27,20 @@ class MemoryPort
   public:
     virtual ~MemoryPort() = default;
 
-    /** Timed load through a guarded pointer. */
-    virtual MemAccess portLoad(Word ptr, unsigned size,
-                               uint64_t now) = 0;
+    /**
+     * Timed load through a guarded pointer. elide_check skips the
+     * guarded-pointer access check (rights/alignment/bounds) — legal
+     * only under a verifier proof that the check cannot fire
+     * (docs/VERIFIER.md "Proof export & check elision"); translation
+     * and integrity checking still run.
+     */
+    virtual MemAccess portLoad(Word ptr, unsigned size, uint64_t now,
+                               bool elide_check = false) = 0;
 
-    /** Timed store through a guarded pointer. */
+    /** Timed store through a guarded pointer (elide_check as above). */
     virtual MemAccess portStore(Word ptr, Word value, unsigned size,
-                                uint64_t now) = 0;
+                                uint64_t now,
+                                bool elide_check = false) = 0;
 
     /** Timed instruction fetch. */
     virtual MemAccess portFetch(Word ip, uint64_t now) = 0;

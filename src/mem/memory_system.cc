@@ -54,18 +54,22 @@ MemorySystem::MemorySystem(const MemConfig &config)
 
 MemAccess
 MemorySystem::timedAccess(Word ptr, Access kind, unsigned size,
-                          uint64_t now, uint64_t &paddr)
+                          uint64_t now, uint64_t &paddr,
+                          bool elide_check)
 {
     MemAccess acc;
     acc.startCycle = now;
 
     // Pre-issue pointer check: permission decoder + masked comparator,
-    // no table access, no memory cycles (§2.2).
-    acc.fault = checkAccess(ptr, kind, size);
-    if (acc.fault != Fault::None) {
-        acc.completeCycle = now;
-        (*accessFaults_)++;
-        return acc;
+    // no table access, no memory cycles (§2.2). Skipped only when the
+    // caller holds a verifier proof that the check cannot fire.
+    if (!elide_check) {
+        acc.fault = checkAccess(ptr, kind, size);
+        if (acc.fault != Fault::None) {
+            acc.completeCycle = now;
+            (*accessFaults_)++;
+            return acc;
+        }
     }
 
     const uint64_t vaddr = ptr.addr();
@@ -251,10 +255,12 @@ MemorySystem::checkedRead(uint64_t paddr, MemAccess &acc)
 }
 
 MemAccess
-MemorySystem::load(Word ptr, unsigned size, uint64_t now)
+MemorySystem::load(Word ptr, unsigned size, uint64_t now,
+                   bool elide_check)
 {
     uint64_t paddr = 0;
-    MemAccess acc = timedAccess(ptr, Access::Load, size, now, paddr);
+    MemAccess acc = timedAccess(ptr, Access::Load, size, now, paddr,
+                                elide_check);
     if (acc.fault != Fault::None)
         return acc;
 
@@ -276,10 +282,12 @@ MemorySystem::load(Word ptr, unsigned size, uint64_t now)
 }
 
 MemAccess
-MemorySystem::store(Word ptr, Word value, unsigned size, uint64_t now)
+MemorySystem::store(Word ptr, Word value, unsigned size, uint64_t now,
+                    bool elide_check)
 {
     uint64_t paddr = 0;
-    MemAccess acc = timedAccess(ptr, Access::Store, size, now, paddr);
+    MemAccess acc = timedAccess(ptr, Access::Store, size, now, paddr,
+                                elide_check);
     if (acc.fault != Fault::None)
         return acc;
 

@@ -94,14 +94,17 @@ class MemorySystem : public MemoryPort
      * @param ptr   guarded pointer naming the address
      * @param size  1/2/4/8 bytes, naturally aligned
      * @param now   current cycle, for bank/port contention
+     * @param elide_check skip the guarded-pointer access check under a
+     *        verifier proof (translation/ECC still run)
      */
-    MemAccess load(Word ptr, unsigned size, uint64_t now = 0);
+    MemAccess load(Word ptr, unsigned size, uint64_t now = 0,
+                   bool elide_check = false);
 
     /** Timed store through a guarded pointer. An 8-byte store of a
      * tagged word stores the pointer intact; smaller stores clear the
      * destination word's tag. */
     MemAccess store(Word ptr, Word value, unsigned size,
-                    uint64_t now = 0);
+                    uint64_t now = 0, bool elide_check = false);
 
     /** Timed instruction fetch (requires execute permission). */
     MemAccess fetch(Word ip, uint64_t now = 0);
@@ -139,15 +142,16 @@ class MemorySystem : public MemoryPort
 
     // MemoryPort interface (delegates to the named methods above).
     MemAccess
-    portLoad(Word ptr, unsigned size, uint64_t now) override
+    portLoad(Word ptr, unsigned size, uint64_t now,
+             bool elide_check = false) override
     {
-        return load(ptr, size, now);
+        return load(ptr, size, now, elide_check);
     }
     MemAccess
-    portStore(Word ptr, Word value, unsigned size,
-              uint64_t now) override
+    portStore(Word ptr, Word value, unsigned size, uint64_t now,
+              bool elide_check = false) override
     {
-        return store(ptr, value, size, now);
+        return store(ptr, value, size, now, elide_check);
     }
     MemAccess
     portFetch(Word ip, uint64_t now) override
@@ -175,10 +179,12 @@ class MemorySystem : public MemoryPort
   private:
     /**
      * Common timed path for all access kinds; on success fills in the
-     * physical address of the data.
+     * physical address of the data. elide_check skips the pre-issue
+     * guarded-pointer check (verifier-proven accesses only).
      */
     MemAccess timedAccess(Word ptr, Access kind, unsigned size,
-                          uint64_t now, uint64_t &paddr);
+                          uint64_t now, uint64_t &paddr,
+                          bool elide_check = false);
 
     /**
      * Read one stored word through the active ECC path: counts

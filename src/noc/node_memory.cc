@@ -43,19 +43,22 @@ NodeMemory::NodeMemory(unsigned node, Mesh &mesh, GlobalMemory &global,
 
 mem::MemAccess
 NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
-                   Word store_value)
+                   Word store_value, bool elide_check)
 {
     mem::MemAccess acc;
     acc.startCycle = now;
 
     // Identical pre-issue check to the single-node machine: the
     // pointer alone, no tables — and crucially no distinction between
-    // local and remote addresses.
-    acc.fault = checkAccess(ptr, kind, size);
-    if (acc.fault != Fault::None) {
-        acc.completeCycle = now;
-        (*accessFaults_)++;
-        return acc;
+    // local and remote addresses. Skipped only under a verifier proof
+    // that the check cannot fire.
+    if (!elide_check) {
+        acc.fault = checkAccess(ptr, kind, size);
+        if (acc.fault != Fault::None) {
+            acc.completeCycle = now;
+            (*accessFaults_)++;
+            return acc;
+        }
     }
 
     const uint64_t vaddr = ptr.addr();
@@ -239,18 +242,22 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
 }
 
 mem::MemAccess
-NodeMemory::load(Word ptr, unsigned size, uint64_t now)
+NodeMemory::load(Word ptr, unsigned size, uint64_t now,
+                 bool elide_check)
 {
-    mem::MemAccess acc = access(ptr, Access::Load, size, now, Word{});
+    mem::MemAccess acc =
+        access(ptr, Access::Load, size, now, Word{}, elide_check);
     if (acc.fault == Fault::None)
         (*loads_)++;
     return acc;
 }
 
 mem::MemAccess
-NodeMemory::store(Word ptr, Word value, unsigned size, uint64_t now)
+NodeMemory::store(Word ptr, Word value, unsigned size, uint64_t now,
+                  bool elide_check)
 {
-    mem::MemAccess acc = access(ptr, Access::Store, size, now, value);
+    mem::MemAccess acc =
+        access(ptr, Access::Store, size, now, value, elide_check);
     if (acc.fault == Fault::None)
         (*stores_)++;
     return acc;

@@ -67,27 +67,31 @@ class NodeMemory : public mem::MemoryPort
                const mem::MemConfig &config = mem::MemConfig{},
                const RetransConfig &retrans = RetransConfig{});
 
-    /** Timed load through a guarded pointer (local or remote). */
-    mem::MemAccess load(Word ptr, unsigned size, uint64_t now = 0);
+    /** Timed load through a guarded pointer (local or remote);
+     * elide_check skips the guarded-pointer access check under a
+     * verifier proof (translation/NoC behaviour unchanged). */
+    mem::MemAccess load(Word ptr, unsigned size, uint64_t now = 0,
+                        bool elide_check = false);
 
     /** Timed store through a guarded pointer (local or remote). */
     mem::MemAccess store(Word ptr, Word value, unsigned size,
-                         uint64_t now = 0);
+                         uint64_t now = 0, bool elide_check = false);
 
     /** Timed instruction fetch (local or remote code!). */
     mem::MemAccess fetch(Word ip, uint64_t now = 0);
 
     // MemoryPort interface — a Machine runs against a node directly.
     mem::MemAccess
-    portLoad(Word ptr, unsigned size, uint64_t now) override
+    portLoad(Word ptr, unsigned size, uint64_t now,
+             bool elide_check = false) override
     {
-        return load(ptr, size, now);
+        return load(ptr, size, now, elide_check);
     }
     mem::MemAccess
-    portStore(Word ptr, Word value, unsigned size,
-              uint64_t now) override
+    portStore(Word ptr, Word value, unsigned size, uint64_t now,
+              bool elide_check = false) override
     {
-        return store(ptr, value, size, now);
+        return store(ptr, value, size, now, elide_check);
     }
     mem::MemAccess
     portFetch(Word ip, uint64_t now) override
@@ -119,7 +123,8 @@ class NodeMemory : public mem::MemoryPort
 
   private:
     mem::MemAccess access(Word ptr, Access kind, unsigned size,
-                          uint64_t now, Word store_value);
+                          uint64_t now, Word store_value,
+                          bool elide_check = false);
 
     unsigned node_;
     Mesh &mesh_;

@@ -45,6 +45,8 @@ Profiler::arm(unsigned clusters, unsigned thread_slots,
         c = 0;
     clusterCycles_ = 0;
     instructions_ = 0;
+    checksElided_ = 0;
+    checksExecuted_ = 0;
     recs_.assign(thread_slots, SlotRec{});
     threadCycles_.assign(thread_slots, 0);
     threadInsts_.assign(thread_slots, 0);
@@ -90,6 +92,8 @@ Profiler::reset()
         c = 0;
     clusterCycles_ = 0;
     instructions_ = 0;
+    checksElided_ = 0;
+    checksExecuted_ = 0;
     clusters_ = 0;
 }
 
@@ -402,6 +406,8 @@ Profiler::exportJson(std::ostream &os) const
     os << "  \"cycles\": " << cycles() << ",\n";
     os << "  \"cluster_cycles\": " << clusterCycles_ << ",\n";
     os << "  \"instructions\": " << instructions_ << ",\n";
+    os << "  \"checks_elided\": " << checksElided_ << ",\n";
+    os << "  \"checks_executed\": " << checksExecuted_ << ",\n";
     os << "  \"components\": ";
     writeCompObject(os, comp_);
     os << ",\n";
@@ -504,6 +510,10 @@ Profiler::summary(std::ostream &os) const
         os << line;
     }
     os << "  total cluster-cycles " << clusterCycles_ << "\n";
+    if (checksElided_ || checksExecuted_) {
+        os << "  checks elided " << checksElided_ << " / executed "
+           << checksExecuted_ << " (verifier-proven elision)\n";
+    }
     if (!domains_.empty()) {
         os << "gpprof domains\n";
         for (const DomainStats &d : domains_) {

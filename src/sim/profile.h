@@ -192,6 +192,20 @@ class Profiler
     /** The thread hung forever on a lost NoC request. */
     void noteHang(unsigned slot, uint64_t cycle);
 
+    /**
+     * One elidable check event under elideChecks mode: skipped under a
+     * verifier proof (elided) or run in full (executed). Feeds the
+     * elided-vs-executed split in the profile export.
+     */
+    void
+    noteCheck(bool elided)
+    {
+        if (elided)
+            checksElided_++;
+        else
+            checksExecuted_++;
+    }
+
     // ---- per-cycle cluster attribution (armed only) --------------
 
     /** This cluster-cycle issued; attribute to the issuing thread. */
@@ -226,6 +240,11 @@ class Profiler
     }
     uint64_t instructions() const { return instructions_; }
     unsigned clusters() const { return clusters_; }
+
+    /** Check events skipped under a verifier proof while armed. */
+    uint64_t checksElided() const { return checksElided_; }
+    /** Check events run in full under elideChecks mode while armed. */
+    uint64_t checksExecuted() const { return checksExecuted_; }
 
     /** Non-empty cluster-cycles attributed to thread `slot`. */
     uint64_t threadCycles(unsigned slot) const
@@ -330,6 +349,8 @@ class Profiler
     uint64_t comp_[kProfCompCount] = {};
     uint64_t clusterCycles_ = 0;
     uint64_t instructions_ = 0;
+    uint64_t checksElided_ = 0;
+    uint64_t checksExecuted_ = 0;
 
     std::vector<SlotRec> recs_;
     std::vector<uint64_t> threadCycles_;

@@ -600,6 +600,10 @@ class Analyzer
     bool record_ = false;
     uint32_t iterations_ = 0;
     std::vector<Diag> diags_;
+    /// Per-instruction union of every fault kind any diagnostic found
+    /// reachable there (filled by emit() during the record pass); the
+    /// complement becomes the elision verdict.
+    std::vector<uint16_t> mayFaults_;
 };
 
 void
@@ -608,6 +612,8 @@ Analyzer::emit(uint32_t index, DiagKind kind, Severity sev,
 {
     if (!record_)
         return;
+    if (index < mayFaults_.size())
+        mayFaults_[index] |= faults;
     Diag d;
     d.kind = kind;
     d.sev = sev;
@@ -1250,12 +1256,44 @@ Analyzer::run()
     // its fixed entry state, with diagnostics enabled, so every
     // violation is reported exactly once.
     record_ = true;
+    mayFaults_.assign(progWords_, 0);
     uint32_t reachable = 0;
     for (uint32_t i = 0; i < progWords_; ++i) {
         if (!reached_[i])
             continue;
         reachable++;
         transfer(i, in_[i]);
+    }
+
+    // Elision verdicts: the complement of the recorded may-fault
+    // union. Any may-fact clears the corresponding safety bit, so
+    // everything downstream of an unresolvable JMP (havoc joins top
+    // into every state) degrades to no-elide automatically.
+    constexpr uint16_t perm_faults =
+        faultBit(Fault::NotAPointer) |
+        faultBit(Fault::InvalidPermission) |
+        faultBit(Fault::PermissionDenied) |
+        faultBit(Fault::Immutable) | faultBit(Fault::NotSubset) |
+        faultBit(Fault::NotSmaller) |
+        faultBit(Fault::PrivilegeViolation) |
+        faultBit(Fault::NotEnterPointer);
+    res.verdicts.assign(progWords_, 0);
+    for (uint32_t i = 0; i < progWords_; ++i) {
+        if (!reached_[i])
+            continue; // unreached: no proof, keep full checks
+        const uint16_t m = mayFaults_[i];
+        if (m & faultBit(Fault::InvalidInstruction))
+            continue; // tagged/undecodable word: nothing to elide
+        uint8_t v = 0;
+        if (!(m & faultBit(Fault::BoundsViolation)))
+            v |= isa::kElideBoundsSafe;
+        if (!(m & perm_faults))
+            v |= isa::kElidePermSafe;
+        if (!(m & faultBit(Fault::Misaligned)))
+            v |= isa::kElideAlignSafe;
+        if (m == 0)
+            v |= isa::kElideNeverFaults;
+        res.verdicts[i] = v;
     }
 
     res.diags = std::move(diags_);
@@ -1273,6 +1311,24 @@ verifyWords(const std::vector<Word> &words, const VerifyOptions &opts,
 {
     Analyzer analyzer(words, opts, src_map);
     return analyzer.run();
+}
+
+isa::ElideProof
+makeElideProof(const VerifyResult &result,
+               const std::vector<Word> &words, bool privileged,
+               uint64_t base)
+{
+    isa::ElideProof proof;
+    proof.base = base;
+    proof.privileged = privileged;
+    proof.bits.reserve(words.size());
+    for (const Word &w : words)
+        proof.bits.push_back(w.bits());
+    proof.verdicts = result.verdicts;
+    // A result from a shorter/older analysis never licenses elision
+    // past what it proved.
+    proof.verdicts.resize(words.size(), 0);
+    return proof;
 }
 
 } // namespace gp::verify

@@ -38,6 +38,7 @@
 #include "gp/permission.h"
 #include "gp/word.h"
 #include "isa/assembler.h"
+#include "isa/elide.h"
 
 namespace gp::verify {
 
@@ -266,6 +267,16 @@ struct VerifyResult
     uint32_t reachable = 0;    //!< instructions reached by the fixpoint
     uint32_t iterations = 0;   //!< worklist pops until the fixpoint
 
+    /**
+     * Per-instruction elision verdict byte (isa::kElide* bits): the
+     * complement of the union of every fault kind the record pass
+     * found reachable at that instruction. Unreached instructions and
+     * undecodable/tagged words get 0 (no proof). kElideNeverFaults is
+     * set only when *no* capability fault of any kind is reachable —
+     * the bit that licenses the machine's unchecked datapath.
+     */
+    std::vector<uint8_t> verdicts;
+
     size_t
     errorCount() const
     {
@@ -310,6 +321,18 @@ VerifyResult verifyWords(const std::vector<Word> &words,
 /** Verify an assembled program, wiring up its source map. */
 VerifyResult verifyProgram(const isa::Assembly &assembly,
                            const VerifyOptions &opts = {});
+
+/**
+ * Package a verification result as the machine-consumable proof
+ * sidecar: verdict bytes bound to the exact instruction bits and the
+ * load base / privilege mode they were established for. @param words
+ * must be the image passed to verifyWords; @param privileged must
+ * match the VerifyOptions the result came from, @param base the
+ * address the image will be loaded at.
+ */
+isa::ElideProof makeElideProof(const VerifyResult &result,
+                               const std::vector<Word> &words,
+                               bool privileged, uint64_t base);
 
 } // namespace gp::verify
 

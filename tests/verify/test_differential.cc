@@ -162,6 +162,28 @@ describe(uint64_t seed, const std::string &src, const VerifyResult &res)
     return s.str();
 }
 
+/** FNV-1a over the final data-segment image, tag bits included. */
+uint64_t
+dataSignature(isa::Machine &machine)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    const uint64_t end = kDataBase + (uint64_t(1) << kDataLenLog2);
+    for (uint64_t va = kDataBase; va < end; va += 8) {
+        const auto w = machine.mem().tryPeekWord(va);
+        if (!w) {
+            mix(0x5157ull); // untouched page
+            continue;
+        }
+        mix(w->bits());
+        mix(w->isPointer() ? 0x9e3779b9ull : 0x51edull);
+    }
+    return h;
+}
+
 TEST(VerifierDifferential, SoundOverRandomPrograms)
 {
     unsigned checked = 0;
@@ -276,6 +298,120 @@ TEST(VerifierDifferential, SoundOverRandomPrograms)
     // contract, or the harness is vacuous.
     EXPECT_GT(cleanRuns, 20u);
     EXPECT_GT(mustFaultChecks, 100u);
+}
+
+/**
+ * The elision arm: every generated program runs twice — full checks
+ * vs. --elide-checks=verified with its own proof registered — and the
+ * two runs must agree on every architectural observable: thread
+ * state, all registers (payload AND tag), the fault record, the
+ * retired-instruction count, and the final data-memory image. Only
+ * cycle counts may differ (elided pointer ops complete in the fetch
+ * shadow).
+ */
+TEST(VerifierDifferential, ElisionPreservesArchitecturalOutcomes)
+{
+    uint64_t elidedTotal = 0;
+
+    for (unsigned p = 0; p < kPrograms; ++p) {
+        // Same seeds as SoundOverRandomPrograms: identical corpus,
+        // including the occasionally corrupted images.
+        const uint64_t seed = 0xD1FF0000 + p;
+        sim::Rng rng(seed);
+        const std::string src = genProgram(rng);
+
+        isa::Assembly assembly = isa::assemble(src);
+        ASSERT_TRUE(assembly.ok)
+            << "seed " << seed << ": " << assembly.error;
+        std::vector<Word> words = assembly.words;
+        if (rng.below(16) == 0 && !words.empty()) {
+            const size_t idx = rng.below(words.size());
+            words[idx] = rng.below(2)
+                             ? Word::fromInt(uint64_t(0xff) << 56)
+                             : Word::fromRawPointerBits(0x1234);
+        }
+
+        VerifyOptions vopts;
+        vopts.privileged = false;
+        vopts.entryRegs = {
+            {1, AbsVal::pointer(Perm::ReadWrite, kDataLenLog2, 0)},
+            {2, AbsVal::intConst(0)},
+        };
+        for (const auto &[name, index] : assembly.labels)
+            vopts.leaderHints.push_back(uint32_t(index));
+        const VerifyResult res = verifyWords(words, vopts,
+                                             &assembly.srcMap);
+        const isa::ElideProof proof =
+            makeElideProof(res, words, false, kCodeBase);
+
+        struct Arm
+        {
+            isa::ThreadState state{};
+            Fault fault = Fault::None;
+            uint64_t faultAddr = 0;
+            std::vector<uint64_t> regs;
+            uint64_t signature = 0;
+            uint64_t instructions = 0;
+            uint64_t elided = 0;
+        };
+        auto runArm = [&](bool elide) -> Arm {
+            isa::MachineConfig cfg;
+            cfg.mem.cache.setsPerBank = 64;
+            cfg.elideChecks = elide;
+            isa::Machine machine(cfg);
+            const isa::LoadedProgram prog =
+                isa::loadProgram(machine.mem(), kCodeBase, words);
+            if (elide)
+                machine.registerElideProof(proof);
+            isa::Thread *t = machine.spawn(prog.execPtr);
+            EXPECT_NE(t, nullptr);
+            t->setReg(1, isa::dataSegment(kDataBase, kDataLenLog2));
+            t->setReg(2, Word::fromInt(0));
+            machine.run(kMaxCycles);
+            Arm a;
+            a.state = t->state();
+            a.fault = t->faultRecord().fault;
+            a.faultAddr = t->faultRecord().ip.addr();
+            for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+                a.regs.push_back(t->reg(r).bits());
+                a.regs.push_back(t->reg(r).isPointer() ? 1 : 0);
+            }
+            a.signature = dataSignature(machine);
+            a.instructions = machine.stats().get("instructions");
+            a.elided = machine.stats().get("elide_checks_elided");
+            return a;
+        };
+
+        const Arm off = runArm(false);
+        const Arm on = runArm(true);
+        elidedTotal += on.elided;
+
+        ASSERT_EQ(unsigned(off.state), unsigned(on.state))
+            << describe(seed, src, res)
+            << "elision changed the final thread state";
+        ASSERT_EQ(off.regs, on.regs)
+            << describe(seed, src, res)
+            << "elision changed a register (payload or tag)";
+        ASSERT_EQ(off.signature, on.signature)
+            << describe(seed, src, res)
+            << "elision changed the final data-memory image";
+        ASSERT_EQ(off.instructions, on.instructions)
+            << describe(seed, src, res)
+            << "elision changed the retired-instruction count";
+        if (off.state == isa::ThreadState::Faulted) {
+            ASSERT_EQ(unsigned(off.fault), unsigned(on.fault))
+                << describe(seed, src, res)
+                << "elision changed the fault kind";
+            ASSERT_EQ(off.faultAddr, on.faultAddr)
+                << describe(seed, src, res)
+                << "elision changed the faulting IP";
+        }
+        if (::testing::Test::HasFailure())
+            break;
+    }
+
+    // The arm is vacuous if the corpus never actually elides checks.
+    EXPECT_GT(elidedTotal, 1000u);
 }
 
 } // namespace

@@ -14,7 +14,7 @@
  *           [--ecc=off|parity|secded] [--walk-retries N]
  *           [--rate SITE=R]... [--burst-max-bits N]
  *           [--watchdog-cycles N] [--stats-json=FILE]
- *           [--verbose] [--list-sites]
+ *           [--elide-checks] [--verbose] [--list-sites]
  *           [--expect-zero-sdc] [--expect-detected]
  *
  * The --expect-* flags turn the driver into a CI tripwire: the
@@ -66,6 +66,10 @@ usage(const char *argv0)
         "  --burst-max-bits N max bits per cache-line burst (default 4)\n"
         "  --watchdog-cycles N  per-run hang budget (default 300000)\n"
         "  --stats-json=FILE  export the campaign stat group as JSON\n"
+        "  --elide-checks     arm verifier-driven check elision; the\n"
+        "                     outcome table must match the elide-off\n"
+        "                     campaign bit for bit (injected runs\n"
+        "                     auto-disable elision)\n"
         "  --verbose          one line per run\n"
         "  --list-sites       print the fault-site names and exit\n"
         "  --expect-zero-sdc  exit 1 if any run is classified SDC\n"
@@ -143,6 +147,11 @@ parseArgs(int argc, char **argv, Options &opts, bool &exitEarly)
         }
         if (arg == "--expect-detected") {
             opts.expectDetected = true;
+            continue;
+        }
+        if (arg == "--elide-checks" ||
+            arg == "--elide-checks=verified") {
+            opts.campaign.elideChecks = true;
             continue;
         }
         if (valueOf("--runs", value)) {
@@ -234,12 +243,13 @@ main(int argc, char **argv)
     }
 
     std::printf("gpfault: %llu runs, %llu injections, ecc=%s, "
-                "walk-retries=%u, golden=%llu cycles\n",
+                "walk-retries=%u%s, golden=%llu cycles\n",
                 (unsigned long long)totals.runs,
                 (unsigned long long)totals.totalInjections,
                 std::string(mem::eccModeName(opts.campaign.ecc))
                     .c_str(),
                 opts.campaign.walkRetries,
+                opts.campaign.elideChecks ? ", elide-checks" : "",
                 (unsigned long long)totals.goldenCycles);
     for (unsigned o = 0; o < fault::kOutcomeCount; ++o) {
         const uint64_t n = totals.perOutcome[o];

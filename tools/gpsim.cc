@@ -33,6 +33,7 @@
 
 #include "gp/ops.h"
 #include "isa/assembler.h"
+#include "isa/elide.h"
 #include "mem/ecc.h"
 #include "os/kernel.h"
 #include "sim/log.h"
@@ -64,6 +65,8 @@ struct Options
     std::string statsJson;        //!< stats JSON export path
     bool verify = false;          //!< run gpverify before executing
     bool verifyStrict = false;    //!< ... and make warnings fatal
+    bool elideChecks = false;     //!< skip verifier-proven checks
+    std::string proofsFile;       //!< gpproof sidecar ("" = verify here)
     bool profile = false;         //!< arm the cycle profiler
     sim::ProfileConfig profileConfig; //!< aggregation modes
     std::string profileOut;       //!< gpprof JSON export path
@@ -91,6 +94,14 @@ usage(const char *argv0)
         "  --verify[=strict] statically verify capability safety\n"
         "                   before running; abort on errors (strict:\n"
         "                   abort on warnings too)\n"
+        "  --elide-checks=verified  skip runtime checks the verifier\n"
+        "                   proves can never fire (identical\n"
+        "                   architectural outcomes, fewer cycles);\n"
+        "                   verifies the program at load unless\n"
+        "                   --proofs supplies a sidecar\n"
+        "  --proofs=FILE    gpproof sidecar from gpverify\n"
+        "                   --emit-proofs, rebased to the actual load\n"
+        "                   address (requires --elide-checks)\n"
         "  --trace[=CATS]   structured event trace to stdout; CATS is\n"
         "                   'all' or a comma list of exec,mem,cache,\n"
         "                   tlb,fault,gate,noc,sched (default exec)\n"
@@ -161,6 +172,21 @@ parseArgs(int argc, char **argv, Options &opts)
         if (arg == "--verify" || arg == "--verify=strict") {
             opts.verify = true;
             opts.verifyStrict = arg == "--verify=strict";
+            continue;
+        }
+        if (arg == "--elide-checks" ||
+            arg == "--elide-checks=verified") {
+            opts.elideChecks = true;
+            continue;
+        }
+        if (arg.rfind("--elide-checks=", 0) == 0) {
+            std::fprintf(stderr, "bad --elide-checks mode: %s "
+                         "(only 'verified' is supported)\n",
+                         arg.c_str() + 15);
+            return false;
+        }
+        if (valueOf("--proofs", value)) {
+            opts.proofsFile = value;
             continue;
         }
         if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
@@ -293,9 +319,16 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (!opts.proofsFile.empty() && !opts.elideChecks) {
+        std::fprintf(stderr,
+                     "gpsim: --proofs requires --elide-checks\n");
+        return 2;
+    }
+
     os::KernelConfig kcfg;
     kcfg.machine.clusters = opts.clusters;
     kcfg.machine.issueWidth = opts.issueWidth;
+    kcfg.machine.elideChecks = opts.elideChecks;
     kcfg.machine.mem.ecc = opts.ecc;
     kcfg.machine.mem.walkRetries = opts.walkRetries;
     // The cycle budget doubles as the watchdog: if the program is
@@ -347,6 +380,42 @@ main(int argc, char **argv)
         return 1;
     }
 
+    if (opts.elideChecks) {
+        isa::ElideProof proof;
+        if (!opts.proofsFile.empty()) {
+            std::ifstream in(opts.proofsFile);
+            if (!in)
+                sim::fatal("cannot open proof sidecar %s",
+                           opts.proofsFile.c_str());
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            std::string perr;
+            if (!isa::parseProof(ss.str(), proof, &perr))
+                sim::fatal("bad proof sidecar %s: %s",
+                           opts.proofsFile.c_str(), perr.c_str());
+            // Rebase to where the kernel actually put the image. The
+            // verdicts are position-independent (the verifier works on
+            // instruction indices); the bits binding still guarantees
+            // a verdict only applies to the exact word it was proven
+            // for.
+            proof.base = prog.value.base;
+        } else {
+            // No sidecar: establish the proof here, under the same
+            // entry-state assumptions the spawn loop below sets up
+            // (r1 = RW data segment of --data bytes, r2 = integer).
+            const isa::Assembly assembly = isa::assemble(source);
+            verify::VerifyOptions vopts;
+            vopts.privileged = opts.privileged;
+            vopts.entryRegs = verify::defaultEntryRegs(opts.dataBytes);
+            const verify::VerifyResult vres =
+                verify::verifyProgram(assembly, vopts);
+            proof = verify::makeElideProof(vres, assembly.words,
+                                           opts.privileged,
+                                           prog.value.base);
+        }
+        kernel.machine().registerElideProof(proof);
+    }
+
     // Attach the requested trace sinks before any thread runs.
     sim::TraceManager &tracer = sim::TraceManager::instance();
     if (opts.traceMask != 0)
@@ -395,6 +464,14 @@ main(int argc, char **argv)
                 (unsigned long long)cycles,
                 (unsigned long long)kernel.machine().stats().get(
                     "instructions"));
+    if (opts.elideChecks) {
+        sim::StatGroup &ms = kernel.machine().stats();
+        std::printf("gpsim: elide: %llu checks elided, %llu executed, "
+                    "%llu cycles saved\n",
+                    (unsigned long long)ms.get("elide_checks_elided"),
+                    (unsigned long long)ms.get("elide_checks_executed"),
+                    (unsigned long long)ms.get("elide_cycles_saved"));
+    }
 
     for (size_t i = 0; i < threads.size(); ++i) {
         isa::Thread *t = threads[i];

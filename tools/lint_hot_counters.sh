@@ -55,4 +55,33 @@ if [ -n "$profviol" ]; then
     echo "loader (src/os) or the tool driver." >&2
     exit 1
 fi
-echo "lint_hot_counters: OK (no string-keyed stat or profile lookups in $dirs)"
+
+# Check-elision discipline (docs/VERIFIER.md, "Proof export & check
+# elision"): the proof sidecar is consulted exactly once per static
+# instruction, on a predecode miss, where its verdict byte is baked
+# into the cache slot. The per-executed-instruction hot loop must
+# never scan the proof tables — a sidecar walk per retired
+# instruction would hand back the very cycles elision exists to save.
+# Blessed patterns: the proofVerdict() definition and declaration,
+# the registration/clear/cold-guard accessors, the definition's own
+# scan loop, and the single `? proofVerdict(...)` miss-path consult.
+elideviol=$(grep -rnE '(proofVerdict|elideProofs_)' $dirs \
+                --include='*.cc' --include='*.h' \
+            | grep -vE ':[0-9]+: *(//|\*|/\*|///)' \
+            | grep -vE 'Machine::proofVerdict' \
+            | grep -vE 'uint8_t proofVerdict' \
+            | grep -vE 'std::vector<ElideProof> elideProofs_;' \
+            | grep -vE 'elideProofs_\.(push_back|clear|empty)\(' \
+            | grep -vE 'for \(const ElideProof &p : elideProofs_\)' \
+            | grep -vE '\? proofVerdict\(' || true)
+
+if [ -n "$elideviol" ]; then
+    echo "lint_hot_counters: proof-sidecar consultation outside the predecode-miss path:" >&2
+    echo "$elideviol" >&2
+    echo >&2
+    echo "Elision verdicts are baked into the predecode slot on a" >&2
+    echo "miss; per-executed-instruction code must read the baked" >&2
+    echo "verdict byte, never proofVerdict()/elideProofs_." >&2
+    exit 1
+fi
+echo "lint_hot_counters: OK (no string-keyed stat/profile lookups or hot-path proof consults in $dirs)"

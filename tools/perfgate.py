@@ -88,6 +88,36 @@ def gate_deterministic(title, base, new):
     return bad
 
 
+def check_elide_contract(new_tables):
+    """Sanity-gate the fig5-elide row of the new report: elide-on
+    cycles must not exceed the elide-off cycles recorded in its extra
+    column, and the arm must have elided something (saved > 0).
+    Returns #violations; absent row (older reports) checks nothing."""
+    bad = 0
+    for title, table in new_tables.items():
+        if "deterministic" not in title:
+            continue
+        row = rows_by_key(table).get("fig5-elide")
+        if row is None or len(row) < 4:
+            continue
+        cycles = parse_number(row[1])
+        m_off = re.search(r"off=(\d+)", row[3])
+        m_saved = re.search(r"saved=(\d+)", row[3])
+        if cycles is None or not m_off or not m_saved:
+            print(f"FAIL {title} :: fig5-elide :: unparseable row")
+            bad += 1
+            continue
+        if cycles > float(m_off.group(1)):
+            print(f"FAIL {title} :: fig5-elide :: elide-on cycles "
+                  f"{row[1]} exceed elide-off {m_off.group(1)}")
+            bad += 1
+        if int(m_saved.group(1)) == 0:
+            print(f"FAIL {title} :: fig5-elide :: saved=0 "
+                  "(the proof discharged nothing)")
+            bad += 1
+    return bad
+
+
 def gate_host(title, base, new, warn_band):
     """Warn-only: flag rate cells that regressed beyond the band."""
     header = base.get("header", [])
@@ -143,6 +173,7 @@ def main():
                                   new_tables[title], args.warn_band)
     if not saw_deterministic:
         die("no deterministic table found; is this a P1 report?")
+    failures += check_elide_contract(new_tables)
 
     if failures:
         print(f"perfgate: FAILED — {failures} deterministic cell(s) "

@@ -21,9 +21,10 @@ Profile exports ({"kind": "gpprof-profile", ...}, as written by gpsim
 --profile-out): diffs the CPI stack per component — absolute
 cluster-cycle deltas plus the per-instruction (CPI) change, which is
 the number that matters when instruction counts differ between the
-runs — and the per-domain cycle/instruction attribution by domain
-name. This is how profiling regressions (e.g. a change that moves
-cycles from compute into gate crossings) are caught in CI.
+runs — the verifier-elision check split (checks_elided /
+checks_executed), and the per-domain cycle/instruction attribution by
+domain name. This is how profiling regressions (e.g. a change that
+moves cycles from compute into gate crossings) are caught in CI.
 
 Exit status is 1 when anything differs (useful as a regression
 tripwire in CI), 0 otherwise; 2 when an input file is missing, not
@@ -158,7 +159,8 @@ def diff_tables(base_doc, new_doc, show_all):
 def diff_profiles(base, new, show_all):
     """Diff two gpprof profiles. Returns the number of differences."""
     changed = 0
-    for field in ("clusters", "cycles", "instructions"):
+    for field in ("clusters", "cycles", "instructions",
+                  "checks_elided", "checks_executed"):
         b, n = base.get(field, 0), new.get(field, 0)
         if b != n:
             print(f"~ {field} {fmt_delta(b, n)}")

@@ -12,11 +12,16 @@
  * for byte, is dereferenced from every node of the mesh.
  */
 
+#include <chrono>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "bench_util.h"
+#include "isa/assembler.h"
+#include "isa/loader.h"
 #include "noc/node_memory.h"
+#include "noc/shard.h"
 #include "sim/rng.h"
 
 namespace {
@@ -164,6 +169,121 @@ invarianceCheck()
         "absorbing re-references to remote lines.\n");
 }
 
+/**
+ * Sharded epoch engine over a 4x4x4 mesh: 64 full machines running a
+ * pseudo-random all-to-all load/store loop. The deterministic table
+ * (signature, cycles, instructions, traffic) must be byte-identical
+ * for EVERY host-thread count; the host table reports wall time for
+ * the requested --threads=N and is load-dependent by nature.
+ */
+void
+shardedEpochEngine(unsigned host_threads)
+{
+    // One node's traffic loop: target rotates with the iteration and
+    // the node id, so every node touches many remote partitions.
+    // r1 = full-space RW pointer, r2 = node id.
+    constexpr const char *kSrc = R"(
+        movi r3, 0
+        movi r4, 96
+    loop:
+        add r7, r3, r2
+        andi r7, r7, 63
+        shli r7, r7, 48
+        shli r8, r3, 3
+        andi r8, r8, 2040
+        addi r8, r8, 4096
+        add r7, r7, r8
+        leab r9, r1, r7
+        ld r10, 0(r9)
+        add r10, r10, r2
+        st r10, 0(r9)
+        addi r3, r3, 1
+        bne r3, r4, loop
+        halt
+    )";
+
+    auto build = [](unsigned threads) {
+        ShardConfig cfg;
+        cfg.mesh.dimX = 4;
+        cfg.mesh.dimY = 4;
+        cfg.mesh.dimZ = 4;
+        cfg.node.cache = gp::bench::mapCache();
+        cfg.machine.clusters = 1;
+        cfg.hostThreads = threads;
+        return std::make_unique<ShardedMesh>(cfg);
+    };
+
+    isa::Assembly a = isa::assemble(kSrc);
+    if (!a.ok)
+        std::abort();
+    auto full = makePointer(Perm::ReadWrite, 54, 0);
+
+    auto load = [&](ShardedMesh &shard) {
+        for (unsigned n = 0; n < shard.nodeCount(); ++n) {
+            auto prog = isa::loadProgram(
+                shard.node(n), nodeBase(n) + 0x20000, a.words);
+            isa::Thread *t = shard.machine(n).spawn(prog.execPtr);
+            t->setReg(1, full.value);
+            t->setReg(2, Word::fromInt(n));
+        }
+    };
+
+    auto shard = build(host_threads);
+    load(*shard);
+    const auto t0 = std::chrono::steady_clock::now();
+    shard->run(2'000'000);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    uint64_t insts = 0, remote = 0;
+    for (unsigned n = 0; n < shard->nodeCount(); ++n) {
+        insts += shard->machine(n).stats().get("instructions");
+        remote += shard->node(n).stats().get("remote_misses");
+    }
+
+    // The deterministic table deliberately omits the host-thread
+    // count: the whole point is that these values do not depend on
+    // it, so perfgate can compare a --threads=1 run against a
+    // --threads=4 run row for row.
+    gp::bench::Table det(
+        "F6d: sharded epoch engine, 64 nodes (deterministic)",
+        {"metric", "value"});
+    det.addRow({"nodes",
+                gp::bench::fmt("%u", shard->nodeCount())});
+    det.addRow({"epoch horizon",
+                gp::bench::fmt("%llu", (unsigned long long)
+                                           shard->epochHorizon())});
+    det.addRow({"simulated cycles",
+                gp::bench::fmt("%llu",
+                               (unsigned long long)shard->cycle())});
+    det.addRow({"instructions",
+                gp::bench::fmt("%llu", (unsigned long long)insts)});
+    det.addRow({"remote misses",
+                gp::bench::fmt("%llu", (unsigned long long)remote)});
+    det.addRow(
+        {"mesh messages",
+         gp::bench::fmt("%llu", (unsigned long long)shard->mesh()
+                                    .stats()
+                                    .get("messages"))});
+    det.addRow({"signature",
+                gp::bench::fmt("%016llx", (unsigned long long)
+                                              shard->signature())});
+    det.print();
+
+    const double mcps = double(shard->cycle()) *
+                        double(shard->nodeCount()) / wall / 1e6;
+    gp::bench::Table host(
+        "F6e: sharded engine host scaling (host-dependent)",
+        {"metric", "value"});
+    host.addRow({"host threads",
+                 gp::bench::fmt("%u", shard->hostThreads())});
+    host.addRow({"wall seconds", gp::bench::fmt("%.3f", wall)});
+    host.addRow({"node-Mcycles/s", gp::bench::fmt("%.2f", mcps)});
+    host.print();
+}
+
 } // namespace
 
 int
@@ -171,8 +291,16 @@ main(int argc, char **argv)
 {
     gp::bench::init(argc, argv);
 
+    unsigned host_threads = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0)
+            host_threads =
+                std::max(1u, unsigned(std::atoi(argv[i] + 10)));
+    }
+
     latencyVsDistance();
     allToAllTraffic();
     invarianceCheck();
+    shardedEpochEngine(host_threads);
     return 0;
 }

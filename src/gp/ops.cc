@@ -47,15 +47,37 @@ opStats()
     return stats;
 }
 
+/// When set, this host thread counts into the tally instead of the
+/// shared "gp" StatGroup (sharded mesh engine worker threads; see
+/// setThreadOpTallies()). Null on every other thread, including the
+/// engine's own barrier/drain thread.
+thread_local OpTallies *tlsTallies = nullptr;
+
+/// One op-counter bump through the tally indirection. Still a plain
+/// increment either way — no string-keyed lookup on the hot path.
+#define GP_OP_COUNT(field)                                            \
+    do {                                                              \
+        if (OpTallies *t = tlsTallies)                                \
+            t->field++;                                               \
+        else                                                          \
+            (*opStats().field)++;                                     \
+    } while (0)
+
 /** Count a violation by kind; passes the fault through for inline use. */
 inline Fault
 countFault(Fault f)
 {
     if (f != Fault::None) {
         const unsigned i = unsigned(f);
-        OpStats &s = opStats();
-        if (i < 16 && s.fault[i])
-            (*s.fault[i])++;
+        if (i < 16) {
+            if (OpTallies *t = tlsTallies) {
+                t->fault[i]++;
+            } else {
+                OpStats &s = opStats();
+                if (s.fault[i])
+                    (*s.fault[i])++;
+            }
+        }
     }
     return f;
 }
@@ -103,7 +125,7 @@ withAddr(Word ptr, uint64_t new_addr)
 Result<Word>
 lea(Word ptr, int64_t delta)
 {
-    (*opStats().lea)++;
+    GP_OP_COUNT(lea);
     auto dec = decodeMutable(ptr);
     if (!dec)
         return Result<Word>::fail(dec.fault);
@@ -130,7 +152,7 @@ lea(Word ptr, int64_t delta)
 Result<Word>
 leab(Word ptr, int64_t delta)
 {
-    (*opStats().leab)++;
+    GP_OP_COUNT(leab);
     auto dec = decodeMutable(ptr);
     if (!dec)
         return Result<Word>::fail(dec.fault);
@@ -156,7 +178,7 @@ leab(Word ptr, int64_t delta)
 Result<Word>
 restrictPerm(Word ptr, Perm target)
 {
-    (*opStats().restrictOp)++;
+    GP_OP_COUNT(restrictOp);
     auto dec = decode(ptr);
     if (!dec)
         return Result<Word>::fail(countFault(dec.fault));
@@ -181,7 +203,7 @@ restrictPerm(Word ptr, Perm target)
 Result<Word>
 subseg(Word ptr, uint64_t new_len_log2)
 {
-    (*opStats().subsegOp)++;
+    GP_OP_COUNT(subsegOp);
     auto dec = decode(ptr);
     if (!dec)
         return Result<Word>::fail(countFault(dec.fault));
@@ -202,7 +224,7 @@ subseg(Word ptr, uint64_t new_len_log2)
 Word
 setptr(uint64_t bits)
 {
-    (*opStats().setptrOp)++;
+    GP_OP_COUNT(setptrOp);
     return Word::fromRawPointerBits(bits);
 }
 
@@ -319,7 +341,7 @@ accessFault(Fault f, Access kind, const PointerView &v)
 Fault
 checkAccess(Word ptr, Access kind, unsigned size_bytes)
 {
-    (*opStats().accessChecks)++;
+    GP_OP_COUNT(accessChecks);
     auto dec = decode(ptr);
     if (!dec)
         return countFault(dec.fault);
@@ -413,6 +435,27 @@ ipPrivileged(Word ip)
 {
     auto dec = decode(ip);
     return dec && dec.value.perm() == Perm::ExecutePrivileged;
+}
+
+void
+setThreadOpTallies(OpTallies *tallies)
+{
+    tlsTallies = tallies;
+}
+
+void
+mergeOpTallies(const OpTallies &tallies)
+{
+    OpStats &s = opStats();
+    (*s.lea) += tallies.lea;
+    (*s.leab) += tallies.leab;
+    (*s.restrictOp) += tallies.restrictOp;
+    (*s.subsegOp) += tallies.subsegOp;
+    (*s.setptrOp) += tallies.setptrOp;
+    (*s.accessChecks) += tallies.accessChecks;
+    for (unsigned i = 0; i < 16; ++i)
+        if (tallies.fault[i] != 0 && s.fault[i] != nullptr)
+            (*s.fault[i]) += tallies.fault[i];
 }
 
 } // namespace gp

@@ -130,6 +130,33 @@ Result<Word> jumpTarget(Word dest, bool privileged);
 /** @return true when the given IP word confers privileged mode. */
 bool ipPrivileged(Word ip);
 
+/**
+ * Per-thread tallies for the "gp" pointer-op counters. The sharded
+ * mesh engine routes each worker thread's counting here (plain
+ * uint64 increments, no sharing) and merges the tallies into the
+ * real StatGroup counters when the run finishes, so the exported
+ * totals are identical to a sequential run's.
+ */
+struct OpTallies
+{
+    uint64_t lea = 0;
+    uint64_t leab = 0;
+    uint64_t restrictOp = 0;
+    uint64_t subsegOp = 0;
+    uint64_t setptrOp = 0;
+    uint64_t accessChecks = 0;
+    uint64_t fault[16] = {};
+};
+
+/**
+ * Route this host thread's op counting into @p tallies (nullptr
+ * restores direct counting into the "gp" StatGroup, the default).
+ */
+void setThreadOpTallies(OpTallies *tallies);
+
+/** Add @p tallies into the process-wide "gp" counters. */
+void mergeOpTallies(const OpTallies &tallies);
+
 } // namespace gp
 
 #endif // GP_GP_OPS_H

@@ -253,7 +253,10 @@ bool
 Machine::allDone() const
 {
     for (const Thread &t : threads_) {
-        if (t.state() == ThreadState::Ready)
+        // Pending threads (parked on a cross-shard split transaction)
+        // are live: the epoch barrier will resume them.
+        if (t.state() == ThreadState::Ready ||
+            t.state() == ThreadState::Pending)
             return false;
     }
     return true;
@@ -272,8 +275,11 @@ Machine::step()
     cycle_++;
     (*cycles_)++;
     // Tick-scheduled fault sites (resident-memory flips etc.): one
-    // static-bool test when no campaign is armed.
-    if (sim::FaultInjector::armed())
+    // static-bool test when no campaign is armed. The sharded mesh
+    // engine suppresses the per-machine tick and ticks the injector
+    // centrally at the epoch barrier instead, so draw order does not
+    // depend on the host-thread count.
+    if (!config_.externalInjectorTick && sim::FaultInjector::armed())
         sim::FaultInjector::instance().tick(cycle_);
     if (sim::Profiler::armed())
         sim::Profiler::instance().tick(cycle_);
@@ -307,11 +313,14 @@ Machine::tripWatchdog(const char *why)
     sim::warn("machine: watchdog trip (%s) at cycle %llu", why,
               static_cast<unsigned long long>(cycle_));
     for (Thread &t : threads_) {
-        if (t.state() != ThreadState::Ready)
+        if (t.state() != ThreadState::Ready &&
+            t.state() != ThreadState::Pending)
             continue;
         // Structured conversion of the hang: fault the thread
         // directly, bypassing the software handler — a wedged
-        // machine cannot be trusted to run recovery code.
+        // machine cannot be trusted to run recovery code. Pending
+        // threads are killed too: their split transaction will never
+        // be delivered to a tripped machine.
         GP_TRACE(Fault, cycle_, t.id(), "watchdog-kill",
                  "t%u ip=0x%llx", t.id(),
                  static_cast<unsigned long long>(t.ip().addr()));
@@ -508,6 +517,23 @@ Machine::issueThread(Thread &thread)
     if (sim::Profiler::armed())
         sim::Profiler::instance().accBegin(sim::ProfComp::IFetch);
     const mem::MemAccess f = port_->portFetch(thread.ip(), cycle_);
+    if (f.deferred) {
+        // Cross-shard fetch under the epoch engine: park the thread
+        // until the barrier delivers the fetched word, then resume
+        // through finishFetch() as if the fetch had just returned.
+        readyMayHaveShrunk_ = true;
+        thread.park();
+        deferred_.push_back(
+            {f.ticket, uint32_t(&thread - threads_.data()),
+             DeferredKind::Fetch, 0, 0, 0, false});
+        return;
+    }
+    finishFetch(thread, f);
+}
+
+void
+Machine::finishFetch(Thread &thread, const mem::MemAccess &f)
+{
     if (f.hang) {
         // The fetch will never complete (lost NoC request with
         // retransmission off): the thread stalls forever. Only a
@@ -685,6 +711,17 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at,
         note_check(elide);
         const mem::MemAccess acc =
             port_->portLoad(ptr.value, size, ready_at, elide);
+        if (acc.deferred) {
+            // Cross-shard load: the pointer check already ran above;
+            // park until the barrier delivers data and timing.
+            readyMayHaveShrunk_ = true;
+            thread.park();
+            deferred_.push_back(
+                {acc.ticket, uint32_t(&thread - threads_.data()),
+                 DeferredKind::Load, inst.rd, size, 0, elide});
+            fault_taken = true; // suppress the retire/advance tail
+            return;
+        }
         if (acc.hang) {
             thread.stallTo(UINT64_MAX);
             (*hungAccesses_)++;
@@ -719,6 +756,16 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at,
         note_check(elide);
         const mem::MemAccess acc =
             port_->portStore(ptr.value, value, size, ready_at, elide);
+        if (acc.deferred) {
+            readyMayHaveShrunk_ = true;
+            thread.park();
+            deferred_.push_back(
+                {acc.ticket, uint32_t(&thread - threads_.data()),
+                 DeferredKind::Store, 0, size, ptr.value.addr(),
+                 elide});
+            fault_taken = true; // suppress the retire/advance tail
+            return;
+        }
         if (acc.hang) {
             thread.stallTo(UINT64_MAX);
             (*hungAccesses_)++;
@@ -991,6 +1038,79 @@ Machine::execute(Thread &thread, const Inst &inst, uint64_t ready_at,
             instClass(inst.op) == ClassPointer ? sim::ProfComp::Check
                                                : sim::ProfComp::Compute);
     }
+}
+
+void
+Machine::completeDeferred(uint64_t ticket, const mem::MemAccess &acc)
+{
+    size_t idx = deferred_.size();
+    for (size_t i = 0; i < deferred_.size(); ++i) {
+        if (deferred_[i].ticket == ticket) {
+            idx = i;
+            break;
+        }
+    }
+    if (idx == deferred_.size()) {
+        sim::warn("machine: completeDeferred: unknown ticket %llu",
+                  static_cast<unsigned long long>(ticket));
+        return;
+    }
+    const DeferredInst rec = deferred_[idx];
+    deferred_.erase(deferred_.begin() + ptrdiff_t(idx));
+    Thread &thread = threads_[rec.threadIndex];
+    if (thread.state() != ThreadState::Pending) {
+        // The watchdog killed the thread while its transaction was
+        // in flight; drop the late result.
+        return;
+    }
+    thread.unpark();
+    lastIssueCycle_ = cycle_; // a completion is progress, too
+
+    if (rec.kind == DeferredKind::Fetch) {
+        // Resume the issue path where the fetch left off. The decoded
+        // instruction may immediately park again on a remote operand
+        // (resolved in the next barrier drain round).
+        finishFetch(thread, acc);
+        return;
+    }
+
+    // The load/store completion tail, mirroring do_load/do_store and
+    // the retire tail of execute() exactly (the issue-side work —
+    // pointer check, note_check, instruction counters — already ran
+    // before the park).
+    if (acc.hang) {
+        thread.stallTo(UINT64_MAX);
+        (*hungAccesses_)++;
+        return;
+    }
+    if (acc.fault != Fault::None) {
+        faultThread(thread, acc.fault);
+        return;
+    }
+    if (rec.kind == DeferredKind::Load) {
+        thread.setReg(rec.rd, acc.data);
+    } else {
+        // Store proof-cover invalidation, mirroring do_store. Nothing
+        // aliases the predecode array at the barrier, so the flush
+        // runs immediately instead of via proofsDirty_.
+        const uint64_t sa = rec.storeAddr;
+        if (sa + rec.size > proofCoverLo_ && sa < proofCoverHi_) {
+            elideProofs_.clear();
+            proofCoverLo_ = UINT64_MAX;
+            proofCoverHi_ = 0;
+            flushPredecode();
+        }
+    }
+    thread.retire();
+    if (config_.elideChecks) {
+        if (rec.elide)
+            (*elideChecksElided_)++;
+        else
+            (*elideChecksExecuted_)++;
+    }
+    if (!advanceIp(thread, 1, rec.elide))
+        return;
+    thread.stallTo(acc.completeCycle);
 }
 
 } // namespace gp::isa

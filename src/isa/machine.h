@@ -78,6 +78,15 @@ struct MachineConfig
      * software fault handler re-arm full checks unconditionally.
      */
     bool elideChecks = false;
+
+    /**
+     * The embedding engine ticks the FaultInjector itself (sharded
+     * mesh: one central tick per simulated cycle at the epoch
+     * barrier, so draw order is identical for any host-thread
+     * count). When set, step() does not tick the injector. The
+     * default (false) keeps today's per-machine tick.
+     */
+    bool externalInjectorTick = false;
 };
 
 /** What a software fault handler tells the machine to do next. */
@@ -141,8 +150,21 @@ class Machine
      */
     uint64_t run(uint64_t max_cycles = 1'000'000);
 
-    /** @return true when no thread is Ready. */
+    /** @return true when no thread is Ready or Pending. */
     bool allDone() const;
+
+    /**
+     * Deliver the outcome of a deferred cross-shard access (sharded
+     * mesh engine, epoch barrier). Finds the parked instruction by
+     * @p ticket, unparks its thread, and runs exactly the completion
+     * tail the synchronous path would have run: register writeback /
+     * store proof-cover invalidation, retire, IP advance, stall to
+     * the access's completion cycle — or the fault/hang handling.
+     */
+    void completeDeferred(uint64_t ticket, const mem::MemAccess &acc);
+
+    /** @return true while any split transaction is outstanding. */
+    bool hasDeferred() const { return !deferred_.empty(); }
 
     /** @return true once either watchdog has fired. */
     bool watchdogTripped() const { return watchdogTripped_; }
@@ -215,6 +237,13 @@ class Machine
     void issueThread(Thread &thread);
 
     /**
+     * Decode/execute path after the fetch returned: shared by the
+     * synchronous issue path and deferred-fetch completion at the
+     * epoch barrier (the fetch result is the same either way).
+     */
+    void finishFetch(Thread &thread, const mem::MemAccess &f);
+
+    /**
      * Execute a decoded instruction whose fetch completed at ready_at.
      * Updates registers, IP, and the thread's stall time. @param
      * verdict is the instruction's baked elision verdict (0 = full
@@ -279,6 +308,30 @@ class Machine
 
     /// Direct-mapped predecode-cache size; must be a power of two.
     static constexpr size_t kPredecodeEntries = 4096;
+
+    /// What kind of access a parked thread is waiting on.
+    enum class DeferredKind : uint8_t
+    {
+        Fetch,
+        Load,
+        Store,
+    };
+
+    /**
+     * One in-flight split transaction: everything the completion
+     * tail needs to finish the instruction exactly as the
+     * synchronous path would have (see completeDeferred()).
+     */
+    struct DeferredInst
+    {
+        uint64_t ticket = 0;      //!< exchange ticket (lookup key)
+        uint32_t threadIndex = 0; //!< index into threads_
+        DeferredKind kind = DeferredKind::Fetch;
+        uint8_t rd = 0;           //!< destination register (loads)
+        unsigned size = 0;        //!< access size (stores)
+        uint64_t storeAddr = 0;   //!< effective address (stores)
+        bool elide = false;       //!< check-elision state at issue
+    };
 
     MachineConfig config_;
     std::unique_ptr<mem::MemorySystem> ownedMem_;
@@ -349,6 +402,10 @@ class Machine
     /// Direct-mapped predecoded-instruction cache, indexed by
     /// (vaddr >> 3) & (kPredecodeEntries - 1).
     std::vector<PredecodedInst> predecode_;
+
+    /// Outstanding split transactions (one per Pending thread, at
+    /// most threads_.size() entries — linear lookup is fine).
+    std::vector<DeferredInst> deferred_;
 };
 
 } // namespace gp::isa

@@ -28,6 +28,11 @@ enum class ThreadState : uint8_t
     Ready,   //!< may issue when stallUntil has passed
     Halted,  //!< executed HALT
     Faulted, //!< took an unhandled architectural fault
+    /** Parked on a cross-shard memory access under the sharded mesh
+     * engine: the instruction is in flight as a split transaction and
+     * the thread resumes when the epoch barrier delivers the result.
+     * A Pending thread is live (not a free slot, not done). */
+    Pending,
 };
 
 /** Details of an architectural fault taken by a thread. */
@@ -88,6 +93,22 @@ class Thread
     }
 
     const FaultRecord &faultRecord() const { return faultRecord_; }
+
+    /** Park on a cross-shard split transaction (Ready -> Pending). */
+    void
+    park()
+    {
+        if (state_ == ThreadState::Ready)
+            state_ = ThreadState::Pending;
+    }
+
+    /** Resume after the split transaction completed. */
+    void
+    unpark()
+    {
+        if (state_ == ThreadState::Pending)
+            state_ = ThreadState::Ready;
+    }
 
     /** @return true if the thread can issue at the given cycle. */
     bool

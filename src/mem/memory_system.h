@@ -71,6 +71,14 @@ struct MemAccess
      * with retransmission disabled); the issuing thread must stall
      * forever and only a watchdog can reclaim it. */
     bool hang = false;
+    /** Split transaction under the sharded mesh engine: the access
+     * crosses a shard boundary and was posted to the epoch exchange
+     * instead of executing. No result fields are valid; the issuing
+     * thread parks until Machine::completeDeferred() delivers the
+     * real outcome (keyed by @ref ticket) at the epoch barrier. */
+    bool deferred = false;
+    /** Identifies the posted exchange entry when deferred is set. */
+    uint64_t ticket = 0;
     uint64_t startCycle = 0;    //!< when the access began service
     uint64_t completeCycle = 0; //!< when the result is available
     Word data;                  //!< loaded value (loads only)

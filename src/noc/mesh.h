@@ -64,6 +64,21 @@ class Mesh
     uint64_t send(unsigned from, unsigned to, uint64_t now,
                   unsigned flits = 1);
 
+    /**
+     * Lower bound on the latency of ANY inter-node message: one
+     * single-flit hop between adjacent nodes with no contention.
+     * This is the lookahead of the sharded mesh engine — a message
+     * injected during an epoch of this many cycles cannot be
+     * observed by another node before the epoch ends, so shards can
+     * simulate an epoch independently and exchange traffic at the
+     * barrier without reordering anything observable.
+     */
+    uint64_t
+    minMessageLatency() const
+    {
+        return 2 * config_.injectLatency + config_.hopLatency;
+    }
+
     /** Latency of an uncontended message (for analysis/printing). */
     uint64_t
     uncontendedLatency(unsigned from, unsigned to,

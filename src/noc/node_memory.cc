@@ -1,10 +1,33 @@
 #include "noc/node_memory.h"
 
+#include <algorithm>
+
 #include "sim/faultinject.h"
 #include "sim/log.h"
 #include "sim/profile.h"
 
 namespace gp::noc {
+
+std::vector<DeferredAccess>
+EpochExchange::drain()
+{
+    std::vector<DeferredAccess> ops;
+    for (auto &lane : lanes_) {
+        ops.insert(ops.end(), lane.begin(), lane.end());
+        lane.clear();
+    }
+    // Canonical order: issue cycle, then issuing node, then posting
+    // order within the node. Identical for every host-thread count.
+    std::sort(ops.begin(), ops.end(),
+              [](const DeferredAccess &a, const DeferredAccess &b) {
+                  if (a.cycle != b.cycle)
+                      return a.cycle < b.cycle;
+                  if (a.node != b.node)
+                      return a.node < b.node;
+                  return a.ticket < b.ticket;
+              });
+    return ops;
+}
 
 NodeMemory::NodeMemory(unsigned node, Mesh &mesh, GlobalMemory &global,
                        const mem::MemConfig &config,
@@ -21,6 +44,10 @@ NodeMemory::NodeMemory(unsigned node, Mesh &mesh, GlobalMemory &global,
 {
     if (node >= mesh.nodeCount())
         sim::fatal("node id %u outside the mesh", node);
+    // Pre-create this node's own slice: under the sharded engine the
+    // parallel phase may read the slice pointer from any host thread,
+    // so it must exist before the workers start.
+    global_.slice(node);
     // Cache the stat handles once; access() below runs per memory
     // reference and must never pay a string-keyed map lookup
     // (docs/OBSERVABILITY.md).
@@ -45,23 +72,81 @@ mem::MemAccess
 NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
                    Word store_value, bool elide_check)
 {
-    mem::MemAccess acc;
-    acc.startCycle = now;
-
     // Identical pre-issue check to the single-node machine: the
     // pointer alone, no tables — and crucially no distinction between
     // local and remote addresses. Skipped only under a verifier proof
-    // that the check cannot fire.
+    // that the check cannot fire. Runs at issue time even when the
+    // access itself is deferred below: a fault costs zero memory
+    // cycles and never leaves the issuing shard.
     if (!elide_check) {
-        acc.fault = checkAccess(ptr, kind, size);
-        if (acc.fault != Fault::None) {
+        const Fault f = checkAccess(ptr, kind, size);
+        if (f != Fault::None) {
+            mem::MemAccess acc;
+            acc.fault = f;
+            acc.startCycle = now;
             acc.completeCycle = now;
             (*accessFaults_)++;
             return acc;
         }
     }
 
+    // Sharded mesh engine: an access whose home is another node may
+    // touch that node's slice (and the shared mesh links), so it is
+    // parked in the epoch exchange and resolved at the barrier in
+    // canonical order — the issuing thread sees a split transaction.
+    if (exchange_ != nullptr && homeNode(ptr.addr()) != node_) {
+        DeferredAccess op;
+        op.ticket = ++nextTicket_;
+        op.node = node_;
+        op.cycle = now;
+        op.ptr = ptr;
+        op.kind = kind;
+        op.size = size;
+        op.value = store_value;
+        exchange_->post(op);
+        mem::MemAccess acc;
+        acc.deferred = true;
+        acc.ticket = op.ticket;
+        acc.startCycle = now;
+        acc.completeCycle = now;
+        return acc;
+    }
+
+    return accessBody(ptr, kind, size, now, store_value);
+}
+
+mem::MemAccess
+NodeMemory::resolveDeferred(const DeferredAccess &op)
+{
+    mem::MemAccess acc =
+        accessBody(op.ptr, op.kind, op.size, op.cycle, op.value);
+    // The load/store/fetch wrappers skipped their success counters
+    // when the access deferred; account for the real outcome here.
+    if (acc.fault == Fault::None) {
+        switch (op.kind) {
+          case Access::Load:
+            (*loads_)++;
+            break;
+          case Access::Store:
+            (*stores_)++;
+            break;
+          case Access::InstFetch:
+            (*fetches_)++;
+            break;
+        }
+    }
+    return acc;
+}
+
+mem::MemAccess
+NodeMemory::accessBody(Word ptr, Access kind, unsigned size,
+                       uint64_t now, Word store_value)
+{
+    mem::MemAccess acc;
+    acc.startCycle = now;
+
     const uint64_t vaddr = ptr.addr();
+    GlobalMemory::Slice &home_slice = global_.sliceFor(vaddr);
     const bool is_write = kind == Access::Store;
     bool corrupt_reply = false;
     uint64_t t = now + config_.timing.cacheHit;
@@ -75,8 +160,8 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
         acc.cacheHit = true;
         (*hits_)++;
     } else {
-        // Translate (local LTLB; the page table is global).
-        const uint64_t vpn = global_.pageTable.vpn(vaddr);
+        // Translate (local LTLB; the page table is the home slice's).
+        const uint64_t vpn = home_slice.pageTable.vpn(vaddr);
         t += config_.timing.tlbLookup;
         if (sim::Profiler::armed())
             sim::Profiler::instance().accSeg(
@@ -86,14 +171,14 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
             if (sim::Profiler::armed())
                 sim::Profiler::instance().accSeg(
                     sim::ProfComp::TlbWalk, config_.timing.ptWalk);
-            auto pa = global_.pageTable.translateAddr(vaddr);
+            auto pa = home_slice.pageTable.translateAddr(vaddr);
             if (!pa) {
                 acc.fault = Fault::UnmappedAddress;
                 acc.completeCycle = t;
                 (*unmappedFaults_)++;
                 return acc;
             }
-            tlb_.insert(vpn, *pa >> global_.pageTable.pageShift());
+            tlb_.insert(vpn, *pa >> home_slice.pageTable.pageShift());
         }
 
         cache_.access(vaddr, is_write);
@@ -181,8 +266,8 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
         }
     }
 
-    // Functional data access against the global backing store.
-    auto pa = global_.pageTable.translateAddr(vaddr);
+    // Functional data access against the home slice's backing store.
+    auto pa = home_slice.pageTable.translateAddr(vaddr);
     if (!pa) {
         // A line can legitimately stay resident in this node's cache
         // after the home node unmapped/revoked the page — there is
@@ -196,14 +281,14 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
     }
     if (kind == Access::Store) {
         if (size == 8)
-            global_.phys.writeWord(*pa, store_value);
+            home_slice.phys.writeWord(*pa, store_value);
         else
-            global_.phys.writeBytes(*pa, size, store_value.bits());
+            home_slice.phys.writeBytes(*pa, size, store_value.bits());
     } else {
-        if (global_.phys.eccMode() != mem::EccMode::None &&
+        if (home_slice.phys.eccMode() != mem::EccMode::None &&
             size == 8) {
             const mem::CheckedWord cw =
-                global_.phys.readWordChecked(*pa);
+                home_slice.phys.readWordChecked(*pa);
             if (cw.status == mem::EccStatus::Detected) {
                 acc.fault = Fault::MemoryIntegrity;
                 acc.completeCycle = t;
@@ -216,9 +301,9 @@ NodeMemory::access(Word ptr, Access kind, unsigned size, uint64_t now,
         } else {
             acc.data =
                 size == 8
-                    ? global_.phys.readWord(*pa)
-                    : Word::fromInt(global_.phys.readBytes(*pa,
-                                                           size));
+                    ? home_slice.phys.readWord(*pa)
+                    : Word::fromInt(home_slice.phys.readBytes(*pa,
+                                                              size));
         }
         if (corrupt_reply) {
             // One bit of the delivered word flips in flight; bit 64
@@ -247,7 +332,7 @@ NodeMemory::load(Word ptr, unsigned size, uint64_t now,
 {
     mem::MemAccess acc =
         access(ptr, Access::Load, size, now, Word{}, elide_check);
-    if (acc.fault == Fault::None)
+    if (acc.fault == Fault::None && !acc.deferred)
         (*loads_)++;
     return acc;
 }
@@ -258,7 +343,7 @@ NodeMemory::store(Word ptr, Word value, unsigned size, uint64_t now,
 {
     mem::MemAccess acc =
         access(ptr, Access::Store, size, now, value, elide_check);
-    if (acc.fault == Fault::None)
+    if (acc.fault == Fault::None && !acc.deferred)
         (*stores_)++;
     return acc;
 }
@@ -268,7 +353,7 @@ NodeMemory::fetch(Word ip, uint64_t now)
 {
     mem::MemAccess acc =
         access(ip, Access::InstFetch, 8, now, Word{});
-    if (acc.fault == Fault::None)
+    if (acc.fault == Fault::None && !acc.deferred)
         (*fetches_)++;
     return acc;
 }
@@ -276,17 +361,19 @@ NodeMemory::fetch(Word ip, uint64_t now)
 void
 NodeMemory::pokeWord(uint64_t vaddr, Word w)
 {
-    auto pa = global_.pageTable.translateAddr(vaddr);
+    GlobalMemory::Slice &home_slice = global_.sliceFor(vaddr);
+    auto pa = home_slice.pageTable.translateAddr(vaddr);
     if (!pa)
         sim::fatal("pokeWord: unmapped global address");
-    global_.phys.writeWord(*pa, w);
+    home_slice.phys.writeWord(*pa, w);
 }
 
 Word
 NodeMemory::peekWord(uint64_t vaddr)
 {
-    auto pa = global_.pageTable.translateAddr(vaddr);
-    return pa ? global_.phys.readWord(*pa) : Word{};
+    GlobalMemory::Slice &home_slice = global_.sliceFor(vaddr);
+    auto pa = home_slice.pageTable.translateAddr(vaddr);
+    return pa ? home_slice.phys.readWord(*pa) : Word{};
 }
 
 } // namespace gp::noc

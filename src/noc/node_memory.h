@@ -25,7 +25,12 @@
 #ifndef GP_NOC_NODE_MEMORY_H
 #define GP_NOC_NODE_MEMORY_H
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "gp/ops.h"
 #include "mem/memory_system.h"
@@ -52,11 +57,130 @@ nodeBase(unsigned node)
     return uint64_t(node) << kNodeShift;
 }
 
-/** Globally shared backing state: one space, one translation. */
-struct GlobalMemory
+/**
+ * Globally shared backing state: one 54-bit space, partitioned by
+ * home node. Each home node owns a slice (its page table + tagged
+ * physical storage), matching the paper's model where the home node
+ * owns the data. The split also removes every cross-node write to
+ * shared translation state, which is what lets the sharded mesh
+ * engine simulate nodes on different host threads: a node only
+ * touches a remote slice at the epoch barrier (single-threaded,
+ * canonical order), never during the parallel phase.
+ *
+ * Slices are created lazily; creation is mutex-guarded and the slice
+ * pointer is published with release/acquire so a pre-created slice
+ * can be read from any thread.
+ */
+class GlobalMemory
 {
-    mem::PageTable pageTable{4096};
-    mem::TaggedMemory phys;
+  public:
+    /// One home node's share of the space.
+    struct Slice
+    {
+        mem::PageTable pageTable{4096};
+        mem::TaggedMemory phys;
+    };
+
+    GlobalMemory() = default;
+    GlobalMemory(const GlobalMemory &) = delete;
+    GlobalMemory &operator=(const GlobalMemory &) = delete;
+
+    ~GlobalMemory()
+    {
+        for (auto &s : slices_)
+            delete s.load(std::memory_order_acquire);
+    }
+
+    /** The slice of the home node owning @p vaddr. */
+    Slice &sliceFor(uint64_t vaddr) { return slice(homeNode(vaddr)); }
+
+    /** The slice of home node @p home (created on first use). */
+    Slice &
+    slice(unsigned home)
+    {
+        Slice *s = slices_[home & kNodeMask].load(
+            std::memory_order_acquire);
+        if (s != nullptr)
+            return *s;
+        return makeSlice(home & unsigned(kNodeMask));
+    }
+
+    /** Hardening code applied to every slice, existing and future. */
+    void
+    setEccMode(mem::EccMode mode)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ecc_ = mode;
+        for (auto &s : slices_)
+            if (Slice *p = s.load(std::memory_order_acquire))
+                p->phys.setEccMode(mode);
+    }
+
+  private:
+    Slice &
+    makeSlice(unsigned home)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        Slice *s = slices_[home].load(std::memory_order_relaxed);
+        if (s == nullptr) {
+            s = new Slice;
+            s->phys.setEccMode(ecc_);
+            slices_[home].store(s, std::memory_order_release);
+        }
+        return *s;
+    }
+
+    std::array<std::atomic<Slice *>, kNodeMask + 1> slices_{};
+    std::mutex mu_;
+    mem::EccMode ecc_ = mem::EccMode::None;
+};
+
+/**
+ * One deferred cross-shard memory access, parked in the epoch
+ * exchange until the barrier resolves it. Carries everything
+ * NodeMemory::resolveDeferred() needs to run the access exactly as
+ * the synchronous path would have at the issue cycle.
+ */
+struct DeferredAccess
+{
+    uint64_t ticket = 0; //!< unique per issuing node
+    unsigned node = 0;   //!< issuing node
+    uint64_t cycle = 0;  //!< issue cycle (canonical sort key)
+    Word ptr;            //!< already-checked guarded pointer
+    Access kind = Access::Load;
+    unsigned size = 0;
+    Word value; //!< store payload
+};
+
+/**
+ * Two-phase message exchange of the sharded mesh engine. During the
+ * parallel phase each node appends its cross-shard accesses to its
+ * own lane (no sharing, no locks); at the epoch barrier drain()
+ * returns everything in the canonical (issue cycle, node, ticket)
+ * order, which is what makes results independent of the host-thread
+ * count.
+ */
+class EpochExchange
+{
+  public:
+    explicit EpochExchange(unsigned nodes) : lanes_(nodes) {}
+
+    void post(const DeferredAccess &op) { lanes_[op.node].push_back(op); }
+
+    bool
+    empty() const
+    {
+        for (const auto &lane : lanes_)
+            if (!lane.empty())
+                return false;
+        return true;
+    }
+
+    /** Move out every posted access in canonical order. */
+    std::vector<DeferredAccess> drain();
+
+  private:
+    std::vector<std::vector<DeferredAccess>> lanes_;
 };
 
 /** One node's cache/TLB view of the global space. */
@@ -121,14 +245,43 @@ class NodeMemory : public mem::MemoryPort
     Retransmitter &retransmitter() { return retrans_; }
     sim::StatGroup &stats() { return stats_; }
 
+    /**
+     * Attach (or detach, with nullptr) the sharded mesh engine's
+     * epoch exchange. With an exchange attached, any timed access
+     * whose home is a different node is posted to the exchange and
+     * returned as deferred instead of executing; the engine resolves
+     * it at the epoch barrier via resolveDeferred(). Without one
+     * (the default) remote accesses execute synchronously as before.
+     */
+    void attachExchange(EpochExchange *exchange)
+    {
+        exchange_ = exchange;
+    }
+
+    /**
+     * Execute a previously deferred access (epoch barrier only).
+     * Runs the post-check access path at the recorded issue cycle —
+     * the pre-issue pointer check was already consumed at issue time
+     * and is not repeated.
+     */
+    mem::MemAccess resolveDeferred(const DeferredAccess &op);
+
   private:
     mem::MemAccess access(Word ptr, Access kind, unsigned size,
                           uint64_t now, Word store_value,
                           bool elide_check = false);
 
+    /** Timed access after the pre-issue check: cache, translation,
+     * NoC legs, functional data — shared by the synchronous path and
+     * resolveDeferred(). */
+    mem::MemAccess accessBody(Word ptr, Access kind, unsigned size,
+                              uint64_t now, Word store_value);
+
     unsigned node_;
     Mesh &mesh_;
     GlobalMemory &global_;
+    EpochExchange *exchange_ = nullptr;
+    uint64_t nextTicket_ = 0;
     mem::MemConfig config_;
     mem::Cache cache_;
     mem::Tlb tlb_;

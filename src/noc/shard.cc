@@ -1,0 +1,298 @@
+#include "noc/shard.h"
+
+#include <algorithm>
+
+#include "sim/faultinject.h"
+#include "sim/log.h"
+
+namespace gp::noc {
+
+ShardedMesh::ShardedMesh(const ShardConfig &config)
+    : config_(config),
+      mesh_(config.mesh),
+      exchange_(mesh_.nodeCount())
+{
+    const unsigned nodes = mesh_.nodeCount();
+    if (nodes == 0)
+        sim::fatal("sharded mesh: empty mesh");
+
+    global_.setEccMode(config_.node.ecc);
+
+    // The engine owns injector ticking (one central tick per
+    // simulated cycle at the barrier); machines must not also tick.
+    isa::MachineConfig mcfg = config_.machine;
+    mcfg.externalInjectorTick = true;
+
+    nodes_.reserve(nodes);
+    machines_.reserve(nodes);
+    for (unsigned n = 0; n < nodes; ++n) {
+        nodes_.push_back(std::make_unique<NodeMemory>(
+            n, mesh_, global_, config_.node, config_.retrans));
+        nodes_.back()->attachExchange(&exchange_);
+        machines_.push_back(
+            std::make_unique<isa::Machine>(mcfg, *nodes_.back()));
+    }
+
+    // Lookahead: an epoch may not exceed the minimum inter-node
+    // message latency, or a message could be due before the barrier
+    // that delivers it.
+    const uint64_t lookahead =
+        std::max<uint64_t>(1, mesh_.minMessageLatency());
+    horizon_ = config_.epochHorizon == 0
+                   ? lookahead
+                   : std::min(config_.epochHorizon, lookahead);
+
+    hostThreads_ = std::max(1u, std::min(config_.hostThreads, nodes));
+
+    // Contiguous node ranges per shard, sized as evenly as possible.
+    // Contiguity matters: VA bits 53..48 are the home node, so a
+    // shard is also a contiguous slice of the address space.
+    const unsigned base = nodes / hostThreads_;
+    const unsigned rem = nodes % hostThreads_;
+    unsigned first = 0;
+    for (unsigned s = 0; s < hostThreads_; ++s) {
+        const unsigned len = base + (s < rem ? 1 : 0);
+        shardRange_.emplace_back(first, first + len);
+        first += len;
+    }
+
+    live_.assign(nodes, 1);
+    tallies_.resize(hostThreads_);
+    for (unsigned s = 0; s < hostThreads_; ++s) {
+        shardStats_.push_back(std::make_unique<sim::StatGroup>(
+            "shard" + std::to_string(s)));
+        sim::StatGroup &g = *shardStats_.back();
+        shardCounters_.push_back({&g.counter("nodes"),
+                                  &g.counter("busy_cycles"),
+                                  &g.counter("instructions")});
+    }
+    exportShardStats();
+
+    if (hostThreads_ > 1) {
+        // The caller simulates shard 0 between the barriers, so the
+        // pool holds hostThreads-1 workers and each barrier counts
+        // hostThreads parties.
+        startBarrier_ = std::make_unique<SpinBarrier>(hostThreads_);
+        endBarrier_ = std::make_unique<SpinBarrier>(hostThreads_);
+        workers_.reserve(hostThreads_ - 1);
+        for (unsigned s = 1; s < hostThreads_; ++s)
+            workers_.emplace_back(&ShardedMesh::workerLoop, this, s);
+    }
+}
+
+ShardedMesh::~ShardedMesh()
+{
+    if (!workers_.empty()) {
+        stop_.store(true, std::memory_order_release);
+        startBarrier_->arriveAndWait();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+}
+
+unsigned
+ShardedMesh::shardOf(unsigned n) const
+{
+    for (unsigned s = 0; s < shardRange_.size(); ++s)
+        if (n >= shardRange_[s].first && n < shardRange_[s].second)
+            return s;
+    return 0;
+}
+
+bool
+ShardedMesh::allDone() const
+{
+    for (const auto &m : machines_)
+        if (!m->allDone())
+            return false;
+    return true;
+}
+
+bool
+ShardedMesh::watchdogTripped() const
+{
+    for (const auto &m : machines_)
+        if (m->watchdogTripped())
+            return true;
+    return false;
+}
+
+void
+ShardedMesh::simulateShard(unsigned shard)
+{
+    const auto [first, last] = shardRange_[shard];
+    const uint64_t from = epochFrom_;
+    const uint64_t to = epochTo_;
+    // Cycle-major so every machine in the mesh executes cycle c
+    // before any machine executes cycle c+1 (within the epoch the
+    // shards interleave freely — the lookahead guarantees nothing
+    // observable crosses shards before the barrier).
+    for (uint64_t c = from; c < to; ++c)
+        for (unsigned n = first; n < last; ++n)
+            if (live_[n])
+                machines_[n]->step();
+}
+
+void
+ShardedMesh::workerLoop(unsigned shard)
+{
+    gp::setThreadOpTallies(&tallies_[shard]);
+    for (;;) {
+        startBarrier_->arriveAndWait();
+        if (stop_.load(std::memory_order_acquire))
+            break;
+        simulateShard(shard);
+        endBarrier_->arriveAndWait();
+    }
+    gp::setThreadOpTallies(nullptr);
+}
+
+void
+ShardedMesh::refreshLive()
+{
+    // A done machine can never wake up on its own (no pending split
+    // transactions, no ready threads), so it stops being stepped; its
+    // local cycle count freezes at the epoch in which it finished.
+    // This is part of the canonical schedule: identical for every
+    // host-thread count.
+    for (unsigned n = 0; n < live_.size(); ++n)
+        live_[n] = machines_[n]->allDone() ? 0 : 1;
+}
+
+void
+ShardedMesh::drainEpoch()
+{
+    // Central injector ticks: machines stepped cycles [from, to) and
+    // each step would have ticked its post-increment cycle, i.e.
+    // (from, to]. One canonical pass replaces all per-machine ticks.
+    if (sim::FaultInjector::armed()) {
+        auto &inj = sim::FaultInjector::instance();
+        for (uint64_t c = epochFrom_; c < epochTo_; ++c)
+            inj.tick(c + 1);
+    }
+
+    // Canonical drain rounds: resolving a deferred fetch decodes and
+    // executes its instruction, which may immediately defer a remote
+    // load/store — picked up by the next round. Ops whose issue cycle
+    // lies beyond the epoch (a completion chain) still resolve at
+    // this barrier, in the same canonical order; the mesh charges
+    // contention from their recorded cycles either way.
+    std::vector<DeferredAccess> ops = exchange_.drain();
+    while (!ops.empty()) {
+        for (const DeferredAccess &op : ops) {
+            const mem::MemAccess acc =
+                nodes_[op.node]->resolveDeferred(op);
+            machines_[op.node]->completeDeferred(op.ticket, acc);
+        }
+        ops = exchange_.drain();
+    }
+
+    refreshLive();
+}
+
+uint64_t
+ShardedMesh::run(uint64_t max_cycles)
+{
+    const uint64_t start = cycle_;
+    const uint64_t limit = start + max_cycles;
+    refreshLive();
+    bool done = allDone();
+    while (!done && cycle_ < limit) {
+        epochFrom_ = cycle_;
+        epochTo_ = cycle_ + std::min(horizon_, limit - cycle_);
+        if (workers_.empty()) {
+            simulateShard(0);
+        } else {
+            startBarrier_->arriveAndWait(); // release workers
+            simulateShard(0);
+            endBarrier_->arriveAndWait(); // wait for the epoch
+        }
+        cycle_ = epochTo_;
+        drainEpoch();
+        done = allDone();
+    }
+    // Deterministic merge of the worker tallies into the real "gp"
+    // counters, in shard order; totals now equal a sequential run's.
+    for (unsigned s = 1; s < hostThreads_; ++s) {
+        gp::mergeOpTallies(tallies_[s]);
+        tallies_[s] = gp::OpTallies{};
+    }
+    exportShardStats();
+    if (!done)
+        sim::warn("sharded mesh: run() hit the %llu-cycle limit",
+                  static_cast<unsigned long long>(max_cycles));
+    return cycle_ - start;
+}
+
+void
+ShardedMesh::exportShardStats()
+{
+    for (unsigned s = 0; s < hostThreads_; ++s) {
+        const auto [first, last] = shardRange_[s];
+        uint64_t busy = 0;
+        uint64_t insts = 0;
+        for (unsigned n = first; n < last; ++n) {
+            isa::Machine &m = *machines_[n];
+            const uint64_t cluster_cycles =
+                m.cycle() * m.config().clusters;
+            const uint64_t idle = m.stats().get("idle_cluster_cycles");
+            busy += cluster_cycles > idle ? cluster_cycles - idle : 0;
+            insts += m.stats().get("instructions");
+        }
+        shardCounters_[s].nodes->set(last - first);
+        shardCounters_[s].busy->set(busy);
+        shardCounters_[s].insts->set(insts);
+    }
+}
+
+uint64_t
+ShardedMesh::signature() const
+{
+    uint64_t h = 1469598103934665603ull; // FNV-1a 64 offset basis
+    auto mix = [&h](uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+
+    mix(cycle_);
+    for (const auto &mp : machines_) {
+        const isa::Machine &m = *mp;
+        mix(m.cycle());
+        mix(m.watchdogTripped() ? 1 : 0);
+        for (const isa::FaultRecord &fr : m.faultLog()) {
+            mix(uint64_t(fr.fault));
+            mix(fr.cycle);
+            mix(fr.ip.bits());
+        }
+        for (const isa::Thread &t : m.threads()) {
+            mix(uint64_t(t.state()));
+            mix(t.ip().bits());
+            mix(t.ip().isPointer() ? 1 : 0);
+            mix(t.instsRetired());
+            mix(t.stallUntil() == UINT64_MAX ? 1 : 0);
+            for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+                mix(t.reg(r).bits());
+                mix(t.reg(r).isPointer() ? 1 : 0);
+            }
+        }
+    }
+    // Machine, node, and retransmit counters, in each group's stable
+    // (name-sorted map) order.
+    for (const auto &mp : machines_)
+        for (const auto &[name, ctr] :
+             const_cast<isa::Machine &>(*mp).stats().counters())
+            mix(ctr.value());
+    for (const auto &np : nodes_)
+        for (const auto &[name, ctr] : np->stats().counters())
+            mix(ctr.value());
+    for (const auto &[name, ctr] :
+         const_cast<Mesh &>(mesh_).stats().counters())
+        mix(ctr.value());
+    if (sim::FaultInjector::armed())
+        mix(sim::FaultInjector::instance().injectedTotal());
+    return h;
+}
+
+} // namespace gp::noc

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Sharded 3-D mesh execution engine: deterministic, barrier-
+ * synchronized epochs across host threads.
+ *
+ * The multicomputer simulator's scalability wall is single-threaded
+ * execution: a 64-node mesh steps 64 machines on one host core. This
+ * engine partitions the mesh into contiguous node shards, runs each
+ * shard on its own host thread, and keeps results bit-identical for
+ * ANY host-thread count — including one — by construction:
+ *
+ *  - Epoch horizon. The mesh's minimum inter-node message latency
+ *    (Mesh::minMessageLatency()) bounds how soon a message injected
+ *    "now" can be observed anywhere else, so every shard can simulate
+ *    that many cycles with no inter-shard communication (conservative
+ *    lookahead, as in classic conservative parallel discrete-event
+ *    simulation).
+ *
+ *  - Two-phase exchange. During the parallel phase a node executes
+ *    own-home accesses synchronously and posts every remote-home
+ *    access to the EpochExchange (its own lane — no locks); the
+ *    issuing hardware thread parks as a split transaction. At the
+ *    epoch barrier the engine drains the exchange in the canonical
+ *    (issue cycle, node, ticket) order on one thread and delivers
+ *    each outcome back via Machine::completeDeferred().
+ *
+ *  - Singleton discipline. Worker threads count pointer ops into
+ *    thread-local tallies merged deterministically at run end
+ *    (gp::setThreadOpTallies); the FaultInjector is ticked centrally
+ *    at the barrier, once per simulated cycle, with the per-machine
+ *    tick suppressed (MachineConfig::externalInjectorTick), so fault
+ *    draws happen in one canonical order; per-node/per-machine
+ *    StatGroups are only ever touched by their owning shard or the
+ *    barrier thread.
+ *
+ * The schedule the engine executes is therefore a fixed function of
+ * the configuration and programs alone: thread count only changes
+ * which host thread does the work, never its order. Note this
+ * canonical schedule is the engine's own reference — it defers ALL
+ * remote-home accesses to the barrier, which a free-running
+ * round-robin interleaving (tests stepping machines by hand, no
+ * exchange attached) does not; see docs/ARCHITECTURE.md.
+ */
+
+#ifndef GP_NOC_SHARD_H
+#define GP_NOC_SHARD_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "isa/machine.h"
+#include "noc/mesh.h"
+#include "noc/node_memory.h"
+#include "noc/retransmit.h"
+
+namespace gp::noc {
+
+/** Configuration of a sharded mesh run. */
+struct ShardConfig
+{
+    MeshConfig mesh;                //!< geometry and link costs
+    mem::MemConfig node;            //!< per-node cache/TLB/timing
+    isa::MachineConfig machine;     //!< per-node machine (mem ignored)
+    RetransConfig retrans;          //!< NoC link protocol
+    /** Host threads simulating the mesh. 1 (default) runs everything
+     * on the calling thread; clamped to the node count. Results are
+     * identical for every value. */
+    unsigned hostThreads = 1;
+    /** Cycles per epoch; 0 derives Mesh::minMessageLatency(). Must
+     * not exceed the derived lookahead — larger values are clamped.
+     * Smaller values are legal but change the canonical schedule
+     * (split transactions complete at barriers), so the horizon is
+     * part of the configuration a signature is pinned to; for any
+     * fixed horizon results stay identical across thread counts. */
+    uint64_t epochHorizon = 0;
+};
+
+/**
+ * A full mesh of machines + node memories under the epoch engine.
+ * Construction wires every node; the caller loads programs / spawns
+ * threads through node(n)/machine(n), then run()s the whole mesh.
+ */
+class ShardedMesh
+{
+  public:
+    explicit ShardedMesh(const ShardConfig &config);
+    ~ShardedMesh();
+
+    ShardedMesh(const ShardedMesh &) = delete;
+    ShardedMesh &operator=(const ShardedMesh &) = delete;
+
+    unsigned nodeCount() const { return unsigned(nodes_.size()); }
+    unsigned hostThreads() const { return hostThreads_; }
+    uint64_t epochHorizon() const { return horizon_; }
+
+    /** Shard index simulating node @p n (contiguous node ranges). */
+    unsigned shardOf(unsigned n) const;
+
+    Mesh &mesh() { return mesh_; }
+    GlobalMemory &global() { return global_; }
+    NodeMemory &node(unsigned n) { return *nodes_[n]; }
+    isa::Machine &machine(unsigned n) { return *machines_[n]; }
+
+    /** Global simulated cycle (every live machine is in lockstep). */
+    uint64_t cycle() const { return cycle_; }
+
+    /**
+     * Run epochs until every machine is done or @p max_cycles more
+     * cycles elapse. Also merges worker op tallies and refreshes the
+     * per-shard stat groups before returning.
+     * @return cycles executed by this call.
+     */
+    uint64_t run(uint64_t max_cycles = 1'000'000);
+
+    /** @return true when every machine has finished. */
+    bool allDone() const;
+
+    /** @return true if any machine's watchdog fired. */
+    bool watchdogTripped() const;
+
+    /**
+     * Deterministic digest of the architectural outcome: FNV-1a over
+     * every machine's cycle count, fault log, and final thread state
+     * (state, IP, registers, retired instructions), every node's
+     * counters, and the mesh counters. Byte-identical across host
+     * thread counts and repeated runs.
+     */
+    uint64_t signature() const;
+
+  private:
+    /** Sense-reversing spin barrier (small party counts, short
+     * epochs: spinning beats futex wake latency; std::atomic keeps
+     * it TSan-clean). */
+    class SpinBarrier
+    {
+      public:
+        explicit SpinBarrier(unsigned parties) : parties_(parties) {}
+
+        void
+        arriveAndWait()
+        {
+            const uint64_t gen = gen_.load(std::memory_order_acquire);
+            if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                parties_) {
+                arrived_.store(0, std::memory_order_relaxed);
+                gen_.fetch_add(1, std::memory_order_release);
+            } else {
+                unsigned spins = 0;
+                while (gen_.load(std::memory_order_acquire) == gen) {
+                    if (++spins > 4096) {
+                        std::this_thread::yield();
+                        spins = 0;
+                    }
+                }
+            }
+        }
+
+      private:
+        const unsigned parties_;
+        std::atomic<unsigned> arrived_{0};
+        std::atomic<uint64_t> gen_{0};
+    };
+
+    /** Step every live machine of @p shard through the epoch window
+     * [epochFrom_, epochTo_), cycle-major so the whole mesh stays in
+     * lockstep. */
+    void simulateShard(unsigned shard);
+
+    /** Worker thread main loop (shards 1..hostThreads-1; shard 0
+     * runs on the caller between the barriers). */
+    void workerLoop(unsigned shard);
+
+    /** Barrier phase: central injector ticks for the finished epoch,
+     * then canonical drain of the exchange (rounds, because a
+     * completed remote fetch may immediately defer a remote load). */
+    void drainEpoch();
+
+    /** Recompute live_ (machines still needing steps). */
+    void refreshLive();
+
+    /** Update the per-shard stat groups from machine stats. */
+    void exportShardStats();
+
+    ShardConfig config_;
+    Mesh mesh_;
+    GlobalMemory global_;
+    EpochExchange exchange_;
+    std::vector<std::unique_ptr<NodeMemory>> nodes_;
+    std::vector<std::unique_ptr<isa::Machine>> machines_;
+    unsigned hostThreads_ = 1;
+    uint64_t horizon_ = 1;
+    uint64_t cycle_ = 0;
+    /// [first, last) node range per shard.
+    std::vector<std::pair<unsigned, unsigned>> shardRange_;
+    /// live_[n]: machine n still needs stepping (recomputed at each
+    /// barrier; read by workers under barrier happens-before).
+    std::vector<char> live_;
+
+    // Worker pool (empty when hostThreads == 1). Workers park on
+    // startBarrier_ between epochs; the epoch window is published in
+    // epochFrom_/epochTo_ before the start barrier and read after it.
+    std::vector<std::thread> workers_;
+    std::unique_ptr<SpinBarrier> startBarrier_;
+    std::unique_ptr<SpinBarrier> endBarrier_;
+    std::atomic<bool> stop_{false};
+    uint64_t epochFrom_ = 0;
+    uint64_t epochTo_ = 0;
+
+    /// Per-shard pointer-op tallies (index 0 unused: shard 0 runs on
+    /// the caller and counts directly).
+    std::vector<gp::OpTallies> tallies_;
+
+    /// Per-shard simulated-load stat groups ("shard0", "shard1", ...)
+    /// for tools/statdiff.py imbalance reporting. busy_cycles is
+    /// SIMULATED work (cluster-cycles minus idle), so the export
+    /// stays deterministic — no host time.
+    std::vector<std::unique_ptr<sim::StatGroup>> shardStats_;
+    /// Cached handles into shardStats_ (nodes, busy_cycles,
+    /// instructions), registered once at construction.
+    struct ShardCounters
+    {
+        sim::Counter *nodes;
+        sim::Counter *busy;
+        sim::Counter *insts;
+    };
+    std::vector<ShardCounters> shardCounters_;
+};
+
+} // namespace gp::noc
+
+#endif // GP_NOC_SHARD_H

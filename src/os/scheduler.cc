@@ -43,6 +43,10 @@ Scheduler::harvest()
 {
     for (auto it = running_.begin(); it != running_.end();) {
         isa::Thread *t = it->first;
+        // Ready and Pending (parked on a cross-shard split
+        // transaction under the sharded mesh engine) threads are
+        // both live: only Halted/Faulted jobs are harvested, so a
+        // job blocked on remote memory is never reaped early.
         if (t->state() == isa::ThreadState::Halted ||
             t->state() == isa::ThreadState::Faulted) {
             JobResult result;

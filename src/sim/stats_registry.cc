@@ -19,12 +19,14 @@ StatRegistry::instance()
 void
 StatRegistry::add(StatGroup *group)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     groups_.push_back(group);
 }
 
 void
 StatRegistry::remove(StatGroup *group)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = std::find(groups_.begin(), groups_.end(), group);
     if (it != groups_.end())
         groups_.erase(it);

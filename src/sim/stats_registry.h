@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -87,6 +88,11 @@ class StatRegistry
     StatRegistry &operator=(const StatRegistry &) = delete;
 
     std::vector<StatGroup *> groups_;
+    /// Guards groups_ mutation only: StatGroups may be constructed or
+    /// destroyed on any host thread (e.g. objects created inside a
+    /// sharded-mesh worker). Readers (dump/snapshot/export) stay
+    /// unguarded — they run while the simulation is quiescent.
+    std::mutex mu_;
 };
 
 } // namespace gp::sim

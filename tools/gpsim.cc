@@ -34,7 +34,9 @@
 #include "gp/ops.h"
 #include "isa/assembler.h"
 #include "isa/elide.h"
+#include "isa/loader.h"
 #include "mem/ecc.h"
+#include "noc/shard.h"
 #include "os/kernel.h"
 #include "sim/log.h"
 #include "sim/profile.h"
@@ -50,6 +52,11 @@ struct Options
 {
     std::string source;
     unsigned threads = 1;
+    bool threadsSet = false;
+    bool mesh = false;            //!< sharded multicomputer mode
+    unsigned meshX = 0, meshY = 0, meshZ = 0;
+    uint64_t epochHorizon = 0;    //!< 0 = derive from link latency
+    bool profileIntervalSet = false;
     uint64_t dataBytes = 4096;
     unsigned clusters = 4;
     unsigned issueWidth = 1;
@@ -78,7 +85,17 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s <prog.s | -> [options]\n"
-        "  --threads N      spawn N copies of the program (default 1)\n"
+        "  --threads N      spawn N copies of the program (default 1);\n"
+        "                   with --mesh, N is the HOST thread count\n"
+        "                   simulating the mesh (results identical for\n"
+        "                   every N; N=1 is today's serial path)\n"
+        "  --mesh X,Y,Z     multicomputer mode: load the program on\n"
+        "                   every node of an X*Y*Z mesh (one thread\n"
+        "                   per node, r1 = full-space RW pointer,\n"
+        "                   r2 = node id) under the sharded epoch\n"
+        "                   engine; prints a deterministic signature\n"
+        "  --epoch-horizon N  cycles per epoch in --mesh mode\n"
+        "                   (default/max: the mesh lookahead)\n"
         "  --data BYTES     size of each thread's r1 data segment "
         "(default 4096)\n"
         "  --clusters N     hardware clusters (default 4)\n"
@@ -250,6 +267,28 @@ parseArgs(int argc, char **argv, Options &opts)
         }
         if (valueOf("--profile-interval", value)) {
             opts.profileConfig.intervalCycles = std::stoull(value);
+            opts.profileIntervalSet = true;
+            continue;
+        }
+        if (valueOf("--mesh", value)) {
+            unsigned x = 0, y = 0, z = 0;
+            if (std::sscanf(value.c_str(), "%u,%u,%u", &x, &y, &z) !=
+                    3 ||
+                x == 0 || y == 0 || z == 0) {
+                std::fprintf(stderr,
+                             "bad --mesh geometry: %s (want X,Y,Z "
+                             "with all dimensions > 0)\n",
+                             value.c_str());
+                return false;
+            }
+            opts.mesh = true;
+            opts.meshX = x;
+            opts.meshY = y;
+            opts.meshZ = z;
+            continue;
+        }
+        if (valueOf("--epoch-horizon", value)) {
+            opts.epochHorizon = std::stoull(value);
             continue;
         }
         if (arg == "--threads") {
@@ -257,6 +296,7 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!v)
                 return false;
             opts.threads = unsigned(std::stoul(v));
+            opts.threadsSet = true;
         } else if (arg == "--data") {
             const char *v = next();
             if (!v)
@@ -291,6 +331,163 @@ parseArgs(int argc, char **argv, Options &opts)
     return true;
 }
 
+/**
+ * Reject mutually inconsistent flag combinations up front with a
+ * clear diagnostic, instead of silently degrading mid-run. Returns
+ * nullptr when the options are coherent.
+ */
+const char *
+validateOptions(const Options &opts)
+{
+    if (opts.threads == 0)
+        return "--threads must be at least 1";
+    if (opts.clusters == 0)
+        return "--clusters must be at least 1";
+    if (opts.issueWidth == 0)
+        return "--issue-width must be at least 1";
+    if (!opts.proofsFile.empty() && !opts.elideChecks)
+        return "--proofs requires --elide-checks";
+    if (opts.profileIntervalSet && !opts.profile)
+        return "--profile-interval requires --profile";
+    if (opts.epochHorizon != 0 && !opts.mesh)
+        return "--epoch-horizon requires --mesh";
+    if (opts.mesh) {
+        // The profiler and verifier pipelines are single-machine:
+        // they assume one Machine owns the process-wide singleton
+        // state, which a sharded mesh does not satisfy.
+        if (opts.profile)
+            return "--profile is not mesh-aware; run without --mesh "
+                   "or drop --profile";
+        if (opts.verify || opts.elideChecks)
+            return "--verify/--elide-checks analyse a single-machine "
+                   "entry state and are not available with --mesh";
+        if (opts.threads > 1) {
+            // The trace sinks and flight recorder are process-wide
+            // singletons with no shard-local buffering: multiple
+            // host threads would interleave writes nondeterministically.
+            if (opts.traceMask != 0 || !opts.traceOut.empty())
+                return "--trace/--trace-out are not shard-aware; use "
+                       "--threads 1 (results are identical)";
+            if (opts.flightRecorder > 0)
+                return "--flight-recorder is not shard-aware; use "
+                       "--threads 1 (results are identical)";
+        }
+    }
+    return nullptr;
+}
+
+/**
+ * Multicomputer mode: the program runs on every node of the mesh
+ * under the sharded epoch engine. One hardware thread per node,
+ * r1 = full-space RW pointer, r2 = node id.
+ */
+int
+runMesh(const Options &opts, const std::string &source)
+{
+    noc::ShardConfig scfg;
+    scfg.mesh.dimX = opts.meshX;
+    scfg.mesh.dimY = opts.meshY;
+    scfg.mesh.dimZ = opts.meshZ;
+    scfg.node.ecc = opts.ecc;
+    scfg.node.walkRetries = opts.walkRetries;
+    scfg.machine.clusters = opts.clusters;
+    scfg.machine.issueWidth = opts.issueWidth;
+    scfg.machine.watchdogCycles = opts.maxCycles;
+    scfg.hostThreads = opts.threads;
+    scfg.epochHorizon = opts.epochHorizon;
+    noc::ShardedMesh shard(scfg);
+
+    const isa::Assembly assembly = isa::assemble(source);
+    if (!assembly.ok) {
+        std::fprintf(stderr, "gpsim: %s: %s\n", opts.source.c_str(),
+                     assembly.error.c_str());
+        return 1;
+    }
+
+    auto full = makePointer(Perm::ReadWrite, 54, 0);
+    if (!full)
+        sim::fatal("cannot build the full-space data pointer");
+
+    std::vector<isa::Thread *> threads;
+    for (unsigned n = 0; n < shard.nodeCount(); ++n) {
+        auto prog =
+            isa::loadProgram(shard.node(n), noc::nodeBase(n) + 0x20000,
+                             assembly.words, opts.privileged);
+        isa::Thread *t = shard.machine(n).spawn(prog.execPtr);
+        if (!t)
+            sim::fatal("node %u: out of hardware thread slots", n);
+        t->setReg(1, full.value);
+        t->setReg(2, Word::fromInt(n));
+        threads.push_back(t);
+    }
+
+    sim::TraceManager &tracer = sim::TraceManager::instance();
+    if (opts.traceMask != 0)
+        tracer.setTextSink(&std::cout, opts.traceMask);
+    if (!opts.traceOut.empty() && !tracer.openJson(opts.traceOut))
+        sim::fatal("cannot open trace file %s", opts.traceOut.c_str());
+    if (opts.flightRecorder > 0)
+        tracer.setFlightRecorder(opts.flightRecorder);
+
+    const uint64_t cycles = shard.run(opts.maxCycles + 1000);
+
+    int halted = 0, faulted = 0;
+    uint64_t instructions = 0;
+    for (unsigned n = 0; n < shard.nodeCount(); ++n) {
+        isa::Thread *t = threads[n];
+        if (t->state() == isa::ThreadState::Halted)
+            halted++;
+        if (t->state() == isa::ThreadState::Faulted) {
+            faulted++;
+            std::printf("  node %u FAULT: %s at %s\n", n,
+                        std::string(faultName(t->faultRecord().fault))
+                            .c_str(),
+                        toString(t->faultRecord().ip).c_str());
+        }
+        instructions += shard.machine(n).stats().get("instructions");
+    }
+    std::printf("gpsim: mesh %ux%ux%u (%u nodes, %u host threads, "
+                "epoch %llu): %d halted, %d faulted; %llu cycles, "
+                "%llu instructions\n",
+                opts.meshX, opts.meshY, opts.meshZ, shard.nodeCount(),
+                shard.hostThreads(),
+                (unsigned long long)shard.epochHorizon(), halted,
+                faulted, (unsigned long long)cycles,
+                (unsigned long long)instructions);
+    std::printf("gpsim: mesh signature %016llx\n",
+                (unsigned long long)shard.signature());
+
+    if (opts.dumpRegs) {
+        for (unsigned n = 0; n < shard.nodeCount(); ++n) {
+            std::printf("  node %u registers:\n", n);
+            for (unsigned r = 0; r < isa::kNumRegs; ++r)
+                std::printf("    r%-2u = %s\n", r,
+                            toString(threads[n]->reg(r)).c_str());
+        }
+    }
+    if (opts.dumpStats) {
+        std::printf("\n");
+        sim::StatRegistry::instance().dumpAll(std::cout);
+    }
+    if (!opts.statsJson.empty()) {
+        std::ofstream out(opts.statsJson, std::ios::trunc);
+        if (!out)
+            sim::fatal("cannot open stats file %s",
+                       opts.statsJson.c_str());
+        sim::StatRegistry::instance().exportJson(out);
+    }
+
+    tracer.closeJson();
+    if (shard.watchdogTripped()) {
+        std::fprintf(stderr,
+                     "gpsim: watchdog tripped after %llu cycles "
+                     "(hang or livelock)\n",
+                     (unsigned long long)cycles);
+        return 3;
+    }
+    return faulted ? 1 : 0;
+}
+
 std::string
 readSource(const std::string &path)
 {
@@ -319,11 +516,13 @@ main(int argc, char **argv)
         return 2;
     }
 
-    if (!opts.proofsFile.empty() && !opts.elideChecks) {
-        std::fprintf(stderr,
-                     "gpsim: --proofs requires --elide-checks\n");
+    if (const char *err = validateOptions(opts)) {
+        std::fprintf(stderr, "gpsim: %s\n", err);
         return 2;
     }
+
+    if (opts.mesh)
+        return runMesh(opts, readSource(opts.source));
 
     os::KernelConfig kcfg;
     kcfg.machine.clusters = opts.clusters;

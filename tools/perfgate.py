@@ -3,6 +3,7 @@
 
 Usage:
     perfgate.py BASELINE.json NEW.json [--warn-band PCT]
+                [--select SUBSTR]
 
 The P1 report contains two kinds of tables (see bench_p1_simspeed.cc):
 
@@ -152,10 +153,24 @@ def main():
     ap.add_argument("--warn-band", type=float, default=25.0,
                     help="host-speed warn threshold in percent "
                          "(default 25; never fails the gate)")
+    ap.add_argument("--select", default=None, metavar="SUBSTR",
+                    help="gate only tables whose title contains "
+                         "SUBSTR; lets one baseline file carry "
+                         "tables from several benches (e.g. P1 and "
+                         "F6) without each run tripping the "
+                         "added/removed-table check")
     args = ap.parse_args()
 
     base_tables = tables_by_title(load(args.baseline))
     new_tables = tables_by_title(load(args.new))
+    if args.select is not None:
+        base_tables = {t: v for t, v in base_tables.items()
+                       if args.select in t}
+        new_tables = {t: v for t, v in new_tables.items()
+                      if args.select in t}
+        if not base_tables and not new_tables:
+            die(f"--select {args.select!r} matches no table in "
+                "either report")
 
     failures = warnings = 0
     saw_deterministic = False

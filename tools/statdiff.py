@@ -26,6 +26,14 @@ checks_executed), and the per-domain cycle/instruction attribution by
 domain name. This is how profiling regressions (e.g. a change that
 moves cycles from compute into gate crossings) are caught in CI.
 
+Sharded-mesh exports: a stats export written by a --mesh run carries
+per-shard groups ("shard0", "shard1", ...) with the SIMULATED work
+each host shard executed. statdiff reports the busy-cycle imbalance
+(max/min ratio across shards) of each file as informational lines —
+a ratio far above 1.0 means the contiguous node partition is lopsided
+and host scaling will disappoint. Imbalance lines never affect the
+exit status; only actual counter differences do.
+
 Exit status is 1 when anything differs (useful as a regression
 tripwire in CI), 0 otherwise; 2 when an input file is missing, not
 valid JSON, or the two files are different kinds of export.
@@ -33,6 +41,7 @@ valid JSON, or the two files are different kinds of export.
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -205,6 +214,25 @@ def diff_profiles(base, new, show_all):
     return changed
 
 
+def report_shard_imbalance(label, counters):
+    """Info lines for a merged multi-shard stats export: per-shard
+    busy cycles and the max/min ratio. Silent for exports with fewer
+    than two shard groups."""
+    shards = {}
+    for key, value in counters.items():
+        m = re.fullmatch(r"shard(\d+)\.busy_cycles", key)
+        if m:
+            shards[int(m.group(1))] = value
+    if len(shards) < 2:
+        return
+    busy = [shards[s] for s in sorted(shards)]
+    lo, hi = min(busy), max(busy)
+    ratio = hi / lo if lo else float("inf")
+    cells = " ".join(f"shard{s}={shards[s]}" for s in sorted(shards))
+    print(f"i {label}: {len(shards)} shards, busy-cycle imbalance "
+          f"max/min = {ratio:.2f} ({cells})")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="diff two gpsim --stats-json exports or two "
@@ -239,6 +267,9 @@ def main():
         if changed == 0:
             print("no differences")
         return 1 if changed else 0
+
+    report_shard_imbalance(args.base, base_ctr)
+    report_shard_imbalance(args.new, new_ctr)
 
     changed = 0
     for key in sorted(set(base_ctr) | set(new_ctr)):

@@ -24,6 +24,11 @@
  *  - X1.4: NoC link storms. Raw links lose or silently corrupt
  *    messages; the retransmission protocol converts storms into
  *    latency (retries + acks) with zero corrupted deliveries.
+ *  - X1.5: mesh-scale fail-stop campaigns (ISSUE 9). Node deaths and
+ *    persistent link failures swept over a 2x2x2 mesh: link-only
+ *    storms are absorbed by route-around (degraded-but-correct),
+ *    node deaths surface as typed NodeUnreachable detections, and
+ *    the silent-data-corruption column stays zero in every arm.
  *
  * Every table is deterministic: same seed, same numbers.
  */
@@ -32,6 +37,7 @@
 
 #include "bench_util.h"
 #include "fault/campaign.h"
+#include "fault/mesh_campaign.h"
 #include "gp/ops.h"
 #include "mem/tagged_memory.h"
 #include "noc/retransmit.h"
@@ -293,6 +299,73 @@ nocStorms()
     t.print();
 }
 
+void
+meshFailStop()
+{
+    gp::bench::Table t(
+        "X1.5: mesh fail-stop campaigns, 2x2x2 mesh, 20 runs each "
+        "(counts)",
+        {"arm", "retrans", "injected", "dead", "links down",
+         "detours", "masked", "degraded", "detected", "SDC", "hang"});
+    struct Arm
+    {
+        const char *name;
+        double nodeRate;
+        double linkRate;
+        bool retrans;
+    };
+    const Arm arms[] = {
+        {"link storms only", 0.0, 2e-3, true},
+        {"node deaths only", 1e-3, 0.0, true},
+        {"deaths + link storms", 1e-3, 2e-3, true},
+        {"deaths, raw links", 1e-3, 0.0, false},
+    };
+    uint64_t totalSdc = 0, totalHang = 0;
+    for (const Arm &a : arms) {
+        fault::MeshCampaignConfig cc;
+        cc.seed = 31;
+        cc.runs = 20;
+        cc.iterations = 24;
+        cc.retrans.enabled = a.retrans;
+        cc.faults.rate[unsigned(FaultSite::NodeFailStop)] =
+            a.nodeRate;
+        cc.faults.rate[unsigned(FaultSite::LinkDown)] = a.linkRate;
+        fault::MeshCampaignRunner runner(cc);
+        const fault::MeshCampaignTotals totals = runner.runAll();
+        totalSdc += totals.outcome(fault::MeshOutcome::Sdc);
+        totalHang += totals.outcome(fault::MeshOutcome::Hang);
+        t.addRow({a.name, a.retrans ? "on" : "off",
+                  gp::bench::fmt("%llu", (unsigned long long)
+                                             totals.totalInjections),
+                  gp::bench::fmt("%llu", (unsigned long long)
+                                             totals.totalDeadNodes),
+                  gp::bench::fmt("%llu", (unsigned long long)
+                                             totals.totalDownLinks),
+                  gp::bench::fmt("%llu", (unsigned long long)
+                                             totals.totalDetours),
+                  gp::bench::fmt(
+                      "%llu", (unsigned long long)totals.outcome(
+                                  fault::MeshOutcome::Masked)),
+                  gp::bench::fmt(
+                      "%llu", (unsigned long long)totals.outcome(
+                                  fault::MeshOutcome::Degraded)),
+                  gp::bench::fmt(
+                      "%llu", (unsigned long long)totals.outcome(
+                                  fault::MeshOutcome::DetectedFault)),
+                  gp::bench::fmt(
+                      "%llu", (unsigned long long)totals.outcome(
+                                  fault::MeshOutcome::Sdc)),
+                  gp::bench::fmt(
+                      "%llu", (unsigned long long)totals.outcome(
+                                  fault::MeshOutcome::Hang))});
+    }
+    t.print();
+    std::printf("\nheadline: mesh fail-stop SDC runs = %llu, "
+                "hangs = %llu (both must be zero)\n",
+                (unsigned long long)totalSdc,
+                (unsigned long long)totalHang);
+}
+
 } // namespace
 
 int
@@ -303,5 +376,6 @@ main(int argc, char **argv)
     perSiteCoverage();
     hardeningAblation();
     nocStorms();
+    meshFailStop();
     return 0;
 }

@@ -34,10 +34,15 @@ enum class Fault : uint8_t
     InvalidInstruction, //!< undecodable or illegal instruction
     MemoryIntegrity,    //!< detected-uncorrectable hardware corruption
     WatchdogTimeout,    //!< machine watchdog converted a hang
+    /** Remote access homed on a dead node (or with no surviving
+     * route): the end-to-end retry budget was exhausted and every
+     * attempt came back unreachable. A typed failure, not a hang —
+     * the issuing thread faults instead of parking forever. */
+    NodeUnreachable,
 };
 
 /// Highest-valued fault kind (for loops that enumerate the taxonomy).
-inline constexpr Fault kLastFault = Fault::WatchdogTimeout;
+inline constexpr Fault kLastFault = Fault::NodeUnreachable;
 
 /** @return a stable human-readable fault name. */
 constexpr std::string_view
@@ -74,6 +79,8 @@ faultName(Fault f)
         return "memory-integrity";
       case Fault::WatchdogTimeout:
         return "watchdog-timeout";
+      case Fault::NodeUnreachable:
+        return "node-unreachable";
       default:
         return "unknown";
     }

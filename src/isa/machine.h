@@ -63,8 +63,12 @@ struct MachineConfig
      * Quiescence watchdog: when nonzero, trip if threads remain
      * live but no instruction has issued for this many consecutive
      * cycles — the signature of a hang (e.g. a thread stalled
-     * forever on a NoC request that was dropped). Must exceed the
-     * longest legitimate memory stall. 0 = no quiescence watchdog.
+     * forever on a NoC request that was dropped). A thread stalled
+     * to a *finite* future cycle (a long retransmission backoff) or
+     * parked on an in-flight split transaction never trips it, no
+     * matter the window: only hung-forever stalls (UINT64_MAX) and
+     * orphaned parks (markDeferredOrphans()) count as quiescent.
+     * 0 = no quiescence watchdog.
      */
     uint64_t watchdogQuiescence = 0;
 
@@ -166,8 +170,37 @@ class Machine
     /** @return true while any split transaction is outstanding. */
     bool hasDeferred() const { return !deferred_.empty(); }
 
+    /**
+     * Mark every outstanding split transaction as orphaned: its
+     * completion will never arrive (the sharded engine found it
+     * undeliverable — e.g. the exchange dropped the op of a dead
+     * node). Orphaned parks stop vetoing the quiescence watchdog,
+     * so a park that never completes still trips it; a completion
+     * that does arrive later for an orphaned ticket is still
+     * delivered normally.
+     */
+    void markDeferredOrphans();
+
+    /**
+     * External watchdog trip (sharded-mesh distributed watchdog):
+     * convert this machine's live threads into WatchdogTimeout
+     * faults exactly as an internal trip would. No-op if a watchdog
+     * already fired.
+     */
+    void forceWatchdogTrip(const char *why);
+
     /** @return true once either watchdog has fired. */
     bool watchdogTripped() const { return watchdogTripped_; }
+
+    /**
+     * True when nothing can make progress without outside help: no
+     * Ready thread has a finite future wake-up scheduled and no
+     * non-orphaned split transaction is in flight. Cold path — the
+     * machine's own quiescence watchdog consults it only once its
+     * window is exceeded; the sharded mesh's distributed watchdog
+     * uses it to tell "parked, will resume" from "wedged for good".
+     */
+    bool quiescentNow() const;
 
     uint64_t cycle() const { return cycle_; }
 
@@ -258,6 +291,10 @@ class Machine
     /** Budget/quiescence check, called once per cycle when armed. */
     void checkWatchdog();
 
+    /** Count a taken fault in its per-kind counter (lazily
+     * registering kinds past WatchdogTimeout — see initStats). */
+    void bumpFaultKind(Fault f);
+
     /**
      * Convert the hang into structured errors: fault every live
      * thread with WatchdogTimeout (bypassing the software handler —
@@ -331,6 +368,9 @@ class Machine
         unsigned size = 0;        //!< access size (stores)
         uint64_t storeAddr = 0;   //!< effective address (stores)
         bool elide = false;       //!< check-elision state at issue
+        /// Completion will never arrive (markDeferredOrphans): the
+        /// park no longer vetoes the quiescence watchdog.
+        bool orphaned = false;
     };
 
     MachineConfig config_;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/stats.h"
 
@@ -28,6 +29,11 @@ struct MeshConfig
     unsigned dimZ = 2;        //!< Z planes
     uint64_t hopLatency = 2;  //!< router + wire traversal per hop
     uint64_t injectLatency = 1; //!< network interface entry/exit
+    /** Extra cycles charged per hop a detour route takes beyond the
+     * Manhattan distance (adaptive-routing table lookup + the longer
+     * path's occupancy). Only reachable once the fabric is degraded —
+     * a healthy mesh never detours. */
+    uint64_t detourPenalty = 1;
 };
 
 /** Node coordinates. */
@@ -57,12 +63,73 @@ class Mesh
     unsigned hops(unsigned from, unsigned to) const;
 
     /**
-     * Send a message of `flits` flits at cycle `now`.
-     * @return the delivery cycle, accounting for link queuing along
-     * the dimension-order route.
+     * Send a message of `flits` flits at cycle `now` over a healthy
+     * fabric. @return the delivery cycle, accounting for link queuing
+     * along the dimension-order route. Ignores failure state — once
+     * the fabric is degraded() callers must use trySend() instead.
      */
     uint64_t send(unsigned from, unsigned to, uint64_t now,
                   unsigned flits = 1);
+
+    /** Outcome of a fault-aware send attempt. */
+    struct SendOutcome
+    {
+        bool delivered = false; //!< false: no surviving route
+        uint64_t cycle = 0;     //!< delivery cycle when delivered
+        bool detoured = false;  //!< route was longer than Manhattan
+    };
+
+    /**
+     * Fault-aware send. On a healthy fabric this is exactly send()
+     * (same accounting, byte-identical timing). Once degraded, the
+     * message takes the dimension-order route when it survives, or
+     * the deterministic shortest detour around dead links/nodes
+     * (breadth-first, fixed +x/-x/+y/-y/+z/-z direction order)
+     * charging detourPenalty extra cycles per hop beyond the
+     * Manhattan distance. A dead endpoint or a partitioned pair is
+     * returned as not delivered — the typed-unreachable signal the
+     * end-to-end retry protocol converts into a NodeUnreachable
+     * fault.
+     */
+    SendOutcome trySend(unsigned from, unsigned to, uint64_t now,
+                        unsigned flits = 1);
+
+    /** Fail-stop node death: every link touching @p node goes down
+     * with it. Permanent for the life of the mesh. */
+    void failNode(unsigned node);
+
+    /** Take down the unidirectional link leaving @p node in
+     * @p direction (0..5 = +x,-x,+y,-y,+z,-z). Permanent. */
+    void failLink(unsigned node, unsigned direction);
+
+    /** @return true once any node or link has failed. */
+    bool degraded() const { return degraded_; }
+
+    bool nodeDead(unsigned node) const
+    {
+        // Empty checks matter: the vectors are sized on the FIRST
+        // failure of their kind, so a link-only failure set leaves
+        // deadNodes_ empty (and vice versa).
+        return degraded_ && !deadNodes_.empty() &&
+               deadNodes_[node] != 0;
+    }
+
+    bool linkDown(unsigned node, unsigned direction) const
+    {
+        return degraded_ && !downLinks_.empty() &&
+               downLinks_[linkId(node, direction)] != 0;
+    }
+
+    /** Neighbor of @p node in @p direction, or -1 at the mesh edge.
+     * Directions as failLink(). */
+    int neighbor(unsigned node, unsigned direction) const;
+
+    uint64_t deadNodeCount() const { return deadNodeCount_; }
+    uint64_t downLinkCount() const { return downLinkCount_; }
+    /** Messages delivered over a longer-than-Manhattan route. */
+    uint64_t detourCount() const { return detours_; }
+    /** trySend() attempts that found no surviving route. */
+    uint64_t unreachableCount() const { return unreachable_; }
 
     /**
      * Lower bound on the latency of ANY inter-node message: one
@@ -102,10 +169,45 @@ class Mesh
         return uint64_t(node) * 6 + direction;
     }
 
+    /** Charge one hop over @p link starting no earlier than @p t:
+     * link occupancy, stall accounting, hop latency. @return the
+     * cycle the head flit leaves the link. Shared by send() and the
+     * degraded trySend() path so both charge contention the same
+     * way. */
+    uint64_t chargeHop(uint64_t link, uint64_t t, unsigned flits);
+
+    /** Dimension-order route from @p from to @p to; @return false if
+     * it crosses a down link or dead node (degraded fabric only). On
+     * success appends the (linkId, nextNode) hops to @p hops_out. */
+    bool dimOrderRoute(unsigned from, unsigned to,
+                       std::vector<std::pair<uint64_t, unsigned>>
+                           &hops_out) const;
+
+    /** Deterministic BFS shortest route avoiding dead links/nodes
+     * (fixed direction order). @return false when partitioned. */
+    bool detourRoute(unsigned from, unsigned to,
+                     std::vector<std::pair<uint64_t, unsigned>>
+                         &hops_out) const;
+
     MeshConfig config_;
     /// per-link busy-until cycle
     std::unordered_map<uint64_t, uint64_t> linkBusy_;
     sim::StatGroup stats_{"mesh"};
+
+    // Failure state. Both vectors stay empty until the first
+    // failNode/failLink call (degraded_ flips then), so the healthy
+    // fast path costs one bool test. Raw members, not stat counters:
+    // the sharded-mesh signature mixes every mesh counter, and a
+    // disarmed run must hash byte-identically to the pre-resilience
+    // baselines (ShardedMesh::signature mixes these separately, only
+    // once the fabric is degraded).
+    bool degraded_ = false;
+    std::vector<char> deadNodes_;  //!< by node id (sized on demand)
+    std::vector<char> downLinks_;  //!< by linkId (sized on demand)
+    uint64_t deadNodeCount_ = 0;
+    uint64_t downLinkCount_ = 0;
+    uint64_t detours_ = 0;
+    uint64_t unreachable_ = 0;
 
     // Cached stat handles so send() pays increments, not map lookups.
     sim::Counter *messages_ = nullptr;

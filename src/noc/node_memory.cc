@@ -181,7 +181,6 @@ NodeMemory::accessBody(Word ptr, Access kind, unsigned size,
             tlb_.insert(vpn, *pa >> home_slice.pageTable.pageShift());
         }
 
-        cache_.access(vaddr, is_write);
         const unsigned home = homeNode(vaddr);
         if (home == node_) {
             t += config_.timing.extMemAccess;
@@ -210,6 +209,22 @@ NodeMemory::accessBody(Word ptr, Access kind, unsigned size,
                 const uint64_t leg = rq.cycle - t;
                 prof.accSeg(sim::ProfComp::Noc,
                             leg > retr ? leg - retr : 0);
+            }
+            if (rq.unreachable) {
+                // No surviving route to the home node (fail-stop
+                // death or a partitioning link failure). The network
+                // interface *knows* — with the protocol on, the full
+                // timeout/backoff retry budget was burned first; raw
+                // links learn from the route table immediately. A
+                // typed fault either way, never a hang.
+                acc.fault = Fault::NodeUnreachable;
+                acc.completeCycle = rq.cycle;
+                unreachableFaults_++;
+                if (!statUnreachableFaults_)
+                    statUnreachableFaults_ =
+                        &stats_.counter("node_unreachable_faults");
+                (*statUnreachableFaults_)++;
+                return acc;
             }
             if (!rq.delivered || (!reliable && rq.corrupted)) {
                 // The request never reaches (or never parses at)
@@ -243,6 +258,20 @@ NodeMemory::accessBody(Word ptr, Access kind, unsigned size,
                 prof.accSeg(sim::ProfComp::Noc,
                             leg > retr ? leg - retr : 0);
             }
+            if (rp.unreachable) {
+                // The reply found no surviving route back (the
+                // failure landed mid-access). Same typed error as a
+                // dead home: the requester's end-to-end timeout is
+                // what detects it.
+                acc.fault = Fault::NodeUnreachable;
+                acc.completeCycle = rp.cycle;
+                unreachableFaults_++;
+                if (!statUnreachableFaults_)
+                    statUnreachableFaults_ =
+                        &stats_.counter("node_unreachable_faults");
+                (*statUnreachableFaults_)++;
+                return acc;
+            }
             if (!rp.delivered) {
                 acc.completeCycle = rp.cycle;
                 if (reliable) {
@@ -264,6 +293,12 @@ NodeMemory::accessBody(Word ptr, Access kind, unsigned size,
             (*remoteMisses_)++;
             (*remoteLatency_) += t - now;
         }
+        // Install the line only now that the fill actually arrived.
+        // A fetch that died on the NoC (unreachable home, lost
+        // delivery) must leave the cache untouched — a resident line
+        // would make the next access to the dead home silently "hit"
+        // and bypass the typed-unreachable path entirely.
+        cache_.access(vaddr, is_write);
     }
 
     // Functional data access against the home slice's backing store.

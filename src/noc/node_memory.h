@@ -245,6 +245,9 @@ class NodeMemory : public mem::MemoryPort
     Retransmitter &retransmitter() { return retrans_; }
     sim::StatGroup &stats() { return stats_; }
 
+    /** Accesses that faulted NodeUnreachable (dead home / no route). */
+    uint64_t unreachableFaults() const { return unreachableFaults_; }
+
     /**
      * Attach (or detach, with nullptr) the sharded mesh engine's
      * epoch exchange. With an exchange attached, any timed access
@@ -307,6 +310,12 @@ class NodeMemory : public mem::MemoryPort
     sim::Counter *nocReplyCorruptions_ = nullptr;
     sim::Counter *eccCorrected_ = nullptr;
     sim::Counter *eccDetected_ = nullptr;
+    /// Registered lazily on the first NodeUnreachable (cold path):
+    /// the sharded-mesh signature mixes every node counter, so a
+    /// failure-free run must expose exactly the counter set the
+    /// blessed baselines were pinned to.
+    sim::Counter *statUnreachableFaults_ = nullptr;
+    uint64_t unreachableFaults_ = 0;
 };
 
 } // namespace gp::noc

@@ -26,6 +26,7 @@ Retransmitter::Retransmitter(Mesh &mesh, const RetransConfig &config,
     statAcks_ = &stats_.counter("acks");
     statAckLosses_ = &stats_.counter("ack_losses");
     statAbandoned_ = &stats_.counter("abandoned");
+    statUnreachable_ = &stats_.counter("unreachable");
 }
 
 uint64_t
@@ -40,8 +41,11 @@ Delivery
 Retransmitter::transfer(unsigned from, unsigned to, uint64_t now,
                         unsigned flits)
 {
-    // Fast path: bit-identical to the unprotected baseline.
-    if (!cfg_.enabled && !FaultInjector::armed())
+    // Fast path: bit-identical to the unprotected baseline. A
+    // degraded fabric (failed nodes/links — possible even with the
+    // injector disarmed, e.g. tests failing hardware directly) must
+    // take the fault-aware path so dead routes are noticed.
+    if (!cfg_.enabled && !FaultInjector::armed() && !mesh_.degraded())
         return Delivery{true, false, mesh_.send(from, to, now, flits),
                         1};
     return cfg_.enabled ? reliableTransfer(from, to, now, flits)
@@ -79,10 +83,20 @@ Retransmitter::rawTransfer(unsigned from, unsigned to, uint64_t now,
     if (inj.fire(FaultSite::NocDuplicate)) {
         // A second copy traverses (and occupies) the same route.
         (*statRawDuplicates_)++;
-        mesh_.send(from, to, now, flits);
+        mesh_.trySend(from, to, now, flits);
     }
 
-    d.cycle = mesh_.send(from, to, now, flits) + extra;
+    const Mesh::SendOutcome out = mesh_.trySend(from, to, now, flits);
+    if (!out.delivered) {
+        // No surviving route and no protocol to retry: the message
+        // dies at the network interface. Unlike a drop the sender's
+        // NI *knows* — the failure is typed, not silent.
+        unreachableFails_++;
+        (*statUnreachable_)++;
+        GP_TRACE(NoC, now, from, "unreachable", "dst=%u", to);
+        return Delivery{false, false, now, 1, true};
+    }
+    d.cycle = out.cycle + extra;
     return d;
 }
 
@@ -95,6 +109,7 @@ Retransmitter::reliableTransfer(unsigned from, unsigned to,
     nextSeq_[chan]++; // sequence-number side of the protocol state
 
     uint64_t t = now;
+    bool sawUnreachable = false;
     for (unsigned attempt = 1; attempt <= cfg_.maxAttempts;
          ++attempt) {
         const uint64_t attemptStart = t;
@@ -134,20 +149,56 @@ Retransmitter::reliableTransfer(unsigned from, unsigned to,
             continue;
         }
 
-        const uint64_t dataArrive =
-            mesh_.send(from, to, attemptStart, flits) + extra;
+        // No surviving route to the destination: the data message
+        // dies in the fabric and no ack ever comes back, so the
+        // sender burns the full timeout exactly as for a drop. The
+        // end-to-end timeout/backoff/bounded-retry sequence is what
+        // converts a dead home into a *typed* failure.
+        const Mesh::SendOutcome data =
+            mesh_.trySend(from, to, attemptStart, flits);
+        if (!data.delivered) {
+            sawUnreachable = true;
+            retransmissions_++;
+            (*statRetransmissions_)++;
+            GP_TRACE(NoC, attemptStart, from, "retry-unreachable",
+                     "dst=%u attempt=%u", to, attempt);
+            t = attemptStart + timeoutFor(attempt - 1);
+            if (sim::Profiler::armed())
+                sim::Profiler::instance().accSeg(
+                    sim::ProfComp::Retransmit, t - attemptStart);
+            continue;
+        }
+        const uint64_t dataArrive = data.cycle + extra;
 
         // Duplicate in flight: receiver's sequence check drops it.
         if (FaultInjector::armed() &&
             inj.fire(FaultSite::NocDuplicate)) {
             dupSuppressed_++;
             (*statDupSuppressed_)++;
-            mesh_.send(from, to, attemptStart, flits);
+            mesh_.trySend(from, to, attemptStart, flits);
         }
 
-        // Positive ack back to the sender, on the same mesh.
+        // Positive ack back to the sender, on the same mesh. An ack
+        // with no surviving return route behaves exactly like a lost
+        // ack: the sender times out and resends.
         (*statAcks_)++;
-        mesh_.send(to, from, dataArrive, cfg_.ackFlits);
+        const Mesh::SendOutcome ack =
+            mesh_.trySend(to, from, dataArrive, cfg_.ackFlits);
+        if (!ack.delivered) {
+            sawUnreachable = true;
+            retransmissions_++;
+            dupSuppressed_++;
+            (*statAckLosses_)++;
+            (*statRetransmissions_)++;
+            (*statDupSuppressed_)++;
+            GP_TRACE(NoC, attemptStart, from, "retry-ack-unreachable",
+                     "dst=%u attempt=%u", to, attempt);
+            t = attemptStart + timeoutFor(attempt - 1);
+            if (sim::Profiler::armed())
+                sim::Profiler::instance().accSeg(
+                    sim::ProfComp::Retransmit, t - attemptStart);
+            continue;
+        }
 
         // A lost/mangled ack forces one more data round; the
         // receiver suppresses the duplicate data and re-acks.
@@ -172,12 +223,18 @@ Retransmitter::reliableTransfer(unsigned from, unsigned to,
     }
 
     // Retry budget exhausted: a *detected* delivery failure — the
-    // caller surfaces it as a memory-integrity fault, never silent.
+    // caller surfaces it as a memory-integrity fault (or, when the
+    // cause was a dead route, the typed NodeUnreachable) — never
+    // silent.
     abandoned_++;
     (*statAbandoned_)++;
+    if (sawUnreachable) {
+        unreachableFails_++;
+        (*statUnreachable_)++;
+    }
     GP_TRACE(NoC, now, from, "abandoned", "dst=%u attempts=%u", to,
              cfg_.maxAttempts);
-    return Delivery{false, false, t, cfg_.maxAttempts};
+    return Delivery{false, false, t, cfg_.maxAttempts, sawUnreachable};
 }
 
 } // namespace gp::noc

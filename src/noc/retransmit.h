@@ -66,6 +66,14 @@ struct Delivery
     uint64_t cycle = 0;
     /** Data-message send attempts consumed. */
     unsigned attempts = 1;
+    /**
+     * At least one attempt found no surviving route (dead home node,
+     * or the failure set partitioned the pair). Set together with
+     * !delivered once the retry budget is exhausted: the caller
+     * surfaces it as the typed NodeUnreachable fault rather than the
+     * generic MemoryIntegrity delivery failure.
+     */
+    bool unreachable = false;
 };
 
 /**
@@ -97,6 +105,21 @@ class Retransmitter
     uint64_t duplicatesSuppressed() const { return dupSuppressed_; }
     uint64_t crcDiscards() const { return crcDiscards_; }
     uint64_t abandoned() const { return abandoned_; }
+    /** Transfers that failed with no surviving route (subset of the
+     * raw failures / abandoned transfers). */
+    uint64_t unreachableFailures() const { return unreachableFails_; }
+
+    /** Give-up cycle of a transfer whose every attempt timed out:
+     * now + the full backoff sequence. Exposed so tests can pin the
+     * exhaustion boundary exactly. */
+    uint64_t
+    exhaustionCycle(uint64_t now) const
+    {
+        uint64_t t = now;
+        for (unsigned a = 0; a < cfg_.maxAttempts; ++a)
+            t += timeoutFor(a);
+        return t;
+    }
 
   private:
     /** Protocol-off transfer: raw link, faults land on the caller. */
@@ -117,6 +140,7 @@ class Retransmitter
     uint64_t dupSuppressed_ = 0;
     uint64_t crcDiscards_ = 0;
     uint64_t abandoned_ = 0;
+    uint64_t unreachableFails_ = 0;
     sim::StatGroup stats_;
 
     // Cached stat handles: transfer() sits under every NoC memory
@@ -131,6 +155,7 @@ class Retransmitter
     sim::Counter *statAcks_ = nullptr;
     sim::Counter *statAckLosses_ = nullptr;
     sim::Counter *statAbandoned_ = nullptr;
+    sim::Counter *statUnreachable_ = nullptr;
 };
 
 } // namespace gp::noc

@@ -1,6 +1,7 @@
 #include "noc/shard.h"
 
 #include <algorithm>
+#include <ostream>
 
 #include "sim/faultinject.h"
 #include "sim/log.h"
@@ -102,8 +103,11 @@ ShardedMesh::shardOf(unsigned n) const
 bool
 ShardedMesh::allDone() const
 {
-    for (const auto &m : machines_)
-        if (!m->allDone())
+    // Fail-stopped nodes are frozen mid-flight — they are neither
+    // running nor waited for. The run is over when every *survivor*
+    // is done (vacuously true if everything died).
+    for (unsigned n = 0; n < machines_.size(); ++n)
+        if (!mesh_.nodeDead(n) && !machines_[n]->allDone())
             return false;
     return true;
 }
@@ -153,10 +157,65 @@ ShardedMesh::refreshLive()
     // A done machine can never wake up on its own (no pending split
     // transactions, no ready threads), so it stops being stepped; its
     // local cycle count freezes at the epoch in which it finished.
-    // This is part of the canonical schedule: identical for every
+    // A fail-stopped machine freezes the same way, mid-flight. This
+    // is part of the canonical schedule: identical for every
     // host-thread count.
     for (unsigned n = 0; n < live_.size(); ++n)
-        live_[n] = machines_[n]->allDone() ? 0 : 1;
+        live_[n] =
+            (mesh_.nodeDead(n) || machines_[n]->allDone()) ? 0 : 1;
+}
+
+void
+ShardedMesh::killNode(unsigned n)
+{
+    if (n >= machines_.size() || mesh_.nodeDead(n))
+        return;
+    mesh_.failNode(n);
+    // Whatever split transactions the dying node still has parked
+    // will never complete (its exchange ops are dropped below and
+    // nothing new is posted); mark them so post-mortems can tell
+    // wedged-by-death from in-flight.
+    machines_[n]->markDeferredOrphans();
+    sim::warn("sharded mesh: node %u fail-stopped at cycle %llu", n,
+              static_cast<unsigned long long>(cycle_));
+}
+
+void
+ShardedMesh::applyMeshFaults()
+{
+    auto &inj = sim::FaultInjector::instance();
+    const unsigned nodes = unsigned(machines_.size());
+
+    // One opportunity per site per epoch. Victim selection draws
+    // come from the same per-site stream as the Bernoulli draw, and
+    // the candidate lists are id-sorted, so the failure schedule is
+    // a pure function of (seed, config) — never of host threads.
+    if (inj.fire(sim::FaultSite::NodeFailStop)) {
+        std::vector<unsigned> alive;
+        alive.reserve(nodes);
+        for (unsigned n = 0; n < nodes; ++n)
+            if (!mesh_.nodeDead(n))
+                alive.push_back(n);
+        if (!alive.empty())
+            killNode(alive[inj.drawBelow(sim::FaultSite::NodeFailStop,
+                                         alive.size())]);
+    }
+    if (inj.fire(sim::FaultSite::LinkDown)) {
+        std::vector<std::pair<unsigned, unsigned>> up;
+        up.reserve(size_t(nodes) * 6);
+        for (unsigned n = 0; n < nodes; ++n)
+            for (unsigned d = 0; d < 6; ++d)
+                if (mesh_.neighbor(n, d) >= 0 && !mesh_.linkDown(n, d))
+                    up.emplace_back(n, d);
+        if (!up.empty()) {
+            const auto [vn, vd] =
+                up[inj.drawBelow(sim::FaultSite::LinkDown, up.size())];
+            mesh_.failLink(vn, vd);
+            sim::warn("sharded mesh: link %u/dir%u down at cycle %llu",
+                      vn, vd,
+                      static_cast<unsigned long long>(cycle_));
+        }
+    }
 }
 
 void
@@ -169,6 +228,10 @@ ShardedMesh::drainEpoch()
         auto &inj = sim::FaultInjector::instance();
         for (uint64_t c = epochFrom_; c < epochTo_; ++c)
             inj.tick(c + 1);
+        // Mesh-scale fail-stop sites arm here — after the ticks,
+        // before the drain — so an op already in flight to a node
+        // that dies at this barrier fails *this* epoch.
+        applyMeshFaults();
     }
 
     // Canonical drain rounds: resolving a deferred fetch decodes and
@@ -180,6 +243,13 @@ ShardedMesh::drainEpoch()
     std::vector<DeferredAccess> ops = exchange_.drain();
     while (!ops.empty()) {
         for (const DeferredAccess &op : ops) {
+            if (mesh_.nodeDead(op.node)) {
+                // The poster fail-stopped with this op in flight:
+                // nobody is waiting for the completion. Dropped, not
+                // resolved — a dead node must not touch the fabric.
+                deadOpsDropped_++;
+                continue;
+            }
             const mem::MemAccess acc =
                 nodes_[op.node]->resolveDeferred(op);
             machines_[op.node]->completeDeferred(op.ticket, acc);
@@ -187,7 +257,152 @@ ShardedMesh::drainEpoch()
         ops = exchange_.drain();
     }
 
+    // The exchange is empty: every split transaction still parked on
+    // a surviving machine is an orphan (its completion can no longer
+    // arrive) and must not veto that machine's quiescence watchdog.
+    // In the current protocol this only happens through fail-stop
+    // drops above, but the invariant is checked unconditionally —
+    // a lost op is a hang either way.
+    for (unsigned n = 0; n < machines_.size(); ++n)
+        if (!mesh_.nodeDead(n) && machines_[n]->hasDeferred())
+            machines_[n]->markDeferredOrphans();
+
     refreshLive();
+}
+
+uint64_t
+ShardedMesh::progressCount() const
+{
+    // Instructions retired + faults taken across survivors: anything
+    // that counts as forward progress for the distributed watchdog.
+    // Only scanned while the mesh watchdog is armed.
+    uint64_t p = 0;
+    for (unsigned n = 0; n < machines_.size(); ++n) {
+        if (mesh_.nodeDead(n))
+            continue;
+        const isa::Machine &m = *machines_[n];
+        for (const isa::Thread &t : m.threads())
+            p += t.instsRetired();
+        p += m.faultLog().size();
+    }
+    return p;
+}
+
+void
+ShardedMesh::checkMeshWatchdog()
+{
+    const uint64_t progress = progressCount();
+    if (progress != lastProgress_) {
+        lastProgress_ = progress;
+        lastProgressCycle_ = cycle_;
+        return;
+    }
+    if (cycle_ - lastProgressCycle_ < config_.meshWatchdogCycles)
+        return;
+    // No survivor progressed for a full window. Spurious-trip guard:
+    // a survivor stalled to a finite future cycle (long backoff) or
+    // holding a genuinely in-flight park will resume on its own —
+    // only trip when every survivor is quiescent for good.
+    for (unsigned n = 0; n < machines_.size(); ++n)
+        if (!mesh_.nodeDead(n) && !machines_[n]->allDone() &&
+            !machines_[n]->quiescentNow())
+            return;
+    meshWatchdogTripped_ = true;
+    sim::warn("sharded mesh: distributed watchdog trip at cycle %llu "
+              "(%u survivors, %llu dead nodes)",
+              static_cast<unsigned long long>(cycle_), survivors(),
+              static_cast<unsigned long long>(mesh_.deadNodeCount()));
+    for (unsigned n = 0; n < machines_.size(); ++n)
+        if (!mesh_.nodeDead(n) && !machines_[n]->allDone())
+            machines_[n]->forceWatchdogTrip("mesh-quiescence");
+}
+
+namespace {
+
+const char *
+threadStateName(isa::ThreadState s)
+{
+    switch (s) {
+      case isa::ThreadState::Idle:
+        return "idle";
+      case isa::ThreadState::Ready:
+        return "ready";
+      case isa::ThreadState::Halted:
+        return "halted";
+      case isa::ThreadState::Faulted:
+        return "faulted";
+      case isa::ThreadState::Pending:
+        return "pending";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+ShardedMesh::postMortem(std::ostream &os) const
+{
+    os << "=== mesh post-mortem @ cycle " << cycle_ << " ===\n"
+       << "nodes=" << nodeCount() << " survivors=" << survivors()
+       << " hostThreads=" << hostThreads_ << " meshWatchdog="
+       << (meshWatchdogTripped_ ? "TRIPPED" : "clear") << "\n";
+
+    if (mesh_.degraded()) {
+        os << "failure set: " << mesh_.deadNodeCount()
+           << " dead node(s), " << mesh_.downLinkCount()
+           << " down link(s)\n";
+        os << "  dead nodes:";
+        for (unsigned n = 0; n < nodeCount(); ++n)
+            if (mesh_.nodeDead(n))
+                os << " " << n;
+        os << "\n  down links (node/dir):";
+        for (unsigned n = 0; n < nodeCount(); ++n)
+            for (unsigned d = 0; d < 6; ++d)
+                if (!mesh_.nodeDead(n) && mesh_.neighbor(n, d) >= 0 &&
+                    mesh_.linkDown(n, d))
+                    os << " " << n << "/" << d;
+        os << "\n";
+        os << "degraded routing: " << mesh_.detourCount()
+           << " detoured message(s), " << mesh_.unreachableCount()
+           << " unreachable attempt(s), " << deadOpsDropped_
+           << " dead-poster op(s) dropped\n";
+    } else {
+        os << "fabric healthy (no node/link failures)\n";
+    }
+
+    for (unsigned n = 0; n < machines_.size(); ++n) {
+        const isa::Machine &m = *machines_[n];
+        if (mesh_.nodeDead(n)) {
+            os << "node " << n << ": FAIL-STOPPED at cycle "
+               << m.cycle() << "\n";
+            continue;
+        }
+        if (m.allDone() && !m.watchdogTripped())
+            continue; // finished cleanly — not interesting here
+        os << "node " << n << ": cycle=" << m.cycle()
+           << (m.watchdogTripped() ? " watchdog=TRIPPED" : "")
+           << (m.hasDeferred() ? " orphaned-parks" : "") << "\n";
+        for (const isa::Thread &t : m.threads()) {
+            if (t.state() == isa::ThreadState::Idle)
+                continue;
+            os << "  thread " << t.id() << ": "
+               << threadStateName(t.state()) << " ip=0x" << std::hex
+               << t.ip().bits() << std::dec
+               << " retired=" << t.instsRetired();
+            if (t.stallUntil() == UINT64_MAX)
+                os << " stalled=forever";
+            else if (t.stallUntil() > m.cycle())
+                os << " stalledUntil=" << t.stallUntil();
+            os << "\n";
+        }
+        const auto &log = m.faultLog();
+        const size_t tail = log.size() > 4 ? log.size() - 4 : 0;
+        for (size_t i = tail; i < log.size(); ++i)
+            os << "  fault[" << i
+               << "]: " << faultName(log[i].fault) << " @ cycle "
+               << log[i].cycle << "\n";
+    }
+    os << "=== end post-mortem ===\n";
 }
 
 uint64_t
@@ -210,6 +425,8 @@ ShardedMesh::run(uint64_t max_cycles)
         cycle_ = epochTo_;
         drainEpoch();
         done = allDone();
+        if (!done && config_.meshWatchdogCycles != 0)
+            checkMeshWatchdog();
     }
     // Deterministic merge of the worker tallies into the real "gp"
     // counters, in shard order; totals now equal a sequential run's.
@@ -290,6 +507,20 @@ ShardedMesh::signature() const
     for (const auto &[name, ctr] :
          const_cast<Mesh &>(mesh_).stats().counters())
         mix(ctr.value());
+    // Failure-set state is mixed only once the fabric degrades: a
+    // failure-free run hashes exactly as the pre-resilience baseline
+    // (the blessed F6/fig5 signatures must not move).
+    if (mesh_.degraded()) {
+        mix(0xdeadfab5ull); // domain separator: degraded section
+        mix(mesh_.deadNodeCount());
+        mix(mesh_.downLinkCount());
+        mix(mesh_.detourCount());
+        mix(mesh_.unreachableCount());
+        for (unsigned n = 0; n < machines_.size(); ++n)
+            mix(mesh_.nodeDead(n) ? 1 : 0);
+        mix(deadOpsDropped_);
+        mix(meshWatchdogTripped_ ? 1 : 0);
+    }
     if (sim::FaultInjector::armed())
         mix(sim::FaultInjector::instance().injectedTotal());
     return h;

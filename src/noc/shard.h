@@ -47,6 +47,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -76,6 +77,16 @@ struct ShardConfig
      * part of the configuration a signature is pinned to; for any
      * fixed horizon results stay identical across thread counts. */
     uint64_t epochHorizon = 0;
+    /** Distributed (mesh-wide) quiescence watchdog: when nonzero,
+     * trip once no surviving node has made progress (retired an
+     * instruction or taken a fault) for this many simulated cycles
+     * AND every surviving machine is genuinely quiescent (no finite
+     * scheduled wake-up, no in-flight split transaction). The trip
+     * converts every surviving live thread into a WatchdogTimeout
+     * fault and records a post-mortem (postMortem()). Checked at
+     * epoch barriers only, so it is a pure function of simulated
+     * state — identical for every host-thread count. 0 = off. */
+    uint64_t meshWatchdogCycles = 0;
 };
 
 /**
@@ -115,11 +126,47 @@ class ShardedMesh
      */
     uint64_t run(uint64_t max_cycles = 1'000'000);
 
-    /** @return true when every machine has finished. */
+    /** @return true when every *surviving* machine has finished
+     * (fail-stopped nodes are frozen, not waited for). */
     bool allDone() const;
 
     /** @return true if any machine's watchdog fired. */
     bool watchdogTripped() const;
+
+    /** @return true if the distributed mesh watchdog fired. */
+    bool meshWatchdogTripped() const { return meshWatchdogTripped_; }
+
+    /**
+     * Fail-stop death of node @p n, effective at the next epoch
+     * barrier boundary: its mesh links go down, its machine freezes
+     * as-is (never stepped again, excluded from allDone()), its
+     * still-parked split transactions are orphaned, and any exchange
+     * ops it posted are dropped. Idempotent. Also the entry point
+     * the NodeFailStop fault site uses.
+     */
+    void killNode(unsigned n);
+
+    /** @return true once node @p n has fail-stopped. */
+    bool nodeDead(unsigned n) const { return mesh_.nodeDead(n); }
+
+    /** Surviving (not fail-stopped) node count. */
+    unsigned
+    survivors() const
+    {
+        return nodeCount() - unsigned(mesh_.deadNodeCount());
+    }
+
+    /** Exchange ops dropped because their poster fail-stopped. */
+    uint64_t deadOpsDropped() const { return deadOpsDropped_; }
+
+    /**
+     * Flight-recorder-style post-mortem of the mesh: failure set,
+     * degraded-routing tallies, and the state of every surviving
+     * machine that had not finished (thread states, IPs, recent
+     * faults, orphaned parks). Written by gpsim when a mesh run
+     * trips a watchdog; cheap enough to call any time.
+     */
+    void postMortem(std::ostream &os) const;
 
     /**
      * Deterministic digest of the architectural outcome: FNV-1a over
@@ -174,9 +221,26 @@ class ShardedMesh
     void workerLoop(unsigned shard);
 
     /** Barrier phase: central injector ticks for the finished epoch,
-     * then canonical drain of the exchange (rounds, because a
-     * completed remote fetch may immediately defer a remote load). */
+     * then per-epoch mesh fault arming, then canonical drain of the
+     * exchange (rounds, because a completed remote fetch may
+     * immediately defer a remote load). */
     void drainEpoch();
+
+    /** One Bernoulli opportunity per epoch for each mesh-scale
+     * fault site (NodeFailStop, LinkDown), with victims drawn from
+     * the id-sorted live-node / up-link lists — a pure function of
+     * (seed, epoch index, failure set), independent of host
+     * threads. Runs on the barrier thread before the drain so ops
+     * already in flight to a just-dead node fail this epoch. */
+    void applyMeshFaults();
+
+    /** Distributed quiescence watchdog (see ShardConfig), checked
+     * at the barrier after the drain. */
+    void checkMeshWatchdog();
+
+    /** Progress metric for the mesh watchdog: instructions retired
+     * plus faults taken across surviving machines. */
+    uint64_t progressCount() const;
 
     /** Recompute live_ (machines still needing steps). */
     void refreshLive();
@@ -212,6 +276,15 @@ class ShardedMesh
     /// Per-shard pointer-op tallies (index 0 unused: shard 0 runs on
     /// the caller and counts directly).
     std::vector<gp::OpTallies> tallies_;
+
+    // Mesh-resilience state (raw members, not stat counters: a
+    // disarmed run's signature must stay byte-identical to the
+    // pre-resilience baselines; signature() mixes these only once
+    // the fabric is degraded).
+    uint64_t deadOpsDropped_ = 0;
+    bool meshWatchdogTripped_ = false;
+    uint64_t lastProgress_ = 0;
+    uint64_t lastProgressCycle_ = 0;
 
     /// Per-shard simulated-load stat groups ("shard0", "shard1", ...)
     /// for tools/statdiff.py imbalance reporting. busy_cycles is

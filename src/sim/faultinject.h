@@ -7,6 +7,10 @@
  * permission/length field of a guarded pointer), cache-line bursts,
  * LTLB entry corruption and spurious invalidation, transient
  * page-walk failures, and NoC message drop/duplicate/delay/corrupt.
+ * The ISSUE-9 mesh-resilience arm adds two fail-stop sites —
+ * NodeFailStop and LinkDown — fired once per epoch by the sharded
+ * engine's barrier thread (see noc::ShardedMesh::applyMeshFaults),
+ * so mesh-scale failures stay deterministic across host threads.
  *
  * Design rules:
  *
@@ -65,6 +69,8 @@ enum class FaultSite : uint8_t
     NocDuplicate,    //!< NoC message delivered twice
     NocDelay,        //!< NoC message delayed by a drawn cycle count
     NocCorrupt,      //!< NoC message payload bit flipped in flight
+    NodeFailStop,    //!< fail-stop death of one mesh node (permanent)
+    LinkDown,        //!< one mesh link goes down (permanent)
     Count,
 };
 
@@ -98,6 +104,10 @@ faultSiteName(FaultSite s)
         return "noc-delay";
       case FaultSite::NocCorrupt:
         return "noc-corrupt";
+      case FaultSite::NodeFailStop:
+        return "node-fail-stop";
+      case FaultSite::LinkDown:
+        return "link-down";
       default:
         return "unknown";
     }

@@ -19,6 +19,7 @@
 #include "isa/assembler.h"
 #include "isa/loader.h"
 #include "isa/machine.h"
+#include "noc/node_memory.h"
 #include "sim/trace.h"
 
 namespace gp::isa {
@@ -121,6 +122,122 @@ TEST(Watchdog, TripDumpsFlightRecorderWithTrippingPc)
         << "the kill record names the PC the thread was stuck at";
     EXPECT_NE(text.find("exec"), std::string::npos)
         << "the dump keeps the last instructions before the trip";
+}
+
+/**
+ * Quiescence semantics for split-transaction parks (ISSUE 9): a
+ * thread parked on an IN-FLIGHT deferred access will be resumed by
+ * the epoch barrier, so it must veto the quiescence trip no matter
+ * how long the window has been exceeded. The same park ORPHANED
+ * (its completion will never arrive) must stop vetoing — that is
+ * precisely the wedge the watchdog exists to reclaim.
+ */
+class WatchdogParkTest : public ::testing::Test
+{
+  protected:
+    /** Machine on node 0 with an exchange attached, its one thread
+     * parked on a remote load posted to the (never-drained)
+     * exchange. */
+    void
+    park(uint64_t quiescence)
+    {
+        mem::MemConfig mc;
+        mc.cache.setsPerBank = 64;
+        node_ = std::make_unique<noc::NodeMemory>(0, mesh_, global_,
+                                                  mc);
+        node_->attachExchange(&exchange_);
+        MachineConfig cfg;
+        cfg.clusters = 1;
+        cfg.watchdogQuiescence = quiescence;
+        machine_ = std::make_unique<Machine>(cfg, *node_);
+
+        Assembly a = assemble("ld r2, 0(r1)\nhalt\n");
+        ASSERT_TRUE(a.ok) << a.error;
+        LoadedProgram prog = loadProgram(
+            *node_, noc::nodeBase(0) + 0x20000, a.words);
+        thread_ = machine_->spawn(prog.execPtr);
+        ASSERT_NE(thread_, nullptr);
+        auto remote = makePointer(Perm::ReadWrite, 12,
+                                  noc::nodeBase(1) + 0x1000);
+        ASSERT_TRUE(remote);
+        thread_->setReg(1, remote.value);
+
+        machine_->run(1000);
+        ASSERT_EQ(thread_->state(), ThreadState::Pending);
+        ASSERT_TRUE(machine_->hasDeferred());
+    }
+
+    noc::Mesh mesh_;
+    noc::GlobalMemory global_;
+    noc::EpochExchange exchange_{2};
+    std::unique_ptr<noc::NodeMemory> node_;
+    std::unique_ptr<Machine> machine_;
+    Thread *thread_ = nullptr;
+};
+
+TEST_F(WatchdogParkTest, InFlightParkNeverTripsQuiescence)
+{
+    park(/*quiescence=*/200);
+    machine_->run(20000); // window exceeded ~100x over
+    EXPECT_FALSE(machine_->watchdogTripped());
+    EXPECT_EQ(thread_->state(), ThreadState::Pending);
+    EXPECT_FALSE(machine_->quiescentNow());
+
+    // Deliver the completion the barrier would have: the park
+    // resumes and the program finishes — still no trip.
+    auto ops = exchange_.drain();
+    ASSERT_EQ(ops.size(), 1u);
+    machine_->completeDeferred(ops[0].ticket,
+                               node_->resolveDeferred(ops[0]));
+    machine_->run(20000);
+    EXPECT_EQ(thread_->state(), ThreadState::Halted);
+    EXPECT_FALSE(machine_->watchdogTripped());
+}
+
+TEST_F(WatchdogParkTest, OrphanedParkTripsQuiescence)
+{
+    park(/*quiescence=*/200);
+    machine_->markDeferredOrphans();
+    EXPECT_TRUE(machine_->quiescentNow())
+        << "an orphaned park must not veto the trip";
+    machine_->run(20000);
+    EXPECT_TRUE(machine_->watchdogTripped());
+    EXPECT_EQ(thread_->state(), ThreadState::Faulted);
+    EXPECT_EQ(thread_->faultRecord().fault, Fault::WatchdogTimeout);
+}
+
+TEST_F(WatchdogParkTest, LateCompletionForOrphanStillDelivers)
+{
+    // Orphaning is bookkeeping, not cancellation: if a completion
+    // does arrive for an orphaned ticket (no watchdog armed), it is
+    // delivered normally.
+    park(/*quiescence=*/0);
+    machine_->markDeferredOrphans();
+    auto ops = exchange_.drain();
+    ASSERT_EQ(ops.size(), 1u);
+    machine_->completeDeferred(ops[0].ticket,
+                               node_->resolveDeferred(ops[0]));
+    machine_->run(20000);
+    EXPECT_EQ(thread_->state(), ThreadState::Halted);
+    EXPECT_FALSE(machine_->watchdogTripped());
+}
+
+TEST(Watchdog, FiniteStallNeverTripsQuiescence)
+{
+    // A thread stalled to a *finite* future cycle (a long backoff)
+    // has a scheduled wake-up: not quiescent, no trip — unlike the
+    // UINT64_MAX hung-forever sentinel.
+    MachineConfig cfg;
+    cfg.watchdogQuiescence = 100;
+    Machine m(cfg);
+    LoadedProgram prog = loadSrc(m, "halt\n");
+    Thread *t = m.spawn(prog.execPtr);
+    ASSERT_NE(t, nullptr);
+    t->stallTo(30000);
+    m.run(100000);
+    EXPECT_FALSE(m.watchdogTripped());
+    EXPECT_EQ(t->state(), ThreadState::Halted)
+        << "the stall expires and the thread finishes on its own";
 }
 
 TEST(Watchdog, CompletingRunIsUntouchedByArmedWatchdog)

@@ -175,6 +175,101 @@ TEST_F(RetransmitTest, RetriesCostLatency)
     EXPECT_GT(stormTotal, cleanTotal);
 }
 
+TEST_F(RetransmitTest, ExhaustionCyclePinsTheBackoffSequence)
+{
+    // The give-up cycle IS the backoff schedule: timeout doubles per
+    // attempt, capped at shift 8. Pin both regimes exactly.
+    Mesh mesh;
+    RetransConfig rc;
+    rc.enabled = true;
+    rc.timeout = 64;
+    rc.maxAttempts = 5;
+    Retransmitter rt(mesh, rc, "t_exh_a");
+    // 64 * (1 + 2 + 4 + 8 + 16)
+    EXPECT_EQ(rt.exhaustionCycle(0), 64u * 31u);
+    EXPECT_EQ(rt.exhaustionCycle(1000), 1000 + 64u * 31u);
+
+    rc.maxAttempts = 12;
+    Retransmitter capped(mesh, rc, "t_exh_b");
+    // Shifts 0..8 then capped: 64 * (511 + 3 * 256)
+    EXPECT_EQ(capped.exhaustionCycle(0), 64u * (511u + 3u * 256u));
+}
+
+TEST_F(RetransmitTest, DeadHomeExhaustsExactlyAtTheBudget)
+{
+    // A fail-stopped destination with the protocol ON: every attempt
+    // burns its full timeout (the sender cannot tell a dead home
+    // from a slow one), the budget is consumed to exactly
+    // maxAttempts, and the failure is typed unreachable at exactly
+    // the exhaustion cycle — the bound the end-to-end caller turns
+    // into a NodeUnreachable fault.
+    Mesh mesh;
+    mesh.failNode(9);
+    RetransConfig rc;
+    rc.enabled = true;
+    rc.maxAttempts = 5;
+    Retransmitter rt(mesh, rc, "t_dead");
+
+    const Delivery d = rt.transfer(0, 9, 5000, 4);
+    EXPECT_FALSE(d.delivered);
+    EXPECT_TRUE(d.unreachable);
+    EXPECT_EQ(d.attempts, rc.maxAttempts);
+    EXPECT_EQ(d.cycle, rt.exhaustionCycle(5000));
+    EXPECT_EQ(rt.unreachableFailures(), 1u);
+    EXPECT_EQ(rt.abandoned(), 1u);
+}
+
+TEST_F(RetransmitTest, RawLinkReportsUnreachableImmediately)
+{
+    // Protocol OFF: the route table knows the home is gone, so the
+    // raw path fails typed-unreachable on the first attempt with no
+    // timeout burned — the caller still gets the typed signal.
+    Mesh mesh;
+    mesh.failNode(9);
+    Retransmitter rt(mesh, RetransConfig{}, "t_dead_raw");
+    const Delivery d = rt.transfer(0, 9, 5000, 4);
+    EXPECT_FALSE(d.delivered);
+    EXPECT_TRUE(d.unreachable);
+    EXPECT_EQ(d.attempts, 1u);
+    EXPECT_EQ(d.cycle, 5000u);
+}
+
+TEST_F(RetransmitTest, FinalAttemptBoundaryBothDirections)
+{
+    // The exhaustion boundary, both sides: under a heavy (seeded,
+    // deterministic) drop storm with a tight budget, some transfers
+    // must succeed on EXACTLY the final allowed attempt and some
+    // must exhaust — and every exhausted transfer gives up at
+    // exactly the full-backoff cycle, never before or after.
+    Mesh mesh;
+    RetransConfig rc;
+    rc.enabled = true;
+    rc.maxAttempts = 3;
+    Retransmitter rt(mesh, rc, "t_edge");
+    FaultInjector::instance().arm(storm(0.5, 0.0, 0.0, 0.0, 29));
+
+    unsigned lastGasp = 0, exhausted = 0;
+    for (unsigned m = 0; m < 400; ++m) {
+        const uint64_t now = m * 4000;
+        const Delivery d = rt.transfer(4, 11, now, 4);
+        ASSERT_LE(d.attempts, rc.maxAttempts);
+        if (d.delivered && d.attempts == rc.maxAttempts)
+            lastGasp++;
+        if (!d.delivered) {
+            exhausted++;
+            EXPECT_EQ(d.attempts, rc.maxAttempts);
+            EXPECT_EQ(d.cycle, rt.exhaustionCycle(now))
+                << "message " << m;
+            EXPECT_FALSE(d.unreachable)
+                << "drops are not route failures";
+        }
+    }
+    EXPECT_GT(lastGasp, 0u)
+        << "a 50% drop rate must save some on the final attempt";
+    EXPECT_GT(exhausted, 0u);
+    EXPECT_EQ(rt.unreachableFailures(), 0u);
+}
+
 TEST_F(RetransmitTest, DeterministicUnderSeed)
 {
     auto run = [this](uint64_t seed) {

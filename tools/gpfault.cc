@@ -24,6 +24,13 @@
  * must find detections, and with SECDED armed
  *   gpfault --ecc=secded --rate mem-data-bit=2e-4 --expect-zero-sdc
  * must classify zero runs as silent data corruption.
+ *
+ * The mesh arm (--mesh X,Y,Z) runs the multi-node campaign instead:
+ * fail-stop node deaths and persistent link failures over the
+ * sharded mesh engine, classified {masked, degraded-but-correct,
+ * detected-fault, silent-data-corruption, hang}. The printed
+ * "mesh campaign signature" is bit-identical for every --threads
+ * value — CI cross-checks --threads 1 against --threads 4.
  */
 
 #include <cstdio>
@@ -32,6 +39,7 @@
 #include <string>
 
 #include "fault/campaign.h"
+#include "fault/mesh_campaign.h"
 #include "mem/ecc.h"
 #include "sim/faultinject.h"
 #include "sim/log.h"
@@ -48,6 +56,8 @@ struct Options
     bool verbose = false;
     bool expectZeroSdc = false;
     bool expectDetected = false;
+    bool mesh = false; //!< --mesh X,Y,Z given: run the mesh campaign
+    fault::MeshCampaignConfig meshCampaign;
 };
 
 void
@@ -73,7 +83,17 @@ usage(const char *argv0)
         "  --verbose          one line per run\n"
         "  --list-sites       print the fault-site names and exit\n"
         "  --expect-zero-sdc  exit 1 if any run is classified SDC\n"
-        "  --expect-detected  exit 1 if no run is detected-fault\n",
+        "  --expect-detected  exit 1 if no run is detected-fault\n"
+        "mesh campaign (multi-node fail-stop resilience):\n"
+        "  --mesh X,Y,Z       run the mesh campaign on an XxYxZ mesh\n"
+        "                     (sites: node-fail-stop, link-down, plus\n"
+        "                     the noc-* transients)\n"
+        "  --threads N        host threads per run (default 1); the\n"
+        "                     printed campaign signature is identical\n"
+        "                     for every value\n"
+        "  --max-cycles N     per-run cycle budget (default 400000)\n"
+        "  --mesh-watchdog N  mesh quiescence window (default 20000)\n"
+        "  --no-retrans       disable the end-to-end retry protocol\n",
         argv0);
 }
 
@@ -156,14 +176,17 @@ parseArgs(int argc, char **argv, Options &opts, bool &exitEarly)
         }
         if (valueOf("--runs", value)) {
             opts.campaign.runs = unsigned(std::stoul(value));
+            opts.meshCampaign.runs = opts.campaign.runs;
             continue;
         }
         if (valueOf("--seed", value)) {
             opts.campaign.seed = std::stoull(value);
+            opts.meshCampaign.seed = opts.campaign.seed;
             continue;
         }
         if (valueOf("--iterations", value)) {
             opts.campaign.iterations = std::stoull(value);
+            opts.meshCampaign.iterations = opts.campaign.iterations;
             continue;
         }
         if (valueOf("--walk-retries", value)) {
@@ -185,6 +208,41 @@ parseArgs(int argc, char **argv, Options &opts, bool &exitEarly)
         if (valueOf("--rate", value)) {
             if (!parseRate(value, opts.campaign.faults))
                 return false;
+            opts.meshCampaign.faults = opts.campaign.faults;
+            continue;
+        }
+        if (valueOf("--mesh", value)) {
+            unsigned x = 0, y = 0, z = 0;
+            if (std::sscanf(value.c_str(), "%u,%u,%u", &x, &y, &z) !=
+                    3 ||
+                x == 0 || y == 0 || z == 0) {
+                std::fprintf(stderr,
+                             "gpfault: bad --mesh geometry: %s\n",
+                             value.c_str());
+                return false;
+            }
+            opts.mesh = true;
+            opts.meshCampaign.dimX = x;
+            opts.meshCampaign.dimY = y;
+            opts.meshCampaign.dimZ = z;
+            continue;
+        }
+        if (valueOf("--threads", value)) {
+            opts.meshCampaign.hostThreads =
+                unsigned(std::stoul(value));
+            continue;
+        }
+        if (valueOf("--max-cycles", value)) {
+            opts.meshCampaign.maxCycles = std::stoull(value);
+            continue;
+        }
+        if (valueOf("--mesh-watchdog", value)) {
+            opts.meshCampaign.meshWatchdogCycles =
+                std::stoull(value);
+            continue;
+        }
+        if (arg == "--no-retrans") {
+            opts.meshCampaign.retrans.enabled = false;
             continue;
         }
         if (valueOf("--ecc", value)) {
@@ -208,6 +266,88 @@ parseArgs(int argc, char **argv, Options &opts, bool &exitEarly)
     return true;
 }
 
+/** The multi-node fail-stop arm of the driver (--mesh X,Y,Z). */
+int
+runMeshCampaign(const Options &opts)
+{
+    fault::MeshCampaignRunner runner(opts.meshCampaign);
+    const fault::MeshCampaignTotals totals = runner.runAll();
+
+    if (opts.verbose) {
+        const auto &results = runner.results();
+        for (size_t i = 0; i < results.size(); ++i) {
+            const fault::MeshRunResult &r = results[i];
+            std::printf(
+                "run %4zu: %-23s cycles=%-7llu inj=%-3llu "
+                "dead=%llu links=%llu detours=%llu unreach=%llu "
+                "fault=%s\n",
+                i, std::string(meshOutcomeName(r.outcome)).c_str(),
+                (unsigned long long)r.cycles,
+                (unsigned long long)r.injections,
+                (unsigned long long)r.deadNodes,
+                (unsigned long long)r.downLinks,
+                (unsigned long long)r.detours,
+                (unsigned long long)r.unreachableFaults,
+                std::string(faultName(r.firstFault)).c_str());
+        }
+    }
+
+    const auto &mc = opts.meshCampaign;
+    std::printf("gpfault: mesh %ux%ux%u campaign, %llu runs, "
+                "%llu injections, %u host thread(s), retrans=%s, "
+                "golden=%llu cycles\n",
+                mc.dimX, mc.dimY, mc.dimZ,
+                (unsigned long long)totals.runs,
+                (unsigned long long)totals.totalInjections,
+                mc.hostThreads, mc.retrans.enabled ? "on" : "off",
+                (unsigned long long)totals.goldenCycles);
+    std::printf("  dead-nodes=%llu down-links=%llu detours=%llu "
+                "unreachable-faults=%llu\n",
+                (unsigned long long)totals.totalDeadNodes,
+                (unsigned long long)totals.totalDownLinks,
+                (unsigned long long)totals.totalDetours,
+                (unsigned long long)totals.totalUnreachableFaults);
+    for (unsigned o = 0; o < fault::kMeshOutcomeCount; ++o) {
+        const uint64_t n = totals.perOutcome[o];
+        std::printf("  %-23s %6llu  (%5.1f%%)\n",
+                    std::string(
+                        meshOutcomeName(fault::MeshOutcome(o)))
+                        .c_str(),
+                    (unsigned long long)n,
+                    totals.runs
+                        ? 100.0 * double(n) / double(totals.runs)
+                        : 0.0);
+    }
+    std::printf("gpfault: mesh campaign signature %016llx\n",
+                (unsigned long long)runner.campaignSignature());
+
+    if (!opts.statsJson.empty()) {
+        std::ofstream out(opts.statsJson, std::ios::trunc);
+        if (!out)
+            sim::fatal("cannot open stats file %s",
+                       opts.statsJson.c_str());
+        sim::StatRegistry::instance().exportJson(out);
+    }
+
+    const uint64_t sdc = totals.outcome(fault::MeshOutcome::Sdc);
+    const uint64_t detected =
+        totals.outcome(fault::MeshOutcome::DetectedFault);
+    if (opts.expectZeroSdc && sdc != 0) {
+        std::fprintf(stderr,
+                     "gpfault: FAIL: expected zero silent data "
+                     "corruption, saw %llu run(s)\n",
+                     (unsigned long long)sdc);
+        return 1;
+    }
+    if (opts.expectDetected && detected == 0) {
+        std::fprintf(stderr,
+                     "gpfault: FAIL: expected detected-fault runs, "
+                     "saw none\n");
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -221,6 +361,9 @@ main(int argc, char **argv)
     }
     if (exitEarly)
         return 0;
+
+    if (opts.mesh)
+        return runMeshCampaign(opts);
 
     fault::CampaignRunner runner(opts.campaign);
     const fault::CampaignTotals totals = runner.runAll();

@@ -69,6 +69,7 @@ struct Options
     uint32_t traceMask = 0;       //!< text-sink categories (0 = off)
     std::string traceOut;         //!< Chrome trace-event JSON path
     size_t flightRecorder = 0;    //!< ring depth (0 = disarmed)
+    uint64_t meshWatchdog = 0;    //!< mesh quiescence window (0 = off)
     std::string statsJson;        //!< stats JSON export path
     bool verify = false;          //!< run gpverify before executing
     bool verifyStrict = false;    //!< ... and make warnings fatal
@@ -96,6 +97,9 @@ usage(const char *argv0)
         "                   engine; prints a deterministic signature\n"
         "  --epoch-horizon N  cycles per epoch in --mesh mode\n"
         "                   (default/max: the mesh lookahead)\n"
+        "  --mesh-watchdog N  distributed quiescence watchdog: trip\n"
+        "                   (with a post-mortem) after N cycles of\n"
+        "                   zero mesh-wide progress (requires --mesh)\n"
         "  --data BYTES     size of each thread's r1 data segment "
         "(default 4096)\n"
         "  --clusters N     hardware clusters (default 4)\n"
@@ -226,6 +230,10 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.flightRecorder = std::stoull(value);
             continue;
         }
+        if (valueOf("--mesh-watchdog", value)) {
+            opts.meshWatchdog = std::stoull(value);
+            continue;
+        }
         if (valueOf("--stats-json", value)) {
             opts.statsJson = value;
             continue;
@@ -351,6 +359,8 @@ validateOptions(const Options &opts)
         return "--profile-interval requires --profile";
     if (opts.epochHorizon != 0 && !opts.mesh)
         return "--epoch-horizon requires --mesh";
+    if (opts.meshWatchdog != 0 && !opts.mesh)
+        return "--mesh-watchdog requires --mesh";
     if (opts.mesh) {
         // The profiler and verifier pipelines are single-machine:
         // they assume one Machine owns the process-wide singleton
@@ -395,6 +405,7 @@ runMesh(const Options &opts, const std::string &source)
     scfg.machine.watchdogCycles = opts.maxCycles;
     scfg.hostThreads = opts.threads;
     scfg.epochHorizon = opts.epochHorizon;
+    scfg.meshWatchdogCycles = opts.meshWatchdog;
     noc::ShardedMesh shard(scfg);
 
     const isa::Assembly assembly = isa::assemble(source);
@@ -478,11 +489,15 @@ runMesh(const Options &opts, const std::string &source)
     }
 
     tracer.closeJson();
-    if (shard.watchdogTripped()) {
+    if (shard.watchdogTripped() || shard.meshWatchdogTripped()) {
         std::fprintf(stderr,
                      "gpsim: watchdog tripped after %llu cycles "
                      "(hang or livelock)\n",
                      (unsigned long long)cycles);
+        // The flight-recorder-style mesh post-mortem: failure set,
+        // degraded-routing tallies, and every unfinished survivor's
+        // thread states — the first thing to read after a mesh hang.
+        shard.postMortem(std::cerr);
         return 3;
     }
     return faulted ? 1 : 0;

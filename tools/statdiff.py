@@ -214,6 +214,48 @@ def diff_profiles(base, new, show_all):
     return changed
 
 
+def diff_campaign_tables(base_ctr, new_ctr, show_all):
+    """Dedicated outcome-class tables for fault-campaign exports.
+
+    A gpfault --stats-json export carries a "campaign" (single
+    machine) or "mesh_campaign" (multi-node fail-stop) group whose
+    outcome.* counters are the five-way classification the campaign
+    exists to pin. Rendering them as an aligned table with run-share
+    percentages makes a coverage shift reviewable at a glance (e.g.
+    detected-fault runs turning into silent-data-corruption). The
+    outcome.* keys are consumed here so the generic counter walk does
+    not report them a second time. Returns the number of changed
+    outcome classes."""
+    pat = re.compile(r"(campaign|mesh_campaign)\.outcome\.(.+)")
+    groups = sorted({m.group(1)
+                     for k in set(base_ctr) | set(new_ctr)
+                     if (m := pat.fullmatch(k))})
+    changed = 0
+    for g in groups:
+        prefix = f"{g}.outcome."
+        keys = sorted(k for k in set(base_ctr) | set(new_ctr)
+                      if k.startswith(prefix))
+        rows = [(k[len(prefix):], base_ctr.get(k, 0),
+                 new_ctr.get(k, 0)) for k in keys]
+        differs = any(b != n for _, b, n in rows)
+        if differs or show_all:
+            b_runs = base_ctr.get(f"{g}.runs", 0)
+            n_runs = new_ctr.get(f"{g}.runs", 0)
+            print(f"campaign outcome table [{g}] "
+                  f"(runs {b_runs} -> {n_runs}):")
+            for cls, b, n in rows:
+                bp = 100.0 * b / b_runs if b_runs else 0.0
+                np = 100.0 * n / n_runs if n_runs else 0.0
+                mark = "~" if b != n else " "
+                print(f"{mark}   {cls:<24} {b:>6} ({bp:5.1f}%) -> "
+                      f"{n:>6} ({np:5.1f}%)")
+        changed += sum(1 for _, b, n in rows if b != n)
+        for k in keys:
+            base_ctr.pop(k, None)
+            new_ctr.pop(k, None)
+    return changed
+
+
 def report_shard_imbalance(label, counters):
     """Info lines for a merged multi-shard stats export: per-shard
     busy cycles and the max/min ratio. Silent for exports with fewer
@@ -271,7 +313,7 @@ def main():
     report_shard_imbalance(args.base, base_ctr)
     report_shard_imbalance(args.new, new_ctr)
 
-    changed = 0
+    changed = diff_campaign_tables(base_ctr, new_ctr, args.all)
     for key in sorted(set(base_ctr) | set(new_ctr)):
         b = base_ctr.get(key, 0)
         n = new_ctr.get(key, 0)

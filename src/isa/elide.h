@@ -61,6 +61,21 @@ inline constexpr uint8_t kElidePrivileged = 1u << 4;
 inline constexpr uint32_t kProofVersion = 1;
 
 /**
+ * The static half of the machine's elision gate: does this baked
+ * verdict entitle an instruction to the unchecked datapath when
+ * executed at the given privilege? The caller still owns the dynamic
+ * half (no fault handler installed, fault injector unarmed). Shared
+ * by the per-instruction interpreter and the superblock dispatcher so
+ * the two paths can never disagree on what a proof means.
+ */
+inline constexpr bool
+verdictElides(uint8_t verdict, bool privileged)
+{
+    return (verdict & kElideNeverFaults) != 0 &&
+           bool(verdict & kElidePrivileged) == privileged;
+}
+
+/**
  * Per-instruction safety proof for one loaded image: a verdict byte
  * per instruction word, bound to the exact raw bits and load base it
  * was computed for.

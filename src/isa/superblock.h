@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Superblock (threaded-code) structures for the interpreter hot path.
+ *
+ * A superblock is a straight-line trace of predecoded instructions
+ * keyed by its entry address: the per-thread recorder strings
+ * consecutive fetches together until a trace-ending opcode (branch,
+ * jump, halt) or the slot limit, and the machine then dispatches
+ * through the trace with computed-goto threading (portable `switch`
+ * fallback behind GP_NO_COMPUTED_GOTO). Execution stays one
+ * instruction per issue slot — the cycle-accurate interleaving across
+ * threads is untouched; only host-side dispatch/decode/check work is
+ * saved. See docs/ARCHITECTURE.md "Threaded dispatch & superblocks".
+ *
+ * Invalidation reuses the predecode cache's discipline: every slot is
+ * revalidated against the raw bits the (always-performed, timed)
+ * fetch returned, so self-modifying code and image reloads invalidate
+ * blocks implicitly, and Machine::flushPredecode() tears all blocks
+ * down wholesale.
+ */
+
+#ifndef GP_ISA_SUPERBLOCK_H
+#define GP_ISA_SUPERBLOCK_H
+
+#include <cstdint>
+
+#include "isa/inst.h"
+
+namespace gp::isa {
+
+/**
+ * Threaded-dispatch handler index, resolved once at record time so
+ * the dispatch loop never switches on the full opcode. The order here
+ * MUST match the label table in Machine::executeSb() exactly (C++
+ * forbids designated array initializers, so the correspondence is
+ * positional; a static_assert pins the count).
+ */
+enum SbHandler : uint8_t
+{
+    kSbAdd = 0,
+    kSbSub,
+    kSbMul,
+    kSbAnd,
+    kSbOr,
+    kSbXor,
+    kSbShl,
+    kSbShr,
+    kSbSra,
+    kSbSlt,
+    kSbSltu,
+    kSbAddi,
+    kSbAndi,
+    kSbOri,
+    kSbXori,
+    kSbShli,
+    kSbShri,
+    kSbSrai,
+    kSbMovi,
+    kSbLui,
+    kSbMov,
+    kSbNop,
+    kSbGetIp,
+    kSbLoad,
+    kSbStore,
+    kSbLea,
+    kSbLeai,
+    kSbBeq,
+    kSbBne,
+    kSbBlt,
+    kSbBge,
+    /// Everything else (LEAB/RESTRICT/SUBSEG/SETPTR/PTOI/ITOP/JMP/
+    /// HALT/...) detours through the full Machine::execute() switch.
+    kSbGeneric,
+
+    kSbHandlerCount,
+};
+
+/** One predecoded slot of a superblock trace. */
+struct SbSlot
+{
+    uint64_t bits = 0; //!< raw word; revalidated on every execution
+    Inst inst;
+    /// Elision verdict baked at predecode time (kElide* bits); the
+    /// dispatcher applies it per slot, so a fully-proven block runs
+    /// every guarded-pointer check on the unchecked datapath.
+    uint8_t verdict = 0;
+    uint8_t handler = kSbGeneric; //!< SbHandler dispatch index
+    uint8_t mixClass = 0;         //!< instClass() of the opcode
+    uint8_t size = 0;             //!< access bytes (Load/Store only)
+};
+
+/// Maximum trace length; traces also end at any control transfer.
+inline constexpr uint32_t kSbMaxSlots = 32;
+
+/// Direct-mapped superblock-cache size, keyed by
+/// (entry >> 3) & (kSbEntries - 1). Must be a power of two.
+inline constexpr uint32_t kSbEntries = 1024;
+
+/** A straight-line trace with a single entry at its first slot. */
+struct Superblock
+{
+    uint64_t entry = UINT64_MAX; //!< vaddr of slots[0]
+    uint32_t count = 0;
+    bool valid = false;
+    SbSlot slots[kSbMaxSlots];
+};
+
+/**
+ * Per-thread trace recorder: fed one decoded instruction per fetch on
+ * the legacy path; installs a Superblock when a trace ends. A
+ * non-contiguous fetch address simply restarts the trace.
+ */
+struct SbRecorder
+{
+    uint64_t entry = UINT64_MAX;
+    uint32_t count = 0;
+    bool active = false;
+    SbSlot slots[kSbMaxSlots];
+
+    void
+    reset()
+    {
+        entry = UINT64_MAX;
+        count = 0;
+        active = false;
+    }
+};
+
+/** @return true when op always terminates a trace (control leaves
+ * the straight line, or the thread stops). */
+inline bool
+sbEndsBlock(Op op)
+{
+    switch (op) {
+      case Op::BEQ:
+      case Op::BNE:
+      case Op::BLT:
+      case Op::BGE:
+      case Op::JMP:
+      case Op::HALT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Map an opcode to its dispatch handler; sets @p size for memory
+ * handlers (access bytes) and leaves it 0 otherwise.
+ */
+inline SbHandler
+sbClassify(Op op, uint8_t &size)
+{
+    size = 0;
+    switch (op) {
+      case Op::ADD:
+        return kSbAdd;
+      case Op::SUB:
+        return kSbSub;
+      case Op::MUL:
+        return kSbMul;
+      case Op::AND:
+        return kSbAnd;
+      case Op::OR:
+        return kSbOr;
+      case Op::XOR:
+        return kSbXor;
+      case Op::SHL:
+        return kSbShl;
+      case Op::SHR:
+        return kSbShr;
+      case Op::SRA:
+        return kSbSra;
+      case Op::SLT:
+        return kSbSlt;
+      case Op::SLTU:
+        return kSbSltu;
+      case Op::ADDI:
+        return kSbAddi;
+      case Op::ANDI:
+        return kSbAndi;
+      case Op::ORI:
+        return kSbOri;
+      case Op::XORI:
+        return kSbXori;
+      case Op::SHLI:
+        return kSbShli;
+      case Op::SHRI:
+        return kSbShri;
+      case Op::SRAI:
+        return kSbSrai;
+      case Op::MOVI:
+        return kSbMovi;
+      case Op::LUI:
+        return kSbLui;
+      case Op::MOV:
+        return kSbMov;
+      case Op::NOP:
+        return kSbNop;
+      case Op::GETIP:
+        return kSbGetIp;
+      case Op::LD:
+        size = 8;
+        return kSbLoad;
+      case Op::LDW:
+        size = 4;
+        return kSbLoad;
+      case Op::LDH:
+        size = 2;
+        return kSbLoad;
+      case Op::LDB:
+        size = 1;
+        return kSbLoad;
+      case Op::ST:
+        size = 8;
+        return kSbStore;
+      case Op::STW:
+        size = 4;
+        return kSbStore;
+      case Op::STH:
+        size = 2;
+        return kSbStore;
+      case Op::STB:
+        size = 1;
+        return kSbStore;
+      case Op::LEA:
+        return kSbLea;
+      case Op::LEAI:
+        return kSbLeai;
+      case Op::BEQ:
+        return kSbBeq;
+      case Op::BNE:
+        return kSbBne;
+      case Op::BLT:
+        return kSbBlt;
+      case Op::BGE:
+        return kSbBge;
+      default:
+        return kSbGeneric;
+    }
+}
+
+} // namespace gp::isa
+
+#endif // GP_ISA_SUPERBLOCK_H

@@ -42,8 +42,16 @@ class MemoryPort
                                 uint64_t now,
                                 bool elide_check = false) = 0;
 
-    /** Timed instruction fetch. */
-    virtual MemAccess portFetch(Word ip, uint64_t now) = 0;
+    /**
+     * Timed instruction fetch. elide_check skips the per-fetch
+     * guarded-pointer check: legal only when the caller has already
+     * proven execute rights and bounds for the fetch address (the
+     * superblock engine verifies a whole trace's span at block entry;
+     * see docs/ARCHITECTURE.md "Threaded dispatch & superblocks").
+     * Timing, translation, and fault behaviour are unchanged.
+     */
+    virtual MemAccess portFetch(Word ip, uint64_t now,
+                                bool elide_check = false) = 0;
 
     /** Untimed functional word write (loader use). */
     virtual void portPoke(uint64_t vaddr, Word w) = 0;

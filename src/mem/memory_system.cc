@@ -300,10 +300,11 @@ MemorySystem::store(Word ptr, Word value, unsigned size, uint64_t now,
 }
 
 MemAccess
-MemorySystem::fetch(Word ip, uint64_t now)
+MemorySystem::fetch(Word ip, uint64_t now, bool elide_check)
 {
     uint64_t paddr = 0;
-    MemAccess acc = timedAccess(ip, Access::InstFetch, 8, now, paddr);
+    MemAccess acc = timedAccess(ip, Access::InstFetch, 8, now, paddr,
+                                elide_check);
     if (acc.fault != Fault::None)
         return acc;
     acc.data = checkedRead(paddr, acc);

@@ -114,8 +114,11 @@ class MemorySystem : public MemoryPort
     MemAccess store(Word ptr, Word value, unsigned size,
                     uint64_t now = 0, bool elide_check = false);
 
-    /** Timed instruction fetch (requires execute permission). */
-    MemAccess fetch(Word ip, uint64_t now = 0);
+    /** Timed instruction fetch (requires execute permission);
+     * elide_check skips the per-fetch pointer check under a caller's
+     * span proof (superblock entry verification). */
+    MemAccess fetch(Word ip, uint64_t now = 0,
+                    bool elide_check = false);
 
     /**
      * Revoke or relocate a segment by unmapping its pages: removes
@@ -162,9 +165,9 @@ class MemorySystem : public MemoryPort
         return store(ptr, value, size, now, elide_check);
     }
     MemAccess
-    portFetch(Word ip, uint64_t now) override
+    portFetch(Word ip, uint64_t now, bool elide_check = false) override
     {
-        return fetch(ip, now);
+        return fetch(ip, now, elide_check);
     }
     void
     portPoke(uint64_t vaddr, Word w) override

@@ -384,10 +384,10 @@ NodeMemory::store(Word ptr, Word value, unsigned size, uint64_t now,
 }
 
 mem::MemAccess
-NodeMemory::fetch(Word ip, uint64_t now)
+NodeMemory::fetch(Word ip, uint64_t now, bool elide_check)
 {
     mem::MemAccess acc =
-        access(ip, Access::InstFetch, 8, now, Word{});
+        access(ip, Access::InstFetch, 8, now, Word{}, elide_check);
     if (acc.fault == Fault::None && !acc.deferred)
         (*fetches_)++;
     return acc;

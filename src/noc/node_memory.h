@@ -201,8 +201,11 @@ class NodeMemory : public mem::MemoryPort
     mem::MemAccess store(Word ptr, Word value, unsigned size,
                          uint64_t now = 0, bool elide_check = false);
 
-    /** Timed instruction fetch (local or remote code!). */
-    mem::MemAccess fetch(Word ip, uint64_t now = 0);
+    /** Timed instruction fetch (local or remote code!); elide_check
+     * skips the per-fetch pointer check under a caller's span proof
+     * (superblock entry verification). */
+    mem::MemAccess fetch(Word ip, uint64_t now = 0,
+                         bool elide_check = false);
 
     // MemoryPort interface — a Machine runs against a node directly.
     mem::MemAccess
@@ -218,9 +221,9 @@ class NodeMemory : public mem::MemoryPort
         return store(ptr, value, size, now, elide_check);
     }
     mem::MemAccess
-    portFetch(Word ip, uint64_t now) override
+    portFetch(Word ip, uint64_t now, bool elide_check = false) override
     {
-        return fetch(ip, now);
+        return fetch(ip, now, elide_check);
     }
     void
     portPoke(uint64_t vaddr, Word w) override

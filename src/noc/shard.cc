@@ -65,8 +65,22 @@ ShardedMesh::ShardedMesh(const ShardConfig &config)
         sim::StatGroup &g = *shardStats_.back();
         shardCounters_.push_back({&g.counter("nodes"),
                                   &g.counter("busy_cycles"),
-                                  &g.counter("instructions")});
+                                  &g.counter("instructions"),
+                                  &g.counter("mesh_messages"),
+                                  &g.counter("mesh_flits"),
+                                  &g.counter("mesh_link_stall_cycles"),
+                                  &g.counter("mesh_hops")});
     }
+    // Handles for the drain-time attribution snapshots. These are
+    // the mesh's OWN counters (already in the signature); the
+    // per-node tallies derived from them live outside every stat
+    // group and cannot move blessed signatures.
+    sim::StatGroup &ms = mesh_.stats();
+    meshTrafficCounters_ = {&ms.counter("messages"),
+                            &ms.counter("flits"),
+                            &ms.counter("link_stall_cycles"),
+                            &ms.counter("hops_traversed")};
+    nodeMeshTallies_.assign(nodes, {});
     exportShardStats();
 
     if (hostThreads_ > 1) {
@@ -250,8 +264,20 @@ ShardedMesh::drainEpoch()
                 deadOpsDropped_++;
                 continue;
             }
+            // Attribute the mesh traffic this resolution causes to
+            // its POSTING node, not to the barrier in bulk: snapshot
+            // the mesh counters around the resolve and bank the
+            // delta. The drain order is canonical, so the per-node
+            // attribution is a pure function of the simulated
+            // schedule — identical for every host-thread count.
+            std::array<uint64_t, kTallyCount> before;
+            for (unsigned k = 0; k < kTallyCount; ++k)
+                before[k] = meshTrafficCounters_[k]->value();
             const mem::MemAccess acc =
                 nodes_[op.node]->resolveDeferred(op);
+            for (unsigned k = 0; k < kTallyCount; ++k)
+                nodeMeshTallies_[op.node][k] +=
+                    meshTrafficCounters_[k]->value() - before[k];
             machines_[op.node]->completeDeferred(op.ticket, acc);
         }
         ops = exchange_.drain();
@@ -448,17 +474,26 @@ ShardedMesh::exportShardStats()
         const auto [first, last] = shardRange_[s];
         uint64_t busy = 0;
         uint64_t insts = 0;
+        std::array<uint64_t, kTallyCount> traffic{};
         for (unsigned n = first; n < last; ++n) {
             isa::Machine &m = *machines_[n];
             const uint64_t cluster_cycles =
                 m.cycle() * m.config().clusters;
-            const uint64_t idle = m.stats().get("idle_cluster_cycles");
+            const uint64_t idle = m.stats().get( // statgroup-get: cold path
+                "idle_cluster_cycles");
             busy += cluster_cycles > idle ? cluster_cycles - idle : 0;
-            insts += m.stats().get("instructions");
+            insts += m.stats().get( // statgroup-get: cold path
+                "instructions");
+            for (unsigned k = 0; k < kTallyCount; ++k)
+                traffic[k] += nodeMeshTallies_[n][k];
         }
         shardCounters_[s].nodes->set(last - first);
         shardCounters_[s].busy->set(busy);
         shardCounters_[s].insts->set(insts);
+        shardCounters_[s].meshMessages->set(traffic[kTallyMessages]);
+        shardCounters_[s].meshFlits->set(traffic[kTallyFlits]);
+        shardCounters_[s].meshStalls->set(traffic[kTallyStallCycles]);
+        shardCounters_[s].meshHops->set(traffic[kTallyHops]);
     }
 }
 

@@ -45,6 +45,7 @@
 #ifndef GP_NOC_SHARD_H
 #define GP_NOC_SHARD_H
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
@@ -177,6 +178,30 @@ class ShardedMesh
      */
     uint64_t signature() const;
 
+    /** Index into a node's mesh-traffic attribution array. */
+    enum MeshTally : unsigned
+    {
+        kTallyMessages = 0,
+        kTallyFlits,
+        kTallyStallCycles,
+        kTallyHops,
+        kTallyCount
+    };
+
+    /**
+     * Mesh traffic attributed to node @p n as the *poster* of the
+     * remote accesses that caused it: messages, flits, link stall
+     * cycles, and hops, accumulated at resolve time in the canonical
+     * drain order. A pure function of the simulated schedule —
+     * identical for every host-thread count (unlike the per-shard
+     * sums, which follow the shard boundaries).
+     */
+    const std::array<uint64_t, kTallyCount> &
+    nodeMeshTraffic(unsigned n) const
+    {
+        return nodeMeshTallies_[n];
+    }
+
   private:
     /** Sense-reversing spin barrier (small party counts, short
      * epochs: spinning beats futex wake latency; std::atomic keeps
@@ -292,14 +317,27 @@ class ShardedMesh
     /// stays deterministic — no host time.
     std::vector<std::unique_ptr<sim::StatGroup>> shardStats_;
     /// Cached handles into shardStats_ (nodes, busy_cycles,
-    /// instructions), registered once at construction.
+    /// instructions, and the mesh-traffic attribution counters),
+    /// registered once at construction.
     struct ShardCounters
     {
         sim::Counter *nodes;
         sim::Counter *busy;
         sim::Counter *insts;
+        sim::Counter *meshMessages;
+        sim::Counter *meshFlits;
+        sim::Counter *meshStalls;
+        sim::Counter *meshHops;
     };
     std::vector<ShardCounters> shardCounters_;
+
+    /// Cached handles into the mesh's own counters, snapshotted
+    /// around each drain resolution to attribute the delta.
+    std::array<sim::Counter *, kTallyCount> meshTrafficCounters_{};
+    /// Per-node poster-attributed mesh traffic (see
+    /// nodeMeshTraffic()); summed over each shard's node range by
+    /// exportShardStats().
+    std::vector<std::array<uint64_t, kTallyCount>> nodeMeshTallies_;
 };
 
 } // namespace gp::noc

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Tests for the superblock threaded-code interpreter: straight-line
+ * traces cached over the predecoded stream and dispatched through
+ * computed goto (or the portable switch fallback). The contract is
+ * strict observational equivalence — cycles, faults, and final
+ * architectural state are byte-identical with superblocks on or off;
+ * only host-side work (and the documented host-only counters) may
+ * differ. Invalidation must never be needed for correctness: every
+ * slot re-validates its raw bits against the always-performed timed
+ * fetch, so self-modifying code and reloads tear the block down and
+ * fall back to the legacy decode path mid-trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gp/ops.h"
+#include "isa/assembler.h"
+#include "isa/loader.h"
+#include "isa/machine.h"
+
+namespace gp::isa {
+namespace {
+
+constexpr uint64_t kCodeBase = uint64_t(1) << 24;
+
+/** Everything observable about a finished run. */
+struct Outcome
+{
+    ThreadState state = ThreadState::Idle;
+    Fault fault = Fault::None;
+    uint64_t faultCycle = 0;
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    std::array<std::pair<uint64_t, bool>, kNumRegs> regs{};
+
+    bool
+    operator==(const Outcome &o) const
+    {
+        return state == o.state && fault == o.fault &&
+               faultCycle == o.faultCycle && cycles == o.cycles &&
+               instructions == o.instructions && regs == o.regs;
+    }
+};
+
+MachineConfig
+baseConfig()
+{
+    MachineConfig cfg;
+    cfg.mem.cache.setsPerBank = 64;
+    return cfg;
+}
+
+Outcome
+runWith(const MachineConfig &cfg, const std::string &src,
+        const std::vector<std::pair<unsigned, Word>> &regs = {},
+        Machine **machine_out = nullptr)
+{
+    static std::unique_ptr<Machine> keeper;
+    auto machine = std::make_unique<Machine>(cfg);
+    Assembly a = assemble(src);
+    EXPECT_TRUE(a.ok) << a.error;
+    LoadedProgram prog =
+        loadProgram(machine->mem(), kCodeBase, a.words);
+    Thread *t = machine->spawn(prog.execPtr);
+    EXPECT_NE(t, nullptr);
+    for (const auto &[i, w] : regs)
+        t->setReg(i, w);
+    machine->run(500000);
+
+    Outcome o;
+    o.state = t->state();
+    if (o.state == ThreadState::Faulted) {
+        o.fault = t->faultRecord().fault;
+        o.faultCycle = t->faultRecord().cycle;
+    }
+    o.cycles = machine->cycle();
+    o.instructions = machine->stats().get("instructions");
+    for (unsigned r = 0; r < kNumRegs; ++r)
+        o.regs[r] = {t->reg(r).bits(), t->reg(r).isPointer()};
+    if (machine_out) {
+        keeper = std::move(machine);
+        *machine_out = keeper.get();
+    }
+    return o;
+}
+
+/** A hot loop covering the ALU, load/store, LEA, and branch
+ * handlers — the fused guarded-pointer hot path. */
+constexpr const char *kHotLoop = R"(
+    movi r3, 0
+    movi r4, 0
+    movi r5, 200
+loop:
+    addi r3, r3, 7
+    andi r6, r3, 255
+    shli r6, r6, 3
+    lea r7, r1, r6
+    st r3, 0(r7)
+    ld r8, 0(r7)
+    add r4, r4, r8
+    leai r9, r1, 8
+    ld r9, 0(r9)
+    xor r4, r4, r9
+    addi r5, r5, -1
+    bne r5, r0, loop
+    halt
+)";
+
+std::vector<std::pair<unsigned, Word>>
+dataRegs()
+{
+    auto seg = makePointer(Perm::ReadWrite, 12, uint64_t(1) << 30);
+    EXPECT_TRUE(seg);
+    return {{1, seg.value}};
+}
+
+TEST(Superblock, HotLoopByteIdenticalToLegacy)
+{
+    MachineConfig off = baseConfig();
+    MachineConfig on = baseConfig();
+    on.superblocks = true;
+
+    Machine *m = nullptr;
+    const Outcome legacy = runWith(off, kHotLoop, dataRegs());
+    const Outcome sb = runWith(on, kHotLoop, dataRegs(), &m);
+    EXPECT_EQ(legacy, sb);
+    EXPECT_EQ(sb.state, ThreadState::Halted);
+    // The loop body must actually run through the trace engine.
+    EXPECT_GE(m->stats().get("superblock_installs"), 1u);
+    EXPECT_GT(m->stats().get("superblock_hits"),
+              sb.instructions / 2);
+}
+
+TEST(Superblock, FaultTimingAndKindIdentical)
+{
+    // r7 walks past the end of the 16-byte segment: the 3rd store
+    // must raise BoundsViolation at the identical cycle either way.
+    constexpr const char *kFaulting = R"(
+        movi r3, 0
+    loop:
+        shli r7, r3, 3
+        lea r8, r1, r7
+        st r3, 0(r8)
+        addi r3, r3, 1
+        beq r0, r0, loop
+    )";
+    auto seg = makePointer(Perm::ReadWrite, 4, uint64_t(1) << 30);
+    ASSERT_TRUE(seg);
+    std::vector<std::pair<unsigned, Word>> regs = {{1, seg.value}};
+
+    MachineConfig off = baseConfig();
+    MachineConfig on = baseConfig();
+    on.superblocks = true;
+    const Outcome legacy = runWith(off, kFaulting, regs);
+    const Outcome sb = runWith(on, kFaulting, regs);
+    EXPECT_EQ(legacy, sb);
+    EXPECT_EQ(sb.state, ThreadState::Faulted);
+    EXPECT_EQ(sb.fault, Fault::BoundsViolation);
+}
+
+TEST(Superblock, SelfModifyingCodeTearsTheBlockDown)
+{
+    // The predecode SMC scenario under superblocks: the program
+    // patches an instruction inside its own already-traced loop body
+    // through an RW alias, then re-executes it. The slot's raw-bits
+    // re-validation must miss, flush the block, and re-decode — a
+    // stale trace would replay "addi r1, r1, 1" and finish with 2.
+    constexpr const char *kSmc = R"(
+        movi r1, 0
+        movi r10, 0
+        movi r11, 1
+        ld r4, 0(r5)
+        addi r1, r1, 1
+        bne r10, r11, cont
+        halt
+        cont:
+        st r4, 0(r2)
+        movi r10, 1
+        jmp r6
+    )";
+    MachineConfig on = baseConfig();
+    on.superblocks = true;
+    auto machine = std::make_unique<Machine>(on);
+    Assembly a = assemble(kSmc);
+    ASSERT_TRUE(a.ok) << a.error;
+    LoadedProgram prog =
+        loadProgram(machine->mem(), kCodeBase, a.words);
+
+    Assembly patch = assemble("addi r1, r1, 100");
+    ASSERT_TRUE(patch.ok) << patch.error;
+    const uint64_t patch_addr = uint64_t(1) << 22;
+    machine->mem().pokeWord(patch_addr, patch.words[0]);
+
+    const uint64_t target_addr = prog.execPtr.addr() + 4 * 8;
+    auto rw_code = makePointer(Perm::ReadWrite, 12, target_addr);
+    ASSERT_TRUE(rw_code);
+    auto rw_patch = makePointer(Perm::ReadWrite, 12, patch_addr);
+    ASSERT_TRUE(rw_patch);
+    auto exec_target = lea(prog.execPtr, 4 * 8);
+    ASSERT_TRUE(exec_target);
+
+    Thread *t = machine->spawn(prog.execPtr);
+    ASSERT_NE(t, nullptr);
+    t->setReg(2, rw_code.value);
+    t->setReg(5, rw_patch.value);
+    t->setReg(6, exec_target.value);
+    machine->run(200000);
+
+    ASSERT_EQ(t->state(), ThreadState::Halted)
+        << faultName(t->faultRecord().fault);
+    EXPECT_EQ(t->reg(1).bits(), 101u)
+        << "stale superblock replayed the pre-patch instruction";
+}
+
+TEST(Superblock, ReloadAtSameAddressReDecoded)
+{
+    MachineConfig on = baseConfig();
+    on.superblocks = true;
+    auto machine = std::make_unique<Machine>(on);
+
+    Assembly first = assemble("movi r1, 1\nmovi r2, 2\nhalt\n");
+    ASSERT_TRUE(first.ok);
+    LoadedProgram p1 =
+        loadProgram(machine->mem(), kCodeBase, first.words);
+    Thread *t1 = machine->spawn(p1.execPtr);
+    machine->run(100000);
+    ASSERT_EQ(t1->state(), ThreadState::Halted);
+    EXPECT_EQ(t1->reg(1).bits(), 1u);
+
+    Assembly second = assemble("movi r1, 9\nmovi r2, 8\nhalt\n");
+    ASSERT_TRUE(second.ok);
+    LoadedProgram p2 =
+        loadProgram(machine->mem(), p1.execPtr.addr(), second.words);
+    Thread *t2 = machine->spawn(p2.execPtr);
+    machine->run(100000);
+    ASSERT_EQ(t2->state(), ThreadState::Halted);
+    EXPECT_EQ(t2->reg(1).bits(), 9u)
+        << "reload at the same base must invalidate by re-validation";
+}
+
+TEST(Superblock, FlushPredecodeAlsoFlushesSuperblocks)
+{
+    MachineConfig on = baseConfig();
+    on.superblocks = true;
+    Machine *m = nullptr;
+    const Outcome o = runWith(on, kHotLoop, dataRegs(), &m);
+    ASSERT_EQ(o.state, ThreadState::Halted);
+    const uint64_t flushes_before =
+        m->stats().get("superblock_flushes");
+    m->flushPredecode();
+    EXPECT_EQ(m->stats().get("superblock_flushes"),
+              flushes_before + 1);
+}
+
+TEST(Superblock, ComposesWithElideVerdicts)
+{
+    // Superblocks under --elide-checks: identical cycles and state to
+    // elide-only, and the elide accounting (a per-event contract, not
+    // just a total) must match the legacy interpreter's exactly.
+    MachineConfig elide = baseConfig();
+    elide.elideChecks = true;
+    MachineConfig both = baseConfig();
+    both.elideChecks = true;
+    both.superblocks = true;
+
+    Machine *me = nullptr;
+    Machine *mb = nullptr;
+    const Outcome a = runWith(elide, kHotLoop, dataRegs(), &me);
+    const uint64_t elided_e = me->stats().get("elide_checks_elided");
+    const uint64_t exec_e = me->stats().get("elide_checks_executed");
+    const Outcome b = runWith(both, kHotLoop, dataRegs(), &mb);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(mb->stats().get("elide_checks_elided"), elided_e);
+    EXPECT_EQ(mb->stats().get("elide_checks_executed"), exec_e);
+}
+
+TEST(Superblock, FastModeMatchesArchitecturalOutcome)
+{
+    // --fast skips the timing model: registers, fault kind, and the
+    // instruction count must match the timed run; cycle counts are
+    // firewalled out of the comparison (that is the whole point).
+    MachineConfig timed = baseConfig();
+    MachineConfig fast = baseConfig();
+    fast.superblocks = true;
+    fast.fastMode = true;
+
+    const Outcome t = runWith(timed, kHotLoop, dataRegs());
+    const Outcome f = runWith(fast, kHotLoop, dataRegs());
+    EXPECT_EQ(t.state, f.state);
+    EXPECT_EQ(t.fault, f.fault);
+    EXPECT_EQ(t.instructions, f.instructions);
+    EXPECT_EQ(t.regs, f.regs);
+}
+
+TEST(Superblock, FastModeFaultKindMatches)
+{
+    constexpr const char *kFaulting = R"(
+        movi r3, 0
+    loop:
+        shli r7, r3, 3
+        lea r8, r1, r7
+        st r3, 0(r8)
+        addi r3, r3, 1
+        beq r0, r0, loop
+    )";
+    auto seg = makePointer(Perm::ReadWrite, 4, uint64_t(1) << 30);
+    ASSERT_TRUE(seg);
+    std::vector<std::pair<unsigned, Word>> regs = {{1, seg.value}};
+
+    MachineConfig timed = baseConfig();
+    MachineConfig fast = baseConfig();
+    fast.superblocks = true;
+    fast.fastMode = true;
+    const Outcome t = runWith(timed, kFaulting, regs);
+    const Outcome f = runWith(fast, kFaulting, regs);
+    EXPECT_EQ(t.state, f.state);
+    EXPECT_EQ(t.fault, f.fault);
+    EXPECT_EQ(t.regs, f.regs);
+}
+
+TEST(Superblock, MultithreadInterleavingIdentical)
+{
+    // Two threads sharing one cluster: the superblock engine executes
+    // ONE slot per issue opportunity, so the round-robin interleaving
+    // (and with it every bank-contention cycle) is identical.
+    MachineConfig off = baseConfig();
+    off.clusters = 1;
+    MachineConfig on = off;
+    on.superblocks = true;
+
+    auto runPair = [](const MachineConfig &cfg) {
+        auto machine = std::make_unique<Machine>(cfg);
+        Assembly a = assemble(R"(
+            movi r3, 0
+            movi r5, 60
+        loop:
+            addi r3, r3, 1
+            st r3, 0(r1)
+            ld r4, 0(r1)
+            add r6, r6, r4
+            addi r5, r5, -1
+            bne r5, r0, loop
+            halt
+        )");
+        EXPECT_TRUE(a.ok) << a.error;
+        LoadedProgram prog =
+            loadProgram(machine->mem(), kCodeBase, a.words);
+        std::vector<uint64_t> ends;
+        for (unsigned i = 0; i < 2; ++i) {
+            auto seg = makePointer(Perm::ReadWrite, 12,
+                                   (uint64_t(1) << 30) +
+                                       (uint64_t(i) << 16));
+            EXPECT_TRUE(seg);
+            Thread *t = machine->spawn(prog.execPtr);
+            EXPECT_NE(t, nullptr);
+            t->setReg(1, seg.value);
+        }
+        machine->run(500000);
+        std::vector<uint64_t> sums;
+        for (const Thread &t : machine->threads())
+            if (t.state() == ThreadState::Halted)
+                sums.push_back(t.reg(6).bits());
+        return std::make_pair(machine->cycle(), sums);
+    };
+    EXPECT_EQ(runPair(off), runPair(on));
+}
+
+} // namespace
+} // namespace gp::isa

@@ -414,5 +414,152 @@ TEST(VerifierDifferential, ElisionPreservesArchitecturalOutcomes)
     EXPECT_GT(elidedTotal, 1000u);
 }
 
+/**
+ * The superblock/fast arm: every generated program runs three ways —
+ * the legacy interpreter, the superblock threaded-code interpreter,
+ * and functional-only --fast mode — over the identical corpus
+ * (including the corrupted images, which exercise the raw-bits
+ * trace-invalidation path). Superblocks must agree with legacy on
+ * EVERY observable including the cycle count; --fast must agree on
+ * everything architectural (state, fault record, registers with
+ * tags, retired instructions, final data image) with only the cycle
+ * count firewalled out.
+ */
+TEST(VerifierDifferential, SuperblocksAndFastPreserveOutcomes)
+{
+    uint64_t superblockHitsTotal = 0;
+
+    for (unsigned p = 0; p < kPrograms; ++p) {
+        // Same seeds as SoundOverRandomPrograms: identical corpus.
+        const uint64_t seed = 0xD1FF0000 + p;
+        sim::Rng rng(seed);
+        const std::string src = genProgram(rng);
+
+        isa::Assembly assembly = isa::assemble(src);
+        ASSERT_TRUE(assembly.ok)
+            << "seed " << seed << ": " << assembly.error;
+        std::vector<Word> words = assembly.words;
+        if (rng.below(16) == 0 && !words.empty()) {
+            const size_t idx = rng.below(words.size());
+            words[idx] = rng.below(2)
+                             ? Word::fromInt(uint64_t(0xff) << 56)
+                             : Word::fromRawPointerBits(0x1234);
+        }
+
+        struct Arm
+        {
+            isa::ThreadState state{};
+            Fault fault = Fault::None;
+            uint64_t faultAddr = 0;
+            std::vector<uint64_t> regs;
+            uint64_t signature = 0;
+            uint64_t instructions = 0;
+            uint64_t cycles = 0;
+            uint64_t sbHits = 0;
+        };
+        auto runArm = [&](bool superblocks, bool fast) -> Arm {
+            isa::MachineConfig cfg;
+            cfg.mem.cache.setsPerBank = 64;
+            cfg.superblocks = superblocks;
+            cfg.fastMode = fast;
+            isa::Machine machine(cfg);
+            const isa::LoadedProgram prog =
+                isa::loadProgram(machine.mem(), kCodeBase, words);
+            isa::Thread *t = machine.spawn(prog.execPtr);
+            EXPECT_NE(t, nullptr);
+            t->setReg(1, isa::dataSegment(kDataBase, kDataLenLog2));
+            t->setReg(2, Word::fromInt(0));
+            machine.run(kMaxCycles);
+            // Second pass over the now-traced image: the corpus is
+            // loop-free, so the first execution only RECORDS traces —
+            // this pass actually runs through them, driving the
+            // threaded dispatch path in the superblock arms. Every
+            // arm runs the pass, keeping the comparison symmetric.
+            isa::Thread *t2 = machine.spawn(prog.execPtr);
+            EXPECT_NE(t2, nullptr);
+            t2->setReg(1, isa::dataSegment(kDataBase, kDataLenLog2));
+            t2->setReg(2, Word::fromInt(0));
+            machine.run(kMaxCycles);
+            Arm a;
+            a.state = t->state();
+            a.fault = t->faultRecord().fault;
+            a.faultAddr = t->faultRecord().ip.addr();
+            for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+                a.regs.push_back(t->reg(r).bits());
+                a.regs.push_back(t->reg(r).isPointer() ? 1 : 0);
+            }
+            a.regs.push_back(uint64_t(t2->state()));
+            a.regs.push_back(uint64_t(t2->faultRecord().fault));
+            for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+                a.regs.push_back(t2->reg(r).bits());
+                a.regs.push_back(t2->reg(r).isPointer() ? 1 : 0);
+            }
+            a.signature = dataSignature(machine);
+            a.instructions = machine.stats().get("instructions");
+            a.cycles = machine.cycle();
+            if (superblocks)
+                a.sbHits = machine.stats().get("superblock_hits");
+            return a;
+        };
+
+        const Arm legacy = runArm(false, false);
+        const Arm sb = runArm(true, false);
+        const Arm fast = runArm(true, true);
+        superblockHitsTotal += sb.sbHits;
+
+        // Superblocks: strict identity, cycle count included.
+        ASSERT_EQ(unsigned(legacy.state), unsigned(sb.state))
+            << "seed " << seed << "\n"
+            << src << "superblocks changed the final thread state";
+        ASSERT_EQ(legacy.cycles, sb.cycles)
+            << "seed " << seed << "\n"
+            << src << "superblocks changed the cycle count";
+        ASSERT_EQ(legacy.regs, sb.regs)
+            << "seed " << seed << "\n"
+            << src << "superblocks changed a register";
+        ASSERT_EQ(legacy.signature, sb.signature)
+            << "seed " << seed << "\n"
+            << src << "superblocks changed the data image";
+        ASSERT_EQ(legacy.instructions, sb.instructions)
+            << "seed " << seed << "\n"
+            << src << "superblocks changed the instruction count";
+
+        // Fast mode: architectural identity, cycles firewalled.
+        ASSERT_EQ(unsigned(legacy.state), unsigned(fast.state))
+            << "seed " << seed << "\n"
+            << src << "--fast changed the final thread state";
+        ASSERT_EQ(legacy.regs, fast.regs)
+            << "seed " << seed << "\n"
+            << src << "--fast changed a register";
+        ASSERT_EQ(legacy.signature, fast.signature)
+            << "seed " << seed << "\n"
+            << src << "--fast changed the data image";
+        ASSERT_EQ(legacy.instructions, fast.instructions)
+            << "seed " << seed << "\n"
+            << src << "--fast changed the instruction count";
+        if (legacy.state == isa::ThreadState::Faulted) {
+            ASSERT_EQ(unsigned(legacy.fault), unsigned(sb.fault))
+                << "seed " << seed << "\n"
+                << src << "superblocks changed the fault kind";
+            ASSERT_EQ(legacy.faultAddr, sb.faultAddr)
+                << "seed " << seed << "\n"
+                << src << "superblocks changed the faulting IP";
+            ASSERT_EQ(unsigned(legacy.fault), unsigned(fast.fault))
+                << "seed " << seed << "\n"
+                << src << "--fast changed the fault kind";
+            ASSERT_EQ(legacy.faultAddr, fast.faultAddr)
+                << "seed " << seed << "\n"
+                << src << "--fast changed the faulting IP";
+        }
+        if (::testing::Test::HasFailure())
+            break;
+    }
+
+    // Vacuity tripwire: the corpus must actually run inside traces
+    // (the programs are tiny, loop-free, and frequently fault, so
+    // the bar is "hundreds", not "thousands").
+    EXPECT_GT(superblockHitsTotal, 100u);
+}
+
 } // namespace
 } // namespace gp::verify

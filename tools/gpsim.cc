@@ -78,6 +78,8 @@ struct Options
     bool profile = false;         //!< arm the cycle profiler
     sim::ProfileConfig profileConfig; //!< aggregation modes
     std::string profileOut;       //!< gpprof JSON export path
+    bool superblocks = false;     //!< threaded superblock dispatch
+    bool fastMode = false;        //!< functional-only memory port
 };
 
 void
@@ -112,6 +114,16 @@ usage(const char *argv0)
         "  --walk-retries N retry transient page-walk failures up to\n"
         "                   N times (default 0)\n"
         "  --privileged     load as privileged code\n"
+        "  --superblocks    cache straight-line traces over the\n"
+        "                   predecoded stream and run them through\n"
+        "                   the threaded-code dispatcher (identical\n"
+        "                   cycles, faults, and results; faster host\n"
+        "                   execution)\n"
+        "  --fast           functional-only mode: skip the timing\n"
+        "                   model entirely (implies --superblocks;\n"
+        "                   identical registers, faults, and memory,\n"
+        "                   but no cycle accounting — never use for\n"
+        "                   timing measurements)\n"
         "  --verify[=strict] statically verify capability safety\n"
         "                   before running; abort on errors (strict:\n"
         "                   abort on warnings too)\n"
@@ -331,6 +343,11 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.dumpStats = true;
         } else if (arg == "--privileged") {
             opts.privileged = true;
+        } else if (arg == "--superblocks") {
+            opts.superblocks = true;
+        } else if (arg == "--fast") {
+            opts.fastMode = true;
+            opts.superblocks = true;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             return false;
@@ -361,13 +378,31 @@ validateOptions(const Options &opts)
         return "--epoch-horizon requires --mesh";
     if (opts.meshWatchdog != 0 && !opts.mesh)
         return "--mesh-watchdog requires --mesh";
-    if (opts.mesh) {
-        // The profiler and verifier pipelines are single-machine:
-        // they assume one Machine owns the process-wide singleton
-        // state, which a sharded mesh does not satisfy.
+    if (opts.fastMode) {
+        if (opts.mesh)
+            return "--fast is functional-only and cannot drive the "
+                   "mesh timing model; drop --fast or --mesh";
         if (opts.profile)
-            return "--profile is not mesh-aware; run without --mesh "
-                   "or drop --profile";
+            return "--fast skips the timing model, so there are no "
+                   "cycles to profile; drop --fast or --profile";
+        if (opts.ecc != mem::EccMode::None)
+            return "--fast cannot model ECC (storage-cycle timing); "
+                   "drop --fast or use --ecc=off";
+    }
+    if (opts.superblocks && opts.mesh)
+        return "--superblocks is not mesh-aware yet; drop one of "
+               "the two flags";
+    if (opts.mesh) {
+        // The verifier pipeline is single-machine: it assumes one
+        // Machine owns the process-wide singleton state, which a
+        // sharded mesh does not satisfy.
+        if (opts.profile && opts.threads > 1)
+            return "--profile aggregates into a process-wide "
+                   "singleton and is only available in mesh mode "
+                   "with --threads 1 (results are identical)";
+        if (opts.profile && opts.profileIntervalSet)
+            return "--profile-interval snapshots are per-machine "
+                   "and not mesh-aware; drop --profile-interval";
         if (opts.verify || opts.elideChecks)
             return "--verify/--elide-checks analyse a single-machine "
                    "entry state and are not available with --mesh";
@@ -407,6 +442,21 @@ runMesh(const Options &opts, const std::string &source)
     scfg.epochHorizon = opts.epochHorizon;
     scfg.meshWatchdogCycles = opts.meshWatchdog;
     noc::ShardedMesh shard(scfg);
+
+    // Mesh profiling (single host thread only — validateOptions
+    // rejects --threads > 1): every node machine ticks the
+    // process-wide profiler, so the summary aggregates across nodes
+    // by (cluster, thread slot). Interval snapshots are forced off —
+    // N machines advancing the singleton's cycle clock would
+    // interleave the time series meaninglessly.
+    if (opts.profile) {
+        sim::ProfileConfig pcfg = opts.profileConfig;
+        pcfg.interval = false;
+        sim::Profiler::instance().arm(
+            scfg.machine.clusters,
+            scfg.machine.clusters * scfg.machine.threadsPerCluster,
+            pcfg);
+    }
 
     const isa::Assembly assembly = isa::assemble(source);
     if (!assembly.ok) {
@@ -480,6 +530,17 @@ runMesh(const Options &opts, const std::string &source)
         std::printf("\n");
         sim::StatRegistry::instance().dumpAll(std::cout);
     }
+    if (opts.profile) {
+        sim::Profiler::instance().disarm();
+        sim::Profiler::instance().summary(std::cout);
+        if (!opts.profileOut.empty()) {
+            std::ofstream out(opts.profileOut, std::ios::trunc);
+            if (!out)
+                sim::fatal("cannot open profile file %s",
+                           opts.profileOut.c_str());
+            sim::Profiler::instance().exportJson(out);
+        }
+    }
     if (!opts.statsJson.empty()) {
         std::ofstream out(opts.statsJson, std::ios::trunc);
         if (!out)
@@ -543,6 +604,8 @@ main(int argc, char **argv)
     kcfg.machine.clusters = opts.clusters;
     kcfg.machine.issueWidth = opts.issueWidth;
     kcfg.machine.elideChecks = opts.elideChecks;
+    kcfg.machine.superblocks = opts.superblocks;
+    kcfg.machine.fastMode = opts.fastMode;
     kcfg.machine.mem.ecc = opts.ecc;
     kcfg.machine.mem.walkRetries = opts.walkRetries;
     // The cycle budget doubles as the watchdog: if the program is

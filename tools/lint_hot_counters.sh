@@ -84,4 +84,27 @@ if [ -n "$elideviol" ]; then
     echo "verdict byte, never proofVerdict()/elideProofs_." >&2
     exit 1
 fi
+# Threaded-dispatch discipline (docs/ARCHITECTURE.md, "Threaded
+# dispatch & superblocks"): the superblock dispatch loop exists to
+# strip per-instruction host overhead, so a string-keyed lookup
+# inside it — StatGroup::get("name") included — defeats the whole
+# engine one map probe at a time. The hot trees must read counters
+# through cached handles everywhere; genuinely cold uses (once-per-run
+# exports and the like) carry an explicit
+# `// statgroup-get: cold path` annotation on the same line.
+getviol=$(grep -rnE '(stats\(\)|stats_)\.get\(' $dirs \
+              --include='*.cc' --include='*.h' \
+          | grep -vE ':[0-9]+: *(//|\*|/\*)' \
+          | grep -vE '// statgroup-get: cold path' || true)
+
+if [ -n "$getviol" ]; then
+    echo "lint_hot_counters: string-keyed StatGroup::get() in hot-path sources:" >&2
+    echo "$getviol" >&2
+    echo >&2
+    echo "The dispatch loop and everything it calls must use cached" >&2
+    echo "Counter* handles. If the call site is genuinely cold" >&2
+    echo "(once per run), annotate it:" >&2
+    echo "    x = stats().get(\"n\"); // statgroup-get: cold path" >&2
+    exit 1
+fi
 echo "lint_hot_counters: OK (no string-keyed stat/profile lookups or hot-path proof consults in $dirs)"

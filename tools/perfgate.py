@@ -16,13 +16,24 @@ The P1 report contains two kinds of tables (see bench_p1_simspeed.cc):
     (bench/BENCH_PERF.json), which makes the change reviewable.
 
   - Tables whose title contains "host-dependent": wall times and
-    derived rates. Machines differ, so these are WARN-ONLY: cells that
-    regress by more than --warn-band percent (default 25) are printed
-    as warnings, but never fail the gate. The committed baseline
-    documents the reference machine's numbers.
+    derived rates. Machines differ, so derived-rate cells are
+    WARN-ONLY: cells that regress by more than --warn-band percent
+    (default 25) are printed as warnings, but never fail the gate.
+    Wall-time cells get a SOFT RATIO GATE: a run slower than the
+    blessed baseline warns above 1.3x and fails above 2x — loose
+    enough to absorb machine-to-machine variance, tight enough to
+    catch an accidental order-of-magnitude interpreter regression.
+    The committed baseline documents the reference machine's numbers.
+
+The report also carries two in-run contracts that need no baseline:
+the fig5-elide row (elide-on cycles <= elide-off, saved > 0) and the
+fig5-superblock/fig5-fast rows (superblock cycles == legacy cycles,
+hits > 0, and the fig5-fast host rate >= 2x the fig5-memsys host rate
+measured in the SAME run, so the speedup check is host-independent).
 
 Exit status: 0 = gate passed (warnings allowed), 1 = deterministic
-drift, 2 = bad input (missing file, invalid JSON, missing table).
+drift / wall-time blowout / contract violation, 2 = bad input
+(missing file, invalid JSON, missing table).
 """
 
 import argparse
@@ -120,10 +131,15 @@ def check_elide_contract(new_tables):
 
 
 def gate_host(title, base, new, warn_band):
-    """Warn-only: flag rate cells that regressed beyond the band."""
+    """Host-speed gate. Derived-rate cells are warn-only (band in
+    percent). Wall-time cells are a soft ratio gate: new/base > 1.3
+    warns, > 2.0 fails — slow enough growth to ride out machine
+    differences, but a 2x wall-time blowout on the reference workload
+    means the interpreter itself regressed. Returns
+    (warnings, failures)."""
     header = base.get("header", [])
     base_rows, new_rows = rows_by_key(base), rows_by_key(new)
-    warned = 0
+    warned = failed = 0
     for key in sorted(set(base_rows) & set(new_rows)):
         b_row, n_row = base_rows[key], new_rows[key]
         for c in range(1, min(len(b_row), len(n_row))):
@@ -131,17 +147,86 @@ def gate_host(title, base, new, warn_band):
             if b is None or n is None or b == 0:
                 continue
             col = header[c] if c < len(header) else f"col{c}"
-            # "wall ms" regresses upward; rates regress downward.
-            going_up_is_bad = "ms" in col or "wall" in col
+            is_wall = "ms" in col or "wall" in col
+            if is_wall:
+                ratio = n / b
+                if ratio > 2.0:
+                    print(f"FAIL {title} :: {key} :: {col} "
+                          f"{b_row[c].strip()} -> {n_row[c].strip()} "
+                          f"({ratio:.2f}x > 2x blessed wall time)")
+                    failed += 1
+                elif ratio > 1.3:
+                    print(f"WARN {title} :: {key} :: {col} "
+                          f"{b_row[c].strip()} -> {n_row[c].strip()} "
+                          f"({ratio:.2f}x > 1.3x blessed wall time)")
+                    warned += 1
+                continue
             rel = 100.0 * (n - b) / b
-            regressed = rel > warn_band if going_up_is_bad \
-                else rel < -warn_band
-            if regressed:
+            if rel < -warn_band:
                 print(f"WARN {title} :: {key} :: {col} "
                       f"{b_row[c].strip()} -> {n_row[c].strip()} "
                       f"({rel:+.1f}%)")
                 warned += 1
-    return warned
+    return warned, failed
+
+
+def check_superblock_contract(new_tables):
+    """Sanity-gate the superblock rows of the new report. In the
+    deterministic table, fig5-superblock cycles must equal the legacy
+    cycles recorded in its extra column (the trace engine must be
+    observationally invisible) and the arm must actually have entered
+    traces (hits > 0). In the host table, the fig5-fast rate must be
+    >= 2x the fig5-memsys rate FROM THE SAME RUN — a same-host ratio,
+    so the check holds on any machine. Returns #violations; absent
+    rows (older reports) check nothing."""
+    bad = 0
+    sb_present = False
+    for title, table in new_tables.items():
+        if "deterministic" not in title:
+            continue
+        row = rows_by_key(table).get("fig5-superblock")
+        if row is None or len(row) < 4:
+            continue
+        sb_present = True
+        cycles = parse_number(row[1])
+        m_off = re.search(r"off=(\d+)", row[3])
+        m_hits = re.search(r"hits=(\d+)", row[3])
+        if cycles is None or not m_off or not m_hits:
+            print(f"FAIL {title} :: fig5-superblock :: unparseable "
+                  "row")
+            bad += 1
+            continue
+        if cycles != float(m_off.group(1)):
+            print(f"FAIL {title} :: fig5-superblock :: superblock-on "
+                  f"cycles {row[1]} differ from legacy "
+                  f"{m_off.group(1)} (traces must be timing-neutral)")
+            bad += 1
+        if int(m_hits.group(1)) == 0:
+            print(f"FAIL {title} :: fig5-superblock :: hits=0 "
+                  "(the trace engine never ran)")
+            bad += 1
+    if not sb_present:
+        return bad
+    for title, table in new_tables.items():
+        if "host-dependent" not in title:
+            continue
+        rows = rows_by_key(table)
+        fast = rows.get("fig5-fast")
+        memsys = rows.get("fig5-memsys")
+        if fast is None or memsys is None:
+            continue
+        f_rate = parse_number(fast[2]) if len(fast) > 2 else None
+        m_rate = parse_number(memsys[2]) if len(memsys) > 2 else None
+        if f_rate is None or m_rate is None or m_rate == 0:
+            print(f"FAIL {title} :: fig5-fast :: unparseable rate")
+            bad += 1
+            continue
+        if f_rate < 2.0 * m_rate:
+            print(f"FAIL {title} :: fig5-fast :: {f_rate:.2f} "
+                  f"Minst/s is below 2x fig5-memsys "
+                  f"({m_rate:.2f} Minst/s) in the same run")
+            bad += 1
+    return bad
 
 
 def main():
@@ -184,17 +269,21 @@ def main():
             failures += gate_deterministic(
                 title, base_tables[title], new_tables[title])
         elif "host-dependent" in title:
-            warnings += gate_host(title, base_tables[title],
-                                  new_tables[title], args.warn_band)
+            w, f = gate_host(title, base_tables[title],
+                             new_tables[title], args.warn_band)
+            warnings += w
+            failures += f
     if not saw_deterministic:
         die("no deterministic table found; is this a P1 report?")
     failures += check_elide_contract(new_tables)
+    failures += check_superblock_contract(new_tables)
 
     if failures:
-        print(f"perfgate: FAILED — {failures} deterministic cell(s) "
-              "drifted. A perf change must not change simulated "
-              "behaviour; if the change is intentional, re-bless "
-              "bench/BENCH_PERF.json in the same commit.")
+        print(f"perfgate: FAILED — {failures} violation(s): "
+              "deterministic drift, a >2x wall-time blowout, or a "
+              "broken in-run contract. A perf change must not change "
+              "simulated behaviour; if the change is intentional, "
+              "re-bless bench/BENCH_PERF.json in the same commit.")
         return 1
     print(f"perfgate: OK (deterministic signature matches; "
           f"{warnings} host-speed warning(s))")
